@@ -1,0 +1,76 @@
+// Design-choice ablations called out in DESIGN.md §3, run on one
+// DBP15K-style dataset:
+//   1. neighbor aggregation: BiGRU+attention (paper) vs mean pooling vs
+//      attention-only (Section III-B discusses these alternatives);
+//   2. attribute ordering: fixed random global order (Algorithm 1) vs
+//      insertion order — the paper claims order-robustness;
+//   3. sequence pooling: mean (our pre-trained-LM substitute default) vs
+//      the paper's [CLS];
+//   4. self-supervised encoder pre-training on vs off.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/attribute_sequencer.h"
+
+namespace {
+
+using sdea::bench::BenchOptions;
+using sdea::bench::DatasetRun;
+using sdea::bench::ResultTable;
+
+void RunVariant(const DatasetRun& run, const std::string& name,
+                const sdea::core::SdeaConfig& config, ResultTable* table) {
+  const sdea::bench::SdeaRun r = sdea::bench::RunSdea(run, config);
+  sdea::bench::MethodResult named = r.full;
+  named.method = name;
+  table->Add("ablation", named);
+  std::printf("[ablation] %-28s H@1=%5.1f H@10=%5.1f (%.1fs)\n",
+              name.c_str(), named.metrics.hits_at_1,
+              named.metrics.hits_at_10, named.seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sdea;
+  const BenchOptions options = bench::ParseOptions(argc, argv);
+  const datagen::DatasetSpec spec = datagen::Dbp15kPresets()[0];  // ZH-EN.
+  const DatasetRun run = bench::PrepareDataset(spec, options);
+  std::printf("[ablation] dataset %s (%lld matched entities)\n",
+              spec.config.name.c_str(),
+              static_cast<long long>(
+                  bench::DefaultMatchedEntities(spec, options)));
+
+  ResultTable table("Ablation: SDEA design choices (DBP15K ZH-EN)");
+  const core::SdeaConfig base = bench::DefaultSdeaConfig(options);
+
+  RunVariant(run, "SDEA (BiGRU+attention)", base, &table);
+  {
+    core::SdeaConfig c = base;
+    c.relation.aggregation = core::NeighborAggregation::kMeanPooling;
+    RunVariant(run, "aggregation: mean pooling", c, &table);
+  }
+  {
+    core::SdeaConfig c = base;
+    c.relation.aggregation = core::NeighborAggregation::kAttentionOnly;
+    RunVariant(run, "aggregation: attention only", c, &table);
+  }
+  {
+    core::SdeaConfig c = base;
+    c.attribute.order_seed_kg1 = core::AttributeSequencer::kIdentityOrder;
+    c.attribute.order_seed_kg2 = core::AttributeSequencer::kIdentityOrder;
+    RunVariant(run, "attr order: insertion", c, &table);
+  }
+  {
+    core::SdeaConfig c = base;
+    c.attribute.text.pooling = core::SequencePooling::kCls;
+    RunVariant(run, "pooling: [CLS]", c, &table);
+  }
+  {
+    core::SdeaConfig c = base;
+    c.attribute.text.ssl_epochs = 0;
+    RunVariant(run, "no self-supervised pretrain", c, &table);
+  }
+  table.Print();
+  return 0;
+}

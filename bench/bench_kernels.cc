@@ -1,0 +1,171 @@
+// google-benchmark microbenchmarks for the hot kernels underneath SDEA:
+// dense/sparse matmul, tokenizer encode, transformer & BiGRU forward,
+// candidate generation, stable matching, and benchmark generation.
+#include <benchmark/benchmark.h>
+
+#include "core/ann_index.h"
+#include "core/candidate_generator.h"
+#include "core/stable_matching.h"
+#include "datagen/generator.h"
+#include "nn/gru.h"
+#include "nn/transformer.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using namespace sdea;
+
+void BM_Matmul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::RandomNormal({n, n}, 1.0f, &rng);
+  Tensor b = Tensor::RandomNormal({n, n}, 1.0f, &rng);
+  for (auto _ : state) {
+    Tensor c = tmath::Matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatmulTransposeB(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  Tensor a = Tensor::RandomNormal({n, 32}, 1.0f, &rng);
+  Tensor b = Tensor::RandomNormal({n, 32}, 1.0f, &rng);
+  for (auto _ : state) {
+    Tensor c = tmath::MatmulTransposeB(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_MatmulTransposeB)->Arg(256)->Arg(1024);
+
+void BM_SparseMatmul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  std::vector<std::tuple<int64_t, int64_t, float>> coo;
+  for (int64_t i = 0; i < n * 8; ++i) {
+    coo.emplace_back(static_cast<int64_t>(rng.UniformInt(n)),
+                     static_cast<int64_t>(rng.UniformInt(n)), 1.0f);
+  }
+  CsrMatrix m = CsrMatrix::FromTriplets(n, n, coo);
+  Tensor x = Tensor::RandomNormal({n, 64}, 1.0f, &rng);
+  for (auto _ : state) {
+    Tensor y = m.Apply(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SparseMatmul)->Arg(1000)->Arg(4000);
+
+text::SubwordTokenizer* SharedTokenizer() {
+  static text::SubwordTokenizer* tok = [] {
+    auto* t = new text::SubwordTokenizer();
+    datagen::GeneratorConfig cfg;
+    cfg.num_matched = 300;
+    const auto bench = datagen::BenchmarkGenerator().Generate(cfg);
+    std::vector<std::string> corpus;
+    for (const auto& tr : bench.kg1.attribute_triples()) {
+      corpus.push_back(tr.value);
+    }
+    SDEA_CHECK_OK(t->Train(corpus, text::TokenizerConfig{}));
+    return t;
+  }();
+  return tok;
+}
+
+void BM_TokenizerEncode(benchmark::State& state) {
+  text::SubwordTokenizer* tok = SharedTokenizer();
+  const std::string text =
+      "kola ruma bani 1987 gendo mari tesa roma lipu kada nore sapa";
+  for (auto _ : state) {
+    auto ids = tok->Encode(text);
+    benchmark::DoNotOptimize(ids.data());
+  }
+}
+BENCHMARK(BM_TokenizerEncode);
+
+void BM_TransformerEncode(benchmark::State& state) {
+  const int64_t t_len = state.range(0);
+  Rng rng(5);
+  nn::TransformerConfig cfg;
+  cfg.vocab_size = 1000;
+  cfg.max_len = 128;
+  cfg.dim = 32;
+  cfg.num_heads = 4;
+  cfg.num_layers = 2;
+  cfg.ff_dim = 64;
+  nn::TransformerEncoder enc("t", cfg, &rng);
+  std::vector<int64_t> ids;
+  for (int64_t i = 0; i < t_len; ++i) {
+    ids.push_back(static_cast<int64_t>(rng.UniformInt(1000)));
+  }
+  for (auto _ : state) {
+    Graph g;
+    NodeId out = enc.EncodeMean(&g, ids, false, nullptr);
+    benchmark::DoNotOptimize(&g.Value(out));
+  }
+}
+BENCHMARK(BM_TransformerEncode)->Arg(16)->Arg(64);
+
+void BM_BiGruForward(benchmark::State& state) {
+  const int64_t t_len = state.range(0);
+  Rng rng(6);
+  nn::BiGru gru("g", 32, 32, &rng);
+  Tensor x = Tensor::RandomNormal({t_len, 32}, 1.0f, &rng);
+  for (auto _ : state) {
+    Graph g;
+    NodeId out = gru.Forward(&g, g.Input(x));
+    benchmark::DoNotOptimize(&g.Value(out));
+  }
+}
+BENCHMARK(BM_BiGruForward)->Arg(8)->Arg(24);
+
+void BM_CandidateGeneration(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(7);
+  Tensor src = Tensor::RandomNormal({n, 32}, 1.0f, &rng);
+  Tensor tgt = Tensor::RandomNormal({n, 32}, 1.0f, &rng);
+  for (auto _ : state) {
+    auto c = core::GenerateCandidates(src, tgt, 10);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_CandidateGeneration)->Arg(500)->Arg(2000);
+
+void BM_CandidateGenerationIvf(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(7);
+  Tensor src = Tensor::RandomNormal({n, 32}, 1.0f, &rng);
+  Tensor tgt = Tensor::RandomNormal({n, 32}, 1.0f, &rng);
+  for (auto _ : state) {
+    auto c = core::GenerateCandidatesApprox(src, tgt, 10);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_CandidateGenerationIvf)->Arg(500)->Arg(2000);
+
+void BM_StableMatching(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(8);
+  Tensor scores = Tensor::RandomNormal({n, n}, 1.0f, &rng);
+  for (auto _ : state) {
+    auto m = core::StableMatch(scores);
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_StableMatching)->Arg(200)->Arg(800);
+
+void BM_BenchmarkGeneration(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    datagen::GeneratorConfig cfg;
+    cfg.num_matched = n;
+    auto b = datagen::BenchmarkGenerator().Generate(cfg);
+    benchmark::DoNotOptimize(b.ground_truth.data());
+  }
+}
+BENCHMARK(BM_BenchmarkGeneration)->Arg(500)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

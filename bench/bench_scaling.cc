@@ -1,0 +1,38 @@
+// Scaling behaviour: SDEA fit wall-time and accuracy as the dataset grows
+// (attribute module only, fixed epochs, so the comparison isolates
+// per-entity cost). Complements the kernel microbenchmarks with an
+// end-to-end scaling picture.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace sdea;
+  const bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  const datagen::DatasetSpec base = datagen::SrprsPresets()[0];
+
+  eval::TablePrinter table(
+      {"matched entities", "fit seconds", "H@1", "H@10"});
+  for (const int64_t n : {200, 400, 800}) {
+    datagen::DatasetSpec spec = base;
+    spec.config.num_matched = n;
+    bench::BenchOptions local = options;
+    local.full = true;  // Use spec.config.num_matched verbatim.
+    const bench::DatasetRun run = bench::PrepareDataset(spec, local);
+    core::SdeaConfig config = bench::DefaultSdeaConfig(options);
+    config.use_relation_module = false;
+    config.attribute.text.max_epochs = 10;  // Fixed epochs for comparability.
+    config.attribute.text.patience = 10;
+    const bench::SdeaRun r = bench::RunSdea(run, config);
+    table.AddRow({std::to_string(n),
+                  eval::FormatPercent(r.full.seconds),
+                  eval::FormatPercent(r.full.metrics.hits_at_1),
+                  eval::FormatPercent(r.full.metrics.hits_at_10)});
+    std::printf("[scaling] n=%lld fit=%.1fs H@1=%.1f\n",
+                static_cast<long long>(n), r.full.seconds,
+                r.full.metrics.hits_at_1);
+  }
+  std::printf("\n=== Scaling sweep (SRPRS EN-FR preset, attr-only) ===\n");
+  table.Print();
+  return 0;
+}

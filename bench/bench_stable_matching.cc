@@ -1,0 +1,39 @@
+// Section V-B1's stable-matching observation: applying Gale–Shapley over
+// SDEA's embeddings lifts 1-1 Hits@1 (the paper reports JA-EN 84.8 -> 89.8,
+// beating CEA's 86.3). This bench reproduces the raw-vs-stable contrast.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/stable_matching.h"
+
+int main(int argc, char** argv) {
+  using namespace sdea;
+  const bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  const datagen::DatasetSpec spec = datagen::Dbp15kPresets()[1];  // JA-EN.
+  const bench::DatasetRun run = bench::PrepareDataset(spec, options);
+  std::printf("[stable] dataset %s (%lld matched entities)\n",
+              spec.config.name.c_str(),
+              static_cast<long long>(
+                  bench::DefaultMatchedEntities(spec, options)));
+
+  const bench::SdeaRun sdea =
+      bench::RunSdea(run, bench::DefaultSdeaConfig(options));
+
+  // Raw greedy ranking Hits@1 vs Gale–Shapley over the same embeddings.
+  const std::vector<int64_t> match = core::StableMatchEmbeddings(
+      sdea.model->embeddings1(), sdea.model->embeddings2());
+  std::vector<int64_t> sub_match, gold;
+  for (const auto& [a, b] : run.seeds.test) {
+    sub_match.push_back(match[static_cast<size_t>(a)]);
+    gold.push_back(b);
+  }
+  const double stable_h1 = core::MatchingAccuracy(sub_match, gold);
+
+  eval::TablePrinter table({"Variant", "H@1"});
+  table.AddRow({"SDEA (greedy ranking)",
+                eval::FormatPercent(sdea.full.metrics.hits_at_1)});
+  table.AddRow({"SDEA + stable matching", eval::FormatPercent(stable_h1)});
+  std::printf("\n=== Stable matching post-pass (DBP15K JA-EN) ===\n");
+  table.Print();
+  return 0;
+}

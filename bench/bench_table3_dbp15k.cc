@@ -1,0 +1,35 @@
+// Regenerates Table III: Hits@1 / Hits@10 / MRR of SDEA, the SDEA w/o rel.
+// ablation, and the baseline roster on the three DBP15K cross-lingual
+// pairs (ZH-EN, JA-EN, FR-EN). Runs at reduced scale by default
+// (see bench_util.h flags and EXPERIMENTS.md).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace sdea;
+  const bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  bench::ResultTable table("Table III: DBP15K benchmark");
+
+  for (const datagen::DatasetSpec& spec : datagen::Dbp15kPresets()) {
+    std::printf("[table3] dataset %s (%lld matched entities)\n",
+                spec.config.name.c_str(),
+                static_cast<long long>(
+                    bench::DefaultMatchedEntities(spec, options)));
+    const bench::DatasetRun run = bench::PrepareDataset(spec, options);
+    for (const bench::MethodResult& r :
+         bench::RunBaselines(run, bench::BaselineRoster{}, options)) {
+      table.Add(spec.id, r);
+      std::printf("[table3]   %-14s H@1=%5.1f  (%.1fs)\n", r.method.c_str(),
+                  r.metrics.hits_at_1, r.seconds);
+    }
+    const bench::SdeaRun sdea =
+        bench::RunSdea(run, bench::DefaultSdeaConfig(options));
+    table.Add(spec.id, sdea.full);
+    table.Add(spec.id, sdea.without_rel);
+    std::printf("[table3]   %-14s H@1=%5.1f  (%.1fs)\n", "SDEA",
+                sdea.full.metrics.hits_at_1, sdea.full.seconds);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,121 @@
+#ifndef SDEA_BENCH_BENCH_UTIL_H_
+#define SDEA_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sdea.h"
+#include "datagen/presets.h"
+#include "eval/metrics.h"
+#include "eval/table_printer.h"
+
+namespace sdea::bench {
+
+/// Command-line options shared by the table benches.
+///
+///   --scale=<f>   multiply each preset's entity count by f
+///   --full        paper-scale datasets (hours of CPU; default is reduced)
+///   --fast        extra-small smoke configuration
+struct BenchOptions {
+  double scale = 1.0;
+  bool full = false;
+  bool fast = false;
+};
+
+BenchOptions ParseOptions(int argc, char** argv);
+
+/// The per-dataset default entity budget at bench scale (DESIGN.md §4
+/// "Scale knobs"): reduced so the whole suite fits a single-core run;
+/// EXPERIMENTS.md records the effective scale.
+int64_t DefaultMatchedEntities(const datagen::DatasetSpec& spec,
+                               const BenchOptions& options);
+
+/// A generated dataset plus its 2:1:7 split, ready to train on.
+struct DatasetRun {
+  datagen::DatasetSpec spec;
+  datagen::GeneratedBenchmark bench;
+  kg::AlignmentSeeds seeds;
+};
+
+DatasetRun PrepareDataset(const datagen::DatasetSpec& spec,
+                          const BenchOptions& options);
+
+/// SDEA hyper-parameters tuned for the reduced bench scale.
+core::SdeaConfig DefaultSdeaConfig(const BenchOptions& options);
+
+/// One method's metrics on one dataset.
+struct MethodResult {
+  std::string method;
+  eval::RankingMetrics metrics;
+  double seconds = 0.0;
+  /// True for post-pass rows (CEA's stable matching) where only Hits@1 is
+  /// defined; the table renders the other cells as "-".
+  bool hits1_only = false;
+};
+
+/// Trains SDEA once and reports both the full model and the w/o-rel
+/// ablation (from the same fit). The fitted model is returned for optional
+/// post-passes (stable matching).
+struct SdeaRun {
+  MethodResult full;
+  MethodResult without_rel;
+  std::unique_ptr<core::SdeaModel> model;
+};
+
+SdeaRun RunSdea(const DatasetRun& run, const core::SdeaConfig& config);
+
+/// Which baselines to run.
+struct BaselineRoster {
+  bool mtranse = true;
+  bool transe_align = true;  // JAPE-Stru flavour.
+  bool bootea = true;
+  bool iptranse = true;
+  bool rsn4ea = true;
+  bool rdgcn = true;
+  bool gcn = true;
+  bool gcn_align = true;
+  bool gat = true;
+  bool bert_int = true;
+  bool cea = true;  // Emits both CEA (Emb) and CEA rows.
+  // Added after the recorded bench run; off by default so the recorded
+  // tables stay reproducible. Flip on to include them.
+  bool jape = false;
+  bool hman = false;
+  bool transedge = false;
+  bool kecg = false;
+};
+
+std::vector<MethodResult> RunBaselines(const DatasetRun& run,
+                                       const BaselineRoster& roster,
+                                       const BenchOptions& options);
+
+/// Accumulates method x dataset metrics and prints a paper-style table:
+/// one row per method, three columns (H@1, H@10, MRR) per dataset.
+class ResultTable {
+ public:
+  explicit ResultTable(std::string title) : title_(std::move(title)) {}
+
+  void Add(const std::string& dataset, const MethodResult& result);
+
+  /// Hits@1-only entry (the paper reports CEA's stable matching this way).
+  void AddHits1Only(const std::string& dataset, const std::string& method,
+                    double hits1);
+
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> datasets_;   // Column order of first appearance.
+  std::vector<std::string> methods_;    // Row order of first appearance.
+  std::map<std::pair<std::string, std::string>, MethodResult> cells_;
+  std::map<std::pair<std::string, std::string>, double> hits1_only_;
+};
+
+/// Wall-clock helper.
+double NowSeconds();
+
+}  // namespace sdea::bench
+
+#endif  // SDEA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,106 @@
+// Knowledge-base integration — the end application the paper's
+// introduction motivates. Two overlapping KBs are aligned with the
+// AlignmentPipeline (SDEA + Gale–Shapley + similarity threshold), then
+// fused with kg::MergeKnowledgeBases: matched entities collapse into one
+// node carrying the union of both KBs' facts, unmatched entities are
+// carried over. Reports completeness gains from the integration.
+//
+// Build & run:  ./build/examples/kb_integration
+
+#include <cstdio>
+
+#include "core/alignment_pipeline.h"
+#include "datagen/generator.h"
+#include "kg/merge.h"
+#include "kg/validation.h"
+
+int main() {
+  using namespace sdea;
+
+  datagen::GeneratorConfig gen;
+  gen.name = "kb integration demo";
+  gen.seed = 33;
+  gen.num_matched = 250;
+  gen.extra_entity_frac = 0.4;  // Each KB has exclusive entities.
+  gen.kg1_lang_seed = 8;
+  gen.kg2_lang_seed = 8;
+  gen.kg2_name_mode = datagen::NameMode::kShared;
+  const datagen::GeneratedBenchmark bench =
+      datagen::BenchmarkGenerator().Generate(gen);
+
+  const kg::KgStatistics s1 = bench.kg1.ComputeStatistics();
+  const kg::KgStatistics s2 = bench.kg2.ComputeStatistics();
+  std::printf("KB1: %lld entities, %lld facts\n",
+              (long long)s1.num_entities,
+              (long long)(s1.num_relational_triples +
+                          s1.num_attribute_triples));
+  std::printf("KB2: %lld entities, %lld facts\n",
+              (long long)s2.num_entities,
+              (long long)(s2.num_relational_triples +
+                          s2.num_attribute_triples));
+
+  // Sanity-check the inputs before training on them.
+  for (const auto* g : {&bench.kg1, &bench.kg2}) {
+    const kg::ValidationReport report = kg::ValidateKnowledgeGraph(*g);
+    if (!report.clean()) {
+      std::printf("validation: %s",
+                  kg::FormatValidationReport(report, 3).c_str());
+    }
+  }
+
+  // Align with the end-to-end pipeline: SDEA + stable matching + a
+  // similarity threshold that keeps KB-exclusive entities unmatched.
+  const kg::AlignmentSeeds seeds =
+      kg::AlignmentSeeds::Split(bench.ground_truth, 3);
+  core::PipelineConfig config;
+  config.model.attribute.text.max_epochs = 12;
+  config.model.attribute.text.patience = 4;
+  config.model.attribute.text.negatives_per_pair = 3;
+  config.model.relation.max_epochs = 12;
+  config.model.relation.patience = 4;
+  config.use_stable_matching = true;
+  config.min_similarity = 0.5f;
+
+  core::AlignmentPipeline pipeline;
+  auto result = pipeline.Run(bench.kg1, bench.kg2, seeds, config,
+                             bench.pretrain_corpus);
+  if (!result.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "\naligned %zu entity pairs (ranking H@1 %.1f, decision accuracy "
+      "%.1f%%)\n",
+      result->pairs.size(), result->test_metrics.hits_at_1,
+      result->matching_accuracy);
+
+  // Fuse the two KBs under the accepted matching.
+  std::vector<int64_t> match(
+      static_cast<size_t>(bench.kg1.num_entities()), -1);
+  for (const core::AlignedPair& p : result->pairs) {
+    match[static_cast<size_t>(p.source)] = p.target;
+  }
+  kg::MergeReport merge_report;
+  auto merged = kg::MergeKnowledgeBases(bench.kg1, bench.kg2, match,
+                                        kg::MergeOptions{}, &merge_report);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "merge failed: %s\n",
+                 merged.status().ToString().c_str());
+    return 1;
+  }
+  const kg::KgStatistics sm = merged->ComputeStatistics();
+  std::printf("integrated KB: %lld entities (%lld fused, %lld carried), "
+              "%lld facts (%lld duplicates removed)\n",
+              (long long)sm.num_entities,
+              (long long)merge_report.fused_entities,
+              (long long)merge_report.carried_entities,
+              (long long)(sm.num_relational_triples +
+                          sm.num_attribute_triples),
+              (long long)(merge_report.duplicate_relational +
+                          merge_report.duplicate_attributes));
+  std::printf(
+      "vs naive union without alignment: %lld entities (duplicates!)\n",
+      (long long)(s1.num_entities + s2.num_entities));
+  return 0;
+}

@@ -1,0 +1,49 @@
+#ifndef SDEA_BASE_CHECK_H_
+#define SDEA_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a diagnostic when `cond` is false. Used for programming
+/// errors (invariant violations), never for recoverable conditions — those
+/// return sdea::Status instead.
+#define SDEA_CHECK(cond)                                                 \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "SDEA_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+/// SDEA_CHECK with a printf-style explanation appended.
+#define SDEA_CHECK_MSG(cond, ...)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "SDEA_CHECK failed at %s:%d: %s: ", __FILE__, \
+                   __LINE__, #cond);                                     \
+      std::fprintf(stderr, __VA_ARGS__);                                 \
+      std::fprintf(stderr, "\n");                                        \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define SDEA_CHECK_EQ(a, b) SDEA_CHECK((a) == (b))
+#define SDEA_CHECK_NE(a, b) SDEA_CHECK((a) != (b))
+#define SDEA_CHECK_LT(a, b) SDEA_CHECK((a) < (b))
+#define SDEA_CHECK_LE(a, b) SDEA_CHECK((a) <= (b))
+#define SDEA_CHECK_GT(a, b) SDEA_CHECK((a) > (b))
+#define SDEA_CHECK_GE(a, b) SDEA_CHECK((a) >= (b))
+
+/// Checks that a Status-returning expression is OK; aborts otherwise.
+#define SDEA_CHECK_OK(expr)                                              \
+  do {                                                                   \
+    ::sdea::Status _st = (expr);                                         \
+    if (!_st.ok()) {                                                     \
+      std::fprintf(stderr, "SDEA_CHECK_OK failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, _st.ToString().c_str());          \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#endif  // SDEA_BASE_CHECK_H_

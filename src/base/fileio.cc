@@ -1,0 +1,82 @@
+#include "base/fileio.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+
+#include "base/strings.h"
+
+namespace sdea {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  std::string out;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool had_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (had_error) return Status::IoError("read error: " + path);
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != contents.size() || close_rc != 0) {
+    return Status::IoError("write error: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> ReadLines(const std::string& path) {
+  SDEA_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  std::vector<std::string> lines;
+  size_t start = 0;
+  for (size_t i = 0; i <= contents.size(); ++i) {
+    if (i == contents.size() || contents[i] == '\n') {
+      size_t end = i;
+      if (end > start && contents[end - 1] == '\r') --end;
+      if (i < contents.size() || end > start) {
+        lines.emplace_back(contents.substr(start, end - start));
+      }
+      start = i + 1;
+    }
+  }
+  return lines;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadTsv(
+    const std::string& path) {
+  SDEA_ASSIGN_OR_RETURN(std::vector<std::string> lines, ReadLines(path));
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(lines.size());
+  for (const std::string& line : lines) {
+    if (line.empty()) continue;
+    rows.push_back(Split(line, '\t'));
+  }
+  return rows;
+}
+
+Status WriteTsv(const std::string& path,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    out += Join(row, "\t");
+    out += '\n';
+  }
+  return WriteStringToFile(path, out);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace sdea

@@ -1,0 +1,32 @@
+#ifndef SDEA_BASE_FILEIO_H_
+#define SDEA_BASE_FILEIO_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace sdea {
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path`, truncating any existing file.
+Status WriteStringToFile(const std::string& path, const std::string& contents);
+
+/// Reads a file as lines (LF or CRLF), without terminators.
+Result<std::vector<std::string>> ReadLines(const std::string& path);
+
+/// Reads a tab-separated file into rows of fields. Blank lines are skipped.
+Result<std::vector<std::vector<std::string>>> ReadTsv(const std::string& path);
+
+/// Writes rows as a tab-separated file.
+Status WriteTsv(const std::string& path,
+                const std::vector<std::vector<std::string>>& rows);
+
+/// True if `path` exists and is a regular file.
+bool FileExists(const std::string& path);
+
+}  // namespace sdea
+
+#endif  // SDEA_BASE_FILEIO_H_

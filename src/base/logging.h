@@ -1,0 +1,26 @@
+#ifndef SDEA_BASE_LOGGING_H_
+#define SDEA_BASE_LOGGING_H_
+
+#include <string>
+
+namespace sdea {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes a timestamped message to stderr if `level` passes the filter.
+void LogMessage(LogLevel level, const std::string& message);
+
+}  // namespace sdea
+
+#define SDEA_LOG_DEBUG(msg) \
+  ::sdea::LogMessage(::sdea::LogLevel::kDebug, (msg))
+#define SDEA_LOG_INFO(msg) ::sdea::LogMessage(::sdea::LogLevel::kInfo, (msg))
+#define SDEA_LOG_WARNING(msg) \
+  ::sdea::LogMessage(::sdea::LogLevel::kWarning, (msg))
+#define SDEA_LOG_ERROR(msg) ::sdea::LogMessage(::sdea::LogLevel::kError, (msg))
+
+#endif  // SDEA_BASE_LOGGING_H_

@@ -1,0 +1,77 @@
+#ifndef SDEA_BASE_RNG_H_
+#define SDEA_BASE_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sdea {
+
+/// Deterministic pseudo-random number generator (xoshiro256**). Every
+/// stochastic component in the library takes an explicit Rng (or seed) so
+/// experiments are reproducible bit-for-bit.
+class Rng {
+ public:
+  /// Seeds the state via splitmix64 so that nearby seeds produce unrelated
+  /// streams.
+  explicit Rng(uint64_t seed = 42);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Uniform integer in [lo, hi]. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform float in [lo, hi).
+  float UniformFloat(float lo, float hi);
+
+  /// Standard normal via Box–Muller.
+  double Normal();
+
+  /// Normal with the given mean/stddev.
+  double Normal(double mean, double stddev);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed integer in [0, n) with exponent `s` (s > 0). Larger s
+  /// means heavier skew toward small values. Uses an inverse-CDF table-free
+  /// rejection method suitable for the modest n used here.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Fisher–Yates shuffle of `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child generator; advancing the child does not
+  /// perturb this generator's stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace sdea
+
+#endif  // SDEA_BASE_RNG_H_

@@ -1,0 +1,138 @@
+#ifndef SDEA_BASE_STATUS_H_
+#define SDEA_BASE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sdea {
+
+/// Error categories used across the library. Mirrors the common
+/// database-engine convention (RocksDB/Arrow-style status objects) so that
+/// fallible operations never throw.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+  kUnimplemented,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. Cheap to copy in the OK case
+/// (no allocation); carries a message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type `T` or an error `Status`. The value is
+/// accessed with `value()` / `operator*`, which must only be called when
+/// `ok()` is true (checked in debug builds via SDEA_CHECK at call sites).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return some_t;` in functions returning
+  /// Result<T>.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: allows `return Status::NotFound(...);`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : data_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error status. OK if this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace sdea
+
+/// Propagates a non-OK Status out of the current function.
+#define SDEA_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::sdea::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// moves the value into `lhs`.
+#define SDEA_ASSIGN_OR_RETURN(lhs, expr)              \
+  SDEA_ASSIGN_OR_RETURN_IMPL_(                        \
+      SDEA_STATUS_CONCAT_(_result, __LINE__), lhs, expr)
+
+#define SDEA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define SDEA_STATUS_CONCAT_INNER_(a, b) a##b
+#define SDEA_STATUS_CONCAT_(a, b) SDEA_STATUS_CONCAT_INNER_(a, b)
+
+#endif  // SDEA_BASE_STATUS_H_

@@ -1,0 +1,45 @@
+#ifndef SDEA_BASE_STRINGS_H_
+#define SDEA_BASE_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdea {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Levenshtein edit distance between `a` and `b` (bytes).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Normalized edit similarity in [0, 1]: 1 - dist / max(len). Returns 1 for
+/// two empty strings.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// True if `s` parses fully as a decimal number (optionally signed, with an
+/// optional fractional part).
+bool LooksNumeric(std::string_view s);
+
+}  // namespace sdea
+
+#endif  // SDEA_BASE_STRINGS_H_

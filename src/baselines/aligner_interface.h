@@ -1,0 +1,46 @@
+#ifndef SDEA_BASELINES_ALIGNER_INTERFACE_H_
+#define SDEA_BASELINES_ALIGNER_INTERFACE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "eval/metrics.h"
+#include "kg/knowledge_graph.h"
+
+namespace sdea::baselines {
+
+/// Inputs shared by every alignment method: the KG pair and the seed split.
+struct AlignInput {
+  const kg::KnowledgeGraph* kg1 = nullptr;
+  const kg::KnowledgeGraph* kg2 = nullptr;
+  const kg::AlignmentSeeds* seeds = nullptr;
+};
+
+/// Common interface of the baseline re-implementations (one representative
+/// per technique group of the paper's Table II). After Fit, each method
+/// exposes per-entity embeddings in a shared space; evaluation ranks all
+/// KG2 entities per source by cosine similarity, exactly like SDEA.
+class EntityAligner {
+ public:
+  virtual ~EntityAligner() = default;
+
+  /// Display name used in the result tables.
+  virtual std::string name() const = 0;
+
+  /// Trains on the input's train/valid splits.
+  virtual Status Fit(const AlignInput& input) = 0;
+
+  virtual const Tensor& embeddings1() const = 0;
+  virtual const Tensor& embeddings2() const = 0;
+
+  /// Hits@K / MRR over `pairs` against the full KG2 entity space. The
+  /// default ranks by cosine over the exposed embeddings; methods that fuse
+  /// non-embedding evidence (CEA) override it.
+  virtual eval::RankingMetrics Evaluate(
+      const std::vector<std::pair<kg::EntityId, kg::EntityId>>& pairs) const;
+};
+
+}  // namespace sdea::baselines
+
+#endif  // SDEA_BASELINES_ALIGNER_INTERFACE_H_

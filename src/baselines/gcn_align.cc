@@ -1,0 +1,329 @@
+#include "baselines/gcn_align.h"
+
+#include <cmath>
+#include <tuple>
+
+#include "base/check.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "text/pretrain.h"
+#include "text/tokenizer.h"
+
+namespace sdea::baselines {
+namespace {
+
+// Raw (unnormalized) union-graph edges with self-loops, as COO triplets.
+std::vector<std::tuple<int64_t, int64_t, float>> UnionEdges(
+    const kg::KnowledgeGraph& kg1, const kg::KnowledgeGraph& kg2) {
+  std::vector<std::tuple<int64_t, int64_t, float>> coo;
+  const int64_t n1 = kg1.num_entities();
+  const int64_t total = n1 + kg2.num_entities();
+  for (const kg::RelationalTriple& t : kg1.relational_triples()) {
+    coo.emplace_back(t.head, t.tail, 1.0f);
+    coo.emplace_back(t.tail, t.head, 1.0f);
+  }
+  for (const kg::RelationalTriple& t : kg2.relational_triples()) {
+    coo.emplace_back(n1 + t.head, n1 + t.tail, 1.0f);
+    coo.emplace_back(n1 + t.tail, n1 + t.head, 1.0f);
+  }
+  for (int64_t i = 0; i < total; ++i) coo.emplace_back(i, i, 1.0f);
+  return coo;
+}
+
+// Symmetric normalization D^-1/2 (A+I) D^-1/2 of COO edges.
+CsrMatrix NormalizedAdjacency(
+    int64_t n, std::vector<std::tuple<int64_t, int64_t, float>> coo) {
+  std::vector<double> degree(static_cast<size_t>(n), 0.0);
+  for (const auto& [r, c, v] : coo) degree[static_cast<size_t>(r)] += v;
+  for (auto& [r, c, v] : coo) {
+    const double dr = std::max(degree[static_cast<size_t>(r)], 1e-9);
+    const double dc = std::max(degree[static_cast<size_t>(c)], 1e-9);
+    v = static_cast<float>(v / std::sqrt(dr * dc));
+  }
+  return CsrMatrix::FromTriplets(n, n, coo);
+}
+
+// Feature-dependent attention weights over the raw edges (stop-gradient:
+// weights are recomputed from the current features each refresh but treated
+// as constants by autograd), followed by row-softmax.
+CsrMatrix AttentionAdjacency(
+    int64_t n, const std::vector<std::tuple<int64_t, int64_t, float>>& coo,
+    const Tensor& features, const Tensor& attn_vec) {
+  const int64_t d = features.dim(1);
+  SDEA_CHECK_EQ(attn_vec.size(), 2 * d);
+  std::vector<std::tuple<int64_t, int64_t, float>> weighted;
+  weighted.reserve(coo.size());
+  std::vector<double> row_max(static_cast<size_t>(n), -1e30);
+  std::vector<float> raw(coo.size());
+  for (size_t k = 0; k < coo.size(); ++k) {
+    const auto& [r, c, v] = coo[k];
+    const float* fi = features.data() + r * d;
+    const float* fj = features.data() + c * d;
+    double score = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      score += attn_vec[j] * fi[j] + attn_vec[d + j] * fj[j];
+    }
+    // LeakyReLU(0.2).
+    if (score < 0.0) score *= 0.2;
+    raw[k] = static_cast<float>(score);
+    row_max[static_cast<size_t>(r)] =
+        std::max(row_max[static_cast<size_t>(r)], score);
+  }
+  std::vector<double> row_sum(static_cast<size_t>(n), 0.0);
+  for (size_t k = 0; k < coo.size(); ++k) {
+    const auto& [r, c, v] = coo[k];
+    raw[k] = std::exp(raw[k] - static_cast<float>(
+                                   row_max[static_cast<size_t>(r)]));
+    row_sum[static_cast<size_t>(r)] += raw[k];
+  }
+  for (size_t k = 0; k < coo.size(); ++k) {
+    const auto& [r, c, v] = coo[k];
+    weighted.emplace_back(
+        r, c,
+        static_cast<float>(raw[k] /
+                           std::max(row_sum[static_cast<size_t>(r)], 1e-12)));
+  }
+  return CsrMatrix::FromTriplets(n, n, weighted);
+}
+
+// Hashed attribute-name count features, L2-normalized per row. Attribute
+// names are hashed so identical names across KGs share dimensions.
+Tensor AttributeFeatures(const kg::KnowledgeGraph& kg1,
+                         const kg::KnowledgeGraph& kg2, int64_t dim) {
+  const int64_t n1 = kg1.num_entities();
+  const int64_t total = n1 + kg2.num_entities();
+  Tensor out({total, dim});
+  auto fill = [&](const kg::KnowledgeGraph& g, int64_t offset) {
+    for (const kg::AttributeTriple& t : g.attribute_triples()) {
+      const std::string& name = g.attribute_name(t.attribute);
+      const size_t h = std::hash<std::string>{}(name) %
+                       static_cast<size_t>(dim);
+      out[(offset + t.entity) * dim + static_cast<int64_t>(h)] += 1.0f;
+    }
+  };
+  fill(kg1, 0);
+  fill(kg2, n1);
+  tmath::L2NormalizeRowsInPlace(&out);
+  return out;
+}
+
+// The trainable parameters live in a small module for uniform handling.
+class GcnNet : public sdea::nn::Module {
+ public:
+  GcnNet(int64_t n, const GcnAlign::Config& cfg, Rng* rng) {
+    features_ = AddParameter(
+        "gcn.features",
+        Tensor::RandomNormal({n, cfg.feature_dim},
+                             1.0f / std::sqrt(static_cast<float>(
+                                        cfg.feature_dim)),
+                             rng));
+    const float l0 = std::sqrt(
+        6.0f / static_cast<float>(cfg.feature_dim + cfg.hidden_dim));
+    w0_ = AddParameter("gcn.w0",
+                       Tensor::RandomUniform(
+                           {cfg.feature_dim, cfg.hidden_dim}, l0, rng));
+    const float l1 = std::sqrt(
+        6.0f / static_cast<float>(cfg.hidden_dim + cfg.out_dim));
+    w1_ = AddParameter(
+        "gcn.w1",
+        Tensor::RandomUniform({cfg.hidden_dim, cfg.out_dim}, l1, rng));
+    attn_ = AddParameter(
+        "gcn.attn",
+        Tensor::RandomUniform({2 * cfg.feature_dim}, 0.1f, rng));
+    if (cfg.use_attributes) {
+      const float la = std::sqrt(
+          6.0f / static_cast<float>(cfg.attr_feature_dim + cfg.out_dim));
+      wa_ = AddParameter("gcn.wa",
+                         Tensor::RandomUniform(
+                             {cfg.attr_feature_dim, cfg.out_dim}, la, rng));
+    }
+  }
+
+  Parameter* features_;
+  Parameter* w0_;
+  Parameter* w1_;
+  Parameter* attn_;
+  Parameter* wa_ = nullptr;
+};
+
+}  // namespace
+
+GcnAlign::Config GcnConfig() {
+  GcnAlign::Config c;
+  c.display_name = "GCN";
+  return c;
+}
+
+GcnAlign::Config GcnAlignConfig() {
+  GcnAlign::Config c;
+  c.use_attributes = true;
+  c.display_name = "GCN-Align";
+  return c;
+}
+
+GcnAlign::Config GatAlignConfig() {
+  GcnAlign::Config c;
+  c.use_attention = true;
+  c.display_name = "MuGNN (GAT)";
+  return c;
+}
+
+GcnAlign::Config RdgcnLiteConfig() {
+  GcnAlign::Config c;
+  c.init_features_from_names = true;
+  c.display_name = "RDGCN (lite)";
+  return c;
+}
+
+Status GcnAlign::Fit(const AlignInput& input) {
+  if (input.kg1 == nullptr || input.kg2 == nullptr ||
+      input.seeds == nullptr) {
+    return Status::InvalidArgument("GcnAlign: null input");
+  }
+  const int64_t n1 = input.kg1->num_entities();
+  const int64_t n2 = input.kg2->num_entities();
+  const int64_t total = n1 + n2;
+
+  const auto raw_edges = UnionEdges(*input.kg1, *input.kg2);
+  CsrMatrix adjacency = NormalizedAdjacency(total, raw_edges);
+  Tensor attr_features;
+  if (config_.use_attributes) {
+    attr_features =
+        AttributeFeatures(*input.kg1, *input.kg2, config_.attr_feature_dim);
+  }
+
+  Rng rng(config_.seed);
+  GcnNet net(total, config_, &rng);
+  if (config_.init_features_from_names) {
+    // RDGCN/HGCN recipe: seed features with pre-trained name embeddings
+    // (mean of co-occurrence word vectors over both KGs' entity names).
+    std::vector<std::string> names;
+    names.reserve(static_cast<size_t>(total));
+    for (kg::EntityId e = 0; e < n1; ++e) {
+      names.push_back(input.kg1->entity_name(e));
+    }
+    for (kg::EntityId e = 0; e < n2; ++e) {
+      names.push_back(input.kg2->entity_name(e));
+    }
+    text::SubwordTokenizer tokenizer;
+    text::TokenizerConfig tok_cfg;
+    tok_cfg.num_merges = 512;
+    text::PretrainConfig pre_cfg;
+    pre_cfg.dim = config_.feature_dim;
+    pre_cfg.epochs = 8;
+    if (tokenizer.Train(names, tok_cfg).ok()) {
+      text::CooccurrencePretrainer pretrainer;
+      auto table = pretrainer.Train(names, tokenizer, pre_cfg);
+      if (table.ok()) {
+        Tensor& features = net.features_->value;
+        for (int64_t e = 0; e < total; ++e) {
+          const auto ids = tokenizer.Encode(names[static_cast<size_t>(e)]);
+          if (ids.empty()) continue;
+          float* row = features.data() + e * config_.feature_dim;
+          std::fill(row, row + config_.feature_dim, 0.0f);
+          for (int64_t id : ids) {
+            const float* trow = table->data() + id * config_.feature_dim;
+            for (int64_t j = 0; j < config_.feature_dim; ++j) {
+              row[j] += trow[j];
+            }
+          }
+          const float inv = 1.0f / static_cast<float>(ids.size());
+          for (int64_t j = 0; j < config_.feature_dim; ++j) row[j] *= inv;
+        }
+        tmath::L2NormalizeRowsInPlace(&features);
+      }
+    }
+  }
+  sdea::nn::Adam optimizer(net.Parameters(), config_.lr);
+
+  // Full forward pass producing the union embedding matrix [total, D].
+  auto forward = [&](Graph* g) -> NodeId {
+    NodeId x = g->Param(net.features_);
+    NodeId h = g->Relu(
+        g->Matmul(g->SparseMatmul(&adjacency, x), g->Param(net.w0_)));
+    NodeId out =
+        g->Matmul(g->SparseMatmul(&adjacency, h), g->Param(net.w1_));
+    if (config_.use_attributes) {
+      NodeId ax = g->Input(attr_features);
+      NodeId ah = g->Matmul(g->SparseMatmul(&adjacency, ax),
+                            g->Param(net.wa_));
+      out = g->ConcatCols(out, ah);
+    }
+    return g->L2NormalizeRows(out);
+  };
+
+  auto extract = [&](const Tensor& all, Tensor* e1, Tensor* e2) {
+    const int64_t d = all.dim(1);
+    *e1 = Tensor({n1, d});
+    *e2 = Tensor({n2, d});
+    std::copy(all.data(), all.data() + n1 * d, e1->data());
+    std::copy(all.data() + n1 * d, all.data() + total * d, e2->data());
+  };
+
+  double best_valid = -1.0;
+  Tensor best_e1, best_e2;
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (config_.use_attention) {
+      adjacency = AttentionAdjacency(total, raw_edges, net.features_->value,
+                                     net.attn_->value);
+    }
+    Graph g;
+    NodeId all = forward(&g);
+    // Margin loss over train pairs, `negatives` corrupted targets each, in
+    // both alignment directions.
+    std::vector<int64_t> anchor_ids, pos_ids, neg_ids;
+    for (const auto& [a, b] : input.seeds->train) {
+      for (int64_t k = 0; k < config_.negatives; ++k) {
+        anchor_ids.push_back(a);
+        pos_ids.push_back(n1 + b);
+        neg_ids.push_back(
+            n1 + static_cast<int64_t>(rng.UniformInt(
+                     static_cast<uint64_t>(n2))));
+        anchor_ids.push_back(n1 + b);
+        pos_ids.push_back(a);
+        neg_ids.push_back(static_cast<int64_t>(
+            rng.UniformInt(static_cast<uint64_t>(n1))));
+      }
+    }
+    NodeId anchors = g.Gather(all, anchor_ids);
+    NodeId positives = g.Gather(all, pos_ids);
+    NodeId negatives = g.Gather(all, neg_ids);
+    NodeId loss = sdea::nn::MarginRankingLoss(&g, anchors, positives,
+                                              negatives, config_.margin);
+    optimizer.ZeroGrad();
+    g.Backward(loss);
+    optimizer.Step();
+
+    if ((epoch + 1) % config_.eval_every == 0 ||
+        epoch + 1 == config_.epochs) {
+      Graph eg;
+      const Tensor all_v = eg.Value(forward(&eg));
+      Tensor e1, e2;
+      extract(all_v, &e1, &e2);
+      // Validation Hits@1 for best-checkpoint selection.
+      double h1 = 0.0;
+      if (!input.seeds->valid.empty()) {
+        Tensor src({static_cast<int64_t>(input.seeds->valid.size()),
+                    e1.dim(1)});
+        std::vector<int64_t> gold;
+        for (size_t i = 0; i < input.seeds->valid.size(); ++i) {
+          src.SetRow(static_cast<int64_t>(i),
+                     e1.Row(input.seeds->valid[i].first));
+          gold.push_back(input.seeds->valid[i].second);
+        }
+        h1 = eval::EvaluateAlignment(src, e2, gold).hits_at_1;
+      }
+      if (h1 >= best_valid) {
+        best_valid = h1;
+        best_e1 = e1;
+        best_e2 = e2;
+      }
+    }
+  }
+  emb1_ = std::move(best_e1);
+  emb2_ = std::move(best_e2);
+  return Status::Ok();
+}
+
+}  // namespace sdea::baselines

@@ -1,0 +1,107 @@
+#include "baselines/iptranse.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/rng.h"
+
+namespace sdea::baselines {
+namespace {
+
+// Outgoing adjacency over the merged union graph for path sampling.
+struct OutEdges {
+  std::vector<std::vector<std::pair<int32_t, int32_t>>> edges;  // (rel, tail)
+};
+
+}  // namespace
+
+Status IpTransE::Fit(const AlignInput& input) {
+  if (input.kg1 == nullptr || input.kg2 == nullptr ||
+      input.seeds == nullptr) {
+    return Status::InvalidArgument("IpTransE: null input");
+  }
+  const int64_t n1 = input.kg1->num_entities();
+  const int64_t n2 = input.kg2->num_entities();
+  const int64_t total = n1 + n2;
+  const int64_t relations = std::max<int64_t>(
+      1, input.kg1->num_relations() + input.kg2->num_relations());
+
+  std::vector<int32_t> merge(static_cast<size_t>(total));
+  for (int64_t i = 0; i < total; ++i) {
+    merge[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+  }
+  for (const auto& [a, b] : input.seeds->train) {
+    merge[static_cast<size_t>(n1 + b)] = a;
+  }
+
+  // Union triples (KG2 ids offset) and outgoing adjacency on merged ids.
+  std::vector<kg::RelationalTriple> triples = input.kg1->relational_triples();
+  const int32_t r1_count = static_cast<int32_t>(input.kg1->num_relations());
+  for (const kg::RelationalTriple& t : input.kg2->relational_triples()) {
+    triples.push_back(kg::RelationalTriple{
+        static_cast<kg::EntityId>(t.head + n1),
+        static_cast<kg::RelationId>(t.relation + r1_count),
+        static_cast<kg::EntityId>(t.tail + n1)});
+  }
+  OutEdges out;
+  out.edges.resize(static_cast<size_t>(total));
+  auto resolve = [&](int64_t raw) {
+    return static_cast<int64_t>(merge[static_cast<size_t>(raw)]);
+  };
+  for (const kg::RelationalTriple& t : triples) {
+    out.edges[static_cast<size_t>(resolve(t.head))].emplace_back(
+        t.relation, static_cast<int32_t>(resolve(t.tail)));
+  }
+
+  TransE model(total, relations, config_.transe);
+  Rng rng(config_.transe.seed ^ 0x17abcdULL);
+
+  auto extract = [&](Tensor* e1, Tensor* e2) {
+    const Tensor all = model.EntityEmbeddings(merge);
+    *e1 = Tensor({n1, model.dim()});
+    *e2 = Tensor({n2, model.dim()});
+    std::copy(all.data(), all.data() + n1 * model.dim(), e1->data());
+    std::copy(all.data() + n1 * model.dim(),
+              all.data() + total * model.dim(), e2->data());
+  };
+
+  for (int64_t iter = 0; iter < config_.iterations; ++iter) {
+    for (int64_t epoch = 0; epoch < config_.epochs_per_iteration; ++epoch) {
+      model.TrainEpoch(triples, merge);
+      // PTransE component: random 2-hop paths trained as composite
+      // translations.
+      for (int64_t s = 0; s < config_.path_samples_per_epoch; ++s) {
+        const int64_t h = resolve(static_cast<int64_t>(
+            rng.UniformInt(static_cast<uint64_t>(total))));
+        const auto& e1edges = out.edges[static_cast<size_t>(h)];
+        if (e1edges.empty()) continue;
+        const auto& [r1, m] = e1edges[rng.UniformInt(e1edges.size())];
+        const auto& e2edges = out.edges[static_cast<size_t>(m)];
+        if (e2edges.empty()) continue;
+        const auto& [r2, t] = e2edges[rng.UniformInt(e2edges.size())];
+        model.PathStep(h, r1, r2, t, config_.path_lr);
+      }
+    }
+    if (iter + 1 == config_.iterations) break;
+    // Iterative soft alignment: pull mutually-nearest confident pairs.
+    extract(&emb1_, &emb2_);
+    Tensor s1 = emb1_, s2 = emb2_;
+    tmath::L2NormalizeRowsInPlace(&s1);
+    tmath::L2NormalizeRowsInPlace(&s2);
+    const Tensor scores = tmath::MatmulTransposeB(s1, s2);
+    for (int64_t i = 0; i < n1; ++i) {
+      const float* row = scores.data() + i * n2;
+      int64_t arg = 0;
+      for (int64_t j = 1; j < n2; ++j) {
+        if (row[j] > row[arg]) arg = j;
+      }
+      if (row[arg] < config_.align_threshold) continue;
+      model.PullEntities(resolve(i), resolve(n1 + arg),
+                         config_.path_lr);
+    }
+  }
+  extract(&emb1_, &emb2_);
+  return Status::Ok();
+}
+
+}  // namespace sdea::baselines

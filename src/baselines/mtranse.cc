@@ -1,0 +1,58 @@
+#include "baselines/mtranse.h"
+
+namespace sdea::baselines {
+
+Status MTransE::Fit(const AlignInput& input) {
+  if (input.kg1 == nullptr || input.kg2 == nullptr ||
+      input.seeds == nullptr) {
+    return Status::InvalidArgument("MTransE: null input");
+  }
+  TransEConfig tc = config_.transe;
+  tc.negative_sampling = false;  // Original MTransE has no negatives.
+  TransE model1(input.kg1->num_entities(),
+                std::max<int64_t>(1, input.kg1->num_relations()), tc);
+  tc.seed ^= 0x9999;
+  TransE model2(input.kg2->num_entities(),
+                std::max<int64_t>(1, input.kg2->num_relations()), tc);
+  const std::vector<int32_t> identity;
+  model1.Train(input.kg1->relational_triples(), identity);
+  model2.Train(input.kg2->relational_triples(), identity);
+
+  const Tensor e1 = model1.EntityEmbeddings(identity);
+  const Tensor e2 = model2.EntityEmbeddings(identity);
+  const int64_t d = config_.transe.dim;
+
+  // Learn W minimizing ||W h1 - h2||^2 over the seed pairs by SGD,
+  // initialized at identity.
+  Tensor w({d, d});
+  for (int64_t i = 0; i < d; ++i) w[i * d + i] = 1.0f;
+  Rng rng(config_.seed);
+  std::vector<std::pair<kg::EntityId, kg::EntityId>> train =
+      input.seeds->train;
+  for (int64_t epoch = 0; epoch < config_.mapping_epochs; ++epoch) {
+    rng.Shuffle(&train);
+    for (const auto& [a, b] : train) {
+      const float* h1 = e1.data() + a * d;
+      const float* h2 = e2.data() + b * d;
+      // residual = W h1 - h2; dW = 2 residual h1^T.
+      std::vector<float> residual(static_cast<size_t>(d), 0.0f);
+      for (int64_t i = 0; i < d; ++i) {
+        float s = 0.0f;
+        for (int64_t j = 0; j < d; ++j) s += w[i * d + j] * h1[j];
+        residual[static_cast<size_t>(i)] = s - h2[i];
+      }
+      for (int64_t i = 0; i < d; ++i) {
+        const float coeff =
+            2.0f * config_.mapping_lr * residual[static_cast<size_t>(i)];
+        for (int64_t j = 0; j < d; ++j) w[i * d + j] -= coeff * h1[j];
+      }
+    }
+  }
+
+  // emb1 = e1 @ W^T maps KG1 into KG2's space.
+  emb1_ = tmath::MatmulTransposeB(e1, w);
+  emb2_ = e2;
+  return Status::Ok();
+}
+
+}  // namespace sdea::baselines

@@ -1,0 +1,146 @@
+#include "baselines/transe.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace sdea::baselines {
+namespace {
+
+int64_t Resolve(const std::vector<int32_t>& merge, int64_t id) {
+  return merge.empty() ? id : merge[static_cast<size_t>(id)];
+}
+
+}  // namespace
+
+TransE::TransE(int64_t num_entities, int64_t num_relations,
+               const TransEConfig& config)
+    : config_(config), num_entities_(num_entities), rng_(config.seed) {
+  SDEA_CHECK_GT(num_entities, 0);
+  SDEA_CHECK_GT(num_relations, 0);
+  const float limit = 6.0f / std::sqrt(static_cast<float>(config.dim));
+  entities_ = Tensor::RandomUniform({num_entities, config.dim}, limit, &rng_);
+  relations_ =
+      Tensor::RandomUniform({num_relations, config.dim}, limit, &rng_);
+  tmath::L2NormalizeRowsInPlace(&entities_);
+  tmath::L2NormalizeRowsInPlace(&relations_);
+}
+
+void TransE::Step(int64_t h, int64_t r, int64_t t, int64_t h_neg,
+                  int64_t t_neg) {
+  const int64_t d = config_.dim;
+  float* he = entities_.data() + h * d;
+  float* te = entities_.data() + t * d;
+  float* re = relations_.data() + r * d;
+
+  float d_pos = 0.0f;
+  for (int64_t k = 0; k < d; ++k) {
+    const float diff = he[k] + re[k] - te[k];
+    d_pos += diff * diff;
+  }
+
+  if (!config_.negative_sampling) {
+    // MTransE-style: pull h + r toward t with no contrastive term.
+    for (int64_t k = 0; k < d; ++k) {
+      const float g = 2.0f * (he[k] + re[k] - te[k]);
+      he[k] -= config_.lr * g;
+      re[k] -= config_.lr * g;
+      te[k] += config_.lr * g;
+    }
+    return;
+  }
+
+  float* hn = entities_.data() + h_neg * d;
+  float* tn = entities_.data() + t_neg * d;
+  float d_neg = 0.0f;
+  for (int64_t k = 0; k < d; ++k) {
+    const float diff = hn[k] + re[k] - tn[k];
+    d_neg += diff * diff;
+  }
+  if (config_.margin + d_pos - d_neg <= 0.0f) return;  // Hinge inactive.
+  for (int64_t k = 0; k < d; ++k) {
+    const float gp = 2.0f * (he[k] + re[k] - te[k]);
+    const float gn = 2.0f * (hn[k] + re[k] - tn[k]);
+    he[k] -= config_.lr * gp;
+    te[k] += config_.lr * gp;
+    hn[k] += config_.lr * gn;
+    tn[k] -= config_.lr * gn;
+    re[k] -= config_.lr * (gp - gn);
+  }
+}
+
+void TransE::TrainEpoch(const std::vector<kg::RelationalTriple>& triples,
+                        const std::vector<int32_t>& merge) {
+  // Visit triples in a fresh random order each epoch.
+  std::vector<size_t> order(triples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng_.Shuffle(&order);
+  for (size_t idx : order) {
+    const kg::RelationalTriple& tr = triples[idx];
+    const int64_t h = Resolve(merge, tr.head);
+    const int64_t t = Resolve(merge, tr.tail);
+    int64_t h_neg = h, t_neg = t;
+    if (config_.negative_sampling) {
+      // Corrupt head or tail uniformly.
+      if (rng_.Bernoulli(0.5)) {
+        h_neg = Resolve(merge, static_cast<int64_t>(rng_.UniformInt(
+                                   static_cast<uint64_t>(num_entities_))));
+      } else {
+        t_neg = Resolve(merge, static_cast<int64_t>(rng_.UniformInt(
+                                   static_cast<uint64_t>(num_entities_))));
+      }
+      if (h_neg == h && t_neg == t) continue;
+    }
+    Step(h, tr.relation, t, h_neg, t_neg);
+  }
+  if (config_.normalize_entities) {
+    tmath::L2NormalizeRowsInPlace(&entities_);
+  }
+}
+
+void TransE::Train(const std::vector<kg::RelationalTriple>& triples,
+                   const std::vector<int32_t>& merge) {
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    TrainEpoch(triples, merge);
+  }
+}
+
+void TransE::PathStep(int64_t h, int64_t r1, int64_t r2, int64_t t,
+                      float lr) {
+  const int64_t d = config_.dim;
+  float* he = entities_.data() + h * d;
+  float* te = entities_.data() + t * d;
+  float* r1e = relations_.data() + r1 * d;
+  float* r2e = relations_.data() + r2 * d;
+  for (int64_t k = 0; k < d; ++k) {
+    const float g = 2.0f * (he[k] + r1e[k] + r2e[k] - te[k]);
+    he[k] -= lr * g;
+    r1e[k] -= lr * g;
+    r2e[k] -= lr * g;
+    te[k] += lr * g;
+  }
+}
+
+void TransE::PullEntities(int64_t a, int64_t b, float lr) {
+  const int64_t d = config_.dim;
+  float* ae = entities_.data() + a * d;
+  float* be = entities_.data() + b * d;
+  for (int64_t k = 0; k < d; ++k) {
+    const float g = 2.0f * (ae[k] - be[k]);
+    ae[k] -= lr * g;
+    be[k] += lr * g;
+  }
+}
+
+Tensor TransE::EntityEmbeddings(const std::vector<int32_t>& merge) const {
+  Tensor out({num_entities_, config_.dim});
+  for (int64_t i = 0; i < num_entities_; ++i) {
+    const int64_t slot = Resolve(merge, i);
+    std::copy(entities_.data() + slot * config_.dim,
+              entities_.data() + (slot + 1) * config_.dim,
+              out.data() + i * config_.dim);
+  }
+  return out;
+}
+
+}  // namespace sdea::baselines

@@ -1,0 +1,68 @@
+#ifndef SDEA_BASELINES_TRANSE_H_
+#define SDEA_BASELINES_TRANSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "kg/knowledge_graph.h"
+#include "tensor/tensor.h"
+
+namespace sdea::baselines {
+
+/// TransE training options.
+struct TransEConfig {
+  int64_t dim = 64;
+  float lr = 0.01f;
+  float margin = 1.0f;
+  int64_t epochs = 100;
+  bool negative_sampling = true;  ///< MTransE trains without negatives.
+  bool normalize_entities = true;
+  uint64_t seed = 9;
+};
+
+/// A hand-rolled TransE embedding table (Bordes et al. 2013) trained with
+/// SGD on margin ranking over corrupted triples: score(h,r,t) = ||h+r-t||^2.
+/// Used as the relational-association engine of the TransE-family baselines
+/// in Table II (MTransE / JAPE-Stru / BootEA).
+class TransE {
+ public:
+  TransE(int64_t num_entities, int64_t num_relations,
+         const TransEConfig& config);
+
+  /// Trains on the triples; `merge` optionally maps entity ids to shared
+  /// slots (parameter sharing of seed-aligned entities across KGs). Pass an
+  /// empty vector for the identity mapping.
+  void Train(const std::vector<kg::RelationalTriple>& triples,
+             const std::vector<int32_t>& merge);
+
+  /// One extra epoch of training (used by BootEA's bootstrap rounds).
+  void TrainEpoch(const std::vector<kg::RelationalTriple>& triples,
+                  const std::vector<int32_t>& merge);
+
+  /// Entity embeddings [num_entities, dim], resolving merged slots.
+  Tensor EntityEmbeddings(const std::vector<int32_t>& merge) const;
+
+  /// One SGD step pulling h + r1 + r2 toward t — the PTransE path
+  /// composition used by IPTransE.
+  void PathStep(int64_t h, int64_t r1, int64_t r2, int64_t t, float lr);
+
+  /// One SGD step pulling entity a toward entity b (soft alignment).
+  void PullEntities(int64_t a, int64_t b, float lr);
+
+  const Tensor& raw_entities() const { return entities_; }
+  int64_t dim() const { return config_.dim; }
+
+ private:
+  void Step(int64_t h, int64_t r, int64_t t, int64_t h_neg, int64_t t_neg);
+
+  TransEConfig config_;
+  int64_t num_entities_;
+  Tensor entities_;   // [E, dim]
+  Tensor relations_;  // [R, dim]
+  Rng rng_;
+};
+
+}  // namespace sdea::baselines
+
+#endif  // SDEA_BASELINES_TRANSE_H_

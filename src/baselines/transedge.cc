@@ -1,0 +1,144 @@
+#include "baselines/transedge.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "base/rng.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+
+namespace sdea::baselines {
+namespace {
+
+// Trainable state: joint entity/relation tables + the context projection.
+class TransEdgeNet : public sdea::nn::Module {
+ public:
+  TransEdgeNet(int64_t entities, int64_t relations, int64_t d, Rng* rng) {
+    const float s = 1.0f / std::sqrt(static_cast<float>(d));
+    entity_ = AddParameter("te.entity",
+                           Tensor::RandomNormal({entities, d}, s, rng));
+    relation_ = AddParameter("te.relation",
+                             Tensor::RandomNormal({relations, d}, s, rng));
+    const float lim = std::sqrt(6.0f / static_cast<float>(3 * d));
+    w_ = AddParameter("te.w", Tensor::RandomUniform({2 * d, d}, lim, rng));
+    b_ = AddParameter("te.b", Tensor({d}));
+  }
+
+  Parameter* entity_;
+  Parameter* relation_;
+  Parameter* w_;
+  Parameter* b_;
+};
+
+}  // namespace
+
+Status TransEdge::Fit(const AlignInput& input) {
+  if (input.kg1 == nullptr || input.kg2 == nullptr ||
+      input.seeds == nullptr) {
+    return Status::InvalidArgument("TransEdge: null input");
+  }
+  const int64_t n1 = input.kg1->num_entities();
+  const int64_t n2 = input.kg2->num_entities();
+  const int64_t total = n1 + n2;
+  const int64_t relations = std::max<int64_t>(
+      1, input.kg1->num_relations() + input.kg2->num_relations());
+  const int64_t d = config_.dim;
+
+  // Seed-sharing merge (as in the other joint-space baselines).
+  std::vector<int64_t> merge(static_cast<size_t>(total));
+  for (int64_t i = 0; i < total; ++i) merge[static_cast<size_t>(i)] = i;
+  for (const auto& [a, b] : input.seeds->train) {
+    merge[static_cast<size_t>(n1 + b)] = a;
+  }
+  struct Triple {
+    int64_t h, r, t;
+  };
+  std::vector<Triple> triples;
+  auto resolve = [&](int64_t raw) {
+    return merge[static_cast<size_t>(raw)];
+  };
+  for (const kg::RelationalTriple& t : input.kg1->relational_triples()) {
+    triples.push_back({resolve(t.head), t.relation, resolve(t.tail)});
+  }
+  const int64_t r1 = input.kg1->num_relations();
+  for (const kg::RelationalTriple& t : input.kg2->relational_triples()) {
+    triples.push_back(
+        {resolve(n1 + t.head), r1 + t.relation, resolve(n1 + t.tail)});
+  }
+  if (triples.empty()) {
+    return Status::InvalidArgument("TransEdge: no relational triples");
+  }
+
+  Rng rng(config_.seed);
+  TransEdgeNet net(total, relations, d, &rng);
+  sdea::nn::Adam optimizer(net.Parameters(), config_.lr);
+
+  // psi(H, T, R) = tanh([H;T] W + b) + R, rows batched.
+  auto psi = [&](Graph* g, NodeId h, NodeId t, NodeId r) {
+    NodeId ctx = g->Tanh(g->AddRowBroadcast(
+        g->Matmul(g->ConcatCols(h, t), g->Param(net.w_)),
+        g->Param(net.b_)));
+    return g->Add(ctx, r);
+  };
+
+  std::vector<size_t> order(triples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(config_.batch_size)) {
+      const size_t end = std::min(
+          order.size(), start + static_cast<size_t>(config_.batch_size));
+      std::vector<int64_t> h_ids, r_ids, t_ids, tneg_ids;
+      for (size_t i = start; i < end; ++i) {
+        const Triple& tr = triples[order[i]];
+        h_ids.push_back(tr.h);
+        r_ids.push_back(tr.r);
+        t_ids.push_back(tr.t);
+        tneg_ids.push_back(resolve(static_cast<int64_t>(
+            rng.UniformInt(static_cast<uint64_t>(total)))));
+      }
+      Graph g;
+      NodeId ent = g.Param(net.entity_);
+      NodeId rel = g.Param(net.relation_);
+      NodeId h = g.Gather(ent, h_ids);
+      NodeId r = g.Gather(rel, r_ids);
+      NodeId t = g.Gather(ent, t_ids);
+      NodeId tn = g.Gather(ent, tneg_ids);
+      // anchor = h + psi(h, t); positive = t; negative = corrupted tail
+      // with its own context.
+      NodeId pos_pred = g.Add(h, psi(&g, h, t, r));
+      NodeId neg_pred = g.Add(h, psi(&g, h, tn, r));
+      // Margin loss over ||pred - target||^2 pairs.
+      NodeId d_pos = sdea::nn::RowSquaredL2Distance(&g, pos_pred, t);
+      NodeId d_neg = sdea::nn::RowSquaredL2Distance(&g, neg_pred, tn);
+      NodeId hinge =
+          g.Relu(g.AddConst(g.Sub(d_pos, d_neg), config_.margin));
+      NodeId loss = g.MeanAll(hinge);
+      optimizer.ZeroGrad();
+      g.Backward(loss);
+      optimizer.ClipGradNorm(5.0f);
+      optimizer.Step();
+    }
+    tmath::L2NormalizeRowsInPlace(&net.entity_->value);
+  }
+
+  emb1_ = Tensor({n1, d});
+  emb2_ = Tensor({n2, d});
+  const Tensor& table = net.entity_->value;
+  for (int64_t e = 0; e < n1; ++e) {
+    const int64_t slot = merge[static_cast<size_t>(e)];
+    std::copy(table.data() + slot * d, table.data() + (slot + 1) * d,
+              emb1_.data() + e * d);
+  }
+  for (int64_t e = 0; e < n2; ++e) {
+    const int64_t slot = merge[static_cast<size_t>(n1 + e)];
+    std::copy(table.data() + slot * d, table.data() + (slot + 1) * d,
+              emb2_.data() + e * d);
+  }
+  return Status::Ok();
+}
+
+}  // namespace sdea::baselines

@@ -1,0 +1,98 @@
+#include "core/alignment_pipeline.h"
+
+#include <algorithm>
+
+#include "core/stable_matching.h"
+
+namespace sdea::core {
+
+Result<AlignmentResult> AlignmentPipeline::Run(
+    const kg::KnowledgeGraph& kg1, const kg::KnowledgeGraph& kg2,
+    const kg::AlignmentSeeds& seeds, const PipelineConfig& config,
+    const std::vector<std::string>& pretrain_corpus) {
+  AlignmentResult result;
+  SDEA_ASSIGN_OR_RETURN(
+      result.fit_report,
+      model_.Fit(kg1, kg2, seeds, config.model, pretrain_corpus));
+  ran_ = true;
+
+  result.test_metrics = model_.Evaluate(seeds.test);
+
+  // Decision layer over cosine similarities.
+  Tensor e1 = model_.embeddings1();
+  Tensor e2 = model_.embeddings2();
+  tmath::L2NormalizeRowsInPlace(&e1);
+  tmath::L2NormalizeRowsInPlace(&e2);
+  const Tensor scores = tmath::MatmulTransposeB(e1, e2);
+  const int64_t n1 = scores.dim(0), n2 = scores.dim(1);
+
+  std::vector<int64_t> match(static_cast<size_t>(n1), -1);
+  if (config.use_stable_matching) {
+    match = StableMatch(scores);
+  } else {
+    for (int64_t i = 0; i < n1; ++i) {
+      const float* row = scores.data() + i * n2;
+      int64_t arg = 0;
+      for (int64_t j = 1; j < n2; ++j) {
+        if (row[j] > row[arg]) arg = j;
+      }
+      match[static_cast<size_t>(i)] = arg;
+    }
+  }
+  for (int64_t i = 0; i < n1; ++i) {
+    const int64_t j = match[static_cast<size_t>(i)];
+    if (j < 0) continue;
+    const float sim = scores[i * n2 + j];
+    if (sim < config.min_similarity) {
+      match[static_cast<size_t>(i)] = -1;
+      continue;
+    }
+    result.pairs.push_back(AlignedPair{static_cast<kg::EntityId>(i),
+                                       static_cast<kg::EntityId>(j), sim});
+  }
+
+  // Decision accuracy on the held-out test pairs.
+  std::vector<int64_t> sub, gold;
+  for (const auto& [a, b] : seeds.test) {
+    sub.push_back(match[static_cast<size_t>(a)]);
+    gold.push_back(b);
+  }
+  result.matching_accuracy = MatchingAccuracy(sub, gold);
+  return result;
+}
+
+std::vector<AlignedPair> AlignmentPipeline::TopTargets(kg::EntityId source,
+                                                       int64_t k) const {
+  SDEA_CHECK(ran_);
+  const Tensor& e1 = model_.embeddings1();
+  const Tensor& e2 = model_.embeddings2();
+  SDEA_CHECK(source >= 0 && source < e1.dim(0));
+  Tensor q({1, e1.dim(1)});
+  q.SetRow(0, e1.Row(source));
+  Tensor t = e2;
+  tmath::L2NormalizeRowsInPlace(&q);
+  tmath::L2NormalizeRowsInPlace(&t);
+  const Tensor scores = tmath::MatmulTransposeB(q, t);
+  const int64_t m = scores.size();
+  const int64_t kk = std::min(k, m);
+  std::vector<int64_t> order(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) order[static_cast<size_t>(i)] = i;
+  std::partial_sort(order.begin(), order.begin() + kk, order.end(),
+                    [&](int64_t a, int64_t b) {
+                      if (scores[a] != scores[b]) {
+                        return scores[a] > scores[b];
+                      }
+                      return a < b;
+                    });
+  std::vector<AlignedPair> out;
+  out.reserve(static_cast<size_t>(kk));
+  for (int64_t i = 0; i < kk; ++i) {
+    out.push_back(AlignedPair{source,
+                              static_cast<kg::EntityId>(order[
+                                  static_cast<size_t>(i)]),
+                              scores[order[static_cast<size_t>(i)]]});
+  }
+  return out;
+}
+
+}  // namespace sdea::core

@@ -1,0 +1,67 @@
+#ifndef SDEA_CORE_ALIGNMENT_PIPELINE_H_
+#define SDEA_CORE_ALIGNMENT_PIPELINE_H_
+
+#include <vector>
+
+#include "core/sdea.h"
+
+namespace sdea::core {
+
+/// End-to-end pipeline options: the model plus the decision layer that
+/// turns embeddings into an accepted alignment.
+struct PipelineConfig {
+  SdeaConfig model;
+  /// Resolve contention with Gale–Shapley (1-1 alignment); false keeps
+  /// greedy per-source argmax (allows N-1 matches, per Definition 2 the
+  /// paper does not assume 1-1).
+  bool use_stable_matching = true;
+  /// Matches below this cosine similarity are rejected (keeps
+  /// KB-exclusive entities unmatched).
+  float min_similarity = 0.5f;
+};
+
+/// One accepted alignment decision.
+struct AlignedPair {
+  kg::EntityId source;
+  kg::EntityId target;
+  float similarity;
+};
+
+/// Everything a caller needs from a pipeline run.
+struct AlignmentResult {
+  std::vector<AlignedPair> pairs;     ///< Accepted matches, by source id.
+  eval::RankingMetrics test_metrics;  ///< Ranking quality on seeds.test.
+  double matching_accuracy = 0.0;     ///< Hits@1 of the decisions on test.
+  SdeaFitReport fit_report;
+};
+
+/// The "use SDEA as a product" facade: fit, decide, and score in one call.
+/// Wraps SdeaModel + StableMatch + thresholding; the fitted model remains
+/// accessible for custom queries.
+class AlignmentPipeline {
+ public:
+  AlignmentPipeline() = default;
+
+  /// Trains on the KG pair and produces the accepted alignment.
+  Result<AlignmentResult> Run(const kg::KnowledgeGraph& kg1,
+                              const kg::KnowledgeGraph& kg2,
+                              const kg::AlignmentSeeds& seeds,
+                              const PipelineConfig& config,
+                              const std::vector<std::string>&
+                                  pretrain_corpus = {});
+
+  /// The underlying model (valid after a successful Run).
+  const SdeaModel& model() const { return model_; }
+
+  /// Top-k candidate targets with cosine scores for one source entity
+  /// (valid after Run).
+  std::vector<AlignedPair> TopTargets(kg::EntityId source, int64_t k) const;
+
+ private:
+  SdeaModel model_;
+  bool ran_ = false;
+};
+
+}  // namespace sdea::core
+
+#endif  // SDEA_CORE_ALIGNMENT_PIPELINE_H_

@@ -1,0 +1,148 @@
+#include "core/ann_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace sdea::core {
+namespace {
+
+float DotRow(const float* a, const float* b, int64_t d) {
+  double s = 0.0;
+  for (int64_t i = 0; i < d; ++i) s += static_cast<double>(a[i]) * b[i];
+  return static_cast<float>(s);
+}
+
+}  // namespace
+
+IvfIndex::IvfIndex(const Tensor& rows, const IvfOptions& options)
+    : options_(options), data_(rows) {
+  SDEA_CHECK_EQ(data_.rank(), 2);
+  tmath::L2NormalizeRowsInPlace(&data_);
+  const int64_t m = data_.dim(0);
+  const int64_t d = data_.dim(1);
+  int64_t c = options.num_clusters;
+  if (c <= 0) {
+    c = std::max<int64_t>(
+        1, static_cast<int64_t>(std::sqrt(static_cast<double>(m))));
+  }
+  c = std::min(c, m);
+
+  // k-means++ style init: random distinct rows as seeds.
+  Rng rng(options.seed);
+  const std::vector<size_t> seeds = rng.SampleWithoutReplacement(
+      static_cast<size_t>(m), static_cast<size_t>(c));
+  centroids_ = Tensor({c, d});
+  for (int64_t i = 0; i < c; ++i) {
+    centroids_.SetRow(i, data_.Row(static_cast<int64_t>(seeds[
+                             static_cast<size_t>(i)])));
+  }
+
+  std::vector<int64_t> assignment(static_cast<size_t>(m), 0);
+  for (int64_t iter = 0; iter < options.kmeans_iters; ++iter) {
+    // Assign to the most similar centroid (cosine == dot, all normalized).
+    for (int64_t i = 0; i < m; ++i) {
+      const float* row = data_.data() + i * d;
+      int64_t best = 0;
+      float best_score = -2.0f;
+      for (int64_t j = 0; j < c; ++j) {
+        const float s = DotRow(row, centroids_.data() + j * d, d);
+        if (s > best_score) {
+          best_score = s;
+          best = j;
+        }
+      }
+      assignment[static_cast<size_t>(i)] = best;
+    }
+    // Recompute centroids as normalized means.
+    centroids_.Zero();
+    std::vector<int64_t> counts(static_cast<size_t>(c), 0);
+    for (int64_t i = 0; i < m; ++i) {
+      const int64_t a = assignment[static_cast<size_t>(i)];
+      ++counts[static_cast<size_t>(a)];
+      float* crow = centroids_.data() + a * d;
+      const float* row = data_.data() + i * d;
+      for (int64_t j = 0; j < d; ++j) crow[j] += row[j];
+    }
+    for (int64_t j = 0; j < c; ++j) {
+      if (counts[static_cast<size_t>(j)] == 0) {
+        // Re-seed an empty cell with a random row.
+        centroids_.SetRow(
+            j, data_.Row(static_cast<int64_t>(rng.UniformInt(
+                   static_cast<uint64_t>(m)))));
+      }
+    }
+    tmath::L2NormalizeRowsInPlace(&centroids_);
+  }
+
+  cells_.assign(static_cast<size_t>(c), {});
+  for (int64_t i = 0; i < m; ++i) {
+    cells_[static_cast<size_t>(assignment[static_cast<size_t>(i)])]
+        .push_back(i);
+  }
+}
+
+std::vector<int64_t> IvfIndex::Query(const float* query, int64_t dim,
+                                     int64_t k) const {
+  const int64_t d = data_.dim(1);
+  SDEA_CHECK_EQ(dim, d);
+  const int64_t c = centroids_.dim(0);
+  const int64_t probes = std::min<int64_t>(options_.num_probes, c);
+
+  // Rank cells by centroid similarity.
+  std::vector<int64_t> cell_order(static_cast<size_t>(c));
+  std::iota(cell_order.begin(), cell_order.end(), 0);
+  std::vector<float> cell_score(static_cast<size_t>(c));
+  for (int64_t j = 0; j < c; ++j) {
+    cell_score[static_cast<size_t>(j)] =
+        DotRow(query, centroids_.data() + j * d, d);
+  }
+  std::partial_sort(cell_order.begin(), cell_order.begin() + probes,
+                    cell_order.end(), [&](int64_t a, int64_t b) {
+                      return cell_score[static_cast<size_t>(a)] >
+                             cell_score[static_cast<size_t>(b)];
+                    });
+
+  // Scan the probed cells.
+  std::vector<std::pair<float, int64_t>> scored;
+  for (int64_t p = 0; p < probes; ++p) {
+    for (int64_t row : cells_[static_cast<size_t>(
+             cell_order[static_cast<size_t>(p)])]) {
+      scored.emplace_back(DotRow(query, data_.data() + row * d, d), row);
+    }
+  }
+  const int64_t kk = std::min<int64_t>(k, static_cast<int64_t>(scored.size()));
+  std::partial_sort(scored.begin(), scored.begin() + kk, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(kk));
+  for (int64_t i = 0; i < kk; ++i) {
+    out.push_back(scored[static_cast<size_t>(i)].second);
+  }
+  return out;
+}
+
+std::vector<std::vector<int64_t>> IvfIndex::QueryBatch(const Tensor& queries,
+                                                       int64_t k) const {
+  Tensor q = queries;
+  tmath::L2NormalizeRowsInPlace(&q);
+  std::vector<std::vector<int64_t>> out(static_cast<size_t>(q.dim(0)));
+  for (int64_t i = 0; i < q.dim(0); ++i) {
+    out[static_cast<size_t>(i)] = Query(q.data() + i * q.dim(1), q.dim(1), k);
+  }
+  return out;
+}
+
+std::vector<std::vector<int64_t>> GenerateCandidatesApprox(
+    const Tensor& src, const Tensor& tgt, int64_t k,
+    const IvfOptions& options) {
+  const IvfIndex index(tgt, options);
+  return index.QueryBatch(src, k);
+}
+
+}  // namespace sdea::core

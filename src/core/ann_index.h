@@ -1,0 +1,56 @@
+#ifndef SDEA_CORE_ANN_INDEX_H_
+#define SDEA_CORE_ANN_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "tensor/tensor.h"
+
+namespace sdea::core {
+
+/// Options for the inverted-file approximate top-k index.
+struct IvfOptions {
+  int64_t num_clusters = 0;   ///< 0 = sqrt(N) heuristic.
+  int64_t num_probes = 4;     ///< Clusters scanned per query.
+  int64_t kmeans_iters = 6;
+  uint64_t seed = 47;
+};
+
+/// An IVF (inverted file) index over L2-normalized rows for approximate
+/// cosine top-k. The exact brute-force GenerateCandidates is O(N*M) per
+/// epoch, which dominates at the 100K scale of OpenEA D_W_100K; this index
+/// trades a little recall for a num_probes/num_clusters scan fraction.
+/// Rows are assigned to k-means cells; queries scan only the closest
+/// `num_probes` cells.
+class IvfIndex {
+ public:
+  /// Builds the index over `rows` ([M, d]); rows are L2-normalized
+  /// internally.
+  IvfIndex(const Tensor& rows, const IvfOptions& options);
+
+  /// Indices of the approximate top-k most cosine-similar rows.
+  std::vector<int64_t> Query(const float* query, int64_t dim,
+                             int64_t k) const;
+
+  /// Convenience over many queries ([N, d]); rows normalized internally.
+  std::vector<std::vector<int64_t>> QueryBatch(const Tensor& queries,
+                                               int64_t k) const;
+
+  int64_t num_clusters() const { return centroids_.dim(0); }
+
+ private:
+  IvfOptions options_;
+  Tensor data_;       // Normalized copies of the indexed rows.
+  Tensor centroids_;  // [C, d].
+  std::vector<std::vector<int64_t>> cells_;
+};
+
+/// Drop-in approximate variant of GenerateCandidates (same contract).
+std::vector<std::vector<int64_t>> GenerateCandidatesApprox(
+    const Tensor& src, const Tensor& tgt, int64_t k,
+    const IvfOptions& options = {});
+
+}  // namespace sdea::core
+
+#endif  // SDEA_CORE_ANN_INDEX_H_

@@ -1,0 +1,21 @@
+#include "core/attribute_embedding.h"
+
+#include "core/attribute_sequencer.h"
+
+namespace sdea::core {
+
+Status AttributeEmbeddingModule::Init(
+    const kg::KnowledgeGraph& kg1, const kg::KnowledgeGraph& kg2,
+    const AttributeModuleConfig& config,
+    const std::vector<std::string>& pretrain_corpus) {
+  config_ = config;
+  // Algorithm 1: one attribute order per KG, sequences for every entity.
+  const AttributeSequencer seq1(&kg1, config.order_seed_kg1);
+  const AttributeSequencer seq2(&kg2, config.order_seed_kg2);
+  SDEA_RETURN_IF_ERROR(encoder_.Init(seq1.AllSequences(), seq2.AllSequences(),
+                                     config.text, pretrain_corpus));
+  AddSubmodule(&encoder_);
+  return Status::Ok();
+}
+
+}  // namespace sdea::core

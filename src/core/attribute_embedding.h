@@ -1,0 +1,72 @@
+#ifndef SDEA_CORE_ATTRIBUTE_EMBEDDING_H_
+#define SDEA_CORE_ATTRIBUTE_EMBEDDING_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "core/text_alignment_encoder.h"
+#include "core/train_report.h"
+#include "kg/knowledge_graph.h"
+
+namespace sdea::core {
+
+/// Hyper-parameters of the attribute embedding module (Section III-A and
+/// Algorithm 2): the shared text-encoder settings plus the per-KG attribute
+/// order seeds of Algorithm 1.
+struct AttributeModuleConfig {
+  TextEncoderConfig text;
+  uint64_t order_seed_kg1 = 91;
+  uint64_t order_seed_kg2 = 92;
+};
+
+/// The attribute embedding module: transforms each entity's attribute
+/// values into a sequence with a fixed random attribute order (Algorithm
+/// 1), then encodes and fine-tunes it with the shared transformer engine
+/// (Eqs. 5-7, Algorithm 2). Pre-trained separately from the relation module
+/// exactly as the paper prescribes (Section IV-A).
+class AttributeEmbeddingModule : public nn::Module {
+ public:
+  AttributeEmbeddingModule() = default;
+
+  /// Builds Algorithm-1 sequences for both KGs and initializes the encoder
+  /// (tokenizer training + token-embedding pre-training included).
+  /// `pretrain_corpus` is extra LM-pre-training text (see
+  /// GeneratedBenchmark::pretrain_corpus).
+  Status Init(const kg::KnowledgeGraph& kg1, const kg::KnowledgeGraph& kg2,
+              const AttributeModuleConfig& config,
+              const std::vector<std::string>& pretrain_corpus = {});
+
+  /// Ha(e) as a [1, out_dim] L2-normalized node.
+  NodeId EncodeEntity(Graph* g, int side, kg::EntityId e, bool training,
+                      Rng* rng) const {
+    return encoder_.EncodeEntity(g, side, e, training, rng);
+  }
+
+  /// Ha for every entity of `side` as [N, out_dim].
+  Tensor ComputeAllEmbeddings(int side) const {
+    return encoder_.ComputeAllEmbeddings(side);
+  }
+
+  /// Algorithm 2 pre-training.
+  Result<TrainReport> Pretrain(const kg::AlignmentSeeds& seeds) {
+    return encoder_.Pretrain(seeds);
+  }
+
+  const AttributeModuleConfig& config() const { return config_; }
+  const text::SubwordTokenizer& tokenizer() const {
+    return encoder_.tokenizer();
+  }
+  int64_t num_entities(int side) const { return encoder_.num_entities(side); }
+  const std::vector<int64_t>& token_ids(int side, kg::EntityId e) const {
+    return encoder_.token_ids(side, e);
+  }
+  const TextAlignmentEncoder& encoder() const { return encoder_; }
+
+ private:
+  AttributeModuleConfig config_;
+  TextAlignmentEncoder encoder_;
+};
+
+}  // namespace sdea::core
+
+#endif  // SDEA_CORE_ATTRIBUTE_EMBEDDING_H_

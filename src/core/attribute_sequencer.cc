@@ -1,0 +1,53 @@
+#include "core/attribute_sequencer.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/rng.h"
+
+namespace sdea::core {
+
+AttributeSequencer::AttributeSequencer(const kg::KnowledgeGraph* graph,
+                                       uint64_t seed)
+    : graph_(graph) {
+  SDEA_CHECK(graph != nullptr);
+  const int64_t n = graph->num_attributes();
+  attribute_rank_.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) attribute_rank_[static_cast<size_t>(i)] = i;
+  if (seed != kIdentityOrder) {
+    Rng rng(seed);
+    rng.Shuffle(&attribute_rank_);
+  }
+}
+
+std::string AttributeSequencer::Sequence(kg::EntityId e) const {
+  // Collect (rank, triple index) and sort: stable within an attribute by
+  // insertion order.
+  std::vector<std::pair<int64_t, int64_t>> keyed;
+  for (int64_t idx : graph_->attribute_triples_of(e)) {
+    const kg::AttributeTriple& t =
+        graph_->attribute_triples()[static_cast<size_t>(idx)];
+    keyed.emplace_back(attribute_rank_[static_cast<size_t>(t.attribute)],
+                       idx);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::string out;
+  for (const auto& [rank, idx] : keyed) {
+    const kg::AttributeTriple& t =
+        graph_->attribute_triples()[static_cast<size_t>(idx)];
+    if (!out.empty()) out += ' ';
+    out += t.value;
+  }
+  return out;
+}
+
+std::vector<std::string> AttributeSequencer::AllSequences() const {
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(graph_->num_entities()));
+  for (kg::EntityId e = 0; e < graph_->num_entities(); ++e) {
+    out.push_back(Sequence(e));
+  }
+  return out;
+}
+
+}  // namespace sdea::core

@@ -1,0 +1,46 @@
+#ifndef SDEA_CORE_ATTRIBUTE_SEQUENCER_H_
+#define SDEA_CORE_ATTRIBUTE_SEQUENCER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+
+namespace sdea::core {
+
+/// Algorithm 1 (KG transformation): fixes one random global order O^(A) over
+/// a KG's attributes, then renders each entity's attribute values as a
+/// single text sequence S(e) by concatenating the values of its attributed
+/// triples in that order. All entities of a KG share the same order, which
+/// gives the transformer a consistent contextual layout without requiring
+/// schema alignment across KGs.
+class AttributeSequencer {
+ public:
+  /// `seed` drives the random attribute order; pass kIdentityOrder to keep
+  /// insertion order (used by the ablation bench).
+  AttributeSequencer(const kg::KnowledgeGraph* graph, uint64_t seed);
+
+  /// Sentinel seed: keep the KG's attribute insertion order.
+  static constexpr uint64_t kIdentityOrder = ~0ULL;
+
+  /// S(e): values of e's attributed triples, ordered by O^(A), joined with
+  /// spaces. Empty string for entities without attributes.
+  std::string Sequence(kg::EntityId e) const;
+
+  /// S(e) for every entity, indexed by EntityId.
+  std::vector<std::string> AllSequences() const;
+
+  /// Rank of each attribute in O^(A) (smaller sorts first).
+  const std::vector<int64_t>& attribute_rank() const {
+    return attribute_rank_;
+  }
+
+ private:
+  const kg::KnowledgeGraph* graph_;  // Not owned.
+  std::vector<int64_t> attribute_rank_;
+};
+
+}  // namespace sdea::core
+
+#endif  // SDEA_CORE_ATTRIBUTE_SEQUENCER_H_

@@ -1,0 +1,48 @@
+#include "core/candidate_generator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace sdea::core {
+
+std::vector<std::vector<int64_t>> GenerateCandidates(const Tensor& src,
+                                                     const Tensor& tgt,
+                                                     int64_t k) {
+  SDEA_CHECK_EQ(src.rank(), 2);
+  SDEA_CHECK_EQ(tgt.rank(), 2);
+  SDEA_CHECK_EQ(src.dim(1), tgt.dim(1));
+  SDEA_CHECK_GT(k, 0);
+  Tensor s = src;
+  Tensor t = tgt;
+  tmath::L2NormalizeRowsInPlace(&s);
+  tmath::L2NormalizeRowsInPlace(&t);
+  const int64_t n = s.dim(0), m = t.dim(0);
+  const int64_t kk = std::min(k, m);
+  std::vector<std::vector<int64_t>> out(static_cast<size_t>(n));
+  // Row-at-a-time scoring keeps the working set at O(m).
+  std::vector<float> scores(static_cast<size_t>(m));
+  std::vector<int64_t> idx(static_cast<size_t>(m));
+  for (int64_t i = 0; i < n; ++i) {
+    const float* srow = s.data() + i * s.dim(1);
+    for (int64_t j = 0; j < m; ++j) {
+      const float* trow = t.data() + j * t.dim(1);
+      double dot = 0.0;
+      for (int64_t d = 0; d < s.dim(1); ++d) dot += srow[d] * trow[d];
+      scores[static_cast<size_t>(j)] = static_cast<float>(dot);
+    }
+    std::iota(idx.begin(), idx.end(), 0);
+    std::partial_sort(idx.begin(), idx.begin() + kk, idx.end(),
+                      [&](int64_t a, int64_t b) {
+                        const float sa = scores[static_cast<size_t>(a)];
+                        const float sb = scores[static_cast<size_t>(b)];
+                        if (sa != sb) return sa > sb;
+                        return a < b;
+                      });
+    out[static_cast<size_t>(i)].assign(idx.begin(), idx.begin() + kk);
+  }
+  return out;
+}
+
+}  // namespace sdea::core

@@ -1,0 +1,144 @@
+#include "core/embedding_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+
+#include "base/fileio.h"
+
+namespace sdea::core {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'D', 'E', 'A', 'E', 'M', 'B', '1'};
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+bool ReadU64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+}  // namespace
+
+Result<EmbeddingStore> EmbeddingStore::Create(std::vector<std::string> names,
+                                              Tensor embeddings) {
+  if (embeddings.rank() != 2 ||
+      embeddings.dim(0) != static_cast<int64_t>(names.size())) {
+    return Status::InvalidArgument(
+        "embeddings must be [names.size(), d]");
+  }
+  std::unordered_set<std::string> unique(names.begin(), names.end());
+  if (unique.size() != names.size()) {
+    return Status::InvalidArgument("entity names must be unique");
+  }
+  EmbeddingStore store;
+  store.names_ = std::move(names);
+  store.embeddings_ = std::move(embeddings);
+  tmath::L2NormalizeRowsInPlace(&store.embeddings_);
+  return store;
+}
+
+Status EmbeddingStore::Save(const std::string& path) const {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  AppendU64(&out, names_.size());
+  AppendU64(&out, static_cast<uint64_t>(dim()));
+  for (const std::string& name : names_) {
+    AppendU64(&out, name.size());
+    out.append(name);
+  }
+  out.append(reinterpret_cast<const char*>(embeddings_.data()),
+             static_cast<size_t>(embeddings_.size()) * sizeof(float));
+  return WriteStringToFile(path, out);
+}
+
+Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
+  SDEA_ASSIGN_OR_RETURN(std::string in, ReadFileToString(path));
+  if (in.size() < sizeof(kMagic) ||
+      std::memcmp(in.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an SDEA embedding store: " + path);
+  }
+  size_t pos = sizeof(kMagic);
+  uint64_t count = 0, dim = 0;
+  if (!ReadU64(in, &pos, &count) || !ReadU64(in, &pos, &dim)) {
+    return Status::InvalidArgument("truncated embedding store header");
+  }
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t len = 0;
+    if (!ReadU64(in, &pos, &len) || pos + len > in.size()) {
+      return Status::InvalidArgument("truncated embedding store names");
+    }
+    names.push_back(in.substr(pos, len));
+    pos += len;
+  }
+  const size_t bytes = static_cast<size_t>(count * dim) * sizeof(float);
+  if (pos + bytes > in.size()) {
+    return Status::InvalidArgument("truncated embedding store data");
+  }
+  Tensor embeddings({static_cast<int64_t>(count), static_cast<int64_t>(dim)});
+  std::memcpy(embeddings.data(), in.data() + pos, bytes);
+  return Create(std::move(names), std::move(embeddings));
+}
+
+Result<int64_t> EmbeddingStore::Find(const std::string& name) const {
+  // Linear scan is fine for the store sizes here; an id map would be easy
+  // to add if Find became hot.
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int64_t>(i);
+  }
+  return Status::NotFound("entity not in store: " + name);
+}
+
+Result<Tensor> EmbeddingStore::Get(const std::string& name) const {
+  SDEA_ASSIGN_OR_RETURN(int64_t id, Find(name));
+  return embeddings_.Row(id);
+}
+
+std::vector<EmbeddingStore::Neighbor> EmbeddingStore::NearestNeighbors(
+    const Tensor& query, int64_t k) const {
+  SDEA_CHECK_EQ(query.size(), dim());
+  Tensor q({1, dim()});
+  q.SetRow(0, query);
+  tmath::L2NormalizeRowsInPlace(&q);
+
+  std::vector<int64_t> ids;
+  if (index_ != nullptr) {
+    ids = index_->Query(q.data(), dim(), k);
+  } else {
+    const int64_t n = size();
+    const int64_t kk = std::min(k, n);
+    std::vector<std::pair<float, int64_t>> scored;
+    scored.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      scored.emplace_back(
+          tmath::Dot(q.Row(0), embeddings_.Row(i)), i);
+    }
+    std::partial_sort(scored.begin(), scored.begin() + kk, scored.end(),
+                      [](const auto& a, const auto& b) {
+                        if (a.first != b.first) return a.first > b.first;
+                        return a.second < b.second;
+                      });
+    for (int64_t i = 0; i < kk; ++i) ids.push_back(scored[i].second);
+  }
+  std::vector<Neighbor> out;
+  out.reserve(ids.size());
+  for (int64_t id : ids) {
+    out.push_back(Neighbor{names_[static_cast<size_t>(id)], id,
+                           tmath::Dot(q.Row(0), embeddings_.Row(id))});
+  }
+  return out;
+}
+
+void EmbeddingStore::BuildIndex(const IvfOptions& options) {
+  index_ = std::make_unique<IvfIndex>(embeddings_, options);
+}
+
+}  // namespace sdea::core

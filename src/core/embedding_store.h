@@ -1,0 +1,68 @@
+#ifndef SDEA_CORE_EMBEDDING_STORE_H_
+#define SDEA_CORE_EMBEDDING_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/ann_index.h"
+#include "tensor/tensor.h"
+
+namespace sdea::core {
+
+/// A deployable artifact: entity embeddings keyed by entity name, with
+/// disk persistence and (optionally approximate) nearest-neighbor queries.
+/// This is the piece a downstream service loads after training — the
+/// trained model itself is no longer needed to serve alignment queries.
+class EmbeddingStore {
+ public:
+  EmbeddingStore() = default;
+
+  /// Builds from parallel names/embeddings ([N, d], row i = names[i]).
+  /// Names must be unique.
+  static Result<EmbeddingStore> Create(std::vector<std::string> names,
+                                       Tensor embeddings);
+
+  /// Binary persistence (magic + names + float32 matrix). Round-trips
+  /// exactly.
+  Status Save(const std::string& path) const;
+  static Result<EmbeddingStore> Load(const std::string& path);
+
+  int64_t size() const { return embeddings_.dim(0); }
+  int64_t dim() const { return embeddings_.size() == 0 ? 0 : embeddings_.dim(1); }
+  const std::vector<std::string>& names() const { return names_; }
+  const Tensor& embeddings() const { return embeddings_; }
+
+  /// Row id for `name`, or NotFound.
+  Result<int64_t> Find(const std::string& name) const;
+
+  /// The embedding row of `name`.
+  Result<Tensor> Get(const std::string& name) const;
+
+  /// One scored query answer.
+  struct Neighbor {
+    std::string name;
+    int64_t id;
+    float similarity;
+  };
+
+  /// Top-k most cosine-similar entries to `query` (length dim()). Exact
+  /// scan unless BuildIndex was called.
+  std::vector<Neighbor> NearestNeighbors(const Tensor& query,
+                                         int64_t k) const;
+
+  /// Builds the IVF index so NearestNeighbors runs approximately but
+  /// sub-linearly.
+  void BuildIndex(const IvfOptions& options = {});
+  bool has_index() const { return index_ != nullptr; }
+
+ private:
+  std::vector<std::string> names_;
+  Tensor embeddings_;  // L2-normalized rows.
+  std::unique_ptr<IvfIndex> index_;
+};
+
+}  // namespace sdea::core
+
+#endif  // SDEA_CORE_EMBEDDING_STORE_H_

@@ -1,0 +1,86 @@
+#include "core/numeric_channel.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "base/check.h"
+#include "base/strings.h"
+
+namespace sdea::core {
+
+bool ParseNumeric(std::string_view text, double* value) {
+  const std::string_view trimmed = Trim(text);
+  if (!LooksNumeric(trimmed)) return false;
+  *value = std::strtod(std::string(trimmed).c_str(), nullptr);
+  return true;
+}
+
+void EmbedNumber(double value, float* out) {
+  // Layout (16 dims):
+  //   [0]      sign
+  //   [1]      squashed log-magnitude
+  //   [2..11]  soft one-hot over integer log10 magnitude bins 0..9
+  //   [12..14] leading digits (first three, /9)
+  //   [15]     has-fraction flag
+  const double magnitude = std::fabs(value);
+  out[0] = value < 0 ? -1.0f : 1.0f;
+  const double log_mag = std::log10(magnitude + 1.0);
+  out[1] = static_cast<float>(std::tanh(log_mag / 5.0));
+  for (int i = 0; i < 10; ++i) {
+    // Triangular kernel around the magnitude bin: numbers one order of
+    // magnitude apart overlap, two apart do not.
+    const double dist = std::fabs(log_mag - i);
+    out[2 + i] = static_cast<float>(std::max(0.0, 1.0 - dist));
+  }
+  // Leading digits of the integer part.
+  int64_t integral = static_cast<int64_t>(magnitude);
+  std::string digits = std::to_string(integral);
+  for (int i = 0; i < 3; ++i) {
+    out[12 + i] =
+        (i < static_cast<int>(digits.size()))
+            ? static_cast<float>(digits[static_cast<size_t>(i)] - '0') / 9.0f
+            : 0.0f;
+  }
+  out[15] = (magnitude != std::floor(magnitude)) ? 1.0f : 0.0f;
+}
+
+Tensor ComputeNumericFeatures(const kg::KnowledgeGraph& graph) {
+  const int64_t n = graph.num_entities();
+  Tensor out({n, kNumericFeatureDim});
+  std::vector<int64_t> counts(static_cast<size_t>(n), 0);
+  float buf[kNumericFeatureDim];
+  for (const kg::AttributeTriple& t : graph.attribute_triples()) {
+    double value = 0.0;
+    if (!ParseNumeric(t.value, &value)) continue;
+    EmbedNumber(value, buf);
+    float* row = out.data() + t.entity * kNumericFeatureDim;
+    for (int64_t j = 0; j < kNumericFeatureDim; ++j) row[j] += buf[j];
+    ++counts[static_cast<size_t>(t.entity)];
+  }
+  for (int64_t e = 0; e < n; ++e) {
+    if (counts[static_cast<size_t>(e)] == 0) continue;
+    const float inv = 1.0f / static_cast<float>(counts[static_cast<size_t>(e)]);
+    float* row = out.data() + e * kNumericFeatureDim;
+    for (int64_t j = 0; j < kNumericFeatureDim; ++j) row[j] *= inv;
+  }
+  tmath::L2NormalizeRowsInPlace(&out);
+  return out;
+}
+
+Tensor ConcatNumericChannel(const Tensor& base, const Tensor& numeric,
+                            float weight) {
+  SDEA_CHECK_EQ(base.dim(0), numeric.dim(0));
+  const int64_t n = base.dim(0);
+  const int64_t d = base.dim(1);
+  const int64_t f = numeric.dim(1);
+  Tensor out({n, d + f});
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = out.data() + i * (d + f);
+    std::copy(base.data() + i * d, base.data() + (i + 1) * d, row);
+    const float* nrow = numeric.data() + i * f;
+    for (int64_t j = 0; j < f; ++j) row[d + j] = weight * nrow[j];
+  }
+  return out;
+}
+
+}  // namespace sdea::core

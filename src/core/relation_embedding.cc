@@ -1,0 +1,283 @@
+#include "core/relation_embedding.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "base/strings.h"
+#include "core/candidate_generator.h"
+#include "eval/metrics.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace sdea::core {
+namespace {
+
+std::vector<Tensor> SnapshotParams(const std::vector<Parameter*>& params) {
+  std::vector<Tensor> out;
+  out.reserve(params.size());
+  for (Parameter* p : params) out.push_back(p->value);
+  return out;
+}
+
+void RestoreParams(const std::vector<Tensor>& snapshot,
+                   const std::vector<Parameter*>& params) {
+  SDEA_CHECK_EQ(snapshot.size(), params.size());
+  for (size_t i = 0; i < params.size(); ++i) params[i]->value = snapshot[i];
+}
+
+// Caps an entity's neighbor list deterministically: the first
+// `max_neighbors` edges in insertion order (the generator and real TSV
+// loads both preserve source order).
+std::vector<kg::EntityId> CapNeighbors(const kg::KnowledgeGraph& g,
+                                       kg::EntityId e, int64_t cap) {
+  std::vector<kg::EntityId> out;
+  for (const kg::NeighborEdge& edge : g.neighbors(e)) {
+    out.push_back(edge.neighbor);
+    if (static_cast<int64_t>(out.size()) >= cap) break;
+  }
+  if (out.empty()) out.push_back(e);  // Zero-neighbor fallback: self.
+  return out;
+}
+
+}  // namespace
+
+Status RelationEmbeddingModule::Init(const kg::KnowledgeGraph& kg1,
+                                     const kg::KnowledgeGraph& kg2,
+                                     int64_t attr_dim,
+                                     const RelationModuleConfig& config) {
+  if (initialized_) {
+    return Status::FailedPrecondition("module already initialized");
+  }
+  if (attr_dim <= 0) return Status::InvalidArgument("attr_dim must be > 0");
+  config_ = config;
+  attr_dim_ = attr_dim;
+
+  Rng rng(config.seed);
+  bigru_ = std::make_unique<nn::BiGru>("rel.bigru", attr_dim,
+                                       config.hidden_dim, &rng);
+  projection_ = std::make_unique<nn::Linear>("rel.proj", attr_dim,
+                                             config.hidden_dim, &rng);
+  attention_mlp_ = std::make_unique<nn::Mlp>(
+      "rel.attn",
+      std::vector<int64_t>{config.hidden_dim, config.hidden_dim},
+      nn::Activation::kRelu, &rng);
+  joint_mlp_ = std::make_unique<nn::Mlp>(
+      "rel.joint",
+      std::vector<int64_t>{attr_dim + config.hidden_dim, config.joint_dim},
+      nn::Activation::kRelu, &rng);
+  AddSubmodule(bigru_.get());
+  AddSubmodule(projection_.get());
+  AddSubmodule(attention_mlp_.get());
+  AddSubmodule(joint_mlp_.get());
+
+  neighbors_.resize(2);
+  neighbors_[0].reserve(static_cast<size_t>(kg1.num_entities()));
+  for (kg::EntityId e = 0; e < kg1.num_entities(); ++e) {
+    neighbors_[0].push_back(CapNeighbors(kg1, e, config.max_neighbors));
+  }
+  neighbors_[1].reserve(static_cast<size_t>(kg2.num_entities()));
+  for (kg::EntityId e = 0; e < kg2.num_entities(); ++e) {
+    neighbors_[1].push_back(CapNeighbors(kg2, e, config.max_neighbors));
+  }
+  initialized_ = true;
+  return Status::Ok();
+}
+
+const std::vector<kg::EntityId>& RelationEmbeddingModule::neighbor_list(
+    int side, kg::EntityId e) const {
+  SDEA_CHECK(side == 1 || side == 2);
+  const auto& per_side = neighbors_[static_cast<size_t>(side - 1)];
+  SDEA_CHECK(e >= 0 && static_cast<size_t>(e) < per_side.size());
+  return per_side[static_cast<size_t>(e)];
+}
+
+void RelationEmbeddingModule::ForwardEntity(Graph* g, int side,
+                                            kg::EntityId e,
+                                            const Tensor& ha_side,
+                                            NodeId* hr_out,
+                                            NodeId* hm_out) const {
+  SDEA_CHECK(initialized_);
+  SDEA_CHECK_EQ(ha_side.dim(1), attr_dim_);
+  const std::vector<kg::EntityId>& nbrs = neighbor_list(side, e);
+  const int64_t t_len = static_cast<int64_t>(nbrs.size());
+
+  // x_t: the attribute embeddings of the neighbors, as frozen constants —
+  // Algorithm 3 updates RelModule and the MLPs only.
+  Tensor x({t_len, attr_dim_});
+  for (int64_t t = 0; t < t_len; ++t) {
+    x.SetRow(t, ha_side.Row(nbrs[static_cast<size_t>(t)]));
+  }
+  NodeId inputs = g->Input(std::move(x));
+
+  NodeId hidden = -1;  // [T, hidden_dim]
+  switch (config_.aggregation) {
+    case NeighborAggregation::kBiGruAttention:
+      hidden = bigru_->Forward(g, inputs);
+      break;
+    case NeighborAggregation::kMeanPooling:
+    case NeighborAggregation::kAttentionOnly:
+      hidden = g->Tanh(projection_->Forward(g, inputs));
+      break;
+  }
+
+  NodeId hr;
+  if (config_.aggregation == NeighborAggregation::kMeanPooling) {
+    hr = g->MeanRows(hidden);
+  } else {
+    // Eq. 12: global attention representation from the last hidden state.
+    NodeId h_n = g->SliceRows(hidden, t_len - 1, t_len);
+    NodeId h_hat = attention_mlp_->Forward(g, h_n);  // [1, hid]
+    // Eqs. 13-14: inner-product scores, softmax over neighbors.
+    NodeId scores = g->Matmul(h_hat, g->Transpose(hidden));  // [1, T]
+    NodeId alpha = g->SoftmaxRows(scores);
+    // Eq. 15: weighted sum of the neighbor states.
+    hr = g->Matmul(alpha, hidden);  // [1, hid]
+  }
+  hr = g->L2NormalizeRows(hr);
+
+  // Eq. 16: joint representation from the entity's own Ha and Hr.
+  Tensor ha_row({1, attr_dim_});
+  ha_row.SetRow(0, ha_side.Row(e));
+  NodeId ha_node = g->Input(std::move(ha_row));
+  NodeId hm = joint_mlp_->Forward(g, g->ConcatCols(ha_node, hr));
+  hm = g->L2NormalizeRows(hm);
+
+  *hr_out = hr;
+  *hm_out = hm;
+}
+
+int64_t RelationEmbeddingModule::entity_embedding_dim() const {
+  return config_.hidden_dim + attr_dim_ + config_.joint_dim;
+}
+
+Tensor RelationEmbeddingModule::ComputeEntityEmbeddings(
+    int side, const Tensor& ha_side) const {
+  SDEA_CHECK(initialized_);
+  const int64_t n = static_cast<int64_t>(
+      neighbors_[static_cast<size_t>(side - 1)].size());
+  SDEA_CHECK_EQ(ha_side.dim(0), n);
+  Tensor out({n, entity_embedding_dim()});
+  for (kg::EntityId e = 0; e < n; ++e) {
+    Graph g;
+    NodeId hr, hm;
+    ForwardEntity(&g, side, e, ha_side, &hr, &hm);
+    const Tensor& hr_v = g.Value(hr);
+    const Tensor& hm_v = g.Value(hm);
+    // Ha block L2-normalized like the others (Eq. 17 concatenation).
+    Tensor ha_row({1, attr_dim_});
+    ha_row.SetRow(0, ha_side.Row(e));
+    tmath::L2NormalizeRowsInPlace(&ha_row);
+    float* row = out.data() + e * entity_embedding_dim();
+    std::copy(hr_v.data(), hr_v.data() + config_.hidden_dim, row);
+    std::copy(ha_row.data(), ha_row.data() + attr_dim_,
+              row + config_.hidden_dim);
+    std::copy(hm_v.data(), hm_v.data() + config_.joint_dim,
+              row + config_.hidden_dim + attr_dim_);
+  }
+  return out;
+}
+
+Result<TrainReport> RelationEmbeddingModule::Train(
+    const Tensor& ha1, const Tensor& ha2, const kg::AlignmentSeeds& seeds) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Init() before Train()");
+  }
+  if (seeds.train.empty()) {
+    return Status::InvalidArgument("empty training set");
+  }
+  Rng rng(config_.seed ^ 0x5ca1ab1eULL);
+  nn::Adam optimizer(Parameters(), config_.lr);
+
+  // Line 1: candidates from the pre-trained attribute embeddings, fixed for
+  // the whole run.
+  const auto candidates =
+      GenerateCandidates(ha1, ha2, config_.num_candidates);
+
+  TrainReport report;
+  std::vector<Tensor> best = SnapshotParams(Parameters());
+  int64_t since_best = 0;
+  std::vector<std::pair<kg::EntityId, kg::EntityId>> train = seeds.train;
+
+  for (int64_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    rng.Shuffle(&train);
+    for (size_t batch_start = 0; batch_start < train.size();
+         batch_start += static_cast<size_t>(config_.batch_size)) {
+      const size_t batch_end =
+          std::min(train.size(),
+                   batch_start + static_cast<size_t>(config_.batch_size));
+      Graph g;
+      NodeId anchors = -1, positives = -1, negatives = -1;
+      for (size_t i = batch_start; i < batch_end; ++i) {
+        const auto& [e1, e2] = train[i];
+        const auto& cand = candidates[static_cast<size_t>(e1)];
+        kg::EntityId neg = kg::kInvalidEntity;
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          const kg::EntityId c = static_cast<kg::EntityId>(
+              cand[rng.UniformInt(cand.size())]);
+          if (c != e2) {
+            neg = c;
+            break;
+          }
+        }
+        if (neg == kg::kInvalidEntity) {
+          neg = static_cast<kg::EntityId>(
+              rng.UniformInt(static_cast<uint64_t>(ha2.dim(0))));
+          if (neg == e2) neg = (neg + 1) % static_cast<kg::EntityId>(
+                                   ha2.dim(0));
+        }
+        // Lines 5-8: relation and joint embeddings for anchor/pos/neg.
+        NodeId hr_a, hm_a, hr_p, hm_p, hr_n, hm_n;
+        ForwardEntity(&g, 1, e1, ha1, &hr_a, &hm_a);
+        ForwardEntity(&g, 2, e2, ha2, &hr_p, &hm_p);
+        ForwardEntity(&g, 2, neg, ha2, &hr_n, &hm_n);
+        // Line 9: the loss embedding is the concatenation [Hr; Hm].
+        NodeId a = g.ConcatCols(hr_a, hm_a);
+        NodeId p = g.ConcatCols(hr_p, hm_p);
+        NodeId q = g.ConcatCols(hr_n, hm_n);
+        anchors = (anchors < 0) ? a : g.ConcatRows(anchors, a);
+        positives = (positives < 0) ? p : g.ConcatRows(positives, p);
+        negatives = (negatives < 0) ? q : g.ConcatRows(negatives, q);
+      }
+      NodeId loss = nn::MarginRankingLoss(&g, anchors, positives, negatives,
+                                          config_.margin);
+      optimizer.ZeroGrad();
+      g.Backward(loss);
+      optimizer.ClipGradNorm(config_.grad_clip);
+      optimizer.Step();
+    }
+
+    // Line 12: validate on the final entity embedding (Eq. 17).
+    const Tensor ent1 = ComputeEntityEmbeddings(1, ha1);
+    const Tensor ent2 = ComputeEntityEmbeddings(2, ha2);
+    Tensor valid_src({static_cast<int64_t>(seeds.valid.size()),
+                      entity_embedding_dim()});
+    std::vector<int64_t> gold;
+    gold.reserve(seeds.valid.size());
+    for (size_t i = 0; i < seeds.valid.size(); ++i) {
+      valid_src.SetRow(static_cast<int64_t>(i),
+                       ent1.Row(seeds.valid[i].first));
+      gold.push_back(seeds.valid[i].second);
+    }
+    const eval::RankingMetrics metrics =
+        seeds.valid.empty()
+            ? eval::RankingMetrics{}
+            : eval::EvaluateAlignment(valid_src, ent2, gold);
+    report.valid_hits1_history.push_back(metrics.hits_at_1);
+    ++report.epochs_run;
+    SDEA_LOG_DEBUG(StrFormat("rel epoch %lld valid H@1=%.2f",
+                             static_cast<long long>(epoch),
+                             metrics.hits_at_1));
+    if (metrics.hits_at_1 > report.best_valid_hits1 ||
+        report.epochs_run == 1) {
+      report.best_valid_hits1 = metrics.hits_at_1;
+      best = SnapshotParams(Parameters());
+      since_best = 0;
+    } else if (++since_best >= config_.patience) {
+      break;
+    }
+  }
+  RestoreParams(best, Parameters());
+  return report;
+}
+
+}  // namespace sdea::core

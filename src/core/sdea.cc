@@ -1,0 +1,102 @@
+#include "core/sdea.h"
+
+#include "base/logging.h"
+#include "base/strings.h"
+#include "core/numeric_channel.h"
+
+namespace sdea::core {
+
+Result<SdeaFitReport> SdeaModel::Fit(
+    const kg::KnowledgeGraph& kg1, const kg::KnowledgeGraph& kg2,
+    const kg::AlignmentSeeds& seeds, const SdeaConfig& config,
+    const std::vector<std::string>& pretrain_corpus) {
+  SdeaFitReport report;
+
+  // Phase 1: attribute embedding pre-training (Algorithm 2).
+  SDEA_RETURN_IF_ERROR(
+      attribute_module_.Init(kg1, kg2, config.attribute, pretrain_corpus));
+  SDEA_ASSIGN_OR_RETURN(report.attribute, attribute_module_.Pretrain(seeds));
+  ha1_ = attribute_module_.ComputeAllEmbeddings(1);
+  ha2_ = attribute_module_.ComputeAllEmbeddings(2);
+  SDEA_LOG_INFO(StrFormat("attribute module: %lld epochs, valid H@1=%.2f",
+                          static_cast<long long>(report.attribute.epochs_run),
+                          report.attribute.best_valid_hits1));
+
+  if (!config.use_relation_module) {
+    // "SDEA w/o rel.": the attribute embedding is the entity embedding.
+    ent1_ = ha1_;
+    ent2_ = ha2_;
+    if (config.use_numeric_channel) {
+      ent1_ = ConcatNumericChannel(ent1_, ComputeNumericFeatures(kg1),
+                                   config.numeric_channel_weight);
+      ent2_ = ConcatNumericChannel(ent2_, ComputeNumericFeatures(kg2),
+                                   config.numeric_channel_weight);
+    }
+    fitted_ = true;
+    return report;
+  }
+
+  // Phase 2: relation + joint training (Algorithm 3), transformer frozen.
+  SDEA_RETURN_IF_ERROR(relation_module_.Init(
+      kg1, kg2, config.attribute.text.out_dim, config.relation));
+  SDEA_ASSIGN_OR_RETURN(report.relation,
+                        relation_module_.Train(ha1_, ha2_, seeds));
+  SDEA_LOG_INFO(StrFormat("relation module: %lld epochs, valid H@1=%.2f",
+                          static_cast<long long>(report.relation.epochs_run),
+                          report.relation.best_valid_hits1));
+
+  ent1_ = relation_module_.ComputeEntityEmbeddings(1, ha1_);
+  ent2_ = relation_module_.ComputeEntityEmbeddings(2, ha2_);
+  if (config.use_numeric_channel) {
+    ent1_ = ConcatNumericChannel(ent1_, ComputeNumericFeatures(kg1),
+                                 config.numeric_channel_weight);
+    ent2_ = ConcatNumericChannel(ent2_, ComputeNumericFeatures(kg2),
+                                 config.numeric_channel_weight);
+  }
+  fitted_ = true;
+  return report;
+}
+
+eval::RankingMetrics SdeaModel::EvaluateWithoutRelation(
+    const std::vector<std::pair<kg::EntityId, kg::EntityId>>& pairs) const {
+  SDEA_CHECK(fitted_);
+  Tensor src({static_cast<int64_t>(pairs.size()), ha1_.dim(1)});
+  std::vector<int64_t> gold;
+  gold.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    src.SetRow(static_cast<int64_t>(i), ha1_.Row(pairs[i].first));
+    gold.push_back(pairs[i].second);
+  }
+  return eval::EvaluateAlignment(src, ha2_, gold);
+}
+
+eval::RankingMetrics SdeaModel::Evaluate(
+    const std::vector<std::pair<kg::EntityId, kg::EntityId>>& pairs) const {
+  SDEA_CHECK(fitted_);
+  Tensor src({static_cast<int64_t>(pairs.size()), ent1_.dim(1)});
+  std::vector<int64_t> gold;
+  gold.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    src.SetRow(static_cast<int64_t>(i), ent1_.Row(pairs[i].first));
+    gold.push_back(pairs[i].second);
+  }
+  return eval::EvaluateAlignment(src, ent2_, gold);
+}
+
+std::vector<eval::RankingMetrics> SdeaModel::EvaluateByDegree(
+    const kg::KnowledgeGraph& kg1,
+    const std::vector<std::pair<kg::EntityId, kg::EntityId>>& pairs,
+    const std::vector<int64_t>& bucket_upper) const {
+  SDEA_CHECK(fitted_);
+  Tensor src({static_cast<int64_t>(pairs.size()), ent1_.dim(1)});
+  std::vector<int64_t> gold;
+  std::vector<int64_t> degrees;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    src.SetRow(static_cast<int64_t>(i), ent1_.Row(pairs[i].first));
+    gold.push_back(pairs[i].second);
+    degrees.push_back(kg1.degree(pairs[i].first));
+  }
+  return eval::EvaluateByDegree(src, ent2_, gold, degrees, bucket_upper);
+}
+
+}  // namespace sdea::core

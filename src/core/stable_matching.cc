@@ -1,0 +1,80 @@
+#include "core/stable_matching.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace sdea::core {
+
+std::vector<int64_t> StableMatch(const Tensor& scores) {
+  SDEA_CHECK_EQ(scores.rank(), 2);
+  const int64_t n = scores.dim(0), m = scores.dim(1);
+  // Preference lists for each source (targets by decreasing score).
+  std::vector<std::vector<int32_t>> prefs(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    auto& p = prefs[static_cast<size_t>(i)];
+    p.resize(static_cast<size_t>(m));
+    std::iota(p.begin(), p.end(), 0);
+    const float* row = scores.data() + i * m;
+    std::sort(p.begin(), p.end(), [row](int32_t a, int32_t b) {
+      if (row[a] != row[b]) return row[a] > row[b];
+      return a < b;
+    });
+  }
+  std::vector<int64_t> match(static_cast<size_t>(n), -1);
+  std::vector<int64_t> target_holder(static_cast<size_t>(m), -1);
+  std::vector<size_t> next_proposal(static_cast<size_t>(n), 0);
+  std::vector<int64_t> free_sources(static_cast<size_t>(n));
+  std::iota(free_sources.begin(), free_sources.end(), 0);
+  while (!free_sources.empty()) {
+    const int64_t s = free_sources.back();
+    auto& cursor = next_proposal[static_cast<size_t>(s)];
+    if (cursor >= static_cast<size_t>(m)) {
+      free_sources.pop_back();  // Exhausted all targets; stays unmatched.
+      continue;
+    }
+    const int32_t t = prefs[static_cast<size_t>(s)][cursor++];
+    const int64_t holder = target_holder[static_cast<size_t>(t)];
+    if (holder < 0) {
+      target_holder[static_cast<size_t>(t)] = s;
+      match[static_cast<size_t>(s)] = t;
+      free_sources.pop_back();
+    } else {
+      // Target keeps the higher-scoring proposer.
+      const float cur = scores[holder * m + t];
+      const float neu = scores[s * m + t];
+      if (neu > cur) {
+        target_holder[static_cast<size_t>(t)] = s;
+        match[static_cast<size_t>(s)] = t;
+        match[static_cast<size_t>(holder)] = -1;
+        free_sources.pop_back();
+        free_sources.push_back(holder);
+      }
+    }
+  }
+  return match;
+}
+
+std::vector<int64_t> StableMatchEmbeddings(const Tensor& src,
+                                           const Tensor& tgt) {
+  Tensor s = src;
+  Tensor t = tgt;
+  tmath::L2NormalizeRowsInPlace(&s);
+  tmath::L2NormalizeRowsInPlace(&t);
+  return StableMatch(tmath::MatmulTransposeB(s, t));
+}
+
+double MatchingAccuracy(const std::vector<int64_t>& match,
+                        const std::vector<int64_t>& gold) {
+  SDEA_CHECK_EQ(match.size(), gold.size());
+  int64_t total = 0, correct = 0;
+  for (size_t i = 0; i < match.size(); ++i) {
+    if (gold[i] < 0) continue;
+    ++total;
+    if (match[i] == gold[i]) ++correct;
+  }
+  return total == 0 ? 0.0 : 100.0 * correct / total;
+}
+
+}  // namespace sdea::core

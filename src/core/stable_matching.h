@@ -1,0 +1,30 @@
+#ifndef SDEA_CORE_STABLE_MATCHING_H_
+#define SDEA_CORE_STABLE_MATCHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sdea::core {
+
+/// Gale–Shapley stable matching over a similarity matrix [N, M] (higher is
+/// better). Sources propose in decreasing preference; targets hold their
+/// best proposal. Returns match[i] = matched target for source i, or -1 if
+/// unmatched (when N > M). This is the post-processing step the paper
+/// borrows from CEA to boost 1-1 Hits@1 (Section V-B1).
+std::vector<int64_t> StableMatch(const Tensor& scores);
+
+/// Convenience: stable matching over cosine similarities of two embedding
+/// matrices.
+std::vector<int64_t> StableMatchEmbeddings(const Tensor& src,
+                                           const Tensor& tgt);
+
+/// Hits@1 (%) of a matching against gold (gold[i] = true target of source
+/// i, or -1 to skip).
+double MatchingAccuracy(const std::vector<int64_t>& match,
+                        const std::vector<int64_t>& gold);
+
+}  // namespace sdea::core
+
+#endif  // SDEA_CORE_STABLE_MATCHING_H_

@@ -1,0 +1,320 @@
+#include "core/text_alignment_encoder.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "base/strings.h"
+#include "core/candidate_generator.h"
+#include "eval/metrics.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace sdea::core {
+namespace {
+
+std::vector<Tensor> SnapshotParams(const std::vector<Parameter*>& params) {
+  std::vector<Tensor> out;
+  out.reserve(params.size());
+  for (Parameter* p : params) out.push_back(p->value);
+  return out;
+}
+
+void RestoreParams(const std::vector<Tensor>& snapshot,
+                   const std::vector<Parameter*>& params) {
+  SDEA_CHECK_EQ(snapshot.size(), params.size());
+  for (size_t i = 0; i < params.size(); ++i) params[i]->value = snapshot[i];
+}
+
+}  // namespace
+
+Status TextAlignmentEncoder::Init(const std::vector<std::string>& texts1,
+                                  const std::vector<std::string>& texts2,
+                                  const TextEncoderConfig& config,
+                                  const std::vector<std::string>& extra_corpus) {
+  if (initialized_) {
+    return Status::FailedPrecondition("encoder already initialized");
+  }
+  if (texts1.empty() || texts2.empty()) {
+    return Status::InvalidArgument("empty entity text lists");
+  }
+  config_ = config;
+
+  std::vector<std::string> corpus;
+  corpus.reserve(texts1.size() + texts2.size() + extra_corpus.size());
+  for (const auto& s : texts1) corpus.push_back(s);
+  for (const auto& s : texts2) corpus.push_back(s);
+  for (const auto& s : extra_corpus) corpus.push_back(s);
+  SDEA_RETURN_IF_ERROR(tokenizer_.Train(corpus, config.tokenizer));
+
+  config_.encoder.vocab_size = tokenizer_.vocab().size();
+  Rng init_rng(config.seed);
+  encoder_ = std::make_unique<nn::TransformerEncoder>("enc", config_.encoder,
+                                                      &init_rng);
+  output_mlp_ = std::make_unique<nn::Mlp>(
+      "enc.mlp",
+      std::vector<int64_t>{config_.encoder.dim, config_.out_dim},
+      nn::Activation::kRelu, &init_rng);
+  AddSubmodule(encoder_.get());
+  AddSubmodule(output_mlp_.get());
+
+  if (config.use_pretrained_embeddings) {
+    text::PretrainConfig pt = config.pretrain;
+    pt.dim = config_.encoder.dim;
+    text::CooccurrencePretrainer pretrainer;
+    auto table = pretrainer.Train(corpus, tokenizer_, pt);
+    if (table.ok()) {
+      encoder_->token_embedding()->table()->value = std::move(table).value();
+    } else {
+      SDEA_LOG_WARNING("token pre-training skipped: " +
+                       table.status().ToString());
+    }
+  }
+
+  token_ids_.resize(2);
+  auto encode_all = [&](const std::vector<std::string>& texts,
+                        std::vector<std::vector<int64_t>>* out) {
+    out->reserve(texts.size());
+    for (const std::string& s : texts) {
+      out->push_back(tokenizer_.EncodeForModel(s, config_.encoder.max_len));
+    }
+  };
+  encode_all(texts1, &token_ids_[0]);
+  encode_all(texts2, &token_ids_[1]);
+
+  initialized_ = true;
+  return Status::Ok();
+}
+
+int64_t TextAlignmentEncoder::num_entities(int side) const {
+  SDEA_CHECK(side == 1 || side == 2);
+  return static_cast<int64_t>(
+      token_ids_[static_cast<size_t>(side - 1)].size());
+}
+
+const std::vector<int64_t>& TextAlignmentEncoder::token_ids(
+    int side, kg::EntityId e) const {
+  SDEA_CHECK(side == 1 || side == 2);
+  const auto& per_side = token_ids_[static_cast<size_t>(side - 1)];
+  SDEA_CHECK(e >= 0 && static_cast<size_t>(e) < per_side.size());
+  return per_side[static_cast<size_t>(e)];
+}
+
+NodeId TextAlignmentEncoder::EncodeEntity(Graph* g, int side, kg::EntityId e,
+                                          bool training, Rng* rng) const {
+  SDEA_CHECK(initialized_);
+  const std::vector<int64_t>& ids = token_ids(side, e);
+  if (training && config_.train_token_dropout > 0.0f && ids.size() >= 3) {
+    SDEA_CHECK(rng != nullptr);
+    // Drop non-[CLS] tokens so the margin cannot be satisfied by
+    // memorizing entity-unique tokens of the seed pairs.
+    std::vector<int64_t> kept;
+    kept.push_back(ids[0]);
+    for (size_t i = 1; i < ids.size(); ++i) {
+      if (!rng->Bernoulli(config_.train_token_dropout)) kept.push_back(ids[i]);
+    }
+    if (kept.size() == 1) kept.push_back(ids[1]);
+    NodeId pooled = (config_.pooling == SequencePooling::kCls)
+                        ? encoder_->EncodeCls(g, kept, training, rng)
+                        : encoder_->EncodeMean(g, kept, training, rng);
+    return g->L2NormalizeRows(output_mlp_->Forward(g, pooled));
+  }
+  NodeId pooled = (config_.pooling == SequencePooling::kCls)
+                      ? encoder_->EncodeCls(g, ids, training, rng)
+                      : encoder_->EncodeMean(g, ids, training, rng);
+  NodeId out = output_mlp_->Forward(g, pooled);
+  return g->L2NormalizeRows(out);
+}
+
+Tensor TextAlignmentEncoder::ComputeAllEmbeddings(int side) const {
+  SDEA_CHECK(initialized_);
+  const int64_t n = num_entities(side);
+  Tensor out({n, config_.out_dim});
+  for (int64_t e = 0; e < n; ++e) {
+    Graph g;
+    NodeId node = EncodeEntity(&g, side, static_cast<kg::EntityId>(e),
+                               /*training=*/false, /*rng=*/nullptr);
+    out.SetRow(e, g.Value(node).Row(0));
+  }
+  return out;
+}
+
+void TextAlignmentEncoder::SelfSupervisedPretrain() {
+  SDEA_CHECK(initialized_);
+  if (config_.ssl_epochs <= 0) return;
+  Rng rng(config_.seed ^ 0x55aa55aaULL);
+  nn::Adam optimizer(Parameters(), config_.lr);
+
+  // Pool of (side, entity) texts with at least two non-CLS tokens.
+  std::vector<std::pair<int, kg::EntityId>> pool;
+  for (int side = 1; side <= 2; ++side) {
+    const int64_t n = num_entities(side);
+    for (int64_t e = 0; e < n; ++e) {
+      if (token_ids(side, static_cast<kg::EntityId>(e)).size() >= 3) {
+        pool.emplace_back(side, static_cast<kg::EntityId>(e));
+      }
+    }
+  }
+  if (pool.size() < 4) return;
+
+  // A "view" drops each non-CLS token with ssl_token_dropout (keeping at
+  // least one token).
+  auto make_view = [&](int side, kg::EntityId e) {
+    const std::vector<int64_t>& ids = token_ids(side, e);
+    std::vector<int64_t> view;
+    view.push_back(ids[0]);  // [CLS]
+    for (size_t i = 1; i < ids.size(); ++i) {
+      if (!rng.Bernoulli(config_.ssl_token_dropout)) view.push_back(ids[i]);
+    }
+    if (view.size() == 1) view.push_back(ids[1]);
+    return view;
+  };
+  auto encode_view = [&](Graph* g, const std::vector<int64_t>& ids) {
+    NodeId pooled =
+        (config_.pooling == SequencePooling::kCls)
+            ? encoder_->EncodeCls(g, ids, /*training=*/true, &rng)
+            : encoder_->EncodeMean(g, ids, /*training=*/true, &rng);
+    return g->L2NormalizeRows(output_mlp_->Forward(g, pooled));
+  };
+
+  for (int64_t epoch = 0; epoch < config_.ssl_epochs; ++epoch) {
+    rng.Shuffle(&pool);
+    const size_t limit = std::min(
+        pool.size(), static_cast<size_t>(config_.ssl_max_texts) * 2);
+    for (size_t start = 0; start + 1 < limit;
+         start += static_cast<size_t>(config_.ssl_batch)) {
+      const size_t end =
+          std::min(limit, start + static_cast<size_t>(config_.ssl_batch));
+      if (end - start < 2) break;
+      Graph g;
+      NodeId anchors = -1, positives = -1, negatives = -1;
+      for (size_t i = start; i < end; ++i) {
+        const auto& [side, e] = pool[i];
+        // Negative: the positive view of the batch neighbor (ring order).
+        const size_t j = (i + 1 < end) ? i + 1 : start;
+        const auto& [nside, ne] = pool[j];
+        NodeId a = encode_view(&g, make_view(side, e));
+        NodeId p = encode_view(&g, make_view(side, e));
+        NodeId q = encode_view(&g, make_view(nside, ne));
+        anchors = (anchors < 0) ? a : g.ConcatRows(anchors, a);
+        positives = (positives < 0) ? p : g.ConcatRows(positives, p);
+        negatives = (negatives < 0) ? q : g.ConcatRows(negatives, q);
+      }
+      NodeId loss = nn::MarginRankingLoss(&g, anchors, positives, negatives,
+                                          config_.margin);
+      optimizer.ZeroGrad();
+      g.Backward(loss);
+      optimizer.ClipGradNorm(config_.grad_clip);
+      optimizer.Step();
+    }
+  }
+}
+
+Result<TrainReport> TextAlignmentEncoder::Pretrain(
+    const kg::AlignmentSeeds& seeds) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Init() before Pretrain()");
+  }
+  if (seeds.train.empty()) {
+    return Status::InvalidArgument("empty training set");
+  }
+  SelfSupervisedPretrain();
+  Rng rng(config_.seed ^ 0xabcdef12345ULL);
+  nn::Adam optimizer(Parameters(), config_.lr);
+
+  TrainReport report;
+  std::vector<Tensor> best = SnapshotParams(Parameters());
+  int64_t since_best = 0;
+  const std::vector<std::pair<kg::EntityId, kg::EntityId>>& base_train =
+      seeds.train;
+
+  for (int64_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    // Algorithm 2 lines 2-4: fresh embeddings and candidates per epoch.
+    const Tensor ha1 = ComputeAllEmbeddings(1);
+    const Tensor ha2 = ComputeAllEmbeddings(2);
+    const auto candidates =
+        GenerateCandidates(ha1, ha2, config_.num_candidates);
+
+    // Lines 5-10: margin-loss updates over shuffled training pairs
+    // (replicated negatives_per_pair times per epoch).
+    std::vector<std::pair<kg::EntityId, kg::EntityId>> train;
+    train.reserve(base_train.size() *
+                  static_cast<size_t>(config_.negatives_per_pair));
+    for (int64_t rep = 0; rep < config_.negatives_per_pair; ++rep) {
+      for (const auto& pair : base_train) train.push_back(pair);
+    }
+    rng.Shuffle(&train);
+    for (size_t batch_start = 0; batch_start < train.size();
+         batch_start += static_cast<size_t>(config_.batch_size)) {
+      const size_t batch_end =
+          std::min(train.size(),
+                   batch_start + static_cast<size_t>(config_.batch_size));
+      Graph g;
+      NodeId anchors = -1, positives = -1, negatives = -1;
+      for (size_t i = batch_start; i < batch_end; ++i) {
+        const auto& [e1, e2] = train[i];
+        // Line 6: negative from the candidate set, != the positive.
+        const auto& cand = candidates[static_cast<size_t>(e1)];
+        kg::EntityId neg = kg::kInvalidEntity;
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          const kg::EntityId c =
+              static_cast<kg::EntityId>(cand[rng.UniformInt(cand.size())]);
+          if (c != e2) {
+            neg = c;
+            break;
+          }
+        }
+        if (neg == kg::kInvalidEntity) {
+          neg = static_cast<kg::EntityId>(
+              rng.UniformInt(static_cast<uint64_t>(num_entities(2))));
+          if (neg == e2) {
+            neg = static_cast<kg::EntityId>((neg + 1) % num_entities(2));
+          }
+        }
+        NodeId a = EncodeEntity(&g, 1, e1, /*training=*/true, &rng);
+        NodeId p = EncodeEntity(&g, 2, e2, /*training=*/true, &rng);
+        NodeId q = EncodeEntity(&g, 2, neg, /*training=*/true, &rng);
+        anchors = (anchors < 0) ? a : g.ConcatRows(anchors, a);
+        positives = (positives < 0) ? p : g.ConcatRows(positives, p);
+        negatives = (negatives < 0) ? q : g.ConcatRows(negatives, q);
+      }
+      NodeId loss = nn::MarginRankingLoss(&g, anchors, positives, negatives,
+                                          config_.margin);
+      optimizer.ZeroGrad();
+      g.Backward(loss);
+      optimizer.ClipGradNorm(config_.grad_clip);
+      optimizer.Step();
+    }
+
+    // Line 11: validation Hits@1 with early stopping.
+    double h1 = 0.0;
+    if (!seeds.valid.empty()) {
+      const Tensor va1 = ComputeAllEmbeddings(1);
+      const Tensor va2 = ComputeAllEmbeddings(2);
+      Tensor valid_src(
+          {static_cast<int64_t>(seeds.valid.size()), config_.out_dim});
+      std::vector<int64_t> gold;
+      gold.reserve(seeds.valid.size());
+      for (size_t i = 0; i < seeds.valid.size(); ++i) {
+        valid_src.SetRow(static_cast<int64_t>(i),
+                         va1.Row(seeds.valid[i].first));
+        gold.push_back(seeds.valid[i].second);
+      }
+      h1 = eval::EvaluateAlignment(valid_src, va2, gold).hits_at_1;
+    }
+    report.valid_hits1_history.push_back(h1);
+    ++report.epochs_run;
+    SDEA_LOG_DEBUG(StrFormat("text-encoder epoch %lld valid H@1=%.2f",
+                             static_cast<long long>(epoch), h1));
+    if (h1 > report.best_valid_hits1 || report.epochs_run == 1) {
+      report.best_valid_hits1 = h1;
+      best = SnapshotParams(Parameters());
+      since_best = 0;
+    } else if (++since_best >= config_.patience) {
+      break;
+    }
+  }
+  RestoreParams(best, Parameters());
+  return report;
+}
+
+}  // namespace sdea::core

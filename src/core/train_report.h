@@ -1,0 +1,18 @@
+#ifndef SDEA_CORE_TRAIN_REPORT_H_
+#define SDEA_CORE_TRAIN_REPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sdea::core {
+
+/// Progress record of a training run (shared by both SDEA modules).
+struct TrainReport {
+  int64_t epochs_run = 0;
+  double best_valid_hits1 = 0.0;
+  std::vector<double> valid_hits1_history;
+};
+
+}  // namespace sdea::core
+
+#endif  // SDEA_CORE_TRAIN_REPORT_H_

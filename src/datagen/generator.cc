@@ -1,0 +1,533 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "base/check.h"
+#include "base/rng.h"
+#include "base/strings.h"
+
+namespace sdea::datagen {
+namespace {
+
+// ---- Word-index address space ----------------------------------------------
+// The lexicon maps any non-negative index to a word; ranges below partition
+// the index space by role so facts stay coherent.
+constexpr int64_t kTypeWordBase = 0;          // 16 type words
+constexpr int64_t kNumTypes = 8;
+constexpr int64_t kNamePoolBase = 1'000;      // shared "family name" pool
+constexpr int64_t kContentPoolBase = 10'000;  // content words for values
+constexpr int64_t kFillerBase = 500'000;      // stop-word-ish fillers
+constexpr int64_t kNumFillers = 24;
+constexpr int64_t kUniqueNameBase = 2'000'000;   // one per world entity
+constexpr int64_t kExtraNameBase = 4'000'000;    // per-view extras
+constexpr int64_t kSchemaWordBase = 9'000'000;   // relation/attr names
+
+struct WorldFact {
+  int64_t entity;
+  int64_t attribute;
+  bool numeric;
+  int64_t number = 0;
+  std::vector<int64_t> words;
+};
+
+struct WorldEdge {
+  int64_t head;
+  int64_t tail;
+  int64_t relation;
+};
+
+struct WorldEntity {
+  int64_t type = 0;
+  bool is_general_concept = false;
+  std::vector<int64_t> name_words;
+  std::vector<int64_t> theme_words;
+  bool has_comment = false;
+  std::vector<int64_t> fact_indices;   // into facts
+  std::vector<int64_t> neighbor_ids;   // realized world neighbors
+};
+
+struct World {
+  std::vector<WorldEntity> entities;   // matched entities + general concepts
+  std::vector<WorldEdge> edges;
+  std::vector<WorldFact> facts;
+  int64_t name_pool_size = 0;
+  int64_t content_pool_size = 0;
+};
+
+// Builds the shared world: entities, relational structure with a long-tail
+// degree law plus super-hub general concepts, and attribute facts.
+World BuildWorld(const GeneratorConfig& cfg, Rng* rng) {
+  World w;
+  const int64_t n = cfg.num_matched;
+  SDEA_CHECK_GT(n, 1);
+  w.name_pool_size = std::max<int64_t>(64, n / 8);
+  w.content_pool_size = std::max<int64_t>(256, n / 3);
+
+  // Matched entities.
+  w.entities.resize(static_cast<size_t>(n + cfg.num_general_concepts));
+  for (int64_t i = 0; i < n; ++i) {
+    WorldEntity& e = w.entities[static_cast<size_t>(i)];
+    e.type = static_cast<int64_t>(rng->Zipf(kNumTypes, 1.1));
+    e.name_words = {
+        kNamePoolBase + static_cast<int64_t>(
+                            rng->UniformInt(static_cast<uint64_t>(
+                                w.name_pool_size))),
+        kUniqueNameBase + i};
+    const int64_t theme_count = 3 + static_cast<int64_t>(rng->UniformInt(3));
+    for (int64_t t = 0; t < theme_count; ++t) {
+      e.theme_words.push_back(
+          kContentPoolBase +
+          static_cast<int64_t>(
+              rng->UniformInt(static_cast<uint64_t>(w.content_pool_size))));
+    }
+    e.has_comment = rng->Bernoulli(cfg.comment_prob);
+  }
+  // General-concept entities (super hubs like <person>): typed names, no
+  // themes, no comments.
+  for (int64_t g = 0; g < cfg.num_general_concepts; ++g) {
+    WorldEntity& e = w.entities[static_cast<size_t>(n + g)];
+    e.type = g % kNumTypes;
+    e.is_general_concept = true;
+    e.name_words = {kTypeWordBase + e.type, kUniqueNameBase + n + g};
+  }
+
+  // ---- Relational edges (configuration model over target degrees) ----------
+  std::vector<int64_t> stubs;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t extra_range =
+        std::max<int64_t>(1, cfg.max_degree - cfg.min_degree + 1);
+    const int64_t d =
+        cfg.min_degree +
+        static_cast<int64_t>(
+            rng->Zipf(static_cast<uint64_t>(extra_range), cfg.degree_zipf_s));
+    for (int64_t k = 0; k < d; ++k) stubs.push_back(i);
+  }
+  rng->Shuffle(&stubs);
+  std::set<std::pair<int64_t, int64_t>> seen;
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    const int64_t a = stubs[i], b = stubs[i + 1];
+    if (a == b) continue;
+    const auto key = std::minmax(a, b);
+    if (!seen.insert(key).second) continue;
+    const int64_t rel = static_cast<int64_t>(
+        rng->Zipf(static_cast<uint64_t>(cfg.num_relations), 1.05));
+    w.edges.push_back(WorldEdge{a, b, rel});
+  }
+  // Type edges to the general concepts.
+  if (cfg.num_general_concepts > 0) {
+    const int64_t type_rel = cfg.num_relations;  // dedicated "type" relation
+    for (int64_t i = 0; i < n; ++i) {
+      if (!rng->Bernoulli(cfg.general_link_prob)) continue;
+      const int64_t concept_id =
+          n + (w.entities[static_cast<size_t>(i)].type %
+               cfg.num_general_concepts);
+      w.edges.push_back(WorldEdge{i, concept_id, type_rel});
+    }
+  }
+  for (size_t idx = 0; idx < w.edges.size(); ++idx) {
+    const WorldEdge& e = w.edges[idx];
+    w.entities[static_cast<size_t>(e.head)].neighbor_ids.push_back(e.tail);
+    w.entities[static_cast<size_t>(e.tail)].neighbor_ids.push_back(e.head);
+  }
+
+  // ---- Attribute facts -------------------------------------------------------
+  for (int64_t i = 0; i < n; ++i) {
+    WorldEntity& e = w.entities[static_cast<size_t>(i)];
+    // Mean attrs_per_entity with +-50% jitter, at least one.
+    const int64_t lo = std::max<int64_t>(1, static_cast<int64_t>(
+                                                cfg.attrs_per_entity * 0.5));
+    const int64_t hi = std::max(
+        lo, static_cast<int64_t>(cfg.attrs_per_entity * 1.5 + 0.5));
+    const int64_t count = rng->UniformRange(lo, hi);
+    for (int64_t k = 0; k < count; ++k) {
+      WorldFact f;
+      f.entity = i;
+      f.attribute = static_cast<int64_t>(
+          rng->Zipf(static_cast<uint64_t>(cfg.num_attributes), 1.05));
+      f.numeric = rng->Bernoulli(cfg.numeric_share);
+      if (f.numeric) {
+        // Years, counts, or identifiers.
+        switch (rng->UniformInt(3)) {
+          case 0:
+            f.number = rng->UniformRange(1500, 2022);
+            break;
+          case 1:
+            f.number = rng->UniformRange(1, 1'000'000);
+            break;
+          default:
+            f.number = rng->UniformRange(10'000'000, 99'999'999);
+            break;
+        }
+      } else {
+        // 1-3 theme words plus 0-2 global content words.
+        const int64_t theme_n = 1 + static_cast<int64_t>(rng->UniformInt(3));
+        for (int64_t t = 0; t < theme_n; ++t) {
+          f.words.push_back(e.theme_words[static_cast<size_t>(
+              rng->UniformInt(e.theme_words.size()))]);
+        }
+        const int64_t global_n = static_cast<int64_t>(rng->UniformInt(3));
+        for (int64_t t = 0; t < global_n; ++t) {
+          f.words.push_back(
+              kContentPoolBase +
+              static_cast<int64_t>(rng->UniformInt(
+                  static_cast<uint64_t>(w.content_pool_size))));
+        }
+      }
+      e.fact_indices.push_back(static_cast<int64_t>(w.facts.size()));
+      w.facts.push_back(std::move(f));
+    }
+  }
+  return w;
+}
+
+// Per-view rendering state.
+struct ViewSchema {
+  std::vector<int64_t> relation_map;   // world rel id -> view rel id
+  std::vector<int64_t> attribute_map;  // world attr id -> view attr id
+  int64_t num_relations;
+  int64_t num_attributes;
+};
+
+ViewSchema MakeSchema(const GeneratorConfig& cfg, int view, Rng* rng) {
+  ViewSchema s;
+  const double scale = (view == 1) ? 1.0 : cfg.kg2_schema_scale;
+  // +1 for the dedicated type relation.
+  const int64_t world_rels = cfg.num_relations + 1;
+  s.num_relations =
+      std::max<int64_t>(2, static_cast<int64_t>(world_rels * scale));
+  s.num_attributes = std::max<int64_t>(
+      2, static_cast<int64_t>(cfg.num_attributes * scale));
+  s.relation_map.resize(static_cast<size_t>(world_rels));
+  for (int64_t r = 0; r < world_rels; ++r) {
+    if (view == 2 && rng->Bernoulli(cfg.schema_shift)) {
+      s.relation_map[static_cast<size_t>(r)] = static_cast<int64_t>(
+          rng->UniformInt(static_cast<uint64_t>(s.num_relations)));
+    } else {
+      s.relation_map[static_cast<size_t>(r)] = r % s.num_relations;
+    }
+  }
+  s.attribute_map.resize(static_cast<size_t>(cfg.num_attributes));
+  for (int64_t a = 0; a < cfg.num_attributes; ++a) {
+    if (view == 2 && rng->Bernoulli(cfg.schema_shift)) {
+      s.attribute_map[static_cast<size_t>(a)] = static_cast<int64_t>(
+          rng->UniformInt(static_cast<uint64_t>(s.num_attributes)));
+    } else {
+      s.attribute_map[static_cast<size_t>(a)] = a % s.num_attributes;
+    }
+  }
+  return s;
+}
+
+std::string RenderNumber(int64_t number) { return std::to_string(number); }
+
+// Renders word indices into a view's language, with per-occurrence
+// borrowing: a KG2 word keeps the KG1 surface form with cfg.borrow_prob
+// (untranslated proper nouns / labels, see GeneratorConfig::borrow_prob).
+struct WordRenderer {
+  LanguageSpec lang;
+  LanguageSpec source_lang;
+  double borrow_prob;
+  Rng* rng;
+
+  std::string operator()(int64_t idx) const {
+    if (borrow_prob > 0.0 && rng->Bernoulli(borrow_prob)) {
+      return Lexicon::Word(source_lang, idx);
+    }
+    return Lexicon::Word(lang, idx);
+  }
+
+  std::string Phrase(const std::vector<int64_t>& indices) const {
+    std::string out;
+    for (int64_t idx : indices) {
+      if (!out.empty()) out += ' ';
+      out += (*this)(idx);
+    }
+    return out;
+  }
+};
+
+// Renders an entity's display name; guarantees uniqueness within the view.
+std::string RenderEntityName(const WorldEntity& e, int64_t world_id,
+                             const LanguageSpec& lang, NameMode mode,
+                             std::unordered_set<std::string>* used) {
+  std::string name;
+  if (mode == NameMode::kOpaqueIds) {
+    name = "Q" + std::to_string(43 + world_id * 7);
+  } else {
+    name = Lexicon::Phrase(lang, e.name_words);
+  }
+  int64_t attempt = 0;
+  std::string candidate = name;
+  while (!used->insert(candidate).second) {
+    ++attempt;
+    candidate = name + " " +
+                Lexicon::Word(lang, kExtraNameBase + world_id * 13 + attempt);
+  }
+  return candidate;
+}
+
+// Builds the long-text comment for an entity: name, type, neighbor names,
+// fact words and numbers, padded with fillers — the textual channel that
+// carries the structured information of long-tail entities.
+std::string RenderComment(const World& w, const WorldEntity& e,
+                          const GeneratorConfig& cfg,
+                          const WordRenderer& render, Rng* rng) {
+  std::vector<std::string> parts;
+  auto push_word = [&](int64_t idx) { parts.push_back(render(idx)); };
+  for (int64_t idx : e.name_words) push_word(idx);
+  push_word(kTypeWordBase + e.type);
+  // Up to 8 neighbors, their names inlined (the indirect-association
+  // channel: neighbors reachable through text, not structure).
+  const size_t max_neighbors = 8;
+  for (size_t k = 0; k < std::min(max_neighbors, e.neighbor_ids.size());
+       ++k) {
+    const WorldEntity& nb =
+        w.entities[static_cast<size_t>(e.neighbor_ids[k])];
+    for (int64_t idx : nb.name_words) push_word(idx);
+    push_word(kFillerBase + static_cast<int64_t>(rng->UniformInt(
+                                static_cast<uint64_t>(kNumFillers))));
+  }
+  for (int64_t fi : e.fact_indices) {
+    const WorldFact& f = w.facts[static_cast<size_t>(fi)];
+    if (f.numeric) {
+      parts.push_back(RenderNumber(f.number));
+    } else {
+      for (int64_t idx : f.words) push_word(idx);
+    }
+  }
+  // Pad with theme + filler words to reach the minimum length.
+  while (static_cast<int64_t>(parts.size()) < cfg.comment_min_words) {
+    if (!e.theme_words.empty() && rng->Bernoulli(0.5)) {
+      push_word(e.theme_words[static_cast<size_t>(
+          rng->UniformInt(e.theme_words.size()))]);
+    } else {
+      push_word(kFillerBase + static_cast<int64_t>(rng->UniformInt(
+                                  static_cast<uint64_t>(kNumFillers))));
+    }
+  }
+  if (static_cast<int64_t>(parts.size()) > cfg.comment_max_words) {
+    parts.resize(static_cast<size_t>(cfg.comment_max_words));
+  }
+  return Join(parts, " ");
+}
+
+// Renders one view of the world into a KnowledgeGraph. `entity_map` receives
+// world id -> view EntityId for matched entities.
+kg::KnowledgeGraph RenderView(const World& w, const GeneratorConfig& cfg,
+                              int view, Rng* rng,
+                              std::vector<kg::EntityId>* entity_map) {
+  const LanguageSpec lang{view == 1 ? cfg.kg1_lang_seed : cfg.kg2_lang_seed};
+  const NameMode mode =
+      (view == 1) ? NameMode::kShared /* KG1 always uses real names */
+                  : cfg.kg2_name_mode;
+  const ViewSchema schema = MakeSchema(cfg, view, rng);
+  const WordRenderer render{
+      lang, LanguageSpec{cfg.kg1_lang_seed},
+      (view == 2 && cfg.kg2_lang_seed != cfg.kg1_lang_seed)
+          ? cfg.borrow_prob
+          : 0.0,
+      rng};
+
+  kg::KnowledgeGraph g;
+  std::unordered_set<std::string> used_names;
+
+  // Insert matched entities in a per-view shuffled order so ids carry no
+  // alignment signal.
+  const int64_t total = static_cast<int64_t>(w.entities.size());
+  std::vector<int64_t> order(static_cast<size_t>(total));
+  for (int64_t i = 0; i < total; ++i) order[static_cast<size_t>(i)] = i;
+  rng->Shuffle(&order);
+  entity_map->assign(static_cast<size_t>(total), kg::kInvalidEntity);
+  for (int64_t wid : order) {
+    const WorldEntity& e = w.entities[static_cast<size_t>(wid)];
+    const std::string name =
+        RenderEntityName(e, wid, lang, mode, &used_names);
+    (*entity_map)[static_cast<size_t>(wid)] = g.AddEntity(name);
+  }
+
+  // Relation / attribute display names (per-view schema vocabulary).
+  std::vector<kg::RelationId> rel_ids;
+  for (int64_t r = 0; r < schema.num_relations; ++r) {
+    rel_ids.push_back(g.AddRelation(
+        Lexicon::Word(lang, kSchemaWordBase + view * 100'000 + r)));
+  }
+  std::vector<kg::AttributeId> attr_ids;
+  // Attribute 0 is "name", attribute 1 is "comment" in every view.
+  attr_ids.push_back(g.AddAttribute("name"));
+  attr_ids.push_back(g.AddAttribute("comment"));
+  for (int64_t a = 0; a < schema.num_attributes; ++a) {
+    attr_ids.push_back(g.AddAttribute(
+        Lexicon::Word(lang, kSchemaWordBase + view * 100'000 + 50'000 + a)));
+  }
+
+  // Edges with per-view dropout.
+  for (const WorldEdge& e : w.edges) {
+    if (!rng->Bernoulli(cfg.edge_keep_prob)) continue;
+    const kg::EntityId h = (*entity_map)[static_cast<size_t>(e.head)];
+    const kg::EntityId t = (*entity_map)[static_cast<size_t>(e.tail)];
+    const int64_t rel = schema.relation_map[static_cast<size_t>(e.relation)];
+    g.AddRelationalTriple(h, rel_ids[static_cast<size_t>(rel)], t);
+  }
+
+  // Attributes.
+  for (int64_t wid = 0; wid < total; ++wid) {
+    const WorldEntity& e = w.entities[static_cast<size_t>(wid)];
+    const kg::EntityId vid = (*entity_map)[static_cast<size_t>(wid)];
+    const bool strip_structured =
+        view == 2 && !e.is_general_concept && e.has_comment &&
+        static_cast<int64_t>(e.neighbor_ids.size()) <= 3 &&
+        rng->Bernoulli(cfg.longtail_strip_prob);
+    // Name attribute (dropped for opaque-id KGs: a Wikidata Q-id carries no
+    // usable name, and for stripped long-tail entities).
+    if (mode != NameMode::kOpaqueIds && !strip_structured) {
+      g.AddAttributeTriple(vid, attr_ids[0], render.Phrase(e.name_words));
+    }
+    if (!strip_structured) {
+      for (int64_t fi : e.fact_indices) {
+        if (!rng->Bernoulli(cfg.attr_keep_prob)) continue;
+        const WorldFact& f = w.facts[static_cast<size_t>(fi)];
+        const int64_t a =
+            schema.attribute_map[static_cast<size_t>(f.attribute)];
+        std::string value =
+            f.numeric ? RenderNumber(f.number) : render.Phrase(f.words);
+        g.AddAttributeTriple(vid, attr_ids[static_cast<size_t>(a + 2)],
+                             std::move(value));
+      }
+    }
+    if (e.has_comment) {
+      g.AddAttributeTriple(vid, attr_ids[1],
+                           RenderComment(w, e, cfg, render, rng));
+    }
+  }
+
+  // Per-view unmatched extras: fresh entities with a couple of edges and
+  // attributes, no ground-truth counterpart.
+  const int64_t extras =
+      static_cast<int64_t>(cfg.num_matched * cfg.extra_entity_frac);
+  for (int64_t x = 0; x < extras; ++x) {
+    const int64_t uniq = kExtraNameBase + view * 1'000'000 + x;
+    std::string name;
+    if (mode == NameMode::kOpaqueIds) {
+      name = "Q" + std::to_string(9'000'000 + view * 1'000'000 + x);
+    } else {
+      name = Lexicon::Word(lang, kNamePoolBase +
+                                     static_cast<int64_t>(rng->UniformInt(
+                                         static_cast<uint64_t>(
+                                             w.name_pool_size)))) +
+             " " + Lexicon::Word(lang, uniq);
+    }
+    int64_t attempt = 0;
+    std::string candidate = name;
+    while (!used_names.insert(candidate).second) {
+      ++attempt;
+      candidate = name + " " + Lexicon::Word(lang, uniq + 7919 * attempt);
+    }
+    const kg::EntityId vid = g.AddEntity(candidate);
+    const int64_t edges = 1 + static_cast<int64_t>(rng->UniformInt(3));
+    for (int64_t k = 0; k < edges; ++k) {
+      const int64_t partner_wid =
+          static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(total)));
+      const kg::EntityId partner =
+          (*entity_map)[static_cast<size_t>(partner_wid)];
+      const int64_t rel = static_cast<int64_t>(rng->UniformInt(
+          static_cast<uint64_t>(schema.num_relations)));
+      g.AddRelationalTriple(vid, rel_ids[static_cast<size_t>(rel)], partner);
+    }
+    if (mode != NameMode::kOpaqueIds) {
+      g.AddAttributeTriple(vid, attr_ids[0],
+                           candidate);
+    }
+    const int64_t attrs = 1 + static_cast<int64_t>(rng->UniformInt(3));
+    for (int64_t k = 0; k < attrs; ++k) {
+      const int64_t a = static_cast<int64_t>(
+          rng->UniformInt(static_cast<uint64_t>(schema.num_attributes)));
+      std::string value;
+      if (rng->Bernoulli(cfg.numeric_share)) {
+        value = RenderNumber(rng->UniformRange(1500, 2022));
+      } else {
+        value = Lexicon::Word(
+            lang, kContentPoolBase +
+                      static_cast<int64_t>(rng->UniformInt(
+                          static_cast<uint64_t>(w.content_pool_size))));
+      }
+      g.AddAttributeTriple(vid, attr_ids[static_cast<size_t>(a + 2)],
+                           std::move(value));
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+namespace {
+
+// Emits the comparable pre-training corpus: sentences of vocabulary words
+// (content / name-pool / type / filler) with each word immediately followed
+// by its other-language rendering, so a windowed co-occurrence model learns
+// the cross-lingual word bridge — the role the multilingual pre-training
+// corpora play for BERT. Entity-unique words never appear here.
+std::vector<std::string> BuildPretrainCorpus(const GeneratorConfig& cfg,
+                                             const World& w, Rng* rng) {
+  std::vector<std::string> corpus;
+  if (cfg.pretrain_sentences <= 0) return corpus;
+  const LanguageSpec lang1{cfg.kg1_lang_seed};
+  const LanguageSpec lang2{cfg.kg2_lang_seed};
+  corpus.reserve(static_cast<size_t>(cfg.pretrain_sentences));
+  for (int64_t s = 0; s < cfg.pretrain_sentences; ++s) {
+    std::string sentence;
+    for (int64_t k = 0; k < cfg.pretrain_words_per_sentence; ++k) {
+      int64_t idx;
+      const uint64_t kind = rng->UniformInt(100);
+      if (kind < 70) {
+        idx = kContentPoolBase + static_cast<int64_t>(rng->UniformInt(
+                                     static_cast<uint64_t>(
+                                         w.content_pool_size)));
+      } else if (kind < 85) {
+        idx = kNamePoolBase + static_cast<int64_t>(rng->UniformInt(
+                                  static_cast<uint64_t>(w.name_pool_size)));
+      } else if (kind < 90) {
+        idx = kTypeWordBase + static_cast<int64_t>(rng->UniformInt(
+                                  static_cast<uint64_t>(kNumTypes)));
+      } else {
+        idx = kFillerBase + static_cast<int64_t>(rng->UniformInt(
+                                static_cast<uint64_t>(kNumFillers)));
+      }
+      if (!sentence.empty()) sentence += ' ';
+      sentence += Lexicon::Word(lang1, idx);
+      if (!(lang1 == lang2)) {
+        sentence += ' ';
+        sentence += Lexicon::Word(lang2, idx);
+      }
+    }
+    corpus.push_back(std::move(sentence));
+  }
+  return corpus;
+}
+
+}  // namespace
+
+GeneratedBenchmark BenchmarkGenerator::Generate(
+    const GeneratorConfig& cfg) const {
+  Rng rng(cfg.seed);
+  Rng world_rng = rng.Fork();
+  Rng view1_rng = rng.Fork();
+  Rng view2_rng = rng.Fork();
+  Rng corpus_rng = rng.Fork();
+
+  const World world = BuildWorld(cfg, &world_rng);
+
+  GeneratedBenchmark out;
+  out.name = cfg.name;
+  std::vector<kg::EntityId> map1, map2;
+  out.kg1 = RenderView(world, cfg, 1, &view1_rng, &map1);
+  out.kg2 = RenderView(world, cfg, 2, &view2_rng, &map2);
+  for (size_t wid = 0; wid < world.entities.size(); ++wid) {
+    out.ground_truth.emplace_back(map1[wid], map2[wid]);
+  }
+  out.pretrain_corpus = BuildPretrainCorpus(cfg, world, &corpus_rng);
+  return out;
+}
+
+}  // namespace sdea::datagen

@@ -1,0 +1,42 @@
+#include "datagen/lexicon.h"
+
+#include <array>
+
+#include "base/check.h"
+
+namespace sdea::datagen {
+namespace {
+
+// A pool of consonant-vowel syllables; each language draws a permuted
+// sub-inventory so surface forms differ across languages.
+constexpr std::array<const char*, 48> kSyllables = {
+    "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du", "ga", "ge",
+    "gi", "go", "gu", "ka", "ke", "ki", "ko", "ku", "la", "le", "li", "lo",
+    "lu", "ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu", "ra",
+    "re", "ri", "ro", "ru", "sa", "se", "si", "so", "su", "ta", "te", "ti",
+};
+
+uint64_t Mix(uint64_t a, uint64_t b) {
+  uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::string Lexicon::Word(const LanguageSpec& lang, int64_t index) {
+  SDEA_CHECK_GE(index, 0);
+  const uint64_t h = Mix(lang.seed, static_cast<uint64_t>(index));
+  // 2-4 syllables, deterministic in (lang, index).
+  const int num_syllables = 2 + static_cast<int>(h % 3);
+  std::string out;
+  uint64_t state = h;
+  for (int s = 0; s < num_syllables; ++s) {
+    state = Mix(state, static_cast<uint64_t>(s) + 11);
+    out += kSyllables[state % kSyllables.size()];
+  }
+  return out;
+}
+
+}  // namespace sdea::datagen

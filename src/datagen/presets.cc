@@ -1,0 +1,184 @@
+#include "datagen/presets.h"
+
+#include <algorithm>
+
+namespace sdea::datagen {
+namespace {
+
+// Common knobs for the dense DBP15K-style pairs: heavier degrees (Table VI:
+// only ~25-30% of entities have degree <= 3) and many attribute triples.
+GeneratorConfig Dbp15kBase() {
+  GeneratorConfig c;
+  c.num_matched = 15'000;
+  c.extra_entity_frac = 0.3;
+  c.degree_zipf_s = 0.9;
+  c.min_degree = 2;
+  c.max_degree = 80;
+  c.num_general_concepts = 8;
+  c.general_link_prob = 0.9;
+  c.num_relations = 300;
+  c.edge_keep_prob = 0.85;
+  c.num_attributes = 120;
+  c.attrs_per_entity = 8.0;
+  c.numeric_share = 0.15;
+  c.attr_keep_prob = 0.9;
+  c.comment_prob = 0.4;
+  c.longtail_strip_prob = 0.35;
+  return c;
+}
+
+// Sparse SRPRS-style pairs: ~70% of entities have degree <= 3.
+GeneratorConfig SrprsBase() {
+  GeneratorConfig c;
+  c.num_matched = 15'000;
+  c.extra_entity_frac = 0.0;  // SRPRS aligns all 15K entities.
+  c.degree_zipf_s = 1.9;
+  c.min_degree = 1;
+  c.max_degree = 40;
+  c.num_general_concepts = 5;
+  c.general_link_prob = 0.35;
+  c.num_relations = 120;
+  c.edge_keep_prob = 0.9;
+  c.num_attributes = 60;
+  c.attrs_per_entity = 4.0;
+  c.numeric_share = 0.2;
+  c.attr_keep_prob = 0.9;
+  c.comment_prob = 0.45;
+  c.longtail_strip_prob = 0.5;
+  return c;
+}
+
+}  // namespace
+
+std::vector<DatasetSpec> Dbp15kPresets() {
+  std::vector<DatasetSpec> out;
+  {
+    GeneratorConfig c = Dbp15kBase();
+    c.name = "DBP15K ZH-EN";
+    c.seed = 1001;
+    c.kg1_lang_seed = 11;
+    c.kg2_lang_seed = 12;  // Disjoint surface forms.
+    c.kg2_name_mode = NameMode::kTranslated;
+    out.push_back({"zh_en", c});
+  }
+  {
+    GeneratorConfig c = Dbp15kBase();
+    c.name = "DBP15K JA-EN";
+    c.seed = 1002;
+    c.kg1_lang_seed = 21;
+    c.kg2_lang_seed = 22;
+    c.kg2_name_mode = NameMode::kTranslated;
+    // JA-EN has slightly sparser attributes than ZH-EN (Table I).
+    c.attrs_per_entity = 7.0;
+    out.push_back({"ja_en", c});
+  }
+  {
+    GeneratorConfig c = Dbp15kBase();
+    c.name = "DBP15K FR-EN";
+    c.seed = 1003;
+    c.kg1_lang_seed = 31;
+    c.kg2_lang_seed = 31;  // Shared surface forms (literally similar names).
+    c.kg2_name_mode = NameMode::kShared;
+    c.degree_zipf_s = 0.7;  // FR-EN is the densest pair (Table VI: 23% <= 3).
+    out.push_back({"fr_en", c});
+  }
+  return out;
+}
+
+std::vector<DatasetSpec> SrprsPresets() {
+  std::vector<DatasetSpec> out;
+  {
+    GeneratorConfig c = SrprsBase();
+    c.name = "SRPRS EN-FR";
+    c.seed = 2001;
+    c.kg1_lang_seed = 41;
+    c.kg2_lang_seed = 41;  // Names literally similar across the pair.
+    c.kg2_name_mode = NameMode::kShared;
+    out.push_back({"en_fr", c});
+  }
+  {
+    GeneratorConfig c = SrprsBase();
+    c.name = "SRPRS EN-DE";
+    c.seed = 2002;
+    c.kg1_lang_seed = 51;
+    c.kg2_lang_seed = 51;
+    c.kg2_name_mode = NameMode::kShared;
+    c.attrs_per_entity = 5.0;  // EN-DE's DE side is attribute-heavy.
+    out.push_back({"en_de", c});
+  }
+  {
+    GeneratorConfig c = SrprsBase();
+    c.name = "SRPRS DBP-WD";
+    c.seed = 2003;
+    c.kg1_lang_seed = 61;
+    c.kg2_lang_seed = 61;
+    c.kg2_name_mode = NameMode::kShared;
+    out.push_back({"dbp_wd", c});
+  }
+  {
+    GeneratorConfig c = SrprsBase();
+    c.name = "SRPRS DBP-YG";
+    c.seed = 2004;
+    c.kg1_lang_seed = 71;
+    c.kg2_lang_seed = 71;
+    c.kg2_name_mode = NameMode::kShared;
+    // YAGO side has a tiny schema (30 relations / 21 attributes).
+    c.kg2_schema_scale = 0.25;
+    out.push_back({"dbp_yg", c});
+  }
+  return out;
+}
+
+std::vector<DatasetSpec> OpenEaPresets() {
+  std::vector<DatasetSpec> out;
+  {
+    GeneratorConfig c;
+    c.name = "OpenEA D_W_15K_V1";
+    c.seed = 3001;
+    c.num_matched = 15'000;
+    c.extra_entity_frac = 0.0;
+    c.degree_zipf_s = 1.5;  // Table VI: 52.8% of entities degree <= 3.
+    c.min_degree = 1;
+    c.max_degree = 50;
+    c.num_general_concepts = 5;
+    c.general_link_prob = 0.5;
+    c.num_relations = 200;
+    c.edge_keep_prob = 0.9;
+    c.num_attributes = 80;
+    c.attrs_per_entity = 5.0;
+    c.numeric_share = 0.4;  // Paper's error analysis: ~40% numeric values.
+    c.attr_keep_prob = 0.9;
+    c.comment_prob = 0.35;
+    c.longtail_strip_prob = 0.5;
+    c.kg1_lang_seed = 81;
+    c.kg2_lang_seed = 81;  // Monolingual pair...
+    c.kg2_name_mode = NameMode::kOpaqueIds;  // ...but KG2 names are Q-ids.
+    c.kg2_schema_scale = 1.5;  // Wikidata side has more attributes.
+    out.push_back({"d_w_15k_v1", c});
+  }
+  {
+    GeneratorConfig c = out.back().config;
+    c.name = "OpenEA D_W_100K_V1";
+    c.seed = 3002;
+    c.num_matched = 100'000;
+    c.degree_zipf_s = 1.45;  // 54.7% degree <= 3.
+    out.push_back({"d_w_100k_v1", c});
+  }
+  return out;
+}
+
+std::vector<DatasetSpec> AllPresets() {
+  std::vector<DatasetSpec> out;
+  for (auto& s : Dbp15kPresets()) out.push_back(std::move(s));
+  for (auto& s : SrprsPresets()) out.push_back(std::move(s));
+  for (auto& s : OpenEaPresets()) out.push_back(std::move(s));
+  return out;
+}
+
+GeneratorConfig ScaledConfig(GeneratorConfig config, double scale) {
+  config.num_matched = std::max<int64_t>(
+      200, static_cast<int64_t>(config.num_matched * scale));
+  return config;
+}
+
+}  // namespace sdea::datagen

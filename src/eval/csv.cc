@@ -1,0 +1,39 @@
+#include "eval/csv.h"
+
+#include "base/fileio.h"
+#include "base/strings.h"
+
+namespace sdea::eval {
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string ResultsToCsv(const std::vector<ResultRecord>& records) {
+  std::string out =
+      "method,dataset,hits_at_1,hits_at_10,mrr,num_queries,seconds\n";
+  for (const ResultRecord& r : records) {
+    out += CsvEscape(r.method);
+    out += ',';
+    out += CsvEscape(r.dataset);
+    out += StrFormat(",%.4f,%.4f,%.6f,%lld,%.3f\n", r.metrics.hits_at_1,
+                     r.metrics.hits_at_10, r.metrics.mrr,
+                     static_cast<long long>(r.metrics.num_queries),
+                     r.seconds);
+  }
+  return out;
+}
+
+Status WriteResultsCsv(const std::vector<ResultRecord>& records,
+                       const std::string& path) {
+  return WriteStringToFile(path, ResultsToCsv(records));
+}
+
+}  // namespace sdea::eval

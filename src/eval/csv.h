@@ -1,0 +1,34 @@
+#ifndef SDEA_EVAL_CSV_H_
+#define SDEA_EVAL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "eval/metrics.h"
+
+namespace sdea::eval {
+
+/// One experiment record: a (method, dataset) cell with its metrics.
+struct ResultRecord {
+  std::string method;
+  std::string dataset;
+  RankingMetrics metrics;
+  double seconds = 0.0;
+};
+
+/// Escapes a CSV field per RFC 4180 (quotes fields containing comma,
+/// quote, or newline).
+std::string CsvEscape(const std::string& field);
+
+/// Renders records as CSV with the header
+/// `method,dataset,hits_at_1,hits_at_10,mrr,num_queries,seconds`.
+std::string ResultsToCsv(const std::vector<ResultRecord>& records);
+
+/// Writes ResultsToCsv to a file.
+Status WriteResultsCsv(const std::vector<ResultRecord>& records,
+                       const std::string& path);
+
+}  // namespace sdea::eval
+
+#endif  // SDEA_EVAL_CSV_H_

@@ -1,0 +1,111 @@
+#include "eval/metrics.h"
+
+#include "base/check.h"
+
+namespace sdea::eval {
+namespace {
+
+// Normalized copies so cosine similarity reduces to a dot product.
+Tensor NormalizedCopy(const Tensor& m) {
+  Tensor out = m;
+  tmath::L2NormalizeRowsInPlace(&out);
+  return out;
+}
+
+// Rank (1-based) of gold among all targets for one source row, computed by
+// counting strictly-better scores (ties resolved pessimistically: equal
+// scores ahead of gold count as better, so reported metrics never benefit
+// from ties).
+int64_t RankOfGold(const float* scores, int64_t m, int64_t gold) {
+  const float gold_score = scores[gold];
+  int64_t better = 0;
+  for (int64_t j = 0; j < m; ++j) {
+    if (j != gold && scores[j] >= gold_score) ++better;
+  }
+  return better + 1;
+}
+
+}  // namespace
+
+RankingMetrics EvaluateFromScores(const Tensor& scores,
+                                  const std::vector<int64_t>& gold) {
+  SDEA_CHECK_EQ(scores.rank(), 2);
+  const int64_t n = scores.dim(0), m = scores.dim(1);
+  SDEA_CHECK_EQ(static_cast<int64_t>(gold.size()), n);
+  RankingMetrics out;
+  double mrr_sum = 0.0;
+  int64_t hit1 = 0, hit10 = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t g = gold[static_cast<size_t>(i)];
+    if (g < 0) continue;
+    SDEA_CHECK_LT(g, m);
+    const int64_t rank = RankOfGold(scores.data() + i * m, m, g);
+    ++out.num_queries;
+    if (rank <= 1) ++hit1;
+    if (rank <= 10) ++hit10;
+    mrr_sum += 1.0 / static_cast<double>(rank);
+  }
+  if (out.num_queries > 0) {
+    out.hits_at_1 = 100.0 * hit1 / out.num_queries;
+    out.hits_at_10 = 100.0 * hit10 / out.num_queries;
+    out.mrr = mrr_sum / out.num_queries;
+  }
+  return out;
+}
+
+RankingMetrics EvaluateAlignment(const Tensor& src, const Tensor& tgt,
+                                 const std::vector<int64_t>& gold) {
+  const Tensor s = NormalizedCopy(src);
+  const Tensor t = NormalizedCopy(tgt);
+  return EvaluateFromScores(tmath::MatmulTransposeB(s, t), gold);
+}
+
+std::vector<int64_t> GoldRanks(const Tensor& src, const Tensor& tgt,
+                               const std::vector<int64_t>& gold) {
+  const Tensor s = NormalizedCopy(src);
+  const Tensor t = NormalizedCopy(tgt);
+  const Tensor scores = tmath::MatmulTransposeB(s, t);
+  const int64_t n = scores.dim(0), m = scores.dim(1);
+  std::vector<int64_t> ranks(static_cast<size_t>(n), 0);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t g = gold[static_cast<size_t>(i)];
+    if (g < 0) continue;
+    ranks[static_cast<size_t>(i)] = RankOfGold(scores.data() + i * m, m, g);
+  }
+  return ranks;
+}
+
+std::vector<RankingMetrics> EvaluateByDegree(
+    const Tensor& src, const Tensor& tgt, const std::vector<int64_t>& gold,
+    const std::vector<int64_t>& degrees,
+    const std::vector<int64_t>& bucket_upper) {
+  SDEA_CHECK_EQ(gold.size(), degrees.size());
+  const std::vector<int64_t> ranks = GoldRanks(src, tgt, gold);
+  const size_t num_buckets = bucket_upper.size() + 1;
+  std::vector<RankingMetrics> out(num_buckets);
+  std::vector<double> mrr_sum(num_buckets, 0.0);
+  std::vector<int64_t> hit1(num_buckets, 0), hit10(num_buckets, 0);
+  for (size_t i = 0; i < gold.size(); ++i) {
+    if (gold[i] < 0) continue;
+    size_t b = bucket_upper.size();
+    for (size_t k = 0; k < bucket_upper.size(); ++k) {
+      if (degrees[i] <= bucket_upper[k]) {
+        b = k;
+        break;
+      }
+    }
+    ++out[b].num_queries;
+    if (ranks[i] <= 1) ++hit1[b];
+    if (ranks[i] <= 10) ++hit10[b];
+    mrr_sum[b] += 1.0 / static_cast<double>(ranks[i]);
+  }
+  for (size_t b = 0; b < num_buckets; ++b) {
+    if (out[b].num_queries == 0) continue;
+    out[b].hits_at_1 = 100.0 * hit1[b] / out[b].num_queries;
+    out[b].hits_at_10 = 100.0 * hit10[b] / out[b].num_queries;
+    out[b].mrr = mrr_sum[b] / out[b].num_queries;
+  }
+  return out;
+}
+
+}  // namespace sdea::eval

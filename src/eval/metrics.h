@@ -1,0 +1,48 @@
+#ifndef SDEA_EVAL_METRICS_H_
+#define SDEA_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sdea::eval {
+
+/// The paper's evaluation metrics (Section V-A2): Hits@1, Hits@10, and mean
+/// reciprocal rank, as percentages / [0,1] respectively.
+struct RankingMetrics {
+  double hits_at_1 = 0.0;   ///< Percent.
+  double hits_at_10 = 0.0;  ///< Percent.
+  double mrr = 0.0;         ///< [0, 1].
+  int64_t num_queries = 0;
+};
+
+/// Ranks every target row for each source row by cosine similarity and
+/// scores against `gold` (gold[i] = index of the true target row for source
+/// row i, or -1 to skip). `src` is [N, d], `tgt` is [M, d]; rows need not be
+/// pre-normalized.
+RankingMetrics EvaluateAlignment(const Tensor& src, const Tensor& tgt,
+                                 const std::vector<int64_t>& gold);
+
+/// As EvaluateAlignment but from a precomputed score matrix [N, M] where
+/// higher means more similar.
+RankingMetrics EvaluateFromScores(const Tensor& scores,
+                                  const std::vector<int64_t>& gold);
+
+/// Per-degree-bucket metrics for the long-tail analysis (Section V-B2).
+/// `bucket_upper` gives inclusive upper degree bounds (e.g. {3, 5, 10});
+/// a final unbounded bucket is appended. `degrees[i]` is the relational
+/// degree of source row i.
+std::vector<RankingMetrics> EvaluateByDegree(
+    const Tensor& src, const Tensor& tgt, const std::vector<int64_t>& gold,
+    const std::vector<int64_t>& degrees,
+    const std::vector<int64_t>& bucket_upper);
+
+/// Rank of the gold target (1-based) for each source row under cosine
+/// similarity; 0 where gold[i] < 0.
+std::vector<int64_t> GoldRanks(const Tensor& src, const Tensor& tgt,
+                               const std::vector<int64_t>& gold);
+
+}  // namespace sdea::eval
+
+#endif  // SDEA_EVAL_METRICS_H_

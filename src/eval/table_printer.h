@@ -1,0 +1,37 @@
+#ifndef SDEA_EVAL_TABLE_PRINTER_H_
+#define SDEA_EVAL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace sdea::eval {
+
+/// Renders rows of string cells as a fixed-width console table with a header
+/// rule, in the style of the paper's result tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// The formatted table.
+  std::string ToString() const;
+
+  /// Writes the table to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a metric percentage like the paper's tables ("87.0").
+std::string FormatPercent(double value);
+
+/// Formats an MRR value ("0.91").
+std::string FormatMrr(double value);
+
+}  // namespace sdea::eval
+
+#endif  // SDEA_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,148 @@
+#include "kg/binary_io.h"
+
+#include <cstring>
+
+#include "base/fileio.h"
+
+namespace sdea::kg {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'D', 'E', 'A', 'K', 'G', 'B', '1'};
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void AppendString(std::string* out, const std::string& s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::string& data) : data_(data) {}
+
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    std::memcpy(v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadString(std::string* s) {
+    uint32_t len = 0;
+    if (!ReadU32(&len) || pos_ + len > data_.size()) return false;
+    s->assign(data_, pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = sizeof(kMagic);
+};
+
+}  // namespace
+
+Status SaveBinary(const KnowledgeGraph& graph, const std::string& path) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  AppendU32(&out, static_cast<uint32_t>(graph.num_entities()));
+  for (EntityId e = 0; e < graph.num_entities(); ++e) {
+    AppendString(&out, graph.entity_name(e));
+  }
+  AppendU32(&out, static_cast<uint32_t>(graph.num_relations()));
+  for (RelationId r = 0; r < graph.num_relations(); ++r) {
+    AppendString(&out, graph.relation_name(r));
+  }
+  AppendU32(&out, static_cast<uint32_t>(graph.num_attributes()));
+  for (AttributeId a = 0; a < graph.num_attributes(); ++a) {
+    AppendString(&out, graph.attribute_name(a));
+  }
+  AppendU32(&out,
+            static_cast<uint32_t>(graph.relational_triples().size()));
+  for (const RelationalTriple& t : graph.relational_triples()) {
+    AppendU32(&out, static_cast<uint32_t>(t.head));
+    AppendU32(&out, static_cast<uint32_t>(t.relation));
+    AppendU32(&out, static_cast<uint32_t>(t.tail));
+  }
+  AppendU32(&out, static_cast<uint32_t>(graph.attribute_triples().size()));
+  for (const AttributeTriple& t : graph.attribute_triples()) {
+    AppendU32(&out, static_cast<uint32_t>(t.entity));
+    AppendU32(&out, static_cast<uint32_t>(t.attribute));
+    AppendString(&out, t.value);
+  }
+  return WriteStringToFile(path, out);
+}
+
+Result<KnowledgeGraph> LoadBinary(const std::string& path) {
+  SDEA_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  if (data.size() < sizeof(kMagic) ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an SDEA binary KG: " + path);
+  }
+  Reader reader(data);
+  KnowledgeGraph g;
+  auto truncated = [&path] {
+    return Status::InvalidArgument("truncated binary KG: " + path);
+  };
+
+  uint32_t entities = 0;
+  if (!reader.ReadU32(&entities)) return truncated();
+  for (uint32_t i = 0; i < entities; ++i) {
+    std::string name;
+    if (!reader.ReadString(&name)) return truncated();
+    if (g.AddEntity(name) != static_cast<EntityId>(i)) {
+      return Status::InvalidArgument("duplicate entity name in binary KG");
+    }
+  }
+  uint32_t relations = 0;
+  if (!reader.ReadU32(&relations)) return truncated();
+  for (uint32_t i = 0; i < relations; ++i) {
+    std::string name;
+    if (!reader.ReadString(&name)) return truncated();
+    g.AddRelation(name);
+  }
+  uint32_t attributes = 0;
+  if (!reader.ReadU32(&attributes)) return truncated();
+  for (uint32_t i = 0; i < attributes; ++i) {
+    std::string name;
+    if (!reader.ReadString(&name)) return truncated();
+    g.AddAttribute(name);
+  }
+  uint32_t rel_triples = 0;
+  if (!reader.ReadU32(&rel_triples)) return truncated();
+  for (uint32_t i = 0; i < rel_triples; ++i) {
+    uint32_t h = 0, r = 0, t = 0;
+    if (!reader.ReadU32(&h) || !reader.ReadU32(&r) || !reader.ReadU32(&t)) {
+      return truncated();
+    }
+    if (h >= entities || t >= entities || r >= relations) {
+      return Status::InvalidArgument("binary KG triple out of range");
+    }
+    g.AddRelationalTriple(static_cast<EntityId>(h),
+                          static_cast<RelationId>(r),
+                          static_cast<EntityId>(t));
+  }
+  uint32_t attr_triples = 0;
+  if (!reader.ReadU32(&attr_triples)) return truncated();
+  for (uint32_t i = 0; i < attr_triples; ++i) {
+    uint32_t e = 0, a = 0;
+    std::string value;
+    if (!reader.ReadU32(&e) || !reader.ReadU32(&a) ||
+        !reader.ReadString(&value)) {
+      return truncated();
+    }
+    if (e >= entities || a >= attributes) {
+      return Status::InvalidArgument(
+          "binary KG attribute triple out of range");
+    }
+    g.AddAttributeTriple(static_cast<EntityId>(e),
+                         static_cast<AttributeId>(a), std::move(value));
+  }
+  return g;
+}
+
+}  // namespace sdea::kg

@@ -1,0 +1,24 @@
+#ifndef SDEA_KG_BINARY_IO_H_
+#define SDEA_KG_BINARY_IO_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "kg/knowledge_graph.h"
+
+namespace sdea::kg {
+
+/// Compact binary serialization of a KnowledgeGraph — the fast-load path
+/// for large datasets (the 100K-entity OpenEA graphs parse an order of
+/// magnitude faster than from TSV). Format: magic + string tables
+/// (entities, relations, attributes) + fixed-width relational triples +
+/// length-prefixed attribute triples. Round-trips exactly.
+Status SaveBinary(const KnowledgeGraph& graph, const std::string& path);
+
+/// Loads a graph written by SaveBinary. Rejects files with a wrong magic
+/// or truncated sections.
+Result<KnowledgeGraph> LoadBinary(const std::string& path);
+
+}  // namespace sdea::kg
+
+#endif  // SDEA_KG_BINARY_IO_H_

@@ -1,0 +1,235 @@
+#include "kg/knowledge_graph.h"
+
+#include "base/check.h"
+#include "base/fileio.h"
+#include "base/rng.h"
+#include "base/strings.h"
+
+namespace sdea::kg {
+
+KnowledgeGraph KnowledgeGraph::Clone() const {
+  KnowledgeGraph out;
+  out.entity_names_ = entity_names_;
+  out.relation_names_ = relation_names_;
+  out.attribute_names_ = attribute_names_;
+  out.entity_ids_ = entity_ids_;
+  out.relation_ids_ = relation_ids_;
+  out.attribute_ids_ = attribute_ids_;
+  out.relational_triples_ = relational_triples_;
+  out.attribute_triples_ = attribute_triples_;
+  out.adjacency_ = adjacency_;
+  out.entity_attributes_ = entity_attributes_;
+  return out;
+}
+
+EntityId KnowledgeGraph::AddEntity(const std::string& name) {
+  auto it = entity_ids_.find(name);
+  if (it != entity_ids_.end()) return it->second;
+  const EntityId id = static_cast<EntityId>(entity_names_.size());
+  entity_names_.push_back(name);
+  entity_ids_.emplace(name, id);
+  adjacency_.emplace_back();
+  entity_attributes_.emplace_back();
+  return id;
+}
+
+RelationId KnowledgeGraph::AddRelation(const std::string& name) {
+  auto it = relation_ids_.find(name);
+  if (it != relation_ids_.end()) return it->second;
+  const RelationId id = static_cast<RelationId>(relation_names_.size());
+  relation_names_.push_back(name);
+  relation_ids_.emplace(name, id);
+  return id;
+}
+
+AttributeId KnowledgeGraph::AddAttribute(const std::string& name) {
+  auto it = attribute_ids_.find(name);
+  if (it != attribute_ids_.end()) return it->second;
+  const AttributeId id = static_cast<AttributeId>(attribute_names_.size());
+  attribute_names_.push_back(name);
+  attribute_ids_.emplace(name, id);
+  return id;
+}
+
+void KnowledgeGraph::AddRelationalTriple(EntityId head, RelationId relation,
+                                         EntityId tail) {
+  SDEA_CHECK(head >= 0 && head < num_entities());
+  SDEA_CHECK(tail >= 0 && tail < num_entities());
+  SDEA_CHECK(relation >= 0 && relation < num_relations());
+  relational_triples_.push_back(RelationalTriple{head, relation, tail});
+  adjacency_[static_cast<size_t>(head)].push_back(
+      NeighborEdge{relation, tail, /*outgoing=*/true});
+  adjacency_[static_cast<size_t>(tail)].push_back(
+      NeighborEdge{relation, head, /*outgoing=*/false});
+}
+
+void KnowledgeGraph::AddAttributeTriple(EntityId entity,
+                                        AttributeId attribute,
+                                        std::string value) {
+  SDEA_CHECK(entity >= 0 && entity < num_entities());
+  SDEA_CHECK(attribute >= 0 && attribute < num_attributes());
+  const int64_t index = static_cast<int64_t>(attribute_triples_.size());
+  attribute_triples_.push_back(
+      AttributeTriple{entity, attribute, std::move(value)});
+  entity_attributes_[static_cast<size_t>(entity)].push_back(index);
+}
+
+const std::string& KnowledgeGraph::entity_name(EntityId id) const {
+  SDEA_CHECK(id >= 0 && id < num_entities());
+  return entity_names_[static_cast<size_t>(id)];
+}
+
+const std::string& KnowledgeGraph::relation_name(RelationId id) const {
+  SDEA_CHECK(id >= 0 && id < num_relations());
+  return relation_names_[static_cast<size_t>(id)];
+}
+
+const std::string& KnowledgeGraph::attribute_name(AttributeId id) const {
+  SDEA_CHECK(id >= 0 && id < num_attributes());
+  return attribute_names_[static_cast<size_t>(id)];
+}
+
+Result<EntityId> KnowledgeGraph::FindEntity(const std::string& name) const {
+  auto it = entity_ids_.find(name);
+  if (it == entity_ids_.end()) {
+    return Status::NotFound("entity not found: " + name);
+  }
+  return it->second;
+}
+
+Result<RelationId> KnowledgeGraph::FindRelation(
+    const std::string& name) const {
+  auto it = relation_ids_.find(name);
+  if (it == relation_ids_.end()) {
+    return Status::NotFound("relation not found: " + name);
+  }
+  return it->second;
+}
+
+Result<AttributeId> KnowledgeGraph::FindAttribute(
+    const std::string& name) const {
+  auto it = attribute_ids_.find(name);
+  if (it == attribute_ids_.end()) {
+    return Status::NotFound("attribute not found: " + name);
+  }
+  return it->second;
+}
+
+const std::vector<NeighborEdge>& KnowledgeGraph::neighbors(EntityId e) const {
+  SDEA_CHECK(e >= 0 && e < num_entities());
+  return adjacency_[static_cast<size_t>(e)];
+}
+
+const std::vector<int64_t>& KnowledgeGraph::attribute_triples_of(
+    EntityId e) const {
+  SDEA_CHECK(e >= 0 && e < num_entities());
+  return entity_attributes_[static_cast<size_t>(e)];
+}
+
+int64_t KnowledgeGraph::degree(EntityId e) const {
+  return static_cast<int64_t>(neighbors(e).size());
+}
+
+KgStatistics KnowledgeGraph::ComputeStatistics() const {
+  KgStatistics s;
+  s.num_entities = num_entities();
+  s.num_relations = num_relations();
+  s.num_attributes = num_attributes();
+  s.num_relational_triples =
+      static_cast<int64_t>(relational_triples_.size());
+  s.num_attribute_triples = static_cast<int64_t>(attribute_triples_.size());
+  int64_t with_edges = 0, le3 = 0, le5 = 0, le10 = 0;
+  for (EntityId e = 0; e < num_entities(); ++e) {
+    const int64_t d = degree(e);
+    if (d == 0) continue;
+    ++with_edges;
+    if (d <= 3) ++le3;
+    if (d <= 5) ++le5;
+    if (d <= 10) ++le10;
+  }
+  if (with_edges > 0) {
+    s.degree_le3 = static_cast<double>(le3) / with_edges;
+    s.degree_le5 = static_cast<double>(le5) / with_edges;
+    s.degree_le10 = static_cast<double>(le10) / with_edges;
+  }
+  return s;
+}
+
+Status KnowledgeGraph::SaveTsv(const std::string& prefix) const {
+  std::vector<std::vector<std::string>> rel_rows;
+  rel_rows.reserve(relational_triples_.size());
+  for (const RelationalTriple& t : relational_triples_) {
+    rel_rows.push_back({entity_name(t.head), relation_name(t.relation),
+                        entity_name(t.tail)});
+  }
+  SDEA_RETURN_IF_ERROR(WriteTsv(prefix + "_rel_triples", rel_rows));
+  std::vector<std::vector<std::string>> attr_rows;
+  attr_rows.reserve(attribute_triples_.size());
+  for (const AttributeTriple& t : attribute_triples_) {
+    attr_rows.push_back(
+        {entity_name(t.entity), attribute_name(t.attribute), t.value});
+  }
+  return WriteTsv(prefix + "_attr_triples", attr_rows);
+}
+
+Result<KnowledgeGraph> KnowledgeGraph::LoadTsv(const std::string& prefix,
+                                               bool require_attributes) {
+  KnowledgeGraph g;
+  SDEA_ASSIGN_OR_RETURN(auto rel_rows, ReadTsv(prefix + "_rel_triples"));
+  for (const auto& row : rel_rows) {
+    if (row.size() != 3) {
+      return Status::InvalidArgument(
+          StrFormat("bad relational triple row with %zu fields", row.size()));
+    }
+    const EntityId h = g.AddEntity(row[0]);
+    const RelationId r = g.AddRelation(row[1]);
+    const EntityId t = g.AddEntity(row[2]);
+    g.AddRelationalTriple(h, r, t);
+  }
+  const std::string attr_path = prefix + "_attr_triples";
+  if (!FileExists(attr_path)) {
+    if (require_attributes) {
+      return Status::NotFound("missing attribute triples: " + attr_path);
+    }
+    return g;
+  }
+  SDEA_ASSIGN_OR_RETURN(auto attr_rows, ReadTsv(attr_path));
+  for (const auto& row : attr_rows) {
+    if (row.size() < 3) {
+      return Status::InvalidArgument(
+          StrFormat("bad attribute triple row with %zu fields", row.size()));
+    }
+    const EntityId e = g.AddEntity(row[0]);
+    const AttributeId a = g.AddAttribute(row[1]);
+    // Values may legitimately contain tabs that Split broke apart; re-join.
+    std::string value = row[2];
+    for (size_t i = 3; i < row.size(); ++i) {
+      value += ' ';
+      value += row[i];
+    }
+    g.AddAttributeTriple(e, a, std::move(value));
+  }
+  return g;
+}
+
+AlignmentSeeds AlignmentSeeds::Split(
+    std::vector<std::pair<EntityId, EntityId>> pairs, uint64_t seed,
+    double train_ratio, double valid_ratio, double test_ratio) {
+  Rng rng(seed);
+  rng.Shuffle(&pairs);
+  const double total = train_ratio + valid_ratio + test_ratio;
+  SDEA_CHECK_GT(total, 0.0);
+  const size_t n = pairs.size();
+  const size_t n_train =
+      static_cast<size_t>(static_cast<double>(n) * train_ratio / total);
+  const size_t n_valid =
+      static_cast<size_t>(static_cast<double>(n) * valid_ratio / total);
+  AlignmentSeeds out;
+  out.train.assign(pairs.begin(), pairs.begin() + n_train);
+  out.valid.assign(pairs.begin() + n_train,
+                   pairs.begin() + n_train + n_valid);
+  out.test.assign(pairs.begin() + n_train + n_valid, pairs.end());
+  return out;
+}
+
+}  // namespace sdea::kg

@@ -1,0 +1,178 @@
+#ifndef SDEA_KG_KNOWLEDGE_GRAPH_H_
+#define SDEA_KG_KNOWLEDGE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+
+namespace sdea::kg {
+
+using EntityId = int32_t;
+using RelationId = int32_t;
+using AttributeId = int32_t;
+
+inline constexpr EntityId kInvalidEntity = -1;
+
+/// (head, relation, tail) — Definition 1's relational triple.
+struct RelationalTriple {
+  EntityId head;
+  RelationId relation;
+  EntityId tail;
+
+  bool operator==(const RelationalTriple&) const = default;
+};
+
+/// (entity, attribute, value) — Definition 1's attributed triple. Values are
+/// free text (short fields, numbers, or long sentences).
+struct AttributeTriple {
+  EntityId entity;
+  AttributeId attribute;
+  std::string value;
+
+  bool operator==(const AttributeTriple&) const = default;
+};
+
+/// One edge as seen from an entity: the relation and the other endpoint.
+/// `outgoing` is true when the entity is the head of the underlying triple.
+struct NeighborEdge {
+  RelationId relation;
+  EntityId neighbor;
+  bool outgoing;
+};
+
+/// Summary statistics used by Table I / Table VI style reporting.
+struct KgStatistics {
+  int64_t num_entities = 0;
+  int64_t num_relations = 0;
+  int64_t num_attributes = 0;
+  int64_t num_relational_triples = 0;
+  int64_t num_attribute_triples = 0;
+  /// Proportion of entities with relational degree in [1, k] for k=3,5,10
+  /// (entities with degree 0 excluded from the denominator, matching the
+  /// paper's Table VI which ranges start at 1).
+  double degree_le3 = 0.0;
+  double degree_le5 = 0.0;
+  double degree_le10 = 0.0;
+};
+
+/// In-memory store for one knowledge graph KG = {E, R, A, V, Tr, Ta}
+/// (Definition 1). Entities/relations/attributes are interned to dense ids;
+/// adjacency and per-entity attribute lists are maintained incrementally.
+class KnowledgeGraph {
+ public:
+  KnowledgeGraph() = default;
+
+  // Movable (large), not copyable by accident.
+  KnowledgeGraph(KnowledgeGraph&&) = default;
+  KnowledgeGraph& operator=(KnowledgeGraph&&) = default;
+  KnowledgeGraph(const KnowledgeGraph&) = delete;
+  KnowledgeGraph& operator=(const KnowledgeGraph&) = delete;
+
+  /// Explicit deep copy.
+  KnowledgeGraph Clone() const;
+
+  // ---- Construction --------------------------------------------------------
+
+  /// Interns an entity by name; returns the existing id if already present.
+  EntityId AddEntity(const std::string& name);
+  RelationId AddRelation(const std::string& name);
+  AttributeId AddAttribute(const std::string& name);
+
+  /// Adds (head, relation, tail). Ids must be valid.
+  void AddRelationalTriple(EntityId head, RelationId relation, EntityId tail);
+
+  /// Adds (entity, attribute, value).
+  void AddAttributeTriple(EntityId entity, AttributeId attribute,
+                          std::string value);
+
+  // ---- Lookup --------------------------------------------------------------
+
+  int64_t num_entities() const {
+    return static_cast<int64_t>(entity_names_.size());
+  }
+  int64_t num_relations() const {
+    return static_cast<int64_t>(relation_names_.size());
+  }
+  int64_t num_attributes() const {
+    return static_cast<int64_t>(attribute_names_.size());
+  }
+
+  const std::string& entity_name(EntityId id) const;
+  const std::string& relation_name(RelationId id) const;
+  const std::string& attribute_name(AttributeId id) const;
+
+  /// Id of the entity with `name`, or NotFound.
+  Result<EntityId> FindEntity(const std::string& name) const;
+  Result<RelationId> FindRelation(const std::string& name) const;
+  Result<AttributeId> FindAttribute(const std::string& name) const;
+
+  const std::vector<RelationalTriple>& relational_triples() const {
+    return relational_triples_;
+  }
+  const std::vector<AttributeTriple>& attribute_triples() const {
+    return attribute_triples_;
+  }
+
+  /// Edges incident to `e` (both directions), in insertion order.
+  const std::vector<NeighborEdge>& neighbors(EntityId e) const;
+
+  /// Indices into attribute_triples() for entity `e`, in insertion order.
+  const std::vector<int64_t>& attribute_triples_of(EntityId e) const;
+
+  /// Relational degree of `e` (count of incident relational triples).
+  int64_t degree(EntityId e) const;
+
+  /// Computes Table I / Table VI style statistics.
+  KgStatistics ComputeStatistics() const;
+
+  // ---- Serialization (DBP15K-style TSV layout) ------------------------------
+
+  /// Writes `<prefix>_rel_triples` (head \t relation \t tail, by name) and
+  /// `<prefix>_attr_triples` (entity \t attribute \t value).
+  Status SaveTsv(const std::string& prefix) const;
+
+  /// Loads a graph written by SaveTsv. Missing attribute file is an error;
+  /// pass `require_attributes=false` for relation-only graphs.
+  static Result<KnowledgeGraph> LoadTsv(const std::string& prefix,
+                                        bool require_attributes = true);
+
+ private:
+  std::vector<std::string> entity_names_;
+  std::vector<std::string> relation_names_;
+  std::vector<std::string> attribute_names_;
+  std::unordered_map<std::string, EntityId> entity_ids_;
+  std::unordered_map<std::string, RelationId> relation_ids_;
+  std::unordered_map<std::string, AttributeId> attribute_ids_;
+
+  std::vector<RelationalTriple> relational_triples_;
+  std::vector<AttributeTriple> attribute_triples_;
+
+  std::vector<std::vector<NeighborEdge>> adjacency_;
+  std::vector<std::vector<int64_t>> entity_attributes_;
+};
+
+/// A ground-truth alignment between two KGs plus its 2:1:7 split
+/// (train : validation : test), as used throughout the paper's experiments.
+struct AlignmentSeeds {
+  std::vector<std::pair<EntityId, EntityId>> train;
+  std::vector<std::pair<EntityId, EntityId>> valid;
+  std::vector<std::pair<EntityId, EntityId>> test;
+
+  int64_t total() const {
+    return static_cast<int64_t>(train.size() + valid.size() + test.size());
+  }
+
+  /// Shuffles `pairs` with `seed` and splits by the given ratios
+  /// (normalized; defaults to the paper's 2:1:7).
+  static AlignmentSeeds Split(
+      std::vector<std::pair<EntityId, EntityId>> pairs, uint64_t seed,
+      double train_ratio = 2.0, double valid_ratio = 1.0,
+      double test_ratio = 7.0);
+};
+
+}  // namespace sdea::kg
+
+#endif  // SDEA_KG_KNOWLEDGE_GRAPH_H_

@@ -1,0 +1,113 @@
+#include "kg/merge.h"
+
+#include <set>
+#include <tuple>
+
+#include "base/check.h"
+
+namespace sdea::kg {
+
+Result<KnowledgeGraph> MergeKnowledgeBases(const KnowledgeGraph& kg1,
+                                           const KnowledgeGraph& kg2,
+                                           const std::vector<int64_t>& match,
+                                           const MergeOptions& options,
+                                           MergeReport* report) {
+  if (static_cast<int64_t>(match.size()) != kg1.num_entities()) {
+    return Status::InvalidArgument(
+        "match vector size must equal kg1.num_entities()");
+  }
+  MergeReport local;
+  MergeReport* rep = (report != nullptr) ? report : &local;
+  *rep = MergeReport{};
+
+  KnowledgeGraph merged = kg1.Clone();
+
+  // Invert the match: kg2 entity -> merged (kg1) entity.
+  rep->kg2_to_merged.assign(static_cast<size_t>(kg2.num_entities()),
+                            kInvalidEntity);
+  std::set<int64_t> used_targets;
+  for (EntityId e1 = 0; e1 < kg1.num_entities(); ++e1) {
+    const int64_t e2 = match[static_cast<size_t>(e1)];
+    if (e2 < 0) continue;
+    if (e2 >= kg2.num_entities()) {
+      return Status::OutOfRange("match target out of range");
+    }
+    if (!used_targets.insert(e2).second) {
+      return Status::InvalidArgument(
+          "match maps two KG1 entities to the same KG2 entity");
+    }
+    rep->kg2_to_merged[static_cast<size_t>(e2)] = e1;
+    ++rep->fused_entities;
+  }
+
+  // Carry over unmatched KG2 entities under collision-safe names.
+  for (EntityId e2 = 0; e2 < kg2.num_entities(); ++e2) {
+    if (rep->kg2_to_merged[static_cast<size_t>(e2)] != kInvalidEntity) {
+      continue;
+    }
+    std::string name = kg2.entity_name(e2);
+    if (merged.FindEntity(name).ok()) {
+      name = options.kg2_entity_prefix + name;
+      // Extremely unlikely second collision: keep prefixing.
+      while (merged.FindEntity(name).ok()) {
+        name = options.kg2_entity_prefix + name;
+      }
+    }
+    rep->kg2_to_merged[static_cast<size_t>(e2)] = merged.AddEntity(name);
+    ++rep->carried_entities;
+  }
+
+  // Existing KG1 triples, for deduplication.
+  std::set<std::tuple<EntityId, RelationId, EntityId>> rel_seen;
+  std::set<std::tuple<EntityId, AttributeId, std::string>> attr_seen;
+  if (options.deduplicate_relational) {
+    for (const RelationalTriple& t : merged.relational_triples()) {
+      rel_seen.emplace(t.head, t.relation, t.tail);
+    }
+  }
+  if (options.deduplicate_attributes) {
+    for (const AttributeTriple& t : merged.attribute_triples()) {
+      attr_seen.emplace(t.entity, t.attribute, t.value);
+    }
+  }
+
+  // KG2 schema: reuse a KG1 relation/attribute when the NAME matches (a
+  // shared schema vocabulary merges naturally); prefix otherwise.
+  auto map_relation = [&](RelationId r2) {
+    const std::string& name = kg2.relation_name(r2);
+    auto existing = merged.FindRelation(name);
+    if (existing.ok()) return *existing;
+    return merged.AddRelation(options.kg2_schema_prefix + name);
+  };
+  auto map_attribute = [&](AttributeId a2) {
+    const std::string& name = kg2.attribute_name(a2);
+    auto existing = merged.FindAttribute(name);
+    if (existing.ok()) return *existing;
+    return merged.AddAttribute(options.kg2_schema_prefix + name);
+  };
+
+  for (const RelationalTriple& t : kg2.relational_triples()) {
+    const EntityId h = rep->kg2_to_merged[static_cast<size_t>(t.head)];
+    const EntityId tail = rep->kg2_to_merged[static_cast<size_t>(t.tail)];
+    const RelationId r = map_relation(t.relation);
+    if (options.deduplicate_relational &&
+        !rel_seen.emplace(h, r, tail).second) {
+      ++rep->duplicate_relational;
+      continue;
+    }
+    merged.AddRelationalTriple(h, r, tail);
+  }
+  for (const AttributeTriple& t : kg2.attribute_triples()) {
+    const EntityId e = rep->kg2_to_merged[static_cast<size_t>(t.entity)];
+    const AttributeId a = map_attribute(t.attribute);
+    if (options.deduplicate_attributes &&
+        !attr_seen.emplace(e, a, t.value).second) {
+      ++rep->duplicate_attributes;
+      continue;
+    }
+    merged.AddAttributeTriple(e, a, t.value);
+  }
+  return merged;
+}
+
+}  // namespace sdea::kg

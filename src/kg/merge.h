@@ -1,0 +1,56 @@
+#ifndef SDEA_KG_MERGE_H_
+#define SDEA_KG_MERGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "kg/knowledge_graph.h"
+
+namespace sdea::kg {
+
+/// Options controlling knowledge-base fusion.
+struct MergeOptions {
+  /// Prefix applied to KG2-only relation/attribute names so provenance
+  /// stays visible in the merged schema ("" disables).
+  std::string kg2_schema_prefix = "kg2:";
+  /// Prefix applied to unmatched KG2 entity names on collision with a KG1
+  /// name (unmatched entities that share a name with a KG1 entity are NOT
+  /// silently fused — names are identifiers, matching is the aligner's
+  /// job).
+  std::string kg2_entity_prefix = "kg2:";
+  /// Drop duplicated relational triples (same head/relation/tail after
+  /// remapping).
+  bool deduplicate_relational = true;
+  /// Drop duplicated attribute triples (same entity/attribute/value).
+  bool deduplicate_attributes = true;
+};
+
+/// Per-merge bookkeeping returned to the caller.
+struct MergeReport {
+  int64_t fused_entities = 0;       ///< KG2 entities collapsed onto KG1.
+  int64_t carried_entities = 0;     ///< KG2-only entities added.
+  int64_t duplicate_relational = 0; ///< Relational triples dropped as dups.
+  int64_t duplicate_attributes = 0; ///< Attribute triples dropped as dups.
+  /// merged-entity id for each KG2 entity (parallel to KG2 ids).
+  std::vector<EntityId> kg2_to_merged;
+};
+
+/// Fuses `kg2` into a copy of `kg1` under `match`: match[e1] = the KG2
+/// entity equivalent to KG1 entity e1, or -1. This is the knowledge-base
+/// integration step the paper's introduction motivates — entity alignment
+/// exists so that this merge does not create duplicates.
+///
+/// Matched entity pairs become one node carrying the union of both KGs'
+/// triples; unmatched entities are carried over. Returns the merged KB;
+/// `report` (optional) receives the bookkeeping.
+Result<KnowledgeGraph> MergeKnowledgeBases(const KnowledgeGraph& kg1,
+                                           const KnowledgeGraph& kg2,
+                                           const std::vector<int64_t>& match,
+                                           const MergeOptions& options = {},
+                                           MergeReport* report = nullptr);
+
+}  // namespace sdea::kg
+
+#endif  // SDEA_KG_MERGE_H_

@@ -1,0 +1,96 @@
+#include "kg/subgraph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace sdea::kg {
+
+KnowledgeGraph CondenseByPopularity(const KnowledgeGraph& graph,
+                                    const CondenseOptions& options,
+                                    std::vector<EntityId>* old_to_new) {
+  const int64_t n = graph.num_entities();
+  // Rank entities by degree (desc); entities in the top
+  // popularity_fraction are "popular".
+  std::vector<EntityId> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](EntityId a, EntityId b) {
+    const int64_t da = graph.degree(a), db = graph.degree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  const int64_t popular_count = std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(n) *
+                              options.popularity_fraction));
+  std::vector<bool> popular(static_cast<size_t>(n), false);
+  for (int64_t i = 0; i < popular_count; ++i) {
+    popular[static_cast<size_t>(order[static_cast<size_t>(i)])] = true;
+  }
+
+  // Select triples between popular endpoints; backfill by global degree
+  // order if below min_triples.
+  std::vector<bool> keep_triple(graph.relational_triples().size(), false);
+  int64_t kept = 0;
+  for (size_t i = 0; i < graph.relational_triples().size(); ++i) {
+    const RelationalTriple& t = graph.relational_triples()[i];
+    if (popular[static_cast<size_t>(t.head)] &&
+        popular[static_cast<size_t>(t.tail)]) {
+      keep_triple[i] = true;
+      ++kept;
+    }
+  }
+  for (size_t i = 0;
+       kept < options.min_triples && i < keep_triple.size(); ++i) {
+    if (!keep_triple[i]) {
+      keep_triple[i] = true;
+      ++kept;
+    }
+  }
+
+  // Surviving entities.
+  std::vector<bool> survives(static_cast<size_t>(n),
+                             !options.drop_isolated);
+  for (size_t i = 0; i < keep_triple.size(); ++i) {
+    if (!keep_triple[i]) continue;
+    const RelationalTriple& t = graph.relational_triples()[i];
+    survives[static_cast<size_t>(t.head)] = true;
+    survives[static_cast<size_t>(t.tail)] = true;
+  }
+
+  KnowledgeGraph out;
+  std::vector<EntityId> remap(static_cast<size_t>(n), kInvalidEntity);
+  for (EntityId e = 0; e < n; ++e) {
+    if (survives[static_cast<size_t>(e)]) {
+      remap[static_cast<size_t>(e)] = out.AddEntity(graph.entity_name(e));
+    }
+  }
+  for (size_t i = 0; i < keep_triple.size(); ++i) {
+    if (!keep_triple[i]) continue;
+    const RelationalTriple& t = graph.relational_triples()[i];
+    const RelationId r = out.AddRelation(graph.relation_name(t.relation));
+    out.AddRelationalTriple(remap[static_cast<size_t>(t.head)], r,
+                            remap[static_cast<size_t>(t.tail)]);
+  }
+  for (const AttributeTriple& t : graph.attribute_triples()) {
+    const EntityId e = remap[static_cast<size_t>(t.entity)];
+    if (e == kInvalidEntity) continue;
+    const AttributeId a = out.AddAttribute(graph.attribute_name(t.attribute));
+    out.AddAttributeTriple(e, a, t.value);
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(remap);
+  return out;
+}
+
+std::vector<int64_t> DegreeHistogram(const KnowledgeGraph& graph,
+                                     int64_t max_degree) {
+  SDEA_CHECK_GE(max_degree, 1);
+  std::vector<int64_t> hist(static_cast<size_t>(max_degree) + 1, 0);
+  for (EntityId e = 0; e < graph.num_entities(); ++e) {
+    const int64_t d = std::min(graph.degree(e), max_degree);
+    ++hist[static_cast<size_t>(d)];
+  }
+  return hist;
+}
+
+}  // namespace sdea::kg

@@ -1,0 +1,42 @@
+#ifndef SDEA_KG_SUBGRAPH_H_
+#define SDEA_KG_SUBGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+
+namespace sdea::kg {
+
+/// Options for popularity-biased condensation (the construction of
+/// DBP15K's "condensed version", which samples relational triples with
+/// popular head and tail entities — Section V-A1 of the paper).
+struct CondenseOptions {
+  /// Keep triples whose endpoints both rank within this fraction of
+  /// entities by degree.
+  double popularity_fraction = 0.5;
+  /// Always keep at least this many triples (guards tiny graphs).
+  int64_t min_triples = 1;
+  /// Drop entities left without any triple (attributes of dropped
+  /// entities are dropped too).
+  bool drop_isolated = true;
+};
+
+/// Returns the condensed subgraph: triples between popular entities, plus
+/// the attribute triples of the surviving entities. `old_to_new`
+/// (optional) receives the entity id remapping (kInvalidEntity for
+/// dropped entities).
+KnowledgeGraph CondenseByPopularity(const KnowledgeGraph& graph,
+                                    const CondenseOptions& options,
+                                    std::vector<EntityId>* old_to_new =
+                                        nullptr);
+
+/// Degree histogram: count of entities per exact relational degree,
+/// indices 0..max_degree (clamped at `max_degree`, last bucket holds the
+/// tail).
+std::vector<int64_t> DegreeHistogram(const KnowledgeGraph& graph,
+                                     int64_t max_degree = 50);
+
+}  // namespace sdea::kg
+
+#endif  // SDEA_KG_SUBGRAPH_H_

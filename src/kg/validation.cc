@@ -1,0 +1,118 @@
+#include "kg/validation.h"
+
+#include <set>
+#include <tuple>
+
+#include "base/strings.h"
+
+namespace sdea::kg {
+namespace {
+
+const char* KindName(ValidationIssue::Kind kind) {
+  switch (kind) {
+    case ValidationIssue::Kind::kSelfLoop:
+      return "self-loop";
+    case ValidationIssue::Kind::kDuplicateTriple:
+      return "duplicate-triple";
+    case ValidationIssue::Kind::kDuplicateAttribute:
+      return "duplicate-attribute";
+    case ValidationIssue::Kind::kEmptyValue:
+      return "empty-value";
+    case ValidationIssue::Kind::kIsolatedEntity:
+      return "isolated-entity";
+    case ValidationIssue::Kind::kOversizeValue:
+      return "oversize-value";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ValidationReport ValidateKnowledgeGraph(const KnowledgeGraph& graph,
+                                        const ValidationOptions& options) {
+  ValidationReport report;
+  auto full = [&]() {
+    return options.max_issues > 0 &&
+           static_cast<int64_t>(report.issues.size()) >= options.max_issues;
+  };
+  auto add = [&](ValidationIssue issue) {
+    if (!full()) report.issues.push_back(std::move(issue));
+  };
+
+  std::set<std::tuple<EntityId, RelationId, EntityId>> rel_seen;
+  const auto& rels = graph.relational_triples();
+  for (size_t i = 0; i < rels.size(); ++i) {
+    const RelationalTriple& t = rels[i];
+    if (t.head == t.tail) {
+      ++report.self_loops;
+      add({ValidationIssue::Kind::kSelfLoop, t.head,
+           static_cast<int64_t>(i),
+           "relational triple with head == tail"});
+    }
+    if (!rel_seen.emplace(t.head, t.relation, t.tail).second) {
+      ++report.duplicate_triples;
+      add({ValidationIssue::Kind::kDuplicateTriple, t.head,
+           static_cast<int64_t>(i), "repeated relational triple"});
+    }
+  }
+
+  std::set<std::tuple<EntityId, AttributeId, std::string>> attr_seen;
+  const auto& attrs = graph.attribute_triples();
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    const AttributeTriple& t = attrs[i];
+    if (Trim(t.value).empty()) {
+      ++report.empty_values;
+      add({ValidationIssue::Kind::kEmptyValue, t.entity,
+           static_cast<int64_t>(i), "attribute value is empty"});
+    }
+    if (static_cast<int64_t>(t.value.size()) > options.max_value_bytes) {
+      ++report.oversize_values;
+      add({ValidationIssue::Kind::kOversizeValue, t.entity,
+           static_cast<int64_t>(i),
+           StrFormat("value is %zu bytes", t.value.size())});
+    }
+    if (!attr_seen.emplace(t.entity, t.attribute, t.value).second) {
+      ++report.duplicate_attributes;
+      add({ValidationIssue::Kind::kDuplicateAttribute, t.entity,
+           static_cast<int64_t>(i), "repeated attribute triple"});
+    }
+  }
+
+  for (EntityId e = 0; e < graph.num_entities(); ++e) {
+    if (graph.degree(e) == 0 && graph.attribute_triples_of(e).empty()) {
+      ++report.isolated_entities;
+      add({ValidationIssue::Kind::kIsolatedEntity, e, -1,
+           "entity has no edges and no attributes: " +
+               graph.entity_name(e)});
+    }
+  }
+  return report;
+}
+
+std::string FormatValidationReport(const ValidationReport& report,
+                                   int64_t max_lines) {
+  if (report.clean()) return "OK: no issues found\n";
+  std::string out = StrFormat(
+      "%zu issues: %lld self-loops, %lld dup triples, %lld dup attrs, "
+      "%lld empty values, %lld isolated entities, %lld oversize values\n",
+      report.issues.size(), static_cast<long long>(report.self_loops),
+      static_cast<long long>(report.duplicate_triples),
+      static_cast<long long>(report.duplicate_attributes),
+      static_cast<long long>(report.empty_values),
+      static_cast<long long>(report.isolated_entities),
+      static_cast<long long>(report.oversize_values));
+  int64_t shown = 0;
+  for (const ValidationIssue& issue : report.issues) {
+    if (shown++ >= max_lines) {
+      out += "  ...\n";
+      break;
+    }
+    out += StrFormat("  [%s] entity=%d triple=%lld %s\n",
+                     KindName(issue.kind), issue.entity,
+                     static_cast<long long>(issue.triple_index),
+                     issue.detail.c_str());
+  }
+  return out;
+}
+
+}  // namespace sdea::kg

@@ -1,0 +1,62 @@
+#ifndef SDEA_KG_VALIDATION_H_
+#define SDEA_KG_VALIDATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+
+namespace sdea::kg {
+
+/// One detected data-quality problem.
+struct ValidationIssue {
+  enum class Kind {
+    kSelfLoop,           ///< head == tail relational triple.
+    kDuplicateTriple,    ///< Repeated relational triple.
+    kDuplicateAttribute, ///< Repeated (entity, attribute, value).
+    kEmptyValue,         ///< Attribute triple with empty/whitespace value.
+    kIsolatedEntity,     ///< Entity with no relational edges AND no
+                         ///< attributes — unalignable by any method.
+    kOversizeValue,      ///< Attribute value beyond `max_value_bytes`.
+  };
+  Kind kind;
+  EntityId entity = kInvalidEntity;
+  int64_t triple_index = -1;
+  std::string detail;
+};
+
+/// Validation thresholds.
+struct ValidationOptions {
+  int64_t max_value_bytes = 4096;
+  /// Stop after this many issues (guards pathological inputs); 0 =
+  /// unlimited.
+  int64_t max_issues = 10'000;
+};
+
+/// Summary counters plus the individual issues.
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+  int64_t self_loops = 0;
+  int64_t duplicate_triples = 0;
+  int64_t duplicate_attributes = 0;
+  int64_t empty_values = 0;
+  int64_t isolated_entities = 0;
+  int64_t oversize_values = 0;
+
+  bool clean() const { return issues.empty(); }
+};
+
+/// Scans a KG for structural and data-quality problems that would degrade
+/// alignment (the checks a loader should run on third-party TSV dumps
+/// before training on them).
+ValidationReport ValidateKnowledgeGraph(const KnowledgeGraph& graph,
+                                        const ValidationOptions& options = {});
+
+/// Human-readable one-line-per-issue rendering (capped at `max_lines`).
+std::string FormatValidationReport(const ValidationReport& report,
+                                   int64_t max_lines = 20);
+
+}  // namespace sdea::kg
+
+#endif  // SDEA_KG_VALIDATION_H_

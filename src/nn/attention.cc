@@ -1,0 +1,45 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+namespace sdea::nn {
+
+MultiHeadAttention::MultiHeadAttention(const std::string& name, int64_t dim,
+                                       int64_t num_heads, Rng* rng)
+    : dim_(dim), num_heads_(num_heads), head_dim_(dim / num_heads) {
+  SDEA_CHECK_GT(num_heads, 0);
+  SDEA_CHECK_EQ(head_dim_ * num_heads, dim);
+  wq_ = std::make_unique<Linear>(name + ".wq", dim, dim, rng);
+  wk_ = std::make_unique<Linear>(name + ".wk", dim, dim, rng);
+  wv_ = std::make_unique<Linear>(name + ".wv", dim, dim, rng);
+  wo_ = std::make_unique<Linear>(name + ".wo", dim, dim, rng);
+  AddSubmodule(wq_.get());
+  AddSubmodule(wk_.get());
+  AddSubmodule(wv_.get());
+  AddSubmodule(wo_.get());
+}
+
+NodeId MultiHeadAttention::Forward(Graph* g, NodeId x) const {
+  const NodeId q = wq_->Forward(g, x);
+  const NodeId k = wk_->Forward(g, x);
+  const NodeId v = wv_->Forward(g, x);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  NodeId heads = -1;
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    const int64_t begin = h * head_dim_;
+    const int64_t end = begin + head_dim_;
+    const NodeId qh = g->SliceCols(q, begin, end);  // [T, hd]
+    const NodeId kh = g->SliceCols(k, begin, end);
+    const NodeId vh = g->SliceCols(v, begin, end);
+    // scores: [T, T]
+    const NodeId scores =
+        g->Scale(g->Matmul(qh, g->Transpose(kh)), scale);
+    const NodeId attn = g->SoftmaxRows(scores);
+    const NodeId out_h = g->Matmul(attn, vh);  // [T, hd]
+    heads = (heads < 0) ? out_h : g->ConcatCols(heads, out_h);
+  }
+  return wo_->Forward(g, heads);
+}
+
+}  // namespace sdea::nn

@@ -1,0 +1,38 @@
+#ifndef SDEA_NN_ATTENTION_H_
+#define SDEA_NN_ATTENTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace sdea::nn {
+
+/// Multi-head scaled dot-product self-attention over a [T, dim] sequence.
+/// Sequences are built exact-length by the callers, so no padding mask is
+/// needed.
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(const std::string& name, int64_t dim, int64_t num_heads,
+                     Rng* rng);
+
+  /// x: [T, dim] -> [T, dim].
+  NodeId Forward(Graph* g, NodeId x) const;
+
+  int64_t dim() const { return dim_; }
+  int64_t num_heads() const { return num_heads_; }
+
+ private:
+  int64_t dim_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  std::unique_ptr<Linear> wq_;
+  std::unique_ptr<Linear> wk_;
+  std::unique_ptr<Linear> wv_;
+  std::unique_ptr<Linear> wo_;
+};
+
+}  // namespace sdea::nn
+
+#endif  // SDEA_NN_ATTENTION_H_

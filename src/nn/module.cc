@@ -1,0 +1,34 @@
+#include "nn/module.h"
+
+namespace sdea::nn {
+
+std::vector<Parameter*> Module::Parameters() {
+  std::vector<Parameter*> out;
+  for (auto& p : params_) out.push_back(p.get());
+  for (Module* m : submodules_) {
+    for (Parameter* p : m->Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (Parameter* p : Parameters()) p->ZeroGrad();
+}
+
+int64_t Module::NumWeights() {
+  int64_t n = 0;
+  for (Parameter* p : Parameters()) n += p->value.size();
+  return n;
+}
+
+Parameter* Module::AddParameter(const std::string& name, Tensor value) {
+  params_.push_back(std::make_unique<Parameter>(name, std::move(value)));
+  return params_.back().get();
+}
+
+void Module::AddSubmodule(Module* submodule) {
+  SDEA_CHECK(submodule != nullptr);
+  submodules_.push_back(submodule);
+}
+
+}  // namespace sdea::nn

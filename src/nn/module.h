@@ -1,0 +1,48 @@
+#ifndef SDEA_NN_MODULE_H_
+#define SDEA_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/graph.h"
+
+namespace sdea::nn {
+
+/// Base class for neural-network building blocks. A Module owns its
+/// Parameters; composite modules register sub-modules so that
+/// `Parameters()` yields the full trainable set in a stable order.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and (recursively) its sub-modules, in
+  /// registration order.
+  std::vector<Parameter*> Parameters();
+
+  /// Zeroes gradients of all parameters.
+  void ZeroGrad();
+
+  /// Total number of scalar weights.
+  int64_t NumWeights();
+
+ protected:
+  /// Creates and owns a parameter initialized to `value`.
+  Parameter* AddParameter(const std::string& name, Tensor value);
+
+  /// Registers a sub-module (not owned) whose parameters are exposed through
+  /// this module. The sub-module must outlive this module.
+  void AddSubmodule(Module* submodule);
+
+ private:
+  std::vector<std::unique_ptr<Parameter>> params_;
+  std::vector<Module*> submodules_;
+};
+
+}  // namespace sdea::nn
+
+#endif  // SDEA_NN_MODULE_H_

@@ -1,0 +1,110 @@
+#include "nn/serialization.h"
+
+#include <cstring>
+#include <map>
+
+#include "base/fileio.h"
+
+namespace sdea::nn {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'D', 'E', 'A', 'C', 'K', 'P', '1'};
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+bool ReadU64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+}  // namespace
+
+Status SaveCheckpoint(Module* module, const std::string& path) {
+  std::vector<Parameter*> params = module->Parameters();
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  AppendU64(&out, params.size());
+  for (Parameter* p : params) {
+    AppendU64(&out, p->name.size());
+    out.append(p->name);
+    AppendU64(&out, p->value.shape().size());
+    for (int64_t d : p->value.shape()) {
+      AppendU64(&out, static_cast<uint64_t>(d));
+    }
+    const size_t bytes = static_cast<size_t>(p->value.size()) * sizeof(float);
+    out.append(reinterpret_cast<const char*>(p->value.data()), bytes);
+  }
+  return WriteStringToFile(path, out);
+}
+
+Status LoadCheckpoint(Module* module, const std::string& path) {
+  SDEA_ASSIGN_OR_RETURN(std::string in, ReadFileToString(path));
+  if (in.size() < sizeof(kMagic) ||
+      std::memcmp(in.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an SDEA checkpoint: " + path);
+  }
+  size_t pos = sizeof(kMagic);
+  uint64_t count = 0;
+  if (!ReadU64(in, &pos, &count)) {
+    return Status::InvalidArgument("truncated checkpoint header");
+  }
+  // Parse every entry into (shape, data-offset) keyed by name.
+  struct Entry {
+    std::vector<int64_t> shape;
+    size_t data_offset;
+    int64_t num_elements;
+  };
+  std::map<std::string, Entry> entries;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    if (!ReadU64(in, &pos, &name_len) || pos + name_len > in.size()) {
+      return Status::InvalidArgument("truncated checkpoint entry name");
+    }
+    std::string name = in.substr(pos, name_len);
+    pos += name_len;
+    uint64_t rank = 0;
+    if (!ReadU64(in, &pos, &rank) || rank > 8) {
+      return Status::InvalidArgument("bad checkpoint entry rank");
+    }
+    Entry e;
+    e.num_elements = 1;
+    for (uint64_t d = 0; d < rank; ++d) {
+      uint64_t dim = 0;
+      if (!ReadU64(in, &pos, &dim)) {
+        return Status::InvalidArgument("truncated checkpoint shape");
+      }
+      e.shape.push_back(static_cast<int64_t>(dim));
+      e.num_elements *= static_cast<int64_t>(dim);
+    }
+    e.data_offset = pos;
+    const size_t bytes =
+        static_cast<size_t>(e.num_elements) * sizeof(float);
+    if (pos + bytes > in.size()) {
+      return Status::InvalidArgument("truncated checkpoint data");
+    }
+    pos += bytes;
+    entries[std::move(name)] = std::move(e);
+  }
+  for (Parameter* p : module->Parameters()) {
+    auto it = entries.find(p->name);
+    if (it == entries.end()) {
+      return Status::NotFound("checkpoint missing parameter: " + p->name);
+    }
+    const Entry& e = it->second;
+    if (e.shape != p->value.shape()) {
+      return Status::InvalidArgument("shape mismatch for parameter: " +
+                                     p->name);
+    }
+    std::memcpy(p->value.data(), in.data() + e.data_offset,
+                static_cast<size_t>(e.num_elements) * sizeof(float));
+  }
+  return Status::Ok();
+}
+
+}  // namespace sdea::nn

@@ -1,0 +1,22 @@
+#ifndef SDEA_NN_SERIALIZATION_H_
+#define SDEA_NN_SERIALIZATION_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "nn/module.h"
+
+namespace sdea::nn {
+
+/// Writes all parameters of `module` to a binary checkpoint at `path`.
+/// Format: magic, count, then per parameter: name, shape, float32 data.
+Status SaveCheckpoint(Module* module, const std::string& path);
+
+/// Restores parameters by name from a checkpoint written by SaveCheckpoint.
+/// Fails if any parameter of `module` is missing from the file or has a
+/// mismatched shape. Extra entries in the file are ignored.
+Status LoadCheckpoint(Module* module, const std::string& path);
+
+}  // namespace sdea::nn
+
+#endif  // SDEA_NN_SERIALIZATION_H_

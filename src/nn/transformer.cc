@@ -1,0 +1,85 @@
+#include "nn/transformer.h"
+
+namespace sdea::nn {
+
+TransformerEncoderLayer::TransformerEncoderLayer(
+    const std::string& name, const TransformerConfig& config, Rng* rng)
+    : dropout_(config.dropout) {
+  attention_ = std::make_unique<MultiHeadAttention>(
+      name + ".attn", config.dim, config.num_heads, rng);
+  norm1_ = std::make_unique<LayerNorm>(name + ".norm1", config.dim);
+  ff1_ = std::make_unique<Linear>(name + ".ff1", config.dim, config.ff_dim,
+                                  rng);
+  ff2_ = std::make_unique<Linear>(name + ".ff2", config.ff_dim, config.dim,
+                                  rng);
+  norm2_ = std::make_unique<LayerNorm>(name + ".norm2", config.dim);
+  AddSubmodule(attention_.get());
+  AddSubmodule(norm1_.get());
+  AddSubmodule(ff1_.get());
+  AddSubmodule(ff2_.get());
+  AddSubmodule(norm2_.get());
+}
+
+NodeId TransformerEncoderLayer::Forward(Graph* g, NodeId x, bool training,
+                                        Rng* rng) const {
+  NodeId attn = attention_->Forward(g, x);
+  attn = g->Dropout(attn, dropout_, training, rng);
+  NodeId h = norm1_->Forward(g, g->Add(x, attn));
+  NodeId ff = ff2_->Forward(g, g->Relu(ff1_->Forward(g, h)));
+  ff = g->Dropout(ff, dropout_, training, rng);
+  return norm2_->Forward(g, g->Add(h, ff));
+}
+
+TransformerEncoder::TransformerEncoder(const std::string& name,
+                                       const TransformerConfig& config,
+                                       Rng* rng)
+    : config_(config) {
+  SDEA_CHECK_GT(config.vocab_size, 0);
+  token_embedding_ = std::make_unique<Embedding>(
+      name + ".tok", config.vocab_size, config.dim, rng);
+  position_embedding_ = std::make_unique<Embedding>(
+      name + ".pos", config.max_len, config.dim, rng);
+  input_norm_ = std::make_unique<LayerNorm>(name + ".in_norm", config.dim);
+  AddSubmodule(token_embedding_.get());
+  AddSubmodule(position_embedding_.get());
+  AddSubmodule(input_norm_.get());
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(
+        name + ".layer" + std::to_string(i), config, rng));
+    AddSubmodule(layers_.back().get());
+  }
+}
+
+NodeId TransformerEncoder::EncodeSequence(
+    Graph* g, const std::vector<int64_t>& token_ids, bool training,
+    Rng* rng) const {
+  SDEA_CHECK(!token_ids.empty());
+  SDEA_CHECK_LE(static_cast<int64_t>(token_ids.size()), config_.max_len);
+  std::vector<int64_t> positions(token_ids.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    positions[i] = static_cast<int64_t>(i);
+  }
+  NodeId tok = token_embedding_->Forward(g, token_ids);
+  NodeId pos = position_embedding_->Forward(g, positions);
+  NodeId h = input_norm_->Forward(g, g->Add(tok, pos));
+  for (const auto& layer : layers_) {
+    h = layer->Forward(g, h, training, rng);
+  }
+  return h;
+}
+
+NodeId TransformerEncoder::EncodeCls(Graph* g,
+                                     const std::vector<int64_t>& token_ids,
+                                     bool training, Rng* rng) const {
+  NodeId h = EncodeSequence(g, token_ids, training, rng);
+  return g->SliceRows(h, 0, 1);
+}
+
+NodeId TransformerEncoder::EncodeMean(Graph* g,
+                                      const std::vector<int64_t>& token_ids,
+                                      bool training, Rng* rng) const {
+  NodeId h = EncodeSequence(g, token_ids, training, rng);
+  return g->MeanRows(h);
+}
+
+}  // namespace sdea::nn

@@ -1,0 +1,86 @@
+#ifndef SDEA_NN_TRANSFORMER_H_
+#define SDEA_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+
+namespace sdea::nn {
+
+/// Hyper-parameters of the transformer encoder. Defaults are sized for
+/// single-core CPU training; the architecture is the same in kind as the
+/// pre-trained BERT the paper fine-tunes (token + position embeddings, a
+/// stack of post-norm self-attention blocks, [CLS] pooling).
+struct TransformerConfig {
+  int64_t vocab_size = 0;   ///< Required; includes the [CLS]/special tokens.
+  int64_t max_len = 128;    ///< Maximum sequence length (paper fixes 128).
+  int64_t dim = 64;         ///< Model width.
+  int64_t num_heads = 4;    ///< Attention heads.
+  int64_t num_layers = 2;   ///< Encoder blocks.
+  int64_t ff_dim = 128;     ///< Feed-forward inner width.
+  float dropout = 0.1f;     ///< Applied to attention/FF outputs in training.
+};
+
+/// One post-norm transformer encoder block:
+///   x = LayerNorm(x + Dropout(SelfAttention(x)))
+///   x = LayerNorm(x + Dropout(FFN(x)))
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(const std::string& name,
+                          const TransformerConfig& config, Rng* rng);
+
+  NodeId Forward(Graph* g, NodeId x, bool training, Rng* rng) const;
+
+ private:
+  float dropout_;
+  std::unique_ptr<MultiHeadAttention> attention_;
+  std::unique_ptr<LayerNorm> norm1_;
+  std::unique_ptr<Linear> ff1_;
+  std::unique_ptr<Linear> ff2_;
+  std::unique_ptr<LayerNorm> norm2_;
+};
+
+/// A BERT-style sequence encoder built from scratch: token embeddings plus
+/// learned positional embeddings, a stack of encoder blocks, and [CLS]
+/// pooling. Stands in for the pre-trained language model in the paper's
+/// attribute embedding module (see DESIGN.md §1 for the substitution
+/// rationale).
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(const std::string& name, const TransformerConfig& config,
+                     Rng* rng);
+
+  /// Encodes a token sequence (which must already start with [CLS] and be
+  /// truncated to max_len by the caller) into hidden states [T, dim].
+  NodeId EncodeSequence(Graph* g, const std::vector<int64_t>& token_ids,
+                        bool training, Rng* rng) const;
+
+  /// Encodes and returns the [CLS] hidden state as [1, dim].
+  NodeId EncodeCls(Graph* g, const std::vector<int64_t>& token_ids,
+                   bool training, Rng* rng) const;
+
+  /// Encodes and returns the mean of all hidden states as [1, dim]. With a
+  /// from-scratch encoder this pooling carries content far better than the
+  /// un-pretrained [CLS] slot (see DESIGN.md on the BERT substitution).
+  NodeId EncodeMean(Graph* g, const std::vector<int64_t>& token_ids,
+                    bool training, Rng* rng) const;
+
+  /// Inference-only encode without graph construction overhead is not
+  /// provided separately; callers build a throwaway Graph.
+  const TransformerConfig& config() const { return config_; }
+  Embedding* token_embedding() { return token_embedding_.get(); }
+
+ private:
+  TransformerConfig config_;
+  std::unique_ptr<Embedding> token_embedding_;
+  std::unique_ptr<Embedding> position_embedding_;
+  std::unique_ptr<LayerNorm> input_norm_;
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+};
+
+}  // namespace sdea::nn
+
+#endif  // SDEA_NN_TRANSFORMER_H_

@@ -1,0 +1,41 @@
+#include "tensor/gradcheck.h"
+
+#include <cmath>
+
+#include "base/rng.h"
+
+namespace sdea {
+
+float MaxGradCheckError(const std::function<float()>& loss_fn,
+                        const std::function<void()>& backward_fn,
+                        std::vector<Parameter*> params, float epsilon,
+                        int max_coords_per_param, uint64_t seed) {
+  // Compute analytic gradients once.
+  for (Parameter* p : params) p->ZeroGrad();
+  backward_fn();
+
+  Rng rng(seed);
+  float max_err = 0.0f;
+  for (Parameter* p : params) {
+    const int64_t n = p->value.size();
+    const int64_t coords =
+        std::min<int64_t>(n, static_cast<int64_t>(max_coords_per_param));
+    std::vector<size_t> picked = rng.SampleWithoutReplacement(
+        static_cast<size_t>(n), static_cast<size_t>(coords));
+    for (size_t idx : picked) {
+      const int64_t i = static_cast<int64_t>(idx);
+      const float orig = p->value[i];
+      p->value[i] = orig + epsilon;
+      const float plus = loss_fn();
+      p->value[i] = orig - epsilon;
+      const float minus = loss_fn();
+      p->value[i] = orig;
+      const float numeric = (plus - minus) / (2.0f * epsilon);
+      const float analytic = p->grad[i];
+      max_err = std::max(max_err, std::fabs(numeric - analytic));
+    }
+  }
+  return max_err;
+}
+
+}  // namespace sdea

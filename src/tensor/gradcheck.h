@@ -1,0 +1,27 @@
+#ifndef SDEA_TENSOR_GRADCHECK_H_
+#define SDEA_TENSOR_GRADCHECK_H_
+
+#include <functional>
+
+#include "tensor/graph.h"
+
+namespace sdea {
+
+/// Compares analytic gradients against central finite differences.
+///
+/// `loss_fn` must build a fresh graph from the current parameter values and
+/// return the scalar loss value; it is invoked repeatedly with perturbed
+/// parameters. `params` are the parameters to check. Returns the maximum
+/// absolute difference between the analytic and numeric gradient over all
+/// checked coordinates (at most `max_coords_per_param` randomly chosen
+/// coordinates per parameter, for speed).
+float MaxGradCheckError(const std::function<float()>& loss_fn,
+                        const std::function<void()>& backward_fn,
+                        std::vector<Parameter*> params,
+                        float epsilon = 1e-3f,
+                        int max_coords_per_param = 16,
+                        uint64_t seed = 7);
+
+}  // namespace sdea
+
+#endif  // SDEA_TENSOR_GRADCHECK_H_

@@ -1,0 +1,73 @@
+#include "tensor/sparse.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "base/check.h"
+
+namespace sdea {
+
+CsrMatrix CsrMatrix::FromTriplets(
+    int64_t rows, int64_t cols,
+    const std::vector<std::tuple<int64_t, int64_t, float>>& triplets) {
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  // Sum duplicates via an ordered map keyed by (row, col).
+  std::map<std::pair<int64_t, int64_t>, float> acc;
+  for (const auto& [r, c, v] : triplets) {
+    SDEA_CHECK(r >= 0 && r < rows);
+    SDEA_CHECK(c >= 0 && c < cols);
+    acc[{r, c}] += v;
+  }
+  m.row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
+  m.col_idx_.reserve(acc.size());
+  m.values_.reserve(acc.size());
+  for (const auto& [rc, v] : acc) {
+    ++m.row_ptr_[static_cast<size_t>(rc.first) + 1];
+    m.col_idx_.push_back(rc.second);
+    m.values_.push_back(v);
+  }
+  for (size_t i = 1; i < m.row_ptr_.size(); ++i) {
+    m.row_ptr_[i] += m.row_ptr_[i - 1];
+  }
+  return m;
+}
+
+Tensor CsrMatrix::Apply(const Tensor& dense) const {
+  SDEA_CHECK_EQ(dense.rank(), 2);
+  SDEA_CHECK_EQ(dense.dim(0), cols_);
+  const int64_t d = dense.dim(1);
+  Tensor out({rows_, d});
+  for (int64_t r = 0; r < rows_; ++r) {
+    float* orow = out.data() + r * d;
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      const float v = values_[static_cast<size_t>(k)];
+      const float* drow =
+          dense.data() + col_idx_[static_cast<size_t>(k)] * d;
+      for (int64_t j = 0; j < d; ++j) orow[j] += v * drow[j];
+    }
+  }
+  return out;
+}
+
+Tensor CsrMatrix::ApplyTranspose(const Tensor& dense) const {
+  SDEA_CHECK_EQ(dense.rank(), 2);
+  SDEA_CHECK_EQ(dense.dim(0), rows_);
+  const int64_t d = dense.dim(1);
+  Tensor out({cols_, d});
+  for (int64_t r = 0; r < rows_; ++r) {
+    const float* drow = dense.data() + r * d;
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      const float v = values_[static_cast<size_t>(k)];
+      float* orow = out.data() + col_idx_[static_cast<size_t>(k)] * d;
+      for (int64_t j = 0; j < d; ++j) orow[j] += v * drow[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace sdea

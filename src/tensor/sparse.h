@@ -1,0 +1,46 @@
+#ifndef SDEA_TENSOR_SPARSE_H_
+#define SDEA_TENSOR_SPARSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sdea {
+
+/// A compressed-sparse-row float matrix, used for graph adjacency
+/// operators (GCN/GAT baselines). Immutable after Build.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from COO triplets (duplicates are summed).
+  static CsrMatrix FromTriplets(
+      int64_t rows, int64_t cols,
+      const std::vector<std::tuple<int64_t, int64_t, float>>& triplets);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  /// out = this @ dense, dense: [cols, d].
+  Tensor Apply(const Tensor& dense) const;
+
+  /// out = this^T @ dense, dense: [rows, d].
+  Tensor ApplyTranspose(const Tensor& dense) const;
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int64_t> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace sdea
+
+#endif  // SDEA_TENSOR_SPARSE_H_

@@ -1,0 +1,320 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "base/strings.h"
+
+namespace sdea {
+namespace {
+
+int64_t ElementCount(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    SDEA_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(ElementCount(shape_)), 0.0f) {}
+
+Tensor::Tensor(std::vector<int64_t> shape, float fill)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(ElementCount(shape_)), fill) {}
+
+Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  SDEA_CHECK_EQ(static_cast<int64_t>(data_.size()), ElementCount(shape_));
+}
+
+Tensor Tensor::FromVector(const std::vector<float>& values) {
+  return Tensor({static_cast<int64_t>(values.size())}, values);
+}
+
+Tensor Tensor::RandomNormal(std::vector<int64_t> shape, float stddev,
+                            Rng* rng) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::RandomUniform(std::vector<int64_t> shape, float limit,
+                             Rng* rng) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = rng->UniformFloat(-limit, limit);
+  }
+  return t;
+}
+
+int64_t Tensor::dim(int64_t i) const {
+  if (i < 0) i += rank();
+  SDEA_CHECK(i >= 0 && i < rank());
+  return shape_[static_cast<size_t>(i)];
+}
+
+int64_t Tensor::rows() const {
+  if (rank() == 1) return 1;
+  SDEA_CHECK_EQ(rank(), 2);
+  return shape_[0];
+}
+
+int64_t Tensor::cols() const {
+  if (rank() == 1) return shape_[0];
+  SDEA_CHECK_EQ(rank(), 2);
+  return shape_[1];
+}
+
+void Tensor::Fill(float v) {
+  for (float& x : data_) x = v;
+}
+
+Tensor Tensor::Reshaped(std::vector<int64_t> new_shape) const {
+  SDEA_CHECK_EQ(ElementCount(new_shape), size());
+  return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::Row(int64_t r) const {
+  SDEA_CHECK_EQ(rank(), 2);
+  SDEA_CHECK(r >= 0 && r < shape_[0]);
+  const int64_t c = shape_[1];
+  std::vector<float> row(data_.begin() + static_cast<size_t>(r * c),
+                         data_.begin() + static_cast<size_t>((r + 1) * c));
+  return Tensor({c}, std::move(row));
+}
+
+void Tensor::SetRow(int64_t r, const Tensor& src) {
+  SDEA_CHECK_EQ(rank(), 2);
+  SDEA_CHECK(r >= 0 && r < shape_[0]);
+  SDEA_CHECK_EQ(src.size(), shape_[1]);
+  std::copy(src.data(), src.data() + src.size(),
+            data_.begin() + static_cast<size_t>(r * shape_[1]));
+}
+
+float Tensor::Sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0f);
+}
+
+float Tensor::Norm() const {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(s));
+}
+
+float Tensor::AbsMax() const {
+  float m = 0.0f;
+  for (float x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+std::string Tensor::DebugString() const {
+  std::string out = "Tensor[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out += "x";
+    out += std::to_string(shape_[i]);
+  }
+  out += "](";
+  const int64_t show = std::min<int64_t>(size(), 8);
+  for (int64_t i = 0; i < show; ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%.4g", data_[static_cast<size_t>(i)]);
+  }
+  if (size() > show) out += ", ...";
+  out += ")";
+  return out;
+}
+
+namespace tmath {
+
+Tensor Matmul(const Tensor& a, const Tensor& b) {
+  SDEA_CHECK_EQ(a.rank(), 2);
+  SDEA_CHECK_EQ(b.rank(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  SDEA_CHECK_EQ(k, b.dim(0));
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j loop order: streams through b and c rows (cache friendly).
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatmulTransposeB(const Tensor& a, const Tensor& b) {
+  SDEA_CHECK_EQ(a.rank(), 2);
+  SDEA_CHECK_EQ(b.rank(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  SDEA_CHECK_EQ(k, b.dim(1));
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double s = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+      pc[i * n + j] = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+Tensor MatmulTransposeA(const Tensor& a, const Tensor& b) {
+  SDEA_CHECK_EQ(a.rank(), 2);
+  SDEA_CHECK_EQ(b.rank(), 2);
+  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  SDEA_CHECK_EQ(k, b.dim(0));
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float aik = arow[i];
+      if (aik == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  SDEA_CHECK(a.SameShape(b));
+  Tensor c = a;
+  for (int64_t i = 0; i < c.size(); ++i) c[i] += b[i];
+  return c;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  SDEA_CHECK(a.SameShape(b));
+  Tensor c = a;
+  for (int64_t i = 0; i < c.size(); ++i) c[i] -= b[i];
+  return c;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  SDEA_CHECK(a.SameShape(b));
+  Tensor c = a;
+  for (int64_t i = 0; i < c.size(); ++i) c[i] *= b[i];
+  return c;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor c = a;
+  for (int64_t i = 0; i < c.size(); ++i) c[i] *= s;
+  return c;
+}
+
+void AxpyInto(const Tensor& a, float s, Tensor* out) {
+  SDEA_CHECK(a.SameShape(*out));
+  for (int64_t i = 0; i < a.size(); ++i) (*out)[i] += s * a[i];
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
+  SDEA_CHECK_EQ(a.rank(), 2);
+  SDEA_CHECK_EQ(bias.rank(), 1);
+  SDEA_CHECK_EQ(a.dim(1), bias.dim(0));
+  Tensor c = a;
+  const int64_t rows = a.dim(0), cols = a.dim(1);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) c[i * cols + j] += bias[j];
+  }
+  return c;
+}
+
+Tensor SoftmaxRows(const Tensor& a) {
+  SDEA_CHECK_EQ(a.rank(), 2);
+  Tensor c = a;
+  const int64_t rows = a.dim(0), cols = a.dim(1);
+  for (int64_t i = 0; i < rows; ++i) {
+    float* row = c.data() + i * cols;
+    float mx = row[0];
+    for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, row[j]);
+    double sum = 0.0;
+    for (int64_t j = 0; j < cols; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int64_t j = 0; j < cols; ++j) row[j] *= inv;
+  }
+  return c;
+}
+
+Tensor Transpose(const Tensor& a) {
+  SDEA_CHECK_EQ(a.rank(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor c({n, m});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) c[j * m + i] = a[i * n + j];
+  }
+  return c;
+}
+
+float CosineSimilarity(const Tensor& a, const Tensor& b) {
+  SDEA_CHECK_EQ(a.size(), b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0f;
+  return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+float SquaredL2Distance(const Tensor& a, const Tensor& b) {
+  SDEA_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return static_cast<float>(s);
+}
+
+float Dot(const Tensor& a, const Tensor& b) {
+  SDEA_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    s += static_cast<double>(a[i]) * b[i];
+  }
+  return static_cast<float>(s);
+}
+
+void L2NormalizeRowsInPlace(Tensor* a, float eps) {
+  SDEA_CHECK_EQ(a->rank(), 2);
+  const int64_t rows = a->dim(0), cols = a->dim(1);
+  for (int64_t i = 0; i < rows; ++i) {
+    float* row = a->data() + i * cols;
+    double s = 0.0;
+    for (int64_t j = 0; j < cols; ++j) s += static_cast<double>(row[j]) * row[j];
+    const double norm = std::sqrt(s);
+    if (norm < eps) continue;
+    const float inv = static_cast<float>(1.0 / norm);
+    for (int64_t j = 0; j < cols; ++j) row[j] *= inv;
+  }
+}
+
+}  // namespace tmath
+}  // namespace sdea

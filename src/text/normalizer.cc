@@ -1,0 +1,57 @@
+#include "text/normalizer.h"
+
+#include <cctype>
+
+#include "base/strings.h"
+
+namespace sdea::text {
+
+std::string NormalizeText(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  bool last_space = true;
+  for (char ch : raw) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    char mapped;
+    if (std::isalnum(c)) {
+      mapped = static_cast<char>(std::tolower(c));
+    } else if (c >= 0x80) {
+      mapped = ch;  // Keep non-ASCII bytes.
+    } else if (ch == '.' || ch == ',') {
+      // Keep separators inside numbers ("3.14"); map to space otherwise.
+      mapped = ch;
+    } else {
+      mapped = ' ';
+    }
+    if (mapped == ' ') {
+      if (!last_space) {
+        out.push_back(' ');
+        last_space = true;
+      }
+    } else {
+      out.push_back(mapped);
+      last_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::vector<std::string> NormalizeAndSplit(std::string_view raw) {
+  std::vector<std::string> words = SplitWhitespace(NormalizeText(raw));
+  // Strip leading/trailing '.'/',' kept by the normalizer for numbers.
+  for (std::string& w : words) {
+    size_t b = 0, e = w.size();
+    while (b < e && (w[b] == '.' || w[b] == ',')) ++b;
+    while (e > b && (w[e - 1] == '.' || w[e - 1] == ',')) --e;
+    if (b != 0 || e != w.size()) w = w.substr(b, e - b);
+  }
+  std::vector<std::string> out;
+  out.reserve(words.size());
+  for (std::string& w : words) {
+    if (!w.empty()) out.push_back(std::move(w));
+  }
+  return out;
+}
+
+}  // namespace sdea::text

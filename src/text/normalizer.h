@@ -1,0 +1,21 @@
+#ifndef SDEA_TEXT_NORMALIZER_H_
+#define SDEA_TEXT_NORMALIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdea::text {
+
+/// Canonicalizes raw attribute-value text before tokenization:
+/// lower-cases ASCII, maps punctuation to spaces (keeping word-internal
+/// digits/letters), collapses whitespace. Non-ASCII bytes are kept verbatim
+/// so cipher-generated "foreign" tokens survive.
+std::string NormalizeText(std::string_view raw);
+
+/// Normalizes then splits into words.
+std::vector<std::string> NormalizeAndSplit(std::string_view raw);
+
+}  // namespace sdea::text
+
+#endif  // SDEA_TEXT_NORMALIZER_H_

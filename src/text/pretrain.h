@@ -1,0 +1,40 @@
+#ifndef SDEA_TEXT_PRETRAIN_H_
+#define SDEA_TEXT_PRETRAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "tensor/tensor.h"
+#include "text/tokenizer.h"
+
+namespace sdea::text {
+
+/// Options for co-occurrence embedding pre-training.
+struct PretrainConfig {
+  int64_t dim = 64;        ///< Embedding width (must match the encoder dim).
+  int64_t window = 4;      ///< Symmetric co-occurrence window.
+  int64_t epochs = 16;     ///< Passes over the non-zero co-occurrence cells.
+  float lr = 0.05f;        ///< AdaGrad learning rate.
+  float x_max = 20.0f;     ///< GloVe weighting cutoff.
+  float alpha = 0.75f;     ///< GloVe weighting exponent.
+  uint64_t seed = 17;      ///< Shuffling / init seed.
+};
+
+/// Pre-trains token embeddings on a text corpus with the GloVe objective
+/// (weighted log-co-occurrence factorization). This plays the role of the
+/// language-model pre-training that the paper's BERT brings in: after this
+/// step, semantically related subword tokens are close in embedding space,
+/// and the transformer fine-tunes from that initialization (see DESIGN.md).
+class CooccurrencePretrainer {
+ public:
+  /// Returns a [vocab_size, dim] embedding table aligned with
+  /// `tokenizer.vocab()` ids. Special tokens get small random vectors.
+  Result<Tensor> Train(const std::vector<std::string>& corpus,
+                       const SubwordTokenizer& tokenizer,
+                       const PretrainConfig& config) const;
+};
+
+}  // namespace sdea::text
+
+#endif  // SDEA_TEXT_PRETRAIN_H_

@@ -1,0 +1,216 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "base/check.h"
+#include "base/fileio.h"
+#include "base/strings.h"
+#include "text/normalizer.h"
+
+namespace sdea::text {
+namespace {
+
+/// A word under BPE training: its symbol sequence and corpus frequency.
+struct TrainWord {
+  std::vector<std::string> symbols;
+  int64_t freq = 0;
+};
+
+/// Splits a word into initial WordPiece symbols: first byte-run plain,
+/// continuations prefixed with "##". Multi-byte UTF-8 sequences are kept as
+/// single symbols.
+std::vector<std::string> InitialSymbols(const std::string& word) {
+  std::vector<std::string> symbols;
+  size_t i = 0;
+  while (i < word.size()) {
+    size_t len = 1;
+    const unsigned char c = static_cast<unsigned char>(word[i]);
+    if ((c & 0xE0) == 0xC0) len = 2;
+    else if ((c & 0xF0) == 0xE0) len = 3;
+    else if ((c & 0xF8) == 0xF0) len = 4;
+    len = std::min(len, word.size() - i);
+    std::string sym = word.substr(i, len);
+    if (i > 0) sym = "##" + sym;
+    symbols.push_back(std::move(sym));
+    i += len;
+  }
+  return symbols;
+}
+
+/// Concatenates two adjacent symbols, dropping the continuation prefix of
+/// the right-hand side.
+std::string MergeSymbols(const std::string& a, const std::string& b) {
+  std::string rhs = b;
+  if (StartsWith(rhs, "##")) rhs = rhs.substr(2);
+  return a + rhs;
+}
+
+}  // namespace
+
+Status SubwordTokenizer::Train(const std::vector<std::string>& corpus,
+                               const TokenizerConfig& config) {
+  if (corpus.empty()) {
+    return Status::InvalidArgument("tokenizer corpus is empty");
+  }
+  vocab_ = Vocab();
+  max_word_bytes_ = config.max_word_bytes;
+
+  // Collect distinct words with frequencies.
+  std::unordered_map<std::string, int64_t> word_freq;
+  for (const std::string& text : corpus) {
+    for (const std::string& w : NormalizeAndSplit(text)) {
+      if (static_cast<int64_t>(w.size()) > config.max_word_bytes) continue;
+      ++word_freq[w];
+    }
+  }
+  if (word_freq.empty()) {
+    return Status::InvalidArgument("tokenizer corpus has no words");
+  }
+
+  std::vector<TrainWord> words;
+  words.reserve(word_freq.size());
+  for (const auto& [w, f] : word_freq) {
+    words.push_back(TrainWord{InitialSymbols(w), f});
+  }
+  // Deterministic order regardless of hash iteration.
+  std::sort(words.begin(), words.end(),
+            [](const TrainWord& a, const TrainWord& b) {
+              if (a.freq != b.freq) return a.freq > b.freq;
+              return a.symbols < b.symbols;
+            });
+
+  // Base alphabet.
+  for (const TrainWord& w : words) {
+    for (const std::string& s : w.symbols) vocab_.AddToken(s);
+  }
+
+  // Iteratively merge the most frequent adjacent pair.
+  for (int64_t merge = 0; merge < config.num_merges; ++merge) {
+    std::unordered_map<std::string, int64_t> pair_freq;
+    std::unordered_map<std::string, std::pair<std::string, std::string>>
+        pair_parts;
+    for (const TrainWord& w : words) {
+      for (size_t i = 0; i + 1 < w.symbols.size(); ++i) {
+        std::string key = w.symbols[i] + "\x01" + w.symbols[i + 1];
+        pair_freq[key] += w.freq;
+        if (pair_parts.find(key) == pair_parts.end()) {
+          pair_parts.emplace(key,
+                             std::make_pair(w.symbols[i], w.symbols[i + 1]));
+        }
+      }
+    }
+    if (pair_freq.empty()) break;
+    // Deterministic arg-max: highest frequency, ties by key.
+    std::string best_key;
+    int64_t best_freq = 0;
+    for (const auto& [key, freq] : pair_freq) {
+      if (freq > best_freq || (freq == best_freq && key < best_key)) {
+        best_key = key;
+        best_freq = freq;
+      }
+    }
+    if (best_freq < config.min_pair_frequency) break;
+    const auto& [left, right] = pair_parts[best_key];
+    const std::string merged = MergeSymbols(left, right);
+    vocab_.AddToken(merged);
+    // Apply the merge to every word containing the pair.
+    for (TrainWord& w : words) {
+      std::vector<std::string>& sym = w.symbols;
+      for (size_t i = 0; i + 1 < sym.size();) {
+        if (sym[i] == left && sym[i + 1] == right) {
+          sym[i] = merged;
+          sym.erase(sym.begin() + static_cast<int64_t>(i) + 1);
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+
+  trained_ = true;
+  return Status::Ok();
+}
+
+std::vector<std::string> SubwordTokenizer::TokenizeWord(
+    const std::string& word) const {
+  std::vector<std::string> out;
+  if (static_cast<int64_t>(word.size()) > max_word_bytes_) {
+    out.push_back("[UNK]");
+    return out;
+  }
+  // Greedy longest-match (WordPiece): at each position take the longest
+  // vocab entry; fall back to [UNK] for the whole word if any position has
+  // no match.
+  size_t start = 0;
+  while (start < word.size()) {
+    size_t end = word.size();
+    std::string piece;
+    bool found = false;
+    while (end > start) {
+      std::string candidate = word.substr(start, end - start);
+      if (start > 0) candidate = "##" + candidate;
+      if (vocab_.Contains(candidate)) {
+        piece = std::move(candidate);
+        found = true;
+        break;
+      }
+      --end;
+    }
+    if (!found) {
+      return {"[UNK]"};
+    }
+    out.push_back(std::move(piece));
+    start = end;
+  }
+  return out;
+}
+
+std::vector<int64_t> SubwordTokenizer::Encode(std::string_view raw) const {
+  SDEA_CHECK_MSG(trained_, "tokenizer used before Train()/Load()");
+  std::vector<int64_t> ids;
+  for (const std::string& word : NormalizeAndSplit(raw)) {
+    for (const std::string& piece : TokenizeWord(word)) {
+      ids.push_back(vocab_.GetId(piece));
+    }
+  }
+  return ids;
+}
+
+std::vector<int64_t> SubwordTokenizer::EncodeForModel(std::string_view raw,
+                                                      int64_t max_len) const {
+  SDEA_CHECK_GE(max_len, 1);
+  std::vector<int64_t> ids;
+  ids.push_back(kClsId);
+  for (int64_t id : Encode(raw)) {
+    if (static_cast<int64_t>(ids.size()) >= max_len) break;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+Status SubwordTokenizer::Save(const std::string& path) const {
+  if (!trained_) return Status::FailedPrecondition("tokenizer not trained");
+  std::string out;
+  for (int64_t i = 0; i < vocab_.size(); ++i) {
+    out += vocab_.GetToken(i);
+    out += '\n';
+  }
+  return WriteStringToFile(path, out);
+}
+
+Status SubwordTokenizer::Load(const std::string& path) {
+  SDEA_ASSIGN_OR_RETURN(std::vector<std::string> lines, ReadLines(path));
+  if (lines.size() < static_cast<size_t>(kNumSpecialTokens)) {
+    return Status::InvalidArgument("vocab file too small: " + path);
+  }
+  vocab_ = Vocab();
+  for (size_t i = static_cast<size_t>(kNumSpecialTokens); i < lines.size();
+       ++i) {
+    vocab_.AddToken(lines[i]);
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+}  // namespace sdea::text

@@ -1,0 +1,68 @@
+#ifndef SDEA_TEXT_TOKENIZER_H_
+#define SDEA_TEXT_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "text/vocab.h"
+
+namespace sdea::text {
+
+/// Training options for the subword tokenizer.
+struct TokenizerConfig {
+  /// Number of BPE merge operations to learn on top of the base character
+  /// alphabet.
+  int64_t num_merges = 1024;
+  /// A pair must occur at least this often (corpus-weighted) to be merged.
+  int64_t min_pair_frequency = 2;
+  /// Words longer than this many bytes are mapped to [UNK] at encode time
+  /// (guards against pathological inputs).
+  int64_t max_word_bytes = 64;
+};
+
+/// A WordPiece-style subword tokenizer trained with BPE merges, as used by
+/// BERT-family models. Words are decomposed into an initial symbol plus
+/// "##"-prefixed continuation symbols; training greedily merges the most
+/// frequent adjacent symbol pair; encoding applies greedy longest-match
+/// against the learned vocabulary.
+class SubwordTokenizer {
+ public:
+  SubwordTokenizer() = default;
+
+  /// Learns the subword vocabulary from `corpus` (each element one text).
+  /// Replaces any previous training.
+  Status Train(const std::vector<std::string>& corpus,
+               const TokenizerConfig& config);
+
+  /// Encodes normalized text into token ids (no [CLS] added). Unknown
+  /// characters map to [UNK].
+  std::vector<int64_t> Encode(std::string_view raw) const;
+
+  /// Encodes and prepends [CLS], truncating to `max_len` total ids.
+  std::vector<int64_t> EncodeForModel(std::string_view raw,
+                                      int64_t max_len) const;
+
+  /// Subword tokens for a single normalized word.
+  std::vector<std::string> TokenizeWord(const std::string& word) const;
+
+  const Vocab& vocab() const { return vocab_; }
+  bool trained() const { return trained_; }
+
+  /// Serializes the learned vocabulary to `path` (one token per line).
+  Status Save(const std::string& path) const;
+
+  /// Restores a vocabulary written by Save.
+  Status Load(const std::string& path);
+
+ private:
+  Vocab vocab_;
+  bool trained_ = false;
+  int64_t max_word_bytes_ = 64;
+};
+
+}  // namespace sdea::text
+
+#endif  // SDEA_TEXT_TOKENIZER_H_

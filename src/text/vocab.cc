@@ -1,0 +1,38 @@
+#include "text/vocab.h"
+
+#include "base/check.h"
+
+namespace sdea::text {
+
+Vocab::Vocab() {
+  AddToken("[PAD]");
+  AddToken("[CLS]");
+  AddToken("[UNK]");
+  AddToken("[SEP]");
+  SDEA_CHECK_EQ(size(), kNumSpecialTokens);
+}
+
+int64_t Vocab::AddToken(const std::string& token) {
+  auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  const int64_t id = size();
+  tokens_.push_back(token);
+  ids_.emplace(token, id);
+  return id;
+}
+
+int64_t Vocab::GetId(const std::string& token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? kUnkId : it->second;
+}
+
+bool Vocab::Contains(const std::string& token) const {
+  return ids_.count(token) > 0;
+}
+
+const std::string& Vocab::GetToken(int64_t id) const {
+  SDEA_CHECK(id >= 0 && id < size());
+  return tokens_[static_cast<size_t>(id)];
+}
+
+}  // namespace sdea::text

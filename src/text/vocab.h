@@ -1,0 +1,46 @@
+#ifndef SDEA_TEXT_VOCAB_H_
+#define SDEA_TEXT_VOCAB_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sdea::text {
+
+/// Reserved token ids shared by the whole library.
+inline constexpr int64_t kPadId = 0;
+inline constexpr int64_t kClsId = 1;
+inline constexpr int64_t kUnkId = 2;
+inline constexpr int64_t kSepId = 3;
+inline constexpr int64_t kNumSpecialTokens = 4;
+
+/// A bidirectional token <-> id mapping. Ids 0..3 are reserved for the
+/// special tokens [PAD], [CLS], [UNK], [SEP].
+class Vocab {
+ public:
+  /// Constructs a vocab containing only the special tokens.
+  Vocab();
+
+  /// Adds `token` if absent; returns its id either way.
+  int64_t AddToken(const std::string& token);
+
+  /// Id of `token`, or kUnkId if unknown.
+  int64_t GetId(const std::string& token) const;
+
+  /// True if `token` is present.
+  bool Contains(const std::string& token) const;
+
+  /// Token string for `id`. Requires 0 <= id < size().
+  const std::string& GetToken(int64_t id) const;
+
+  int64_t size() const { return static_cast<int64_t>(tokens_.size()); }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int64_t> ids_;
+};
+
+}  // namespace sdea::text
+
+#endif  // SDEA_TEXT_VOCAB_H_

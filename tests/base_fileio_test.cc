@@ -1,0 +1,66 @@
+#include "base/fileio.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace sdea {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+TEST(FileIoTest, RoundTripString) {
+  const std::string path = TempPath("sdea_fileio_rt.txt");
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld\n").ok());
+  auto r = ReadFileToString(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "hello\nworld\n");
+  EXPECT_TRUE(FileExists(path));
+}
+
+TEST(FileIoTest, ReadMissingFileFails) {
+  auto r = ReadFileToString(TempPath("sdea_definitely_missing_42"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_FALSE(FileExists(TempPath("sdea_definitely_missing_42")));
+}
+
+TEST(FileIoTest, ReadLinesHandlesCrlfAndMissingFinalNewline) {
+  const std::string path = TempPath("sdea_fileio_lines.txt");
+  ASSERT_TRUE(WriteStringToFile(path, "a\r\nb\nc").ok());
+  auto r = ReadLines(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(FileIoTest, TsvRoundTrip) {
+  const std::string path = TempPath("sdea_fileio.tsv");
+  const std::vector<std::vector<std::string>> rows = {
+      {"h", "r", "t"}, {"x", "y", "value with spaces"}};
+  ASSERT_TRUE(WriteTsv(path, rows).ok());
+  auto r = ReadTsv(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, rows);
+}
+
+TEST(FileIoTest, TsvSkipsBlankLines) {
+  const std::string path = TempPath("sdea_fileio_blank.tsv");
+  ASSERT_TRUE(WriteStringToFile(path, "a\tb\n\nc\td\n").ok());
+  auto r = ReadTsv(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(FileIoTest, EmptyFileReadsEmpty) {
+  const std::string path = TempPath("sdea_fileio_empty.txt");
+  ASSERT_TRUE(WriteStringToFile(path, "").ok());
+  auto r = ReadLines(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+}  // namespace
+}  // namespace sdea

@@ -1,0 +1,142 @@
+#include "base/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace sdea {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(15);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ZipfSkewedTowardSmall) {
+  Rng rng(17);
+  int small = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t v = rng.Zipf(100, 1.5);
+    EXPECT_LT(v, 100u);
+    if (v < 3) ++small;
+  }
+  // With s=1.5 the first three ranks carry a large share of the mass
+  // (the rejection-inversion sampler approximates the discrete law).
+  EXPECT_GT(small, n * 2 / 5);
+}
+
+TEST(RngTest, ZipfHandlesExponentOne) {
+  Rng rng(18);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.Zipf(50, 1.0), 50u);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(21);
+  const auto s = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(s.size(), 20u);
+  std::set<size_t> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 20u);
+  for (size_t x : s) EXPECT_LT(x, 50u);
+}
+
+TEST(RngTest, SampleAllElements) {
+  Rng rng(22);
+  const auto s = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 10u);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(30);
+  Rng child = a.Fork();
+  const uint64_t a1 = a.Next();
+  (void)child.Next();
+  Rng b(30);
+  (void)b.Fork();
+  EXPECT_EQ(a1, b.Next());  // Advancing the child must not perturb parent.
+}
+
+}  // namespace
+}  // namespace sdea

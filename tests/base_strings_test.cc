@@ -1,0 +1,91 @@
+#include "base/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace sdea {
+namespace {
+
+TEST(SplitTest, Basic) {
+  EXPECT_EQ(Split("a\tb\tc", '\t'),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, EmptyInput) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitWhitespaceTest, DropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  foo \t bar\nbaz  "),
+            (std::vector<std::string>{"foo", "bar", "baz"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(TrimTest, Basic) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(ToLowerTest, Basic) {
+  EXPECT_EQ(ToLower("AbC 123 Xy"), "abc 123 xy");
+}
+
+TEST(StartsEndsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(StrFormatTest, Basic) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("same", "same"), 0u);
+  EXPECT_EQ(EditDistance("a", "b"), 1u);
+}
+
+TEST(EditSimilarityTest, Range) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("same", "same"), 1.0);
+  EXPECT_NEAR(EditSimilarity("abcd", "wxyz"), 0.0, 1e-9);
+  EXPECT_GT(EditSimilarity("tokyo", "tokio"), 0.7);
+}
+
+TEST(LooksNumericTest, Accepts) {
+  EXPECT_TRUE(LooksNumeric("123"));
+  EXPECT_TRUE(LooksNumeric("-42"));
+  EXPECT_TRUE(LooksNumeric("+3.14"));
+  EXPECT_TRUE(LooksNumeric(" 7 "));
+}
+
+TEST(LooksNumericTest, Rejects) {
+  EXPECT_FALSE(LooksNumeric(""));
+  EXPECT_FALSE(LooksNumeric("abc"));
+  EXPECT_FALSE(LooksNumeric("1.2.3"));
+  EXPECT_FALSE(LooksNumeric("12a"));
+  EXPECT_FALSE(LooksNumeric("-"));
+  EXPECT_FALSE(LooksNumeric("."));
+}
+
+}  // namespace
+}  // namespace sdea

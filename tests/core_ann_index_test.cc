@@ -1,0 +1,106 @@
+#include "core/ann_index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/candidate_generator.h"
+
+namespace sdea::core {
+namespace {
+
+TEST(IvfIndexTest, SmallDataExactlyMatchesBruteForce) {
+  // With one probe covering everything (clusters=1), IVF equals exact.
+  Rng rng(1);
+  Tensor tgt = Tensor::RandomNormal({30, 8}, 1.0f, &rng);
+  Tensor src = Tensor::RandomNormal({5, 8}, 1.0f, &rng);
+  IvfOptions opt;
+  opt.num_clusters = 1;
+  opt.num_probes = 1;
+  const auto approx = GenerateCandidatesApprox(src, tgt, 5, opt);
+  const auto exact = GenerateCandidates(src, tgt, 5);
+  EXPECT_EQ(approx, exact);
+}
+
+TEST(IvfIndexTest, HighRecallAtModerateProbes) {
+  Rng rng(2);
+  Tensor tgt = Tensor::RandomNormal({1000, 16}, 1.0f, &rng);
+  Tensor src = Tensor::RandomNormal({50, 16}, 1.0f, &rng);
+  IvfOptions opt;
+  opt.num_probes = 8;
+  const auto approx = GenerateCandidatesApprox(src, tgt, 10, opt);
+  const auto exact = GenerateCandidates(src, tgt, 10);
+  int64_t hits = 0, total = 0;
+  for (size_t i = 0; i < exact.size(); ++i) {
+    const std::set<int64_t> a(approx[i].begin(), approx[i].end());
+    for (int64_t id : exact[i]) {
+      ++total;
+      if (a.count(id)) ++hits;
+    }
+  }
+  const double recall = static_cast<double>(hits) / total;
+  EXPECT_GT(recall, 0.6);  // Random data is the hardest case for IVF.
+}
+
+TEST(IvfIndexTest, Top1OfEasyClustersIsExact) {
+  // Well-separated clusters: the nearest neighbor of a near-duplicate
+  // query must be found even with 1 probe.
+  Rng rng(3);
+  Tensor tgt({40, 4});
+  for (int64_t i = 0; i < 40; ++i) {
+    Tensor row({4});
+    row[i % 4] = 10.0f;
+    for (int64_t j = 0; j < 4; ++j) {
+      row[j] += static_cast<float>(rng.Normal(0.0, 0.1));
+    }
+    tgt.SetRow(i, row);
+  }
+  IvfOptions opt;
+  opt.num_clusters = 4;
+  opt.num_probes = 1;
+  const IvfIndex index(tgt, opt);
+  for (int64_t q = 0; q < 40; ++q) {
+    Tensor query = tgt.Row(q);
+    // Normalize query as the index does.
+    Tensor qm({1, 4});
+    qm.SetRow(0, query);
+    tmath::L2NormalizeRowsInPlace(&qm);
+    const auto got = index.Query(qm.data(), 4, 1);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], q);  // Its own row is the top hit.
+  }
+}
+
+TEST(IvfIndexTest, KCappedByCandidatesScanned) {
+  Rng rng(4);
+  Tensor tgt = Tensor::RandomNormal({20, 4}, 1.0f, &rng);
+  IvfOptions opt;
+  opt.num_clusters = 10;
+  opt.num_probes = 1;
+  const IvfIndex index(tgt, opt);
+  Tensor q = Tensor::RandomNormal({1, 4}, 1.0f, &rng);
+  tmath::L2NormalizeRowsInPlace(&q);
+  const auto got = index.Query(q.data(), 4, 50);
+  EXPECT_LE(got.size(), 20u);
+  std::set<int64_t> distinct(got.begin(), got.end());
+  EXPECT_EQ(distinct.size(), got.size());
+}
+
+TEST(IvfIndexTest, DefaultClusterHeuristic) {
+  Rng rng(5);
+  Tensor tgt = Tensor::RandomNormal({400, 8}, 1.0f, &rng);
+  const IvfIndex index(tgt, IvfOptions{});
+  EXPECT_EQ(index.num_clusters(), 20);  // sqrt(400).
+}
+
+TEST(IvfIndexTest, Deterministic) {
+  Rng rng(6);
+  Tensor tgt = Tensor::RandomNormal({100, 8}, 1.0f, &rng);
+  Tensor src = Tensor::RandomNormal({10, 8}, 1.0f, &rng);
+  const auto a = GenerateCandidatesApprox(src, tgt, 5);
+  const auto b = GenerateCandidatesApprox(src, tgt, 5);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace sdea::core

@@ -1,0 +1,71 @@
+#include "core/candidate_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sdea::core {
+namespace {
+
+TEST(CandidatesTest, TopOneIsNearestByCosine) {
+  Tensor src({2, 2}, {1, 0, 0, 1});
+  Tensor tgt({3, 2}, {0, 2, 3, 0.1f, 5, 5});
+  const auto c = GenerateCandidates(src, tgt, 1);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0][0], 1);  // (3, 0.1) is most aligned with (1, 0).
+  EXPECT_EQ(c[1][0], 0);  // (0, 2) with (0, 1).
+}
+
+TEST(CandidatesTest, KCappedByTargets) {
+  Tensor src({1, 2}, {1, 0});
+  Tensor tgt({3, 2}, {1, 0, 0, 1, -1, 0});
+  const auto c = GenerateCandidates(src, tgt, 10);
+  EXPECT_EQ(c[0].size(), 3u);
+}
+
+TEST(CandidatesTest, CandidatesAreDistinctAndOrdered) {
+  Rng rng(3);
+  Tensor src = Tensor::RandomNormal({5, 8}, 1.0f, &rng);
+  Tensor tgt = Tensor::RandomNormal({40, 8}, 1.0f, &rng);
+  const auto c = GenerateCandidates(src, tgt, 10);
+  Tensor s = src, t = tgt;
+  tmath::L2NormalizeRowsInPlace(&s);
+  tmath::L2NormalizeRowsInPlace(&t);
+  for (size_t i = 0; i < c.size(); ++i) {
+    std::set<int64_t> distinct(c[i].begin(), c[i].end());
+    EXPECT_EQ(distinct.size(), c[i].size());
+    for (size_t k = 1; k < c[i].size(); ++k) {
+      const float prev = tmath::Dot(s.Row(static_cast<int64_t>(i)),
+                                    t.Row(c[i][k - 1]));
+      const float cur = tmath::Dot(s.Row(static_cast<int64_t>(i)),
+                                   t.Row(c[i][k]));
+      EXPECT_GE(prev, cur - 1e-6f);
+    }
+  }
+}
+
+TEST(CandidatesTest, ExhaustiveTopKMatchesBruteForce) {
+  Rng rng(9);
+  Tensor src = Tensor::RandomNormal({3, 4}, 1.0f, &rng);
+  Tensor tgt = Tensor::RandomNormal({20, 4}, 1.0f, &rng);
+  const auto c = GenerateCandidates(src, tgt, 5);
+  Tensor s = src, t = tgt;
+  tmath::L2NormalizeRowsInPlace(&s);
+  tmath::L2NormalizeRowsInPlace(&t);
+  for (int64_t i = 0; i < 3; ++i) {
+    // Brute-force the best target.
+    int64_t best = 0;
+    float best_score = -2.0f;
+    for (int64_t j = 0; j < 20; ++j) {
+      const float sc = tmath::Dot(s.Row(i), t.Row(j));
+      if (sc > best_score) {
+        best_score = sc;
+        best = j;
+      }
+    }
+    EXPECT_EQ(c[static_cast<size_t>(i)][0], best);
+  }
+}
+
+}  // namespace
+}  // namespace sdea::core

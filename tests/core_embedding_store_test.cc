@@ -1,0 +1,99 @@
+#include "core/embedding_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "base/fileio.h"
+
+namespace sdea::core {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+EmbeddingStore MakeStore() {
+  Tensor emb({3, 2}, {1, 0, 0, 1, 1, 1});
+  auto store = EmbeddingStore::Create({"alpha", "beta", "gamma"},
+                                      std::move(emb));
+  SDEA_CHECK(store.ok());
+  return std::move(store).value();
+}
+
+TEST(EmbeddingStoreTest, CreateValidates) {
+  EXPECT_FALSE(
+      EmbeddingStore::Create({"a"}, Tensor({2, 2})).ok());  // Size mismatch.
+  EXPECT_FALSE(
+      EmbeddingStore::Create({"a", "a"}, Tensor({2, 2})).ok());  // Dup name.
+  EXPECT_TRUE(EmbeddingStore::Create({"a", "b"}, Tensor({2, 2}, 1.0f)).ok());
+}
+
+TEST(EmbeddingStoreTest, RowsAreNormalized) {
+  const EmbeddingStore store = MakeStore();
+  for (int64_t i = 0; i < store.size(); ++i) {
+    EXPECT_NEAR(store.embeddings().Row(i).Norm(), 1.0f, 1e-5f);
+  }
+}
+
+TEST(EmbeddingStoreTest, FindAndGet) {
+  const EmbeddingStore store = MakeStore();
+  auto id = store.Find("beta");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 1);
+  EXPECT_FALSE(store.Find("delta").ok());
+  auto row = store.Get("alpha");
+  ASSERT_TRUE(row.ok());
+  EXPECT_NEAR((*row)[0], 1.0f, 1e-6f);
+}
+
+TEST(EmbeddingStoreTest, NearestNeighborsExact) {
+  const EmbeddingStore store = MakeStore();
+  const auto nn = store.NearestNeighbors(Tensor::FromVector({1, 0.1f}), 2);
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0].name, "alpha");
+  EXPECT_GE(nn[0].similarity, nn[1].similarity);
+}
+
+TEST(EmbeddingStoreTest, NearestNeighborsWithIndex) {
+  Rng rng(5);
+  const int64_t n = 200;
+  Tensor emb = Tensor::RandomNormal({n, 8}, 1.0f, &rng);
+  std::vector<std::string> names;
+  for (int64_t i = 0; i < n; ++i) names.push_back("e" + std::to_string(i));
+  auto store_r = EmbeddingStore::Create(std::move(names), std::move(emb));
+  ASSERT_TRUE(store_r.ok());
+  EmbeddingStore store = std::move(store_r).value();
+  EXPECT_FALSE(store.has_index());
+  store.BuildIndex();
+  EXPECT_TRUE(store.has_index());
+  // Querying an existing row returns that row first.
+  const auto nn = store.NearestNeighbors(store.embeddings().Row(17), 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 17);
+  EXPECT_NEAR(nn[0].similarity, 1.0f, 1e-4f);
+}
+
+TEST(EmbeddingStoreTest, SaveLoadRoundTrip) {
+  const EmbeddingStore store = MakeStore();
+  const std::string path = TempPath("sdea_emb_store.bin");
+  ASSERT_TRUE(store.Save(path).ok());
+  auto loaded = EmbeddingStore::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 3);
+  EXPECT_EQ(loaded->dim(), 2);
+  EXPECT_EQ(loaded->names(), store.names());
+  for (int64_t i = 0; i < store.embeddings().size(); ++i) {
+    EXPECT_EQ(loaded->embeddings()[i], store.embeddings()[i]);
+  }
+}
+
+TEST(EmbeddingStoreTest, LoadRejectsGarbage) {
+  const std::string path = TempPath("sdea_emb_garbage.bin");
+  ASSERT_TRUE(WriteStringToFile(path, "nope").ok());
+  EXPECT_FALSE(EmbeddingStore::Load(path).ok());
+}
+
+}  // namespace
+}  // namespace sdea::core

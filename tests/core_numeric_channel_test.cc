@@ -1,0 +1,102 @@
+#include "core/numeric_channel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sdea::core {
+namespace {
+
+Tensor Embed(double v) {
+  Tensor t({kNumericFeatureDim});
+  EmbedNumber(v, t.data());
+  return t;
+}
+
+TEST(ParseNumericTest, AcceptsAndRejects) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseNumeric("1987", &v));
+  EXPECT_DOUBLE_EQ(v, 1987.0);
+  EXPECT_TRUE(ParseNumeric(" -3.5 ", &v));
+  EXPECT_DOUBLE_EQ(v, -3.5);
+  EXPECT_FALSE(ParseNumeric("abc", &v));
+  EXPECT_FALSE(ParseNumeric("1987 born", &v));
+  EXPECT_FALSE(ParseNumeric("", &v));
+}
+
+TEST(EmbedNumberTest, SignAndFractionFlags) {
+  EXPECT_EQ(Embed(5.0)[0], 1.0f);
+  EXPECT_EQ(Embed(-5.0)[0], -1.0f);
+  EXPECT_EQ(Embed(5.0)[15], 0.0f);
+  EXPECT_EQ(Embed(5.5)[15], 1.0f);
+}
+
+TEST(EmbedNumberTest, CloseMagnitudesAreCloserThanFarOnes) {
+  const Tensor y1985 = Embed(1985);
+  const Tensor y1987 = Embed(1987);
+  const Tensor big = Embed(52'000'000);
+  EXPECT_GT(tmath::CosineSimilarity(y1985, y1987),
+            tmath::CosineSimilarity(y1985, big));
+}
+
+TEST(EmbedNumberTest, LeadingDigitsEncoded) {
+  const Tensor a = Embed(1987);
+  EXPECT_NEAR(a[12], 1.0f / 9.0f, 1e-6f);
+  EXPECT_NEAR(a[13], 9.0f / 9.0f, 1e-6f);
+  EXPECT_NEAR(a[14], 8.0f / 9.0f, 1e-6f);
+}
+
+TEST(NumericFeaturesTest, PerEntityAggregation) {
+  kg::KnowledgeGraph g;
+  const kg::EntityId with_numbers = g.AddEntity("a");
+  const kg::EntityId text_only = g.AddEntity("b");
+  const kg::AttributeId attr = g.AddAttribute("x");
+  g.AddAttributeTriple(with_numbers, attr, "1987");
+  g.AddAttributeTriple(with_numbers, attr, "2001");
+  g.AddAttributeTriple(text_only, attr, "hello world");
+  const Tensor f = ComputeNumericFeatures(g);
+  EXPECT_EQ(f.shape(), (std::vector<int64_t>{2, kNumericFeatureDim}));
+  EXPECT_NEAR(f.Row(with_numbers).Norm(), 1.0f, 1e-5f);  // Normalized.
+  EXPECT_EQ(f.Row(text_only).Norm(), 0.0f);              // No numbers.
+}
+
+TEST(NumericFeaturesTest, MatchedEntitiesShareProfile) {
+  kg::KnowledgeGraph g1, g2;
+  const kg::AttributeId a1 = g1.AddAttribute("year");
+  const kg::AttributeId a2 = g2.AddAttribute("datum");  // Different schema.
+  const kg::EntityId e1 = g1.AddEntity("x");
+  const kg::EntityId e2 = g2.AddEntity("y");
+  g1.AddAttributeTriple(e1, a1, "1987");
+  g2.AddAttributeTriple(e2, a2, "1987");
+  const Tensor f1 = ComputeNumericFeatures(g1);
+  const Tensor f2 = ComputeNumericFeatures(g2);
+  EXPECT_NEAR(tmath::CosineSimilarity(f1.Row(e1), f2.Row(e2)), 1.0f, 1e-5f);
+}
+
+TEST(ConcatNumericChannelTest, LayoutAndWeight) {
+  Tensor base({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor numeric({2, 2}, {1, 0, 0, 1});
+  const Tensor out = ConcatNumericChannel(base, numeric, 0.5f);
+  EXPECT_EQ(out.shape(), (std::vector<int64_t>{2, 5}));
+  EXPECT_EQ(out.at(0, 2), 3.0f);
+  EXPECT_EQ(out.at(0, 3), 0.5f);
+  EXPECT_EQ(out.at(1, 4), 0.5f);
+}
+
+// Property sweep: for any pair of positive numbers, similarity decreases
+// as the log-magnitude gap grows.
+class MagnitudeGapTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MagnitudeGapTest, MonotoneInMagnitudeGap) {
+  const double base = GetParam();
+  const Tensor ref = Embed(base);
+  const float near = tmath::CosineSimilarity(ref, Embed(base * 1.5));
+  const float far = tmath::CosineSimilarity(ref, Embed(base * 1000.0));
+  EXPECT_GT(near, far);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, MagnitudeGapTest,
+                         ::testing::Values(3.0, 42.0, 1987.0, 123456.0));
+
+}  // namespace
+}  // namespace sdea::core

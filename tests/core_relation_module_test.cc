@@ -1,0 +1,166 @@
+#include "core/relation_embedding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sdea::core {
+namespace {
+
+// Two tiny star-shaped KGs whose entity i corresponds across sides.
+struct TinyKgs {
+  kg::KnowledgeGraph kg1;
+  kg::KnowledgeGraph kg2;
+  Tensor ha1;
+  Tensor ha2;
+  kg::AlignmentSeeds seeds;
+};
+
+TinyKgs MakeKgs() {
+  TinyKgs t;
+  Rng rng(3);
+  auto build = [&](kg::KnowledgeGraph* g, const std::string& prefix) {
+    for (int i = 0; i < 8; ++i) {
+      g->AddEntity(prefix + std::to_string(i));
+    }
+    const kg::RelationId r = g->AddRelation("rel");
+    // Entity 0 is a hub; entity 7 is isolated.
+    for (int i = 1; i <= 5; ++i) {
+      g->AddRelationalTriple(0, r, static_cast<kg::EntityId>(i));
+    }
+    g->AddRelationalTriple(5, r, 6);
+  };
+  build(&t.kg1, "a");
+  build(&t.kg2, "b");
+  // Attribute embeddings: aligned entities share (noisy) vectors.
+  t.ha1 = Tensor::RandomNormal({8, 6}, 1.0f, &rng);
+  t.ha2 = t.ha1;
+  for (int64_t i = 0; i < t.ha2.size(); ++i) {
+    t.ha2[i] += static_cast<float>(rng.Normal(0.0, 0.05));
+  }
+  tmath::L2NormalizeRowsInPlace(&t.ha1);
+  tmath::L2NormalizeRowsInPlace(&t.ha2);
+  for (int i = 0; i < 5; ++i) t.seeds.train.emplace_back(i, i);
+  t.seeds.valid.emplace_back(5, 5);
+  t.seeds.test.emplace_back(6, 6);
+  t.seeds.test.emplace_back(7, 7);
+  return t;
+}
+
+RelationModuleConfig TinyConfig() {
+  RelationModuleConfig c;
+  c.hidden_dim = 8;
+  c.joint_dim = 8;
+  c.max_epochs = 4;
+  c.patience = 4;
+  c.batch_size = 4;
+  return c;
+}
+
+TEST(RelationModuleTest, InitValidatesArguments) {
+  TinyKgs t = MakeKgs();
+  RelationEmbeddingModule m;
+  EXPECT_FALSE(m.Init(t.kg1, t.kg2, 0, TinyConfig()).ok());
+  ASSERT_TRUE(m.Init(t.kg1, t.kg2, 6, TinyConfig()).ok());
+  EXPECT_EQ(m.Init(t.kg1, t.kg2, 6, TinyConfig()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RelationModuleTest, NeighborListsCappedAndFallback) {
+  TinyKgs t = MakeKgs();
+  RelationModuleConfig c = TinyConfig();
+  c.max_neighbors = 3;
+  RelationEmbeddingModule m;
+  ASSERT_TRUE(m.Init(t.kg1, t.kg2, 6, c).ok());
+  EXPECT_EQ(m.neighbor_list(1, 0).size(), 3u);  // Hub capped at 3.
+  // Isolated entity falls back to itself.
+  const auto& isolated = m.neighbor_list(1, 7);
+  ASSERT_EQ(isolated.size(), 1u);
+  EXPECT_EQ(isolated[0], 7);
+}
+
+TEST(RelationModuleTest, ForwardShapesAndNorms) {
+  TinyKgs t = MakeKgs();
+  RelationEmbeddingModule m;
+  ASSERT_TRUE(m.Init(t.kg1, t.kg2, 6, TinyConfig()).ok());
+  Graph g;
+  NodeId hr, hm;
+  m.ForwardEntity(&g, 1, 0, t.ha1, &hr, &hm);
+  EXPECT_EQ(g.Value(hr).shape(), (std::vector<int64_t>{1, 8}));
+  EXPECT_EQ(g.Value(hm).shape(), (std::vector<int64_t>{1, 8}));
+  EXPECT_NEAR(g.Value(hr).Norm(), 1.0f, 1e-4f);
+  EXPECT_NEAR(g.Value(hm).Norm(), 1.0f, 1e-4f);
+}
+
+TEST(RelationModuleTest, EntityEmbeddingLayout) {
+  TinyKgs t = MakeKgs();
+  RelationEmbeddingModule m;
+  ASSERT_TRUE(m.Init(t.kg1, t.kg2, 6, TinyConfig()).ok());
+  EXPECT_EQ(m.entity_embedding_dim(), 8 + 6 + 8);
+  const Tensor ent = m.ComputeEntityEmbeddings(1, t.ha1);
+  EXPECT_EQ(ent.shape(), (std::vector<int64_t>{8, 22}));
+  // Middle block is the (normalized) attribute embedding.
+  for (int64_t j = 0; j < 6; ++j) {
+    EXPECT_NEAR(ent.at(2, 8 + j), t.ha1.at(2, j), 1e-4f);
+  }
+}
+
+TEST(RelationModuleTest, TrainRunsAndReports) {
+  TinyKgs t = MakeKgs();
+  RelationEmbeddingModule m;
+  ASSERT_TRUE(m.Init(t.kg1, t.kg2, 6, TinyConfig()).ok());
+  auto report = m.Train(t.ha1, t.ha2, t.seeds);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->epochs_run, 0);
+}
+
+TEST(RelationModuleTest, TrainRejectsEmptySeeds) {
+  TinyKgs t = MakeKgs();
+  RelationEmbeddingModule m;
+  ASSERT_TRUE(m.Init(t.kg1, t.kg2, 6, TinyConfig()).ok());
+  kg::AlignmentSeeds empty;
+  EXPECT_EQ(m.Train(t.ha1, t.ha2, empty).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Aggregation ablation parameterized over all three strategies: every
+// variant must produce valid, unit-norm embeddings.
+class AggregationTest
+    : public ::testing::TestWithParam<NeighborAggregation> {};
+
+TEST_P(AggregationTest, ForwardWorks) {
+  TinyKgs t = MakeKgs();
+  RelationModuleConfig c = TinyConfig();
+  c.aggregation = GetParam();
+  RelationEmbeddingModule m;
+  ASSERT_TRUE(m.Init(t.kg1, t.kg2, 6, c).ok());
+  for (kg::EntityId e = 0; e < 8; ++e) {
+    Graph g;
+    NodeId hr, hm;
+    m.ForwardEntity(&g, 1, e, t.ha1, &hr, &hm);
+    EXPECT_NEAR(g.Value(hr).Norm(), 1.0f, 1e-4f);
+    for (int64_t i = 0; i < g.Value(hr).size(); ++i) {
+      EXPECT_TRUE(std::isfinite(g.Value(hr)[i]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAggregations, AggregationTest,
+    ::testing::Values(NeighborAggregation::kBiGruAttention,
+                      NeighborAggregation::kMeanPooling,
+                      NeighborAggregation::kAttentionOnly),
+    [](const ::testing::TestParamInfo<NeighborAggregation>& info) {
+      switch (info.param) {
+        case NeighborAggregation::kBiGruAttention:
+          return "BiGruAttention";
+        case NeighborAggregation::kMeanPooling:
+          return "MeanPooling";
+        case NeighborAggregation::kAttentionOnly:
+          return "AttentionOnly";
+      }
+      return "Unknown";
+    });
+
+}  // namespace
+}  // namespace sdea::core

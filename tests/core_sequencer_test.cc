@@ -1,0 +1,93 @@
+#include "core/attribute_sequencer.h"
+
+#include <gtest/gtest.h>
+
+namespace sdea::core {
+namespace {
+
+kg::KnowledgeGraph FabianGraph() {
+  // The paper's Fig. 4 example.
+  kg::KnowledgeGraph g;
+  const kg::EntityId fabian = g.AddEntity("Fabian_Bruskewitz");
+  const kg::AttributeId name = g.AddAttribute("name");
+  const kg::AttributeId work = g.AddAttribute("workPlace");
+  const kg::AttributeId nat = g.AddAttribute("nationality");
+  g.AddAttributeTriple(fabian, name, "Fabian Wendelin Bruskewitz");
+  g.AddAttributeTriple(fabian, work, "Roman Catholic Church");
+  g.AddAttributeTriple(fabian, nat, "American");
+  return g;
+}
+
+TEST(SequencerTest, IdentityOrderConcatenatesInInsertionOrder) {
+  kg::KnowledgeGraph g = FabianGraph();
+  AttributeSequencer seq(&g, AttributeSequencer::kIdentityOrder);
+  EXPECT_EQ(seq.Sequence(0),
+            "Fabian Wendelin Bruskewitz Roman Catholic Church American");
+}
+
+TEST(SequencerTest, RandomOrderIsAPermutationOfValues) {
+  kg::KnowledgeGraph g = FabianGraph();
+  AttributeSequencer seq(&g, /*seed=*/1234);
+  const std::string s = seq.Sequence(0);
+  EXPECT_NE(s.find("Roman Catholic Church"), std::string::npos);
+  EXPECT_NE(s.find("American"), std::string::npos);
+  EXPECT_NE(s.find("Fabian Wendelin Bruskewitz"), std::string::npos);
+}
+
+TEST(SequencerTest, SameSeedSameOrder) {
+  kg::KnowledgeGraph g = FabianGraph();
+  AttributeSequencer a(&g, 99), b(&g, 99);
+  EXPECT_EQ(a.Sequence(0), b.Sequence(0));
+  EXPECT_EQ(a.attribute_rank(), b.attribute_rank());
+}
+
+TEST(SequencerTest, AllEntitiesFollowTheSameOrder) {
+  // Two entities sharing attributes must emit values in the same attribute
+  // order (the key property of Algorithm 1).
+  kg::KnowledgeGraph g;
+  const kg::EntityId e1 = g.AddEntity("e1");
+  const kg::EntityId e2 = g.AddEntity("e2");
+  const kg::AttributeId a = g.AddAttribute("a");
+  const kg::AttributeId b = g.AddAttribute("b");
+  // Insert in opposite orders per entity.
+  g.AddAttributeTriple(e1, a, "A1");
+  g.AddAttributeTriple(e1, b, "B1");
+  g.AddAttributeTriple(e2, b, "B2");
+  g.AddAttributeTriple(e2, a, "A2");
+  AttributeSequencer seq(&g, 7);
+  const std::string s1 = seq.Sequence(e1);
+  const std::string s2 = seq.Sequence(e2);
+  const bool a_first_1 = s1.find("A1") < s1.find("B1");
+  const bool a_first_2 = s2.find("A2") < s2.find("B2");
+  EXPECT_EQ(a_first_1, a_first_2);
+}
+
+TEST(SequencerTest, EntityWithoutAttributesIsEmpty) {
+  kg::KnowledgeGraph g;
+  g.AddEntity("lonely");
+  AttributeSequencer seq(&g, 1);
+  EXPECT_EQ(seq.Sequence(0), "");
+}
+
+TEST(SequencerTest, MultipleValuesOfSameAttributeKeepInsertionOrder) {
+  kg::KnowledgeGraph g;
+  const kg::EntityId e = g.AddEntity("e");
+  const kg::AttributeId a = g.AddAttribute("alias");
+  g.AddAttributeTriple(e, a, "first");
+  g.AddAttributeTriple(e, a, "second");
+  AttributeSequencer seq(&g, 42);
+  EXPECT_EQ(seq.Sequence(e), "first second");
+}
+
+TEST(SequencerTest, AllSequencesCoversEveryEntity) {
+  kg::KnowledgeGraph g = FabianGraph();
+  g.AddEntity("another");
+  AttributeSequencer seq(&g, 5);
+  const auto all = seq.AllSequences();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_FALSE(all[0].empty());
+  EXPECT_TRUE(all[1].empty());
+}
+
+}  // namespace
+}  // namespace sdea::core

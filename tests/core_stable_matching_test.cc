@@ -1,0 +1,95 @@
+#include "core/stable_matching.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sdea::core {
+namespace {
+
+TEST(StableMatchTest, TrivialDiagonal) {
+  Tensor scores({2, 2}, {1.0f, 0.0f, 0.0f, 1.0f});
+  const auto m = StableMatch(scores);
+  EXPECT_EQ(m[0], 0);
+  EXPECT_EQ(m[1], 1);
+}
+
+TEST(StableMatchTest, ResolvesContention) {
+  // Both sources prefer target 0; the higher scorer wins it.
+  Tensor scores({2, 2}, {0.9f, 0.2f, 0.8f, 0.3f});
+  const auto m = StableMatch(scores);
+  EXPECT_EQ(m[0], 0);
+  EXPECT_EQ(m[1], 1);
+}
+
+TEST(StableMatchTest, MatchingIsOneToOne) {
+  Rng rng(5);
+  Tensor scores = Tensor::RandomNormal({10, 10}, 1.0f, &rng);
+  const auto m = StableMatch(scores);
+  std::set<int64_t> used;
+  for (int64_t t : m) {
+    ASSERT_GE(t, 0);
+    EXPECT_TRUE(used.insert(t).second);
+  }
+  EXPECT_EQ(used.size(), 10u);
+}
+
+TEST(StableMatchTest, NoBlockingPair) {
+  Rng rng(7);
+  Tensor scores = Tensor::RandomNormal({8, 8}, 1.0f, &rng);
+  const auto m = StableMatch(scores);
+  // Stability: no (s, t) prefer each other over their assignments.
+  const int64_t n = 8;
+  std::vector<int64_t> holder(static_cast<size_t>(n), -1);
+  for (int64_t s = 0; s < n; ++s) holder[static_cast<size_t>(m[s])] = s;
+  for (int64_t s = 0; s < n; ++s) {
+    for (int64_t t = 0; t < n; ++t) {
+      if (t == m[static_cast<size_t>(s)]) continue;
+      const bool s_prefers_t =
+          scores[s * n + t] > scores[s * n + m[static_cast<size_t>(s)]];
+      const int64_t cur = holder[static_cast<size_t>(t)];
+      const bool t_prefers_s = scores[s * n + t] > scores[cur * n + t];
+      EXPECT_FALSE(s_prefers_t && t_prefers_s)
+          << "blocking pair (" << s << ", " << t << ")";
+    }
+  }
+}
+
+TEST(StableMatchTest, MoreSourcesThanTargetsLeavesUnmatched) {
+  Tensor scores({3, 2}, {0.9f, 0.1f, 0.8f, 0.2f, 0.7f, 0.3f});
+  const auto m = StableMatch(scores);
+  int64_t unmatched = 0;
+  for (int64_t t : m) {
+    if (t < 0) ++unmatched;
+  }
+  EXPECT_EQ(unmatched, 1);
+}
+
+TEST(StableMatchTest, EmbeddingsHelper) {
+  Tensor src({2, 2}, {1, 0, 0, 1});
+  Tensor tgt({2, 2}, {0, 2, 3, 0});
+  const auto m = StableMatchEmbeddings(src, tgt);
+  EXPECT_EQ(m[0], 1);
+  EXPECT_EQ(m[1], 0);
+}
+
+TEST(MatchingAccuracyTest, Basic) {
+  EXPECT_DOUBLE_EQ(MatchingAccuracy({0, 1, 2}, {0, 1, 2}), 100.0);
+  EXPECT_DOUBLE_EQ(MatchingAccuracy({0, 2, 1}, {0, 1, 2}), 100.0 / 3.0);
+  EXPECT_DOUBLE_EQ(MatchingAccuracy({0, 1}, {0, -1}), 100.0);
+  EXPECT_DOUBLE_EQ(MatchingAccuracy({}, {}), 0.0);
+}
+
+TEST(StableMatchTest, BoostsHits1OverGreedyRanking) {
+  // Classic case where greedy argmax double-books a target but stable
+  // matching recovers both: the paper's Section V-B1 observation.
+  Tensor scores({2, 2}, {0.9f, 0.85f, 0.95f, 0.1f});
+  // Greedy: both sources pick target 0 -> source 0 wrong.
+  const auto m = StableMatch(scores);
+  EXPECT_EQ(m[1], 0);
+  EXPECT_EQ(m[0], 1);
+  EXPECT_DOUBLE_EQ(MatchingAccuracy(m, {1, 0}), 100.0);
+}
+
+}  // namespace
+}  // namespace sdea::core

@@ -1,0 +1,147 @@
+#include "core/text_alignment_encoder.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace sdea::core {
+namespace {
+
+// A tiny shared-vocabulary alignment problem: entity i on both sides is
+// described by overlapping words; the encoder must align them from a few
+// seed pairs.
+struct TinyProblem {
+  std::vector<std::string> texts1;
+  std::vector<std::string> texts2;
+  kg::AlignmentSeeds seeds;
+};
+
+TinyProblem MakeProblem() {
+  TinyProblem p;
+  const std::vector<std::string> topics = {
+      "red apple fruit", "blue whale ocean", "green forest tree",
+      "yellow sun sky",  "black cat animal", "white snow winter",
+      "fast car road",   "slow turtle pond", "tall tower city",
+      "deep cave rock"};
+  for (size_t i = 0; i < topics.size(); ++i) {
+    p.texts1.push_back(topics[i] + " alpha");
+    p.texts2.push_back(topics[i] + " beta");
+  }
+  std::vector<std::pair<kg::EntityId, kg::EntityId>> pairs;
+  for (size_t i = 0; i < topics.size(); ++i) {
+    pairs.emplace_back(static_cast<kg::EntityId>(i),
+                       static_cast<kg::EntityId>(i));
+  }
+  // 6 train / 2 valid / 2 test.
+  p.seeds.train.assign(pairs.begin(), pairs.begin() + 6);
+  p.seeds.valid.assign(pairs.begin() + 6, pairs.begin() + 8);
+  p.seeds.test.assign(pairs.begin() + 8, pairs.end());
+  return p;
+}
+
+TextEncoderConfig TinyConfig() {
+  TextEncoderConfig c;
+  c.encoder.dim = 16;
+  c.encoder.num_heads = 2;
+  c.encoder.num_layers = 1;
+  c.encoder.ff_dim = 32;
+  c.encoder.max_len = 12;
+  c.out_dim = 8;
+  c.max_epochs = 6;
+  c.patience = 6;
+  c.ssl_epochs = 1;
+  c.pretrain.epochs = 4;
+  return c;
+}
+
+TEST(TextEncoderTest, InitRejectsEmpty) {
+  TextAlignmentEncoder e;
+  EXPECT_FALSE(e.Init({}, {"x"}, TinyConfig()).ok());
+  EXPECT_FALSE(e.Init({"x"}, {}, TinyConfig()).ok());
+}
+
+TEST(TextEncoderTest, DoubleInitRejected) {
+  TinyProblem p = MakeProblem();
+  TextAlignmentEncoder e;
+  ASSERT_TRUE(e.Init(p.texts1, p.texts2, TinyConfig()).ok());
+  EXPECT_EQ(e.Init(p.texts1, p.texts2, TinyConfig()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TextEncoderTest, TokenIdsStartWithCls) {
+  TinyProblem p = MakeProblem();
+  TextAlignmentEncoder e;
+  ASSERT_TRUE(e.Init(p.texts1, p.texts2, TinyConfig()).ok());
+  EXPECT_EQ(e.num_entities(1), 10);
+  EXPECT_EQ(e.num_entities(2), 10);
+  for (int side = 1; side <= 2; ++side) {
+    for (kg::EntityId i = 0; i < 10; ++i) {
+      const auto& ids = e.token_ids(side, i);
+      ASSERT_FALSE(ids.empty());
+      EXPECT_EQ(ids[0], text::kClsId);
+      EXPECT_LE(static_cast<int64_t>(ids.size()), 12);
+    }
+  }
+}
+
+TEST(TextEncoderTest, EmbeddingsAreUnitNorm) {
+  TinyProblem p = MakeProblem();
+  TextAlignmentEncoder e;
+  ASSERT_TRUE(e.Init(p.texts1, p.texts2, TinyConfig()).ok());
+  const Tensor emb = e.ComputeAllEmbeddings(1);
+  EXPECT_EQ(emb.shape(), (std::vector<int64_t>{10, 8}));
+  for (int64_t i = 0; i < emb.dim(0); ++i) {
+    EXPECT_NEAR(emb.Row(i).Norm(), 1.0f, 1e-4f);
+  }
+}
+
+TEST(TextEncoderTest, PretrainRequiresInitAndSeeds) {
+  TextAlignmentEncoder e;
+  kg::AlignmentSeeds empty;
+  EXPECT_EQ(e.Pretrain(empty).status().code(),
+            StatusCode::kFailedPrecondition);
+  TinyProblem p = MakeProblem();
+  ASSERT_TRUE(e.Init(p.texts1, p.texts2, TinyConfig()).ok());
+  EXPECT_EQ(e.Pretrain(empty).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TextEncoderTest, TrainingImprovesAlignment) {
+  TinyProblem p = MakeProblem();
+  TextAlignmentEncoder e;
+  ASSERT_TRUE(e.Init(p.texts1, p.texts2, TinyConfig()).ok());
+
+  auto hits1_on_train = [&]() {
+    const Tensor e1 = e.ComputeAllEmbeddings(1);
+    const Tensor e2 = e.ComputeAllEmbeddings(2);
+    Tensor src({static_cast<int64_t>(p.seeds.train.size()), e1.dim(1)});
+    std::vector<int64_t> gold;
+    for (size_t i = 0; i < p.seeds.train.size(); ++i) {
+      src.SetRow(static_cast<int64_t>(i), e1.Row(p.seeds.train[i].first));
+      gold.push_back(p.seeds.train[i].second);
+    }
+    return eval::EvaluateAlignment(src, e2, gold).hits_at_1;
+  };
+
+  auto report = e.Pretrain(p.seeds);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->epochs_run, 0);
+  EXPECT_EQ(report->valid_hits1_history.size(),
+            static_cast<size_t>(report->epochs_run));
+  // With shared topic words the train pairs must align well after tuning.
+  EXPECT_GE(hits1_on_train(), 50.0);
+}
+
+TEST(TextEncoderTest, ExtraCorpusExtendsVocabulary) {
+  TinyProblem p = MakeProblem();
+  TextAlignmentEncoder with, without;
+  ASSERT_TRUE(without.Init(p.texts1, p.texts2, TinyConfig()).ok());
+  ASSERT_TRUE(with.Init(p.texts1, p.texts2, TinyConfig(),
+                        {"zebra quagga zebra quagga zebra quagga"})
+                  .ok());
+  EXPECT_GT(with.tokenizer().vocab().size(),
+            without.tokenizer().vocab().size());
+}
+
+}  // namespace
+}  // namespace sdea::core

@@ -1,0 +1,245 @@
+// Property-style tests of the benchmark generator: structural invariants,
+// ground-truth validity, and the statistical contrasts each preset is
+// responsible for (degree skew, name modes, long-tail stripping).
+#include "datagen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/strings.h"
+#include "datagen/presets.h"
+
+namespace sdea::datagen {
+namespace {
+
+GeneratorConfig SmallConfig(uint64_t seed = 5) {
+  GeneratorConfig c;
+  c.seed = seed;
+  c.num_matched = 300;
+  return c;
+}
+
+TEST(GeneratorTest, GroundTruthIsValidBijection) {
+  const GeneratedBenchmark b =
+      BenchmarkGenerator().Generate(SmallConfig());
+  std::set<kg::EntityId> left, right;
+  for (const auto& [a, c] : b.ground_truth) {
+    ASSERT_GE(a, 0);
+    ASSERT_LT(a, b.kg1.num_entities());
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, b.kg2.num_entities());
+    EXPECT_TRUE(left.insert(a).second) << "duplicate source entity";
+    EXPECT_TRUE(right.insert(c).second) << "duplicate target entity";
+  }
+  EXPECT_EQ(static_cast<int64_t>(b.ground_truth.size()),
+            300 + SmallConfig().num_general_concepts);
+}
+
+TEST(GeneratorTest, ExtrasInflateEntityCounts) {
+  GeneratorConfig c = SmallConfig();
+  c.extra_entity_frac = 0.5;
+  const GeneratedBenchmark b = BenchmarkGenerator().Generate(c);
+  EXPECT_GT(b.kg1.num_entities(),
+            static_cast<int64_t>(b.ground_truth.size()));
+  EXPECT_GT(b.kg2.num_entities(),
+            static_cast<int64_t>(b.ground_truth.size()));
+}
+
+TEST(GeneratorTest, Deterministic) {
+  const GeneratedBenchmark a =
+      BenchmarkGenerator().Generate(SmallConfig(11));
+  const GeneratedBenchmark b =
+      BenchmarkGenerator().Generate(SmallConfig(11));
+  EXPECT_EQ(a.kg1.num_entities(), b.kg1.num_entities());
+  EXPECT_EQ(a.kg1.relational_triples().size(),
+            b.kg1.relational_triples().size());
+  EXPECT_EQ(a.ground_truth, b.ground_truth);
+  ASSERT_FALSE(a.kg1.attribute_triples().empty());
+  EXPECT_EQ(a.kg1.attribute_triples()[0].value,
+            b.kg1.attribute_triples()[0].value);
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  const GeneratedBenchmark a =
+      BenchmarkGenerator().Generate(SmallConfig(1));
+  const GeneratedBenchmark b =
+      BenchmarkGenerator().Generate(SmallConfig(2));
+  EXPECT_NE(a.kg1.relational_triples().size(),
+            b.kg1.relational_triples().size());
+}
+
+TEST(GeneratorTest, TranslatedModeHasDisjointNames) {
+  GeneratorConfig c = SmallConfig();
+  c.kg1_lang_seed = 1;
+  c.kg2_lang_seed = 2;
+  c.kg2_name_mode = NameMode::kTranslated;
+  const GeneratedBenchmark b = BenchmarkGenerator().Generate(c);
+  int64_t identical = 0;
+  for (const auto& [x, y] : b.ground_truth) {
+    if (b.kg1.entity_name(x) == b.kg2.entity_name(y)) ++identical;
+  }
+  EXPECT_LT(identical, 5);
+}
+
+TEST(GeneratorTest, SharedModeHasMatchingNames) {
+  GeneratorConfig c = SmallConfig();
+  c.kg1_lang_seed = 3;
+  c.kg2_lang_seed = 3;
+  c.kg2_name_mode = NameMode::kShared;
+  const GeneratedBenchmark b = BenchmarkGenerator().Generate(c);
+  int64_t identical = 0;
+  for (const auto& [x, y] : b.ground_truth) {
+    if (b.kg1.entity_name(x) == b.kg2.entity_name(y)) ++identical;
+  }
+  EXPECT_GT(identical,
+            static_cast<int64_t>(b.ground_truth.size()) * 9 / 10);
+}
+
+TEST(GeneratorTest, OpaqueModeUsesQIds) {
+  GeneratorConfig c = SmallConfig();
+  c.kg2_name_mode = NameMode::kOpaqueIds;
+  const GeneratedBenchmark b = BenchmarkGenerator().Generate(c);
+  for (kg::EntityId e = 0; e < b.kg2.num_entities(); ++e) {
+    EXPECT_TRUE(StartsWith(b.kg2.entity_name(e), "Q"))
+        << b.kg2.entity_name(e);
+  }
+  // And no name-attribute triples exist in KG2 (a Q-id KG has no labels).
+  auto name_attr = b.kg2.FindAttribute("name");
+  if (name_attr.ok()) {
+    for (const auto& t : b.kg2.attribute_triples()) {
+      EXPECT_NE(t.attribute, *name_attr);
+    }
+  }
+}
+
+TEST(GeneratorTest, GeneralConceptsAreSuperHubs) {
+  GeneratorConfig c = SmallConfig();
+  c.general_link_prob = 0.9;
+  const GeneratedBenchmark b = BenchmarkGenerator().Generate(c);
+  int64_t max_degree = 0;
+  for (kg::EntityId e = 0; e < b.kg1.num_entities(); ++e) {
+    max_degree = std::max(max_degree, b.kg1.degree(e));
+  }
+  // A handful of type concepts absorb a large share of all entities.
+  EXPECT_GT(max_degree, 300 / c.num_general_concepts / 2);
+}
+
+TEST(GeneratorTest, CommentsAreLongText) {
+  const GeneratedBenchmark b =
+      BenchmarkGenerator().Generate(SmallConfig());
+  auto attr = b.kg1.FindAttribute("comment");
+  ASSERT_TRUE(attr.ok());
+  int64_t comments = 0;
+  for (const auto& t : b.kg1.attribute_triples()) {
+    if (t.attribute != *attr) continue;
+    ++comments;
+    const auto words = SplitWhitespace(t.value);
+    EXPECT_GE(words.size(), 20u);
+    EXPECT_LE(words.size(), 60u);
+  }
+  EXPECT_GT(comments, 50);
+}
+
+TEST(GeneratorTest, LongTailStrippingOnlyAffectsKg2LowDegree) {
+  GeneratorConfig c = SmallConfig();
+  c.longtail_strip_prob = 1.0;
+  c.comment_prob = 1.0;
+  const GeneratedBenchmark b = BenchmarkGenerator().Generate(c);
+  auto comment2 = b.kg2.FindAttribute("comment");
+  ASSERT_TRUE(comment2.ok());
+  // Stripped KG2 entities must still carry their comment (the paper's
+  // Fabian_Bruskewitz case: all information lives in the long text).
+  int64_t comment_only = 0;
+  for (kg::EntityId e = 0; e < b.kg2.num_entities(); ++e) {
+    const auto& attrs = b.kg2.attribute_triples_of(e);
+    if (attrs.size() == 1 &&
+        b.kg2.attribute_triples()[static_cast<size_t>(attrs[0])].attribute ==
+            *comment2) {
+      ++comment_only;
+    }
+  }
+  EXPECT_GT(comment_only, 10);
+}
+
+TEST(GeneratorTest, PretrainCorpusEmittedAndParallel) {
+  GeneratorConfig c = SmallConfig();
+  c.kg1_lang_seed = 1;
+  c.kg2_lang_seed = 2;
+  c.pretrain_sentences = 100;
+  const GeneratedBenchmark b = BenchmarkGenerator().Generate(c);
+  ASSERT_EQ(b.pretrain_corpus.size(), 100u);
+  // Cross-lingual: sentences interleave both renderings -> twice the words.
+  const auto words = SplitWhitespace(b.pretrain_corpus[0]);
+  EXPECT_EQ(static_cast<int64_t>(words.size()),
+            2 * c.pretrain_words_per_sentence);
+}
+
+TEST(GeneratorTest, MonolingualCorpusNotDuplicated) {
+  GeneratorConfig c = SmallConfig();
+  c.kg1_lang_seed = 4;
+  c.kg2_lang_seed = 4;
+  c.pretrain_sentences = 10;
+  const GeneratedBenchmark b = BenchmarkGenerator().Generate(c);
+  const auto words = SplitWhitespace(b.pretrain_corpus[0]);
+  EXPECT_EQ(static_cast<int64_t>(words.size()),
+            c.pretrain_words_per_sentence);
+}
+
+// ---- Preset property sweeps -------------------------------------------------
+
+struct PresetCase {
+  std::string id;
+  double min_le3;  // Expected bounds on the degree<=3 share (Table VI).
+  double max_le3;
+};
+
+class PresetDegreeTest : public ::testing::TestWithParam<PresetCase> {};
+
+TEST_P(PresetDegreeTest, DegreeShareMatchesPaperBand) {
+  const PresetCase& param = GetParam();
+  for (const DatasetSpec& spec : AllPresets()) {
+    if (spec.id != param.id) continue;
+    const GeneratedBenchmark b = BenchmarkGenerator().Generate(
+        ScaledConfig(spec.config, 2000.0 / spec.config.num_matched));
+    const auto s1 = b.kg1.ComputeStatistics();
+    EXPECT_GE(s1.degree_le3, param.min_le3) << spec.id;
+    EXPECT_LE(s1.degree_le3, param.max_le3) << spec.id;
+    return;
+  }
+  FAIL() << "preset not found: " << param.id;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, PresetDegreeTest,
+    ::testing::Values(
+        // Paper Table VI: DBP15K 23-30% <=3, SRPRS 65-70%, OpenEA ~53%.
+        PresetCase{"zh_en", 0.10, 0.45},
+        PresetCase{"fr_en", 0.05, 0.40},
+        PresetCase{"en_fr", 0.50, 0.85},
+        PresetCase{"dbp_yg", 0.50, 0.85},
+        PresetCase{"d_w_15k_v1", 0.35, 0.70}),
+    [](const ::testing::TestParamInfo<PresetCase>& info) {
+      return info.param.id;
+    });
+
+TEST(PresetTest, AllPresetsGenerateAtSmallScale) {
+  for (const DatasetSpec& spec : AllPresets()) {
+    const GeneratorConfig cfg = ScaledConfig(spec.config, 0.02);
+    const GeneratedBenchmark b = BenchmarkGenerator().Generate(cfg);
+    EXPECT_GT(b.kg1.num_entities(), 0) << spec.id;
+    EXPECT_GT(b.kg1.relational_triples().size(), 0u) << spec.id;
+    EXPECT_GT(b.kg1.attribute_triples().size(), 0u) << spec.id;
+    EXPECT_FALSE(b.ground_truth.empty()) << spec.id;
+  }
+}
+
+TEST(PresetTest, ScaledConfigFloors) {
+  GeneratorConfig c = SmallConfig();
+  c.num_matched = 10'000;
+  EXPECT_EQ(ScaledConfig(c, 0.5).num_matched, 5'000);
+  EXPECT_EQ(ScaledConfig(c, 1e-9).num_matched, 200);
+}
+
+}  // namespace
+}  // namespace sdea::datagen

@@ -1,0 +1,61 @@
+#include "datagen/lexicon.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sdea::datagen {
+namespace {
+
+TEST(LexiconTest, Deterministic) {
+  const LanguageSpec lang{7};
+  EXPECT_EQ(Lexicon::Word(lang, 42), Lexicon::Word(lang, 42));
+}
+
+TEST(LexiconTest, DifferentIndicesUsuallyDiffer) {
+  const LanguageSpec lang{7};
+  std::set<std::string> words;
+  for (int64_t i = 0; i < 500; ++i) words.insert(Lexicon::Word(lang, i));
+  // Some hash collisions are tolerable; mass collision is a bug.
+  EXPECT_GT(words.size(), 480u);
+}
+
+TEST(LexiconTest, SameIndexDiffersAcrossLanguages) {
+  const LanguageSpec l1{1}, l2{2};
+  int same = 0;
+  for (int64_t i = 0; i < 200; ++i) {
+    if (Lexicon::Word(l1, i) == Lexicon::Word(l2, i)) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(LexiconTest, SameSeedSameSurface) {
+  const LanguageSpec l1{5}, l2{5};
+  for (int64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(Lexicon::Word(l1, i), Lexicon::Word(l2, i));
+  }
+}
+
+TEST(LexiconTest, WordsArePronounceableAscii) {
+  const LanguageSpec lang{3};
+  for (int64_t i = 0; i < 100; ++i) {
+    const std::string w = Lexicon::Word(lang, i);
+    EXPECT_GE(w.size(), 4u);   // At least two syllables.
+    EXPECT_LE(w.size(), 8u);   // At most four.
+    for (char c : w) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z');
+    }
+  }
+}
+
+TEST(LexiconTest, Phrase) {
+  const LanguageSpec lang{9};
+  const std::vector<int64_t> idx{1, 2};
+  const std::string phrase = Lexicon::Phrase(lang, idx);
+  EXPECT_EQ(phrase,
+            Lexicon::Word(lang, 1) + " " + Lexicon::Word(lang, 2));
+  EXPECT_EQ(Lexicon::Phrase(lang, std::vector<int64_t>{}), "");
+}
+
+}  // namespace
+}  // namespace sdea::datagen

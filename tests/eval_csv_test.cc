@@ -1,0 +1,60 @@
+#include "eval/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "base/fileio.h"
+#include "base/strings.h"
+
+namespace sdea::eval {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsUntouched) {
+  EXPECT_EQ(CsvEscape("SDEA"), "SDEA");
+  EXPECT_EQ(CsvEscape("zh_en"), "zh_en");
+}
+
+TEST(CsvEscapeTest, QuotesSpecials) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(ResultsToCsvTest, HeaderAndRows) {
+  ResultRecord r;
+  r.method = "SDEA";
+  r.dataset = "zh_en";
+  r.metrics.hits_at_1 = 87.0;
+  r.metrics.hits_at_10 = 96.6;
+  r.metrics.mrr = 0.91;
+  r.metrics.num_queries = 10500;
+  r.seconds = 42.5;
+  const std::string csv = ResultsToCsv({r});
+  const auto lines = Split(csv, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines[0],
+            "method,dataset,hits_at_1,hits_at_10,mrr,num_queries,seconds");
+  EXPECT_EQ(lines[1], "SDEA,zh_en,87.0000,96.6000,0.910000,10500,42.500");
+}
+
+TEST(ResultsToCsvTest, EmptyHasOnlyHeader) {
+  const auto lines = Split(ResultsToCsv({}), '\n');
+  EXPECT_EQ(lines.size(), 2u);  // Header + trailing empty.
+}
+
+TEST(WriteResultsCsvTest, WritesFile) {
+  const char* dir = std::getenv("TMPDIR");
+  const std::string path =
+      std::string(dir != nullptr ? dir : "/tmp") + "/sdea_results.csv";
+  ResultRecord r;
+  r.method = "CEA, full";  // Comma forces quoting.
+  r.dataset = "d_w_15k_v1";
+  ASSERT_TRUE(WriteResultsCsv({r}, path).ok());
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_NE(contents->find("\"CEA, full\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdea::eval

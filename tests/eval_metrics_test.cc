@@ -1,0 +1,89 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace sdea::eval {
+namespace {
+
+TEST(MetricsTest, PerfectAlignment) {
+  // Identity embeddings: gold target is always rank 1.
+  Tensor src({3, 3}, {1, 0, 0, 0, 1, 0, 0, 0, 1});
+  Tensor tgt = src;
+  const RankingMetrics m = EvaluateAlignment(src, tgt, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(m.hits_at_1, 100.0);
+  EXPECT_DOUBLE_EQ(m.hits_at_10, 100.0);
+  EXPECT_DOUBLE_EQ(m.mrr, 1.0);
+  EXPECT_EQ(m.num_queries, 3);
+}
+
+TEST(MetricsTest, KnownRanks) {
+  // One query; gold sits at rank 2 of 3.
+  Tensor scores({1, 3}, {0.9f, 0.5f, 0.1f});
+  const RankingMetrics m = EvaluateFromScores(scores, {1});
+  EXPECT_DOUBLE_EQ(m.hits_at_1, 0.0);
+  EXPECT_DOUBLE_EQ(m.hits_at_10, 100.0);
+  EXPECT_DOUBLE_EQ(m.mrr, 0.5);
+}
+
+TEST(MetricsTest, NegativeGoldSkipsQuery) {
+  Tensor scores({2, 2}, {1, 0, 0, 1});
+  const RankingMetrics m = EvaluateFromScores(scores, {-1, 1});
+  EXPECT_EQ(m.num_queries, 1);
+  EXPECT_DOUBLE_EQ(m.hits_at_1, 100.0);
+}
+
+TEST(MetricsTest, TiesCountAgainstGold) {
+  // Gold score ties a competitor: pessimistic rank 2.
+  Tensor scores({1, 2}, {0.7f, 0.7f});
+  const RankingMetrics m = EvaluateFromScores(scores, {1});
+  EXPECT_DOUBLE_EQ(m.hits_at_1, 0.0);
+  EXPECT_DOUBLE_EQ(m.mrr, 0.5);
+}
+
+TEST(MetricsTest, EmptyGoldYieldsZeroQueries) {
+  Tensor scores({1, 2}, {1.0f, 0.0f});
+  const RankingMetrics m = EvaluateFromScores(scores, {-1});
+  EXPECT_EQ(m.num_queries, 0);
+  EXPECT_DOUBLE_EQ(m.hits_at_1, 0.0);
+}
+
+TEST(MetricsTest, GoldRanks) {
+  Tensor src({2, 2}, {1, 0, 0, 1});
+  Tensor tgt({3, 2}, {1, 0, 0.9f, 0.1f, 0, 1});
+  const auto ranks = GoldRanks(src, tgt, {0, 2});
+  EXPECT_EQ(ranks[0], 1);
+  EXPECT_EQ(ranks[1], 1);
+  const auto ranks2 = GoldRanks(src, tgt, {1, -1});
+  EXPECT_EQ(ranks2[0], 2);  // Row 1 of tgt is slightly off src row 0.
+  EXPECT_EQ(ranks2[1], 0);  // Skipped.
+}
+
+TEST(MetricsTest, EvaluateByDegreeBuckets) {
+  Tensor src({4, 2}, {1, 0, 1, 0, 0, 1, 0, 1});
+  Tensor tgt({2, 2}, {1, 0, 0, 1});
+  // Queries 0 and 2 point at their gold targets; 1 and 3 do not.
+  const std::vector<int64_t> gold{0, 1, 1, 0};
+  const std::vector<int64_t> degrees{1, 5, 2, 8};
+  const auto buckets = EvaluateByDegree(src, tgt, gold, degrees, {3, 6});
+  ASSERT_EQ(buckets.size(), 3u);
+  // Bucket <=3 holds queries 0 and 2 (both right).
+  EXPECT_EQ(buckets[0].num_queries, 2);
+  EXPECT_DOUBLE_EQ(buckets[0].hits_at_1, 100.0);
+  // Bucket (3,6] holds query 1 (wrong).
+  EXPECT_EQ(buckets[1].num_queries, 1);
+  EXPECT_DOUBLE_EQ(buckets[1].hits_at_1, 0.0);
+  // Final unbounded bucket holds query 3 (wrong).
+  EXPECT_EQ(buckets[2].num_queries, 1);
+  EXPECT_DOUBLE_EQ(buckets[2].hits_at_1, 0.0);
+}
+
+TEST(MetricsTest, CosineNotDotDecidesRank) {
+  // A long vector pointing slightly away must lose to a short aligned one.
+  Tensor src({1, 2}, {1, 0});
+  Tensor tgt({2, 2}, {0.1f, 0, 10.0f, 10.0f});
+  const RankingMetrics m = EvaluateAlignment(src, tgt, {0});
+  EXPECT_DOUBLE_EQ(m.hits_at_1, 100.0);
+}
+
+}  // namespace
+}  // namespace sdea::eval

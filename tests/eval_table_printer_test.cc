@@ -1,0 +1,48 @@
+#include "eval/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace sdea::eval {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter t({"Model", "H@1"});
+  t.AddRow({"SDEA", "87.0"});
+  t.AddRow({"BERT-INT", "81.4"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("Model"), std::string::npos);
+  EXPECT_NE(out.find("SDEA"), std::string::npos);
+  EXPECT_NE(out.find("81.4"), std::string::npos);
+  // Three rules: above header, below header, below body.
+  size_t rules = 0;
+  for (size_t p = out.find('+'); p != std::string::npos;
+       p = out.find('+', p + 1)) {
+    if (p == 0 || out[p - 1] == '\n') ++rules;
+  }
+  EXPECT_EQ(rules, 3u);
+}
+
+TEST(TablePrinterTest, ColumnsAlign) {
+  TablePrinter t({"A", "BBBB"});
+  t.AddRow({"xxxxxx", "y"});
+  const std::string out = t.ToString();
+  // Every line has the same width.
+  size_t width = 0;
+  size_t start = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out[i] == '\n') {
+      if (width == 0) width = i - start;
+      EXPECT_EQ(i - start, width);
+      start = i + 1;
+    }
+  }
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(FormatPercent(87.03), "87.0");
+  EXPECT_EQ(FormatPercent(0.0), "0.0");
+  EXPECT_EQ(FormatMrr(0.914), "0.91");
+}
+
+}  // namespace
+}  // namespace sdea::eval

@@ -1,0 +1,154 @@
+#include "kg/knowledge_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+namespace sdea::kg {
+namespace {
+
+KnowledgeGraph SampleGraph() {
+  KnowledgeGraph g;
+  const EntityId ronaldo = g.AddEntity("C._Ronaldo");
+  const EntityId madrid = g.AddEntity("Real_Madrid_C.F.");
+  const EntityId portugal = g.AddEntity("Portugal");
+  const RelationId plays_for = g.AddRelation("playsFor");
+  const RelationId nationality = g.AddRelation("nationality");
+  g.AddRelationalTriple(ronaldo, plays_for, madrid);
+  g.AddRelationalTriple(ronaldo, nationality, portugal);
+  const AttributeId name = g.AddAttribute("name");
+  const AttributeId comment = g.AddAttribute("comment");
+  g.AddAttributeTriple(ronaldo, name, "Cristiano Ronaldo");
+  g.AddAttributeTriple(ronaldo, comment,
+                       "a Portuguese footballer playing in Madrid");
+  g.AddAttributeTriple(madrid, name, "Real Madrid");
+  return g;
+}
+
+TEST(KnowledgeGraphTest, InterningIsIdempotent) {
+  KnowledgeGraph g;
+  EXPECT_EQ(g.AddEntity("a"), g.AddEntity("a"));
+  EXPECT_EQ(g.AddRelation("r"), g.AddRelation("r"));
+  EXPECT_EQ(g.AddAttribute("x"), g.AddAttribute("x"));
+  EXPECT_EQ(g.num_entities(), 1);
+}
+
+TEST(KnowledgeGraphTest, LookupByName) {
+  KnowledgeGraph g = SampleGraph();
+  auto r = g.FindEntity("Portugal");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(g.entity_name(*r), "Portugal");
+  EXPECT_FALSE(g.FindEntity("Messi").ok());
+  EXPECT_TRUE(g.FindRelation("playsFor").ok());
+  EXPECT_FALSE(g.FindRelation("none").ok());
+  EXPECT_TRUE(g.FindAttribute("comment").ok());
+  EXPECT_FALSE(g.FindAttribute("none").ok());
+}
+
+TEST(KnowledgeGraphTest, NeighborsBothDirections) {
+  KnowledgeGraph g = SampleGraph();
+  const EntityId ronaldo = *g.FindEntity("C._Ronaldo");
+  const EntityId madrid = *g.FindEntity("Real_Madrid_C.F.");
+  EXPECT_EQ(g.degree(ronaldo), 2);
+  EXPECT_EQ(g.degree(madrid), 1);
+  const auto& edges = g.neighbors(madrid);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].neighbor, ronaldo);
+  EXPECT_FALSE(edges[0].outgoing);
+}
+
+TEST(KnowledgeGraphTest, AttributeTriplesOfEntity) {
+  KnowledgeGraph g = SampleGraph();
+  const EntityId ronaldo = *g.FindEntity("C._Ronaldo");
+  const auto& idx = g.attribute_triples_of(ronaldo);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(g.attribute_triples()[static_cast<size_t>(idx[0])].value,
+            "Cristiano Ronaldo");
+}
+
+TEST(KnowledgeGraphTest, Statistics) {
+  KnowledgeGraph g = SampleGraph();
+  const KgStatistics s = g.ComputeStatistics();
+  EXPECT_EQ(s.num_entities, 3);
+  EXPECT_EQ(s.num_relations, 2);
+  EXPECT_EQ(s.num_attributes, 2);
+  EXPECT_EQ(s.num_relational_triples, 2);
+  EXPECT_EQ(s.num_attribute_triples, 3);
+  // All 3 entities have degree in [1,3].
+  EXPECT_DOUBLE_EQ(s.degree_le3, 1.0);
+  EXPECT_DOUBLE_EQ(s.degree_le10, 1.0);
+}
+
+TEST(KnowledgeGraphTest, StatisticsExcludeIsolatedEntities) {
+  KnowledgeGraph g;
+  g.AddEntity("isolated");
+  const KgStatistics s = g.ComputeStatistics();
+  EXPECT_DOUBLE_EQ(s.degree_le3, 0.0);
+}
+
+TEST(KnowledgeGraphTest, CloneIsDeep) {
+  KnowledgeGraph g = SampleGraph();
+  KnowledgeGraph c = g.Clone();
+  c.AddEntity("new one");
+  EXPECT_EQ(g.num_entities(), 3);
+  EXPECT_EQ(c.num_entities(), 4);
+}
+
+TEST(KnowledgeGraphTest, TsvRoundTrip) {
+  const char* dir = std::getenv("TMPDIR");
+  const std::string prefix =
+      std::string(dir != nullptr ? dir : "/tmp") + "/sdea_kg_test";
+  KnowledgeGraph g = SampleGraph();
+  ASSERT_TRUE(g.SaveTsv(prefix).ok());
+  auto r = KnowledgeGraph::LoadTsv(prefix);
+  ASSERT_TRUE(r.ok());
+  const KnowledgeGraph& g2 = *r;
+  EXPECT_EQ(g2.num_entities(), g.num_entities());
+  EXPECT_EQ(g2.num_relations(), g.num_relations());
+  EXPECT_EQ(g2.relational_triples().size(), g.relational_triples().size());
+  EXPECT_EQ(g2.attribute_triples().size(), g.attribute_triples().size());
+  const EntityId ronaldo = *g2.FindEntity("C._Ronaldo");
+  EXPECT_EQ(g2.degree(ronaldo), 2);
+}
+
+TEST(KnowledgeGraphTest, LoadMissingFileFails) {
+  auto r = KnowledgeGraph::LoadTsv("/tmp/sdea_missing_prefix_xyz");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(AlignmentSeedsTest, SplitRatios) {
+  std::vector<std::pair<EntityId, EntityId>> pairs;
+  for (int i = 0; i < 100; ++i) pairs.emplace_back(i, i);
+  const AlignmentSeeds s = AlignmentSeeds::Split(pairs, 3);
+  EXPECT_EQ(s.train.size(), 20u);
+  EXPECT_EQ(s.valid.size(), 10u);
+  EXPECT_EQ(s.test.size(), 70u);
+  EXPECT_EQ(s.total(), 100);
+}
+
+TEST(AlignmentSeedsTest, SplitIsPartition) {
+  std::vector<std::pair<EntityId, EntityId>> pairs;
+  for (int i = 0; i < 50; ++i) pairs.emplace_back(i, 100 + i);
+  const AlignmentSeeds s = AlignmentSeeds::Split(pairs, 5);
+  std::set<EntityId> seen;
+  for (const auto* split : {&s.train, &s.valid, &s.test}) {
+    for (const auto& [a, b] : *split) {
+      EXPECT_TRUE(seen.insert(a).second);  // No duplicates across splits.
+      EXPECT_EQ(b, a + 100);               // Pairing preserved.
+    }
+  }
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(AlignmentSeedsTest, DeterministicForSeed) {
+  std::vector<std::pair<EntityId, EntityId>> pairs;
+  for (int i = 0; i < 30; ++i) pairs.emplace_back(i, i);
+  const AlignmentSeeds a = AlignmentSeeds::Split(pairs, 7);
+  const AlignmentSeeds b = AlignmentSeeds::Split(pairs, 7);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test, b.test);
+}
+
+}  // namespace
+}  // namespace sdea::kg

@@ -1,0 +1,111 @@
+#include "kg/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+
+namespace sdea::kg {
+namespace {
+
+TEST(ValidationTest, CleanGraphPasses) {
+  KnowledgeGraph g;
+  const EntityId a = g.AddEntity("a");
+  const EntityId b = g.AddEntity("b");
+  const RelationId r = g.AddRelation("r");
+  g.AddRelationalTriple(a, r, b);
+  const AttributeId attr = g.AddAttribute("name");
+  g.AddAttributeTriple(a, attr, "A");
+  g.AddAttributeTriple(b, attr, "B");
+  const ValidationReport report = ValidateKnowledgeGraph(g);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(FormatValidationReport(report), "OK: no issues found\n");
+}
+
+TEST(ValidationTest, DetectsSelfLoop) {
+  KnowledgeGraph g;
+  const EntityId a = g.AddEntity("a");
+  const RelationId r = g.AddRelation("r");
+  g.AddRelationalTriple(a, r, a);
+  const AttributeId attr = g.AddAttribute("name");
+  g.AddAttributeTriple(a, attr, "A");
+  const ValidationReport report = ValidateKnowledgeGraph(g);
+  EXPECT_EQ(report.self_loops, 1);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(ValidationTest, DetectsDuplicates) {
+  KnowledgeGraph g;
+  const EntityId a = g.AddEntity("a");
+  const EntityId b = g.AddEntity("b");
+  const RelationId r = g.AddRelation("r");
+  g.AddRelationalTriple(a, r, b);
+  g.AddRelationalTriple(a, r, b);
+  const AttributeId attr = g.AddAttribute("x");
+  g.AddAttributeTriple(a, attr, "v");
+  g.AddAttributeTriple(a, attr, "v");
+  const ValidationReport report = ValidateKnowledgeGraph(g);
+  EXPECT_EQ(report.duplicate_triples, 1);
+  EXPECT_EQ(report.duplicate_attributes, 1);
+}
+
+TEST(ValidationTest, DetectsEmptyAndOversizeValues) {
+  KnowledgeGraph g;
+  const EntityId a = g.AddEntity("a");
+  const AttributeId attr = g.AddAttribute("x");
+  g.AddAttributeTriple(a, attr, "   ");
+  g.AddAttributeTriple(a, attr, std::string(5000, 'y'));
+  ValidationOptions opt;
+  opt.max_value_bytes = 4096;
+  const ValidationReport report = ValidateKnowledgeGraph(g, opt);
+  EXPECT_EQ(report.empty_values, 1);
+  EXPECT_EQ(report.oversize_values, 1);
+}
+
+TEST(ValidationTest, DetectsIsolatedEntities) {
+  KnowledgeGraph g;
+  g.AddEntity("floating");
+  const ValidationReport report = ValidateKnowledgeGraph(g);
+  EXPECT_EQ(report.isolated_entities, 1);
+  // An entity with attributes only is NOT isolated.
+  KnowledgeGraph g2;
+  const EntityId a = g2.AddEntity("with attr");
+  const AttributeId attr = g2.AddAttribute("x");
+  g2.AddAttributeTriple(a, attr, "v");
+  EXPECT_EQ(ValidateKnowledgeGraph(g2).isolated_entities, 0);
+}
+
+TEST(ValidationTest, IssueCapRespected) {
+  KnowledgeGraph g;
+  for (int i = 0; i < 100; ++i) {
+    g.AddEntity("iso" + std::to_string(i));
+  }
+  ValidationOptions opt;
+  opt.max_issues = 10;
+  const ValidationReport report = ValidateKnowledgeGraph(g, opt);
+  EXPECT_EQ(report.issues.size(), 10u);
+  EXPECT_EQ(report.isolated_entities, 100);  // Counters keep counting.
+}
+
+TEST(ValidationTest, GeneratedBenchmarksAreStructurallyClean) {
+  datagen::GeneratorConfig cfg;
+  cfg.num_matched = 200;
+  const auto bench = datagen::BenchmarkGenerator().Generate(cfg);
+  for (const KnowledgeGraph* g : {&bench.kg1, &bench.kg2}) {
+    const ValidationReport report = ValidateKnowledgeGraph(*g);
+    EXPECT_EQ(report.self_loops, 0);
+    EXPECT_EQ(report.empty_values, 0);
+    EXPECT_EQ(report.isolated_entities, 0);
+    EXPECT_EQ(report.oversize_values, 0);
+  }
+}
+
+TEST(ValidationTest, FormatCapsLines) {
+  KnowledgeGraph g;
+  for (int i = 0; i < 30; ++i) g.AddEntity("iso" + std::to_string(i));
+  const ValidationReport report = ValidateKnowledgeGraph(g);
+  const std::string text = FormatValidationReport(report, 5);
+  EXPECT_NE(text.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdea::kg

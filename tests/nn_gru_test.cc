@@ -1,0 +1,128 @@
+#include "nn/gru.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/gradcheck.h"
+
+namespace sdea::nn {
+namespace {
+
+TEST(GruCellTest, StepShape) {
+  Rng rng(1);
+  GruCell cell("c", 4, 6, &rng);
+  EXPECT_EQ(cell.input_dim(), 4);
+  EXPECT_EQ(cell.hidden_dim(), 6);
+  EXPECT_EQ(cell.Parameters().size(), 9u);  // 3 gates x (W, U, b).
+  Graph g;
+  NodeId x = g.Input(Tensor({1, 4}, 0.5f));
+  NodeId h = g.Input(Tensor({1, 6}));
+  NodeId h1 = cell.Step(&g, x, h);
+  EXPECT_EQ(g.Value(h1).shape(), (std::vector<int64_t>{1, 6}));
+}
+
+TEST(GruCellTest, ZeroUpdateGateKeepsState) {
+  // With z_t ~ 0 (large negative bias on the update gate), h_t ~ h_{t-1}.
+  Rng rng(2);
+  GruCell cell("c", 3, 3, &rng);
+  for (Parameter* p : cell.Parameters()) {
+    if (p->name == "c.bz") p->value.Fill(-50.0f);
+  }
+  Graph g;
+  NodeId x = g.Input(Tensor({1, 3}, 1.0f));
+  NodeId h = g.Input(Tensor({1, 3}, {0.3f, -0.2f, 0.9f}));
+  const Tensor& h1 = g.Value(cell.Step(&g, x, h));
+  EXPECT_NEAR(h1[0], 0.3f, 1e-4f);
+  EXPECT_NEAR(h1[1], -0.2f, 1e-4f);
+  EXPECT_NEAR(h1[2], 0.9f, 1e-4f);
+}
+
+TEST(GruTest, ForwardShapeAndOrder) {
+  Rng rng(3);
+  Gru gru("g", 4, 5, &rng);
+  Graph g;
+  NodeId x = g.Input(Tensor::RandomNormal({6, 4}, 1.0f, &rng));
+  NodeId out = gru.Forward(&g, x);
+  EXPECT_EQ(g.Value(out).shape(), (std::vector<int64_t>{6, 5}));
+}
+
+TEST(GruTest, ReverseProcessesBackwards) {
+  Rng rng(4);
+  Gru gru("g", 3, 4, &rng);
+  Tensor seq = Tensor::RandomNormal({5, 3}, 1.0f, &rng);
+  // Reversed input processed in reverse equals forward output flipped.
+  Tensor flipped({5, 3});
+  for (int64_t t = 0; t < 5; ++t) flipped.SetRow(t, seq.Row(4 - t));
+  Graph g1, g2;
+  const Tensor fwd_on_flipped =
+      g1.Value(gru.Forward(&g1, g1.Input(flipped), /*reverse=*/false));
+  const Tensor rev_on_original =
+      g2.Value(gru.Forward(&g2, g2.Input(seq), /*reverse=*/true));
+  for (int64_t t = 0; t < 5; ++t) {
+    const Tensor a = fwd_on_flipped.Row(t);
+    const Tensor b = rev_on_original.Row(4 - t);
+    EXPECT_LT(tmath::SquaredL2Distance(a, b), 1e-8f);
+  }
+}
+
+TEST(BiGruTest, OutputIsSumOfDirections) {
+  Rng rng(5);
+  BiGru bigru("b", 3, 4, &rng);
+  EXPECT_EQ(bigru.hidden_dim(), 4);
+  Graph g;
+  NodeId x = g.Input(Tensor::RandomNormal({4, 3}, 1.0f, &rng));
+  NodeId out = bigru.Forward(&g, x);
+  EXPECT_EQ(g.Value(out).shape(), (std::vector<int64_t>{4, 4}));
+}
+
+TEST(BiGruTest, SingleStepSequence) {
+  Rng rng(6);
+  BiGru bigru("b", 3, 4, &rng);
+  Graph g;
+  NodeId out = bigru.Forward(&g, g.Input(Tensor({1, 3}, 0.7f)));
+  EXPECT_EQ(g.Value(out).shape(), (std::vector<int64_t>{1, 4}));
+}
+
+TEST(BiGruTest, GradCheckThroughSequence) {
+  Rng rng(7);
+  BiGru bigru("b", 3, 3, &rng);
+  Tensor x = Tensor::RandomNormal({4, 3}, 0.8f, &rng);
+  auto loss = [&]() {
+    Graph g;
+    return g.Value(g.SumAll(bigru.Forward(&g, g.Input(x))))[0];
+  };
+  auto backward = [&]() {
+    Graph g;
+    g.Backward(g.SumAll(bigru.Forward(&g, g.Input(x))));
+  };
+  EXPECT_LT(MaxGradCheckError(loss, backward, bigru.Parameters(), 1e-2f, 8),
+            5e-2f);
+}
+
+TEST(BiGruTest, CanLearnOrderSensitiveTarget) {
+  // Distinguish a sequence from its reversal — impossible for mean pooling,
+  // possible for a recurrent model.
+  Rng rng(8);
+  BiGru bigru("b", 2, 4, &rng);
+  Adam opt(bigru.Parameters(), 1e-2f);
+  Tensor seq({3, 2}, {1, 0, 0, 1, -1, 0});
+  Tensor rev({3, 2}, {-1, 0, 0, 1, 1, 0});
+  float last_loss = 1e9f;
+  for (int step = 0; step < 40; ++step) {
+    Graph g;
+    NodeId a = g.SliceRows(bigru.Forward(&g, g.Input(seq)), 2, 3);
+    NodeId b = g.SliceRows(bigru.Forward(&g, g.Input(rev)), 2, 3);
+    // Push the two final states apart up to a margin.
+    NodeId d = nn::RowSquaredL2Distance(&g, a, b);
+    NodeId loss = g.Relu(g.AddConst(g.Scale(d, -1.0f), 1.0f));
+    last_loss = g.Value(g.MeanAll(loss))[0];
+    opt.ZeroGrad();
+    g.Backward(g.MeanAll(loss));
+    opt.Step();
+  }
+  EXPECT_LT(last_loss, 0.5f);
+}
+
+}  // namespace
+}  // namespace sdea::nn

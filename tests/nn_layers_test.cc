@@ -1,0 +1,106 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/gradcheck.h"
+
+namespace sdea::nn {
+namespace {
+
+TEST(LinearTest, ShapesAndBias) {
+  Rng rng(1);
+  Linear lin("l", 3, 2, &rng);
+  EXPECT_EQ(lin.in_dim(), 3);
+  EXPECT_EQ(lin.out_dim(), 2);
+  EXPECT_EQ(lin.Parameters().size(), 2u);
+  Graph g;
+  NodeId x = g.Input(Tensor({4, 3}, 1.0f));
+  NodeId y = lin.Forward(&g, x);
+  EXPECT_EQ(g.Value(y).shape(), (std::vector<int64_t>{4, 2}));
+}
+
+TEST(LinearTest, ZeroInputYieldsBias) {
+  Rng rng(2);
+  Linear lin("l", 3, 2, &rng);
+  Graph g;
+  NodeId y = lin.Forward(&g, g.Input(Tensor({1, 3})));
+  // Bias starts at zero, so output must be zero.
+  EXPECT_EQ(g.Value(y).AbsMax(), 0.0f);
+}
+
+TEST(LinearTest, GradCheck) {
+  Rng rng(3);
+  Linear lin("l", 4, 3, &rng);
+  Tensor x = Tensor::RandomNormal({2, 4}, 1.0f, &rng);
+  auto loss = [&]() {
+    Graph g;
+    return g.Value(g.SumAll(lin.Forward(&g, g.Input(x))))[0];
+  };
+  auto backward = [&]() {
+    Graph g;
+    g.Backward(g.SumAll(lin.Forward(&g, g.Input(x))));
+  };
+  EXPECT_LT(MaxGradCheckError(loss, backward, lin.Parameters()), 5e-2f);
+}
+
+TEST(EmbeddingTest, LookupAndSetRow) {
+  Rng rng(4);
+  Embedding emb("e", 5, 3, &rng);
+  emb.SetRow(2, Tensor::FromVector({1, 2, 3}));
+  Tensor row = emb.Lookup(2);
+  EXPECT_EQ(row[1], 2.0f);
+  Graph g;
+  NodeId out = emb.Forward(&g, {2, 2, 0});
+  EXPECT_EQ(g.Value(out).shape(), (std::vector<int64_t>{3, 3}));
+  EXPECT_EQ(g.Value(out).at(1, 2), 3.0f);
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  LayerNorm ln("ln", 4);
+  Graph g;
+  NodeId x = g.Input(Tensor({2, 4}, {1, 2, 3, 4, 10, 10, 10, 10}));
+  const Tensor& y = g.Value(ln.Forward(&g, x));
+  // Gain=1, bias=0 at init: each row has ~zero mean.
+  float mean0 = 0.0f;
+  for (int64_t j = 0; j < 4; ++j) mean0 += y.at(0, j);
+  EXPECT_NEAR(mean0, 0.0f, 1e-4f);
+  // A constant row maps to zeros.
+  EXPECT_NEAR(y.at(1, 0), 0.0f, 1e-2f);
+}
+
+TEST(MlpTest, ShapesAndDepth) {
+  Rng rng(6);
+  Mlp mlp("m", {5, 8, 3}, Activation::kRelu, &rng);
+  EXPECT_EQ(mlp.in_dim(), 5);
+  EXPECT_EQ(mlp.out_dim(), 3);
+  EXPECT_EQ(mlp.Parameters().size(), 4u);  // Two Linear layers.
+  Graph g;
+  NodeId y = mlp.Forward(&g, g.Input(Tensor({2, 5}, 0.5f)));
+  EXPECT_EQ(g.Value(y).shape(), (std::vector<int64_t>{2, 3}));
+}
+
+TEST(MlpTest, SingleLayerHasNoActivation) {
+  Rng rng(7);
+  Mlp mlp("m", {3, 2}, Activation::kRelu, &rng);
+  // With one layer the output can be negative (no trailing ReLU).
+  Graph g;
+  Tensor x = Tensor::RandomNormal({16, 3}, 2.0f, &rng);
+  const Tensor& y = g.Value(mlp.Forward(&g, g.Input(x)));
+  bool has_negative = false;
+  for (int64_t i = 0; i < y.size(); ++i) has_negative |= (y[i] < 0.0f);
+  EXPECT_TRUE(has_negative);
+}
+
+TEST(ModuleTest, ParameterAggregation) {
+  Rng rng(8);
+  Mlp mlp("m", {2, 4, 4, 1}, Activation::kTanh, &rng);
+  EXPECT_EQ(mlp.Parameters().size(), 6u);
+  EXPECT_EQ(mlp.NumWeights(), 2 * 4 + 4 + 4 * 4 + 4 + 4 * 1 + 1);
+  mlp.ZeroGrad();
+  for (Parameter* p : mlp.Parameters()) {
+    EXPECT_EQ(p->grad.AbsMax(), 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace sdea::nn

@@ -1,0 +1,107 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.h"
+
+namespace sdea::nn {
+namespace {
+
+// Minimizes ||x - target||^2 with the given optimizer; returns final
+// distance.
+template <typename Opt>
+float MinimizeQuadratic(Opt* opt, Parameter* x, const Tensor& target,
+                        int steps) {
+  for (int s = 0; s < steps; ++s) {
+    opt->ZeroGrad();
+    Graph g;
+    NodeId xv = g.Param(x);
+    NodeId t = g.Input(target);
+    NodeId diff = g.Sub(xv, t);
+    NodeId loss = g.SumAll(g.Mul(diff, diff));
+    g.Backward(loss);
+    opt->Step();
+  }
+  return tmath::SquaredL2Distance(x->value, target);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Parameter x("x", Tensor({4}, {5, -3, 2, 8}));
+  Tensor target({4}, {1, 1, 1, 1});
+  Sgd opt({&x}, 0.1f);
+  EXPECT_LT(MinimizeQuadratic(&opt, &x, target, 100), 1e-4f);
+}
+
+TEST(SgdTest, MomentumConverges) {
+  Parameter x("x", Tensor({4}, {5, -3, 2, 8}));
+  Tensor target({4}, {0, 0, 0, 0});
+  Sgd opt({&x}, 0.02f, 0.9f);
+  EXPECT_LT(MinimizeQuadratic(&opt, &x, target, 150), 1e-3f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Parameter x("x", Tensor({4}, {5, -3, 2, 8}));
+  Tensor target({4}, {1, -1, 0.5f, 2});
+  Adam opt({&x}, 0.1f);
+  EXPECT_LT(MinimizeQuadratic(&opt, &x, target, 300), 1e-3f);
+}
+
+TEST(AdamTest, WeightDecayShrinksWeights) {
+  Parameter x("x", Tensor({2}, {10, -10}));
+  Adam opt({&x}, 0.05f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.1f);
+  // Zero gradient; only decay acts.
+  for (int s = 0; s < 50; ++s) {
+    opt.ZeroGrad();
+    opt.Step();
+  }
+  EXPECT_LT(std::fabs(x.value[0]), 10.0f);
+}
+
+TEST(OptimizerTest, ClipGradNorm) {
+  Parameter x("x", Tensor({2}, {0, 0}));
+  x.grad = Tensor({2}, {3, 4});
+  Sgd opt({&x}, 0.1f);
+  const float pre = opt.ClipGradNorm(1.0f);
+  EXPECT_FLOAT_EQ(pre, 5.0f);
+  EXPECT_NEAR(x.grad.Norm(), 1.0f, 1e-5f);
+  // Below the limit: untouched.
+  x.grad = Tensor({2}, {0.3f, 0.4f});
+  opt.ClipGradNorm(1.0f);
+  EXPECT_NEAR(x.grad.Norm(), 0.5f, 1e-6f);
+}
+
+TEST(LossTest, RowSquaredL2DistanceValues) {
+  Graph g;
+  NodeId a = g.Input(Tensor({2, 2}, {0, 0, 1, 1}));
+  NodeId b = g.Input(Tensor({2, 2}, {3, 4, 1, 1}));
+  const Tensor& d = g.Value(RowSquaredL2Distance(&g, a, b));
+  EXPECT_EQ(d.shape(), (std::vector<int64_t>{2, 1}));
+  EXPECT_FLOAT_EQ(d[0], 25.0f);
+  EXPECT_FLOAT_EQ(d[1], 0.0f);
+}
+
+TEST(LossTest, MarginRankingLossValues) {
+  Graph g;
+  // Anchor at origin; positive at distance 1; negative at distance 4.
+  NodeId a = g.Input(Tensor({1, 2}, {0, 0}));
+  NodeId p = g.Input(Tensor({1, 2}, {1, 0}));
+  NodeId n = g.Input(Tensor({1, 2}, {2, 0}));
+  // loss = max(0, 1 - 4 + margin).
+  NodeId l1 = MarginRankingLoss(&g, a, p, n, 1.0f);
+  EXPECT_FLOAT_EQ(g.Value(l1)[0], 0.0f);
+  NodeId l2 = MarginRankingLoss(&g, a, p, n, 5.0f);
+  EXPECT_FLOAT_EQ(g.Value(l2)[0], 2.0f);
+}
+
+TEST(LossTest, MarginLossZeroWhenSeparated) {
+  Graph g;
+  NodeId a = g.Input(Tensor({1, 2}, {0, 0}));
+  NodeId p = g.Input(Tensor({1, 2}, {0, 0}));
+  NodeId n = g.Input(Tensor({1, 2}, {10, 0}));
+  EXPECT_FLOAT_EQ(g.Value(MarginRankingLoss(&g, a, p, n, 1.0f))[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace sdea::nn

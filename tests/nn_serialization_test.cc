@@ -1,0 +1,68 @@
+#include "nn/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "base/fileio.h"
+#include "nn/layers.h"
+
+namespace sdea::nn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+TEST(SerializationTest, RoundTripRestoresWeights) {
+  Rng rng(1);
+  Mlp original("m", {4, 8, 2}, Activation::kRelu, &rng);
+  const std::string path = TempPath("sdea_ckpt_roundtrip.bin");
+  ASSERT_TRUE(SaveCheckpoint(&original, path).ok());
+
+  Rng rng2(999);  // Different init.
+  Mlp restored("m", {4, 8, 2}, Activation::kRelu, &rng2);
+  ASSERT_TRUE(LoadCheckpoint(&restored, path).ok());
+
+  auto pa = original.Parameters();
+  auto pb = restored.Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->value.size(), pb[i]->value.size());
+    for (int64_t j = 0; j < pa[i]->value.size(); ++j) {
+      EXPECT_EQ(pa[i]->value[j], pb[i]->value[j]);
+    }
+  }
+}
+
+TEST(SerializationTest, MissingParameterFails) {
+  Rng rng(2);
+  Mlp small("m", {4, 2}, Activation::kRelu, &rng);
+  const std::string path = TempPath("sdea_ckpt_missing.bin");
+  ASSERT_TRUE(SaveCheckpoint(&small, path).ok());
+  Mlp bigger("m2", {4, 2}, Activation::kRelu, &rng);  // Different names.
+  Status s = LoadCheckpoint(&bigger, path);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(SerializationTest, ShapeMismatchFails) {
+  Rng rng(3);
+  Mlp a("m", {4, 2}, Activation::kRelu, &rng);
+  const std::string path = TempPath("sdea_ckpt_shape.bin");
+  ASSERT_TRUE(SaveCheckpoint(&a, path).ok());
+  Mlp b("m", {4, 3}, Activation::kRelu, &rng);  // Same names, new shapes.
+  Status s = LoadCheckpoint(&b, path);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationTest, GarbageFileRejected) {
+  const std::string path = TempPath("sdea_ckpt_garbage.bin");
+  ASSERT_TRUE(WriteStringToFile(path, "not a checkpoint").ok());
+  Rng rng(4);
+  Mlp m("m", {2, 2}, Activation::kRelu, &rng);
+  EXPECT_FALSE(LoadCheckpoint(&m, path).ok());
+}
+
+}  // namespace
+}  // namespace sdea::nn

@@ -1,0 +1,118 @@
+#include "nn/transformer.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/attention.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace sdea::nn {
+namespace {
+
+TransformerConfig SmallConfig() {
+  TransformerConfig c;
+  c.vocab_size = 20;
+  c.max_len = 16;
+  c.dim = 8;
+  c.num_heads = 2;
+  c.num_layers = 2;
+  c.ff_dim = 16;
+  c.dropout = 0.0f;
+  return c;
+}
+
+TEST(AttentionTest, OutputShapePreserved) {
+  Rng rng(1);
+  MultiHeadAttention attn("a", 8, 2, &rng);
+  Graph g;
+  NodeId x = g.Input(Tensor::RandomNormal({5, 8}, 1.0f, &rng));
+  NodeId y = attn.Forward(&g, x);
+  EXPECT_EQ(g.Value(y).shape(), (std::vector<int64_t>{5, 8}));
+}
+
+TEST(AttentionTest, SingleTokenSequence) {
+  Rng rng(2);
+  MultiHeadAttention attn("a", 8, 2, &rng);
+  Graph g;
+  NodeId x = g.Input(Tensor::RandomNormal({1, 8}, 1.0f, &rng));
+  NodeId y = attn.Forward(&g, x);
+  EXPECT_EQ(g.Value(y).shape(), (std::vector<int64_t>{1, 8}));
+}
+
+TEST(TransformerTest, EncodeShapes) {
+  Rng rng(3);
+  TransformerEncoder enc("t", SmallConfig(), &rng);
+  Graph g;
+  NodeId h = enc.EncodeSequence(&g, {1, 5, 6, 7}, false, nullptr);
+  EXPECT_EQ(g.Value(h).shape(), (std::vector<int64_t>{4, 8}));
+  Graph g2;
+  NodeId cls = enc.EncodeCls(&g2, {1, 5, 6, 7}, false, nullptr);
+  EXPECT_EQ(g2.Value(cls).shape(), (std::vector<int64_t>{1, 8}));
+  Graph g3;
+  NodeId mean = enc.EncodeMean(&g3, {1, 5, 6, 7}, false, nullptr);
+  EXPECT_EQ(g3.Value(mean).shape(), (std::vector<int64_t>{1, 8}));
+}
+
+TEST(TransformerTest, DeterministicInference) {
+  Rng rng(4);
+  TransformerEncoder enc("t", SmallConfig(), &rng);
+  Graph g1, g2;
+  const Tensor& a = g1.Value(enc.EncodeCls(&g1, {1, 2, 3}, false, nullptr));
+  const Tensor& b = g2.Value(enc.EncodeCls(&g2, {1, 2, 3}, false, nullptr));
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(TransformerTest, DifferentInputsDifferentOutputs) {
+  Rng rng(5);
+  TransformerEncoder enc("t", SmallConfig(), &rng);
+  Graph g1, g2;
+  const Tensor a = g1.Value(enc.EncodeCls(&g1, {1, 2, 3}, false, nullptr));
+  const Tensor b = g2.Value(enc.EncodeCls(&g2, {1, 7, 9}, false, nullptr));
+  EXPECT_GT(tmath::SquaredL2Distance(a, b), 1e-6f);
+}
+
+TEST(TransformerTest, PositionMattersForCls) {
+  Rng rng(6);
+  TransformerEncoder enc("t", SmallConfig(), &rng);
+  Graph g1, g2;
+  const Tensor a = g1.Value(enc.EncodeCls(&g1, {1, 2, 3, 4}, false, nullptr));
+  const Tensor b = g2.Value(enc.EncodeCls(&g2, {1, 4, 3, 2}, false, nullptr));
+  EXPECT_GT(tmath::SquaredL2Distance(a, b), 1e-8f);
+}
+
+TEST(TransformerTest, TrainingStepReducesTripletLoss) {
+  // The encoder can learn to pull a pair of sequences together against a
+  // negative within a few optimizer steps.
+  Rng rng(7);
+  TransformerEncoder enc("t", SmallConfig(), &rng);
+  Adam opt(enc.Parameters(), 5e-3f);
+  const std::vector<int64_t> anchor = {1, 4, 5, 6};
+  const std::vector<int64_t> positive = {1, 4, 5, 7};
+  const std::vector<int64_t> negative = {1, 10, 11, 12};
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 0; step < 30; ++step) {
+    Graph g;
+    NodeId a = enc.EncodeCls(&g, anchor, true, &rng);
+    NodeId p = enc.EncodeCls(&g, positive, true, &rng);
+    NodeId n = enc.EncodeCls(&g, negative, true, &rng);
+    NodeId loss = MarginRankingLoss(&g, a, p, n, 2.0f);
+    if (step == 0) first_loss = g.Value(loss)[0];
+    last_loss = g.Value(loss)[0];
+    opt.ZeroGrad();
+    g.Backward(loss);
+    opt.Step();
+  }
+  EXPECT_LT(last_loss, first_loss);
+}
+
+TEST(TransformerTest, RejectsTooLongSequence) {
+  Rng rng(8);
+  TransformerConfig c = SmallConfig();
+  c.max_len = 4;
+  TransformerEncoder enc("t", c, &rng);
+  Graph g;
+  EXPECT_DEATH(enc.EncodeSequence(&g, {1, 2, 3, 4, 5}, false, nullptr), "");
+}
+
+}  // namespace
+}  // namespace sdea::nn

@@ -1,0 +1,59 @@
+#include "tensor/sparse.h"
+
+#include <gtest/gtest.h>
+
+namespace sdea {
+namespace {
+
+TEST(CsrTest, FromTripletsAndApply) {
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      2, 3, {{0, 1, 2.0f}, {1, 0, 1.0f}, {1, 2, -1.0f}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 3);
+  Tensor x({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor y = m.Apply(x);
+  // Row 0: 2*[3,4] = [6,8]; row 1: [1,2] - [5,6] = [-4,-4].
+  EXPECT_FLOAT_EQ(y.at(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 8.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 0), -4.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 1), -4.0f);
+}
+
+TEST(CsrTest, DuplicateTripletsSum) {
+  CsrMatrix m =
+      CsrMatrix::FromTriplets(1, 1, {{0, 0, 1.0f}, {0, 0, 2.5f}});
+  EXPECT_EQ(m.nnz(), 1);
+  Tensor x({1, 1}, {2.0f});
+  EXPECT_FLOAT_EQ(m.Apply(x)[0], 7.0f);
+}
+
+TEST(CsrTest, ApplyTransposeMatchesDenseTranspose) {
+  Rng rng(4);
+  std::vector<std::tuple<int64_t, int64_t, float>> coo;
+  for (int i = 0; i < 30; ++i) {
+    coo.emplace_back(static_cast<int64_t>(rng.UniformInt(5)),
+                     static_cast<int64_t>(rng.UniformInt(7)),
+                     rng.UniformFloat(-1.0f, 1.0f));
+  }
+  CsrMatrix m = CsrMatrix::FromTriplets(5, 7, coo);
+  Tensor dense({5, 7});
+  for (const auto& [r, c, v] : coo) dense[r * 7 + c] += v;
+  Tensor x = Tensor::RandomNormal({5, 3}, 1.0f, &rng);
+  Tensor want = tmath::Matmul(tmath::Transpose(dense), x);
+  Tensor got = m.ApplyTranspose(x);
+  ASSERT_TRUE(want.SameShape(got));
+  for (int64_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(want[i], got[i], 1e-4f);
+  }
+}
+
+TEST(CsrTest, EmptyMatrix) {
+  CsrMatrix m = CsrMatrix::FromTriplets(3, 3, {});
+  Tensor x({3, 2}, 1.0f);
+  Tensor y = m.Apply(x);
+  EXPECT_EQ(y.Sum(), 0.0f);
+}
+
+}  // namespace
+}  // namespace sdea

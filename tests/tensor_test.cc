@@ -1,0 +1,172 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sdea {
+namespace {
+
+TEST(TensorTest, ConstructionAndShape) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FillConstructor) {
+  Tensor t({4}, 2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(TensorTest, FromVectorAndAt) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+  t.at(1, 1) = 9.0f;
+  EXPECT_EQ(t[3], 9.0f);
+}
+
+TEST(TensorTest, NegativeDimIndex) {
+  Tensor t({2, 5});
+  EXPECT_EQ(t.dim(-1), 5);
+  EXPECT_EQ(t.dim(-2), 2);
+}
+
+TEST(TensorTest, RowAndSetRow) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Row(1);
+  EXPECT_EQ(r.rank(), 1);
+  EXPECT_EQ(r[0], 4.0f);
+  t.SetRow(0, Tensor::FromVector({7, 8, 9}));
+  EXPECT_EQ(t.at(0, 2), 9.0f);
+}
+
+TEST(TensorTest, Reshape) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshaped({3, 2});
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+}
+
+TEST(TensorTest, SumNormAbsMax) {
+  Tensor t({3}, {3, -4, 0});
+  EXPECT_EQ(t.Sum(), -1.0f);
+  EXPECT_FLOAT_EQ(t.Norm(), 5.0f);
+  EXPECT_EQ(t.AbsMax(), 4.0f);
+}
+
+TEST(TensorTest, RandomInitBounds) {
+  Rng rng(3);
+  Tensor u = Tensor::RandomUniform({100, 10}, 0.5f, &rng);
+  EXPECT_LE(u.AbsMax(), 0.5f);
+  Tensor n = Tensor::RandomNormal({100, 10}, 1.0f, &rng);
+  EXPECT_NEAR(n.Sum() / n.size(), 0.0, 0.1);
+}
+
+TEST(TMathTest, Matmul) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = tmath::Matmul(a, b);
+  EXPECT_EQ(c.shape(), (std::vector<int64_t>{2, 2}));
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(TMathTest, MatmulTransposeVariantsAgree) {
+  Rng rng(5);
+  Tensor a = Tensor::RandomNormal({4, 6}, 1.0f, &rng);
+  Tensor b = Tensor::RandomNormal({5, 6}, 1.0f, &rng);
+  // a @ b^T two ways.
+  Tensor direct = tmath::MatmulTransposeB(a, b);
+  Tensor via_transpose = tmath::Matmul(a, tmath::Transpose(b));
+  ASSERT_TRUE(direct.SameShape(via_transpose));
+  for (int64_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], via_transpose[i], 1e-4f);
+  }
+  // a^T @ c two ways.
+  Tensor c = Tensor::RandomNormal({4, 3}, 1.0f, &rng);
+  Tensor ta = tmath::MatmulTransposeA(a, c);
+  Tensor tb = tmath::Matmul(tmath::Transpose(a), c);
+  for (int64_t i = 0; i < ta.size(); ++i) {
+    EXPECT_NEAR(ta[i], tb[i], 1e-4f);
+  }
+}
+
+TEST(TMathTest, ElementwiseOps) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {4, 5, 6});
+  EXPECT_EQ(tmath::Add(a, b)[1], 7.0f);
+  EXPECT_EQ(tmath::Sub(a, b)[2], -3.0f);
+  EXPECT_EQ(tmath::Mul(a, b)[0], 4.0f);
+  EXPECT_EQ(tmath::Scale(a, 2.0f)[2], 6.0f);
+}
+
+TEST(TMathTest, AxpyInto) {
+  Tensor a({2}, {1, 2});
+  Tensor out({2}, {10, 20});
+  tmath::AxpyInto(a, 3.0f, &out);
+  EXPECT_EQ(out[0], 13.0f);
+  EXPECT_EQ(out[1], 26.0f);
+}
+
+TEST(TMathTest, AddRowBroadcast) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor bias({2}, {10, 20});
+  Tensor c = tmath::AddRowBroadcast(a, bias);
+  EXPECT_EQ(c.at(0, 0), 11.0f);
+  EXPECT_EQ(c.at(1, 1), 24.0f);
+}
+
+TEST(TMathTest, SoftmaxRowsSumsToOne) {
+  Tensor a({2, 3}, {1, 2, 3, -1, 0, 1});
+  Tensor s = tmath::SoftmaxRows(a);
+  for (int64_t i = 0; i < 2; ++i) {
+    float sum = 0.0f;
+    for (int64_t j = 0; j < 3; ++j) sum += s.at(i, j);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    EXPECT_GT(s.at(i, 2), s.at(i, 0));  // Monotone in logits.
+  }
+}
+
+TEST(TMathTest, SoftmaxNumericallyStable) {
+  Tensor a({1, 2}, {1000.0f, 1000.0f});
+  Tensor s = tmath::SoftmaxRows(a);
+  EXPECT_NEAR(s[0], 0.5f, 1e-5f);
+  EXPECT_NEAR(s[1], 0.5f, 1e-5f);
+}
+
+TEST(TMathTest, CosineSimilarity) {
+  Tensor a({2}, {1, 0});
+  Tensor b({2}, {0, 1});
+  Tensor c({2}, {2, 0});
+  EXPECT_NEAR(tmath::CosineSimilarity(a, b), 0.0f, 1e-6f);
+  EXPECT_NEAR(tmath::CosineSimilarity(a, c), 1.0f, 1e-6f);
+  Tensor zero({2}, {0, 0});
+  EXPECT_EQ(tmath::CosineSimilarity(a, zero), 0.0f);
+}
+
+TEST(TMathTest, Distances) {
+  Tensor a({2}, {0, 0});
+  Tensor b({2}, {3, 4});
+  EXPECT_FLOAT_EQ(tmath::SquaredL2Distance(a, b), 25.0f);
+  EXPECT_FLOAT_EQ(tmath::Dot(b, b), 25.0f);
+}
+
+TEST(TMathTest, L2NormalizeRows) {
+  Tensor a({2, 2}, {3, 4, 0, 0});
+  tmath::L2NormalizeRowsInPlace(&a);
+  EXPECT_NEAR(a.at(0, 0), 0.6f, 1e-6f);
+  EXPECT_NEAR(a.at(0, 1), 0.8f, 1e-6f);
+  // Zero row untouched.
+  EXPECT_EQ(a.at(1, 0), 0.0f);
+  EXPECT_EQ(a.at(1, 1), 0.0f);
+}
+
+}  // namespace
+}  // namespace sdea

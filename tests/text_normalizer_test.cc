@@ -1,0 +1,49 @@
+#include "text/normalizer.h"
+
+#include <gtest/gtest.h>
+
+namespace sdea::text {
+namespace {
+
+TEST(NormalizerTest, LowercasesAndCollapsesWhitespace) {
+  EXPECT_EQ(NormalizeText("Hello   WORLD"), "hello world");
+}
+
+TEST(NormalizerTest, PunctuationToSpaces) {
+  EXPECT_EQ(NormalizeText("a-b_c(d)"), "a b c d");
+}
+
+TEST(NormalizerTest, KeepsNumbersWithDecimalPoints) {
+  EXPECT_EQ(NormalizeText("pi is 3.14"), "pi is 3.14");
+}
+
+TEST(NormalizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_EQ(NormalizeText(""), "");
+  EXPECT_EQ(NormalizeText("   \t\n "), "");
+}
+
+TEST(NormalizerTest, KeepsNonAsciiBytes) {
+  const std::string s = "caf\xc3\xa9";
+  EXPECT_EQ(NormalizeText(s), s);
+}
+
+TEST(NormalizeAndSplitTest, Words) {
+  EXPECT_EQ(NormalizeAndSplit("Fabian Wendelin Bruskewitz, 1935!"),
+            (std::vector<std::string>{"fabian", "wendelin", "bruskewitz",
+                                      "1935"}));
+}
+
+TEST(NormalizeAndSplitTest, StripsDanglingDots) {
+  // A sentence-final period must not glue to the word.
+  EXPECT_EQ(NormalizeAndSplit("end."),
+            (std::vector<std::string>{"end"}));
+  EXPECT_EQ(NormalizeAndSplit("3.14."),
+            (std::vector<std::string>{"3.14"}));
+}
+
+TEST(NormalizeAndSplitTest, PureSeparatorWordsDropped) {
+  EXPECT_TRUE(NormalizeAndSplit("... , .").empty());
+}
+
+}  // namespace
+}  // namespace sdea::text

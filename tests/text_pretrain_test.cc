@@ -1,0 +1,89 @@
+#include "text/pretrain.h"
+
+#include <gtest/gtest.h>
+
+namespace sdea::text {
+namespace {
+
+// A corpus where "sun"/"sol" and "moon"/"luna" always co-occur (a tiny
+// comparable corpus), while "rock" floats alone.
+std::vector<std::string> ParallelCorpus() {
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 40; ++i) {
+    corpus.push_back("sun sol bright day");
+    corpus.push_back("moon luna dark night");
+    corpus.push_back("rock stone heavy");
+  }
+  return corpus;
+}
+
+TEST(PretrainTest, RequiresTrainedTokenizer) {
+  SubwordTokenizer tok;
+  CooccurrencePretrainer pre;
+  auto r = pre.Train({"a b"}, tok, PretrainConfig{});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(PretrainTest, EmptyCorpusFails) {
+  SubwordTokenizer tok;
+  ASSERT_TRUE(tok.Train({"a b c"}, TokenizerConfig{}).ok());
+  CooccurrencePretrainer pre;
+  EXPECT_FALSE(pre.Train({}, tok, PretrainConfig{}).ok());
+}
+
+TEST(PretrainTest, OutputShapeMatchesVocab) {
+  SubwordTokenizer tok;
+  auto corpus = ParallelCorpus();
+  ASSERT_TRUE(tok.Train(corpus, TokenizerConfig{}).ok());
+  PretrainConfig cfg;
+  cfg.dim = 16;
+  cfg.epochs = 4;
+  CooccurrencePretrainer pre;
+  auto r = pre.Train(corpus, tok, cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->shape(),
+            (std::vector<int64_t>{tok.vocab().size(), 16}));
+}
+
+TEST(PretrainTest, CooccurringWordsEndUpCloser) {
+  SubwordTokenizer tok;
+  auto corpus = ParallelCorpus();
+  TokenizerConfig tc;
+  tc.num_merges = 512;
+  ASSERT_TRUE(tok.Train(corpus, tc).ok());
+  PretrainConfig cfg;
+  cfg.dim = 16;
+  cfg.epochs = 24;
+  CooccurrencePretrainer pre;
+  auto r = pre.Train(corpus, tok, cfg);
+  ASSERT_TRUE(r.ok());
+  const Tensor& table = *r;
+  auto vec = [&](const std::string& w) {
+    return table.Row(tok.vocab().GetId(w));
+  };
+  // Words from the same sentences must be closer than words from different
+  // sentences.
+  const float same = tmath::CosineSimilarity(vec("sun"), vec("sol"));
+  const float diff = tmath::CosineSimilarity(vec("sun"), vec("luna"));
+  EXPECT_GT(same, diff);
+}
+
+TEST(PretrainTest, Deterministic) {
+  SubwordTokenizer tok;
+  auto corpus = ParallelCorpus();
+  ASSERT_TRUE(tok.Train(corpus, TokenizerConfig{}).ok());
+  PretrainConfig cfg;
+  cfg.dim = 8;
+  cfg.epochs = 3;
+  CooccurrencePretrainer pre;
+  auto a = pre.Train(corpus, tok, cfg);
+  auto b = pre.Train(corpus, tok, cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int64_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i], (*b)[i]);
+  }
+}
+
+}  // namespace
+}  // namespace sdea::text

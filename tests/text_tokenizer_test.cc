@@ -1,0 +1,138 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace sdea::text {
+namespace {
+
+std::vector<std::string> SmallCorpus() {
+  return {
+      "the quick brown fox jumps over the lazy dog",
+      "the quick brown cat sleeps",
+      "a lazy dog and a quick fox",
+      "brown dogs and brown cats",
+      "the fox likes the dog",
+  };
+}
+
+TEST(VocabTest, SpecialTokensFirst) {
+  Vocab v;
+  EXPECT_EQ(v.size(), kNumSpecialTokens);
+  EXPECT_EQ(v.GetToken(kPadId), "[PAD]");
+  EXPECT_EQ(v.GetToken(kClsId), "[CLS]");
+  EXPECT_EQ(v.GetToken(kUnkId), "[UNK]");
+  EXPECT_EQ(v.GetToken(kSepId), "[SEP]");
+}
+
+TEST(VocabTest, AddAndLookup) {
+  Vocab v;
+  const int64_t id = v.AddToken("hello");
+  EXPECT_EQ(v.AddToken("hello"), id);  // Idempotent.
+  EXPECT_EQ(v.GetId("hello"), id);
+  EXPECT_EQ(v.GetId("unknown-token"), kUnkId);
+  EXPECT_TRUE(v.Contains("hello"));
+  EXPECT_FALSE(v.Contains("nope"));
+}
+
+TEST(TokenizerTest, TrainOnEmptyCorpusFails) {
+  SubwordTokenizer t;
+  EXPECT_FALSE(t.Train({}, TokenizerConfig{}).ok());
+  EXPECT_FALSE(t.Train({"", "  "}, TokenizerConfig{}).ok());
+}
+
+TEST(TokenizerTest, EncodeKnownWordsWithoutUnk) {
+  SubwordTokenizer t;
+  ASSERT_TRUE(t.Train(SmallCorpus(), TokenizerConfig{}).ok());
+  const auto ids = t.Encode("the quick brown fox");
+  EXPECT_FALSE(ids.empty());
+  for (int64_t id : ids) EXPECT_NE(id, kUnkId);
+}
+
+TEST(TokenizerTest, FrequentWordBecomesSingleToken) {
+  SubwordTokenizer t;
+  TokenizerConfig c;
+  c.num_merges = 256;
+  ASSERT_TRUE(t.Train(SmallCorpus(), c).ok());
+  // "the" appears often; merges should fuse it into one piece.
+  EXPECT_EQ(t.TokenizeWord("the").size(), 1u);
+}
+
+TEST(TokenizerTest, UnseenWordSplitsIntoKnownSubwords) {
+  SubwordTokenizer t;
+  ASSERT_TRUE(t.Train(SmallCorpus(), TokenizerConfig{}).ok());
+  // "boxer" is unseen but built of seen characters.
+  const auto pieces = t.TokenizeWord("boxer");
+  EXPECT_GE(pieces.size(), 1u);
+  for (const auto& p : pieces) EXPECT_NE(p, "[UNK]");
+}
+
+TEST(TokenizerTest, UnseenCharactersMapToUnk) {
+  SubwordTokenizer t;
+  ASSERT_TRUE(t.Train(SmallCorpus(), TokenizerConfig{}).ok());
+  EXPECT_EQ(t.TokenizeWord("zzz###"), (std::vector<std::string>{"[UNK]"}));
+}
+
+TEST(TokenizerTest, EncodeForModelPrependsClsAndTruncates) {
+  SubwordTokenizer t;
+  ASSERT_TRUE(t.Train(SmallCorpus(), TokenizerConfig{}).ok());
+  const auto ids =
+      t.EncodeForModel("the quick brown fox jumps over the lazy dog", 5);
+  EXPECT_EQ(ids.size(), 5u);
+  EXPECT_EQ(ids[0], kClsId);
+}
+
+TEST(TokenizerTest, ZeroMergesStillEncodes) {
+  SubwordTokenizer t;
+  TokenizerConfig c;
+  c.num_merges = 0;
+  ASSERT_TRUE(t.Train(SmallCorpus(), c).ok());
+  // Character-level only: every word still tokenizes.
+  const auto ids = t.Encode("fox");
+  EXPECT_FALSE(ids.empty());
+  for (int64_t id : ids) EXPECT_NE(id, kUnkId);
+}
+
+TEST(TokenizerTest, DeterministicAcrossRuns) {
+  SubwordTokenizer a, b;
+  ASSERT_TRUE(a.Train(SmallCorpus(), TokenizerConfig{}).ok());
+  ASSERT_TRUE(b.Train(SmallCorpus(), TokenizerConfig{}).ok());
+  EXPECT_EQ(a.vocab().size(), b.vocab().size());
+  EXPECT_EQ(a.Encode("quick brown dogs"), b.Encode("quick brown dogs"));
+}
+
+TEST(TokenizerTest, SaveLoadRoundTrip) {
+  const char* dir = std::getenv("TMPDIR");
+  const std::string path =
+      std::string(dir != nullptr ? dir : "/tmp") + "/sdea_tok_vocab.txt";
+  SubwordTokenizer a;
+  ASSERT_TRUE(a.Train(SmallCorpus(), TokenizerConfig{}).ok());
+  ASSERT_TRUE(a.Save(path).ok());
+  SubwordTokenizer b;
+  ASSERT_TRUE(b.Load(path).ok());
+  EXPECT_EQ(a.vocab().size(), b.vocab().size());
+  EXPECT_EQ(a.Encode("lazy fox"), b.Encode("lazy fox"));
+}
+
+TEST(TokenizerTest, MaxWordBytesGuard) {
+  SubwordTokenizer t;
+  TokenizerConfig c;
+  c.max_word_bytes = 8;
+  ASSERT_TRUE(t.Train(SmallCorpus(), c).ok());
+  EXPECT_EQ(t.TokenizeWord("averyveryverylongword"),
+            (std::vector<std::string>{"[UNK]"}));
+}
+
+TEST(TokenizerTest, NumbersTokenize) {
+  SubwordTokenizer t;
+  std::vector<std::string> corpus = SmallCorpus();
+  corpus.push_back("born 1935 died 2004 number 42");
+  ASSERT_TRUE(t.Train(corpus, TokenizerConfig{}).ok());
+  const auto ids = t.Encode("1935");
+  EXPECT_FALSE(ids.empty());
+  for (int64_t id : ids) EXPECT_NE(id, kUnkId);
+}
+
+}  // namespace
+}  // namespace sdea::text
