@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extended_roster.dir/bench_extended_roster.cc.o"
+  "CMakeFiles/bench_extended_roster.dir/bench_extended_roster.cc.o.d"
+  "bench_extended_roster"
+  "bench_extended_roster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extended_roster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

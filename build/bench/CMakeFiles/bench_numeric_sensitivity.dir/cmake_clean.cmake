@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_numeric_sensitivity.dir/bench_numeric_sensitivity.cc.o"
+  "CMakeFiles/bench_numeric_sensitivity.dir/bench_numeric_sensitivity.cc.o.d"
+  "bench_numeric_sensitivity"
+  "bench_numeric_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_numeric_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

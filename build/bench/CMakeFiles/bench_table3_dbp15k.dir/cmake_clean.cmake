@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_dbp15k.dir/bench_table3_dbp15k.cc.o"
+  "CMakeFiles/bench_table3_dbp15k.dir/bench_table3_dbp15k.cc.o.d"
+  "bench_table3_dbp15k"
+  "bench_table3_dbp15k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_dbp15k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

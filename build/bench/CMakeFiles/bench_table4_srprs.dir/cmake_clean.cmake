@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_srprs.dir/bench_table4_srprs.cc.o"
+  "CMakeFiles/bench_table4_srprs.dir/bench_table4_srprs.cc.o.d"
+  "bench_table4_srprs"
+  "bench_table4_srprs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_srprs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_openea.dir/bench_table5_openea.cc.o"
+  "CMakeFiles/bench_table5_openea.dir/bench_table5_openea.cc.o.d"
+  "bench_table5_openea"
+  "bench_table5_openea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_openea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

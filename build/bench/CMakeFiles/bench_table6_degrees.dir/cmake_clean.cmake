@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_degrees.dir/bench_table6_degrees.cc.o"
+  "CMakeFiles/bench_table6_degrees.dir/bench_table6_degrees.cc.o.d"
+  "bench_table6_degrees"
+  "bench_table6_degrees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_degrees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unsupervised.dir/bench_unsupervised.cc.o"
+  "CMakeFiles/bench_unsupervised.dir/bench_unsupervised.cc.o.d"
+  "bench_unsupervised"
+  "bench_unsupervised.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unsupervised.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdea_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/sdea_bench_util.dir/bench_util.cc.o.d"
+  "libsdea_bench_util.a"
+  "libsdea_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdea_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_serving.dir/embedding_serving.cpp.o"
+  "CMakeFiles/embedding_serving.dir/embedding_serving.cpp.o.d"
+  "embedding_serving"
+  "embedding_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

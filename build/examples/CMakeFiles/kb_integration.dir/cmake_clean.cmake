@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_integration.dir/kb_integration.cpp.o"
+  "CMakeFiles/kb_integration.dir/kb_integration.cpp.o.d"
+  "kb_integration"
+  "kb_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

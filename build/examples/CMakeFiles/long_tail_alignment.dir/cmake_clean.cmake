@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_tail_alignment.dir/long_tail_alignment.cpp.o"
+  "CMakeFiles/long_tail_alignment.dir/long_tail_alignment.cpp.o.d"
+  "long_tail_alignment"
+  "long_tail_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_tail_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdea_base.dir/fileio.cc.o"
+  "CMakeFiles/sdea_base.dir/fileio.cc.o.d"
+  "CMakeFiles/sdea_base.dir/logging.cc.o"
+  "CMakeFiles/sdea_base.dir/logging.cc.o.d"
+  "CMakeFiles/sdea_base.dir/rng.cc.o"
+  "CMakeFiles/sdea_base.dir/rng.cc.o.d"
+  "CMakeFiles/sdea_base.dir/status.cc.o"
+  "CMakeFiles/sdea_base.dir/status.cc.o.d"
+  "CMakeFiles/sdea_base.dir/strings.cc.o"
+  "CMakeFiles/sdea_base.dir/strings.cc.o.d"
+  "libsdea_base.a"
+  "libsdea_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdea_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sdea_base.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/aligner_interface.cc" "src/baselines/CMakeFiles/sdea_baselines.dir/aligner_interface.cc.o" "gcc" "src/baselines/CMakeFiles/sdea_baselines.dir/aligner_interface.cc.o.d"
+  "/root/repo/src/baselines/bert_int_lite.cc" "src/baselines/CMakeFiles/sdea_baselines.dir/bert_int_lite.cc.o" "gcc" "src/baselines/CMakeFiles/sdea_baselines.dir/bert_int_lite.cc.o.d"
+  "/root/repo/src/baselines/cea.cc" "src/baselines/CMakeFiles/sdea_baselines.dir/cea.cc.o" "gcc" "src/baselines/CMakeFiles/sdea_baselines.dir/cea.cc.o.d"
+  "/root/repo/src/baselines/gcn_align.cc" "src/baselines/CMakeFiles/sdea_baselines.dir/gcn_align.cc.o" "gcc" "src/baselines/CMakeFiles/sdea_baselines.dir/gcn_align.cc.o.d"
+  "/root/repo/src/baselines/hman.cc" "src/baselines/CMakeFiles/sdea_baselines.dir/hman.cc.o" "gcc" "src/baselines/CMakeFiles/sdea_baselines.dir/hman.cc.o.d"
+  "/root/repo/src/baselines/iptranse.cc" "src/baselines/CMakeFiles/sdea_baselines.dir/iptranse.cc.o" "gcc" "src/baselines/CMakeFiles/sdea_baselines.dir/iptranse.cc.o.d"
+  "/root/repo/src/baselines/jape.cc" "src/baselines/CMakeFiles/sdea_baselines.dir/jape.cc.o" "gcc" "src/baselines/CMakeFiles/sdea_baselines.dir/jape.cc.o.d"
+  "/root/repo/src/baselines/kecg.cc" "src/baselines/CMakeFiles/sdea_baselines.dir/kecg.cc.o" "gcc" "src/baselines/CMakeFiles/sdea_baselines.dir/kecg.cc.o.d"
+  "/root/repo/src/baselines/mtranse.cc" "src/baselines/CMakeFiles/sdea_baselines.dir/mtranse.cc.o" "gcc" "src/baselines/CMakeFiles/sdea_baselines.dir/mtranse.cc.o.d"
+  "/root/repo/src/baselines/rsn4ea.cc" "src/baselines/CMakeFiles/sdea_baselines.dir/rsn4ea.cc.o" "gcc" "src/baselines/CMakeFiles/sdea_baselines.dir/rsn4ea.cc.o.d"
+  "/root/repo/src/baselines/transe.cc" "src/baselines/CMakeFiles/sdea_baselines.dir/transe.cc.o" "gcc" "src/baselines/CMakeFiles/sdea_baselines.dir/transe.cc.o.d"
+  "/root/repo/src/baselines/transe_align.cc" "src/baselines/CMakeFiles/sdea_baselines.dir/transe_align.cc.o" "gcc" "src/baselines/CMakeFiles/sdea_baselines.dir/transe_align.cc.o.d"
+  "/root/repo/src/baselines/transedge.cc" "src/baselines/CMakeFiles/sdea_baselines.dir/transedge.cc.o" "gcc" "src/baselines/CMakeFiles/sdea_baselines.dir/transedge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sdea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sdea_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sdea_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/sdea_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sdea_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sdea_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sdea_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

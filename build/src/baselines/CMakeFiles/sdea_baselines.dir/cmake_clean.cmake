@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdea_baselines.dir/aligner_interface.cc.o"
+  "CMakeFiles/sdea_baselines.dir/aligner_interface.cc.o.d"
+  "CMakeFiles/sdea_baselines.dir/bert_int_lite.cc.o"
+  "CMakeFiles/sdea_baselines.dir/bert_int_lite.cc.o.d"
+  "CMakeFiles/sdea_baselines.dir/cea.cc.o"
+  "CMakeFiles/sdea_baselines.dir/cea.cc.o.d"
+  "CMakeFiles/sdea_baselines.dir/gcn_align.cc.o"
+  "CMakeFiles/sdea_baselines.dir/gcn_align.cc.o.d"
+  "CMakeFiles/sdea_baselines.dir/hman.cc.o"
+  "CMakeFiles/sdea_baselines.dir/hman.cc.o.d"
+  "CMakeFiles/sdea_baselines.dir/iptranse.cc.o"
+  "CMakeFiles/sdea_baselines.dir/iptranse.cc.o.d"
+  "CMakeFiles/sdea_baselines.dir/jape.cc.o"
+  "CMakeFiles/sdea_baselines.dir/jape.cc.o.d"
+  "CMakeFiles/sdea_baselines.dir/kecg.cc.o"
+  "CMakeFiles/sdea_baselines.dir/kecg.cc.o.d"
+  "CMakeFiles/sdea_baselines.dir/mtranse.cc.o"
+  "CMakeFiles/sdea_baselines.dir/mtranse.cc.o.d"
+  "CMakeFiles/sdea_baselines.dir/rsn4ea.cc.o"
+  "CMakeFiles/sdea_baselines.dir/rsn4ea.cc.o.d"
+  "CMakeFiles/sdea_baselines.dir/transe.cc.o"
+  "CMakeFiles/sdea_baselines.dir/transe.cc.o.d"
+  "CMakeFiles/sdea_baselines.dir/transe_align.cc.o"
+  "CMakeFiles/sdea_baselines.dir/transe_align.cc.o.d"
+  "CMakeFiles/sdea_baselines.dir/transedge.cc.o"
+  "CMakeFiles/sdea_baselines.dir/transedge.cc.o.d"
+  "libsdea_baselines.a"
+  "libsdea_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdea_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdea_baselines.a"
+)

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alignment_pipeline.cc" "src/core/CMakeFiles/sdea_core.dir/alignment_pipeline.cc.o" "gcc" "src/core/CMakeFiles/sdea_core.dir/alignment_pipeline.cc.o.d"
+  "/root/repo/src/core/ann_index.cc" "src/core/CMakeFiles/sdea_core.dir/ann_index.cc.o" "gcc" "src/core/CMakeFiles/sdea_core.dir/ann_index.cc.o.d"
+  "/root/repo/src/core/attribute_embedding.cc" "src/core/CMakeFiles/sdea_core.dir/attribute_embedding.cc.o" "gcc" "src/core/CMakeFiles/sdea_core.dir/attribute_embedding.cc.o.d"
+  "/root/repo/src/core/attribute_sequencer.cc" "src/core/CMakeFiles/sdea_core.dir/attribute_sequencer.cc.o" "gcc" "src/core/CMakeFiles/sdea_core.dir/attribute_sequencer.cc.o.d"
+  "/root/repo/src/core/candidate_generator.cc" "src/core/CMakeFiles/sdea_core.dir/candidate_generator.cc.o" "gcc" "src/core/CMakeFiles/sdea_core.dir/candidate_generator.cc.o.d"
+  "/root/repo/src/core/embedding_store.cc" "src/core/CMakeFiles/sdea_core.dir/embedding_store.cc.o" "gcc" "src/core/CMakeFiles/sdea_core.dir/embedding_store.cc.o.d"
+  "/root/repo/src/core/numeric_channel.cc" "src/core/CMakeFiles/sdea_core.dir/numeric_channel.cc.o" "gcc" "src/core/CMakeFiles/sdea_core.dir/numeric_channel.cc.o.d"
+  "/root/repo/src/core/relation_embedding.cc" "src/core/CMakeFiles/sdea_core.dir/relation_embedding.cc.o" "gcc" "src/core/CMakeFiles/sdea_core.dir/relation_embedding.cc.o.d"
+  "/root/repo/src/core/sdea.cc" "src/core/CMakeFiles/sdea_core.dir/sdea.cc.o" "gcc" "src/core/CMakeFiles/sdea_core.dir/sdea.cc.o.d"
+  "/root/repo/src/core/stable_matching.cc" "src/core/CMakeFiles/sdea_core.dir/stable_matching.cc.o" "gcc" "src/core/CMakeFiles/sdea_core.dir/stable_matching.cc.o.d"
+  "/root/repo/src/core/text_alignment_encoder.cc" "src/core/CMakeFiles/sdea_core.dir/text_alignment_encoder.cc.o" "gcc" "src/core/CMakeFiles/sdea_core.dir/text_alignment_encoder.cc.o.d"
+  "/root/repo/src/core/unsupervised.cc" "src/core/CMakeFiles/sdea_core.dir/unsupervised.cc.o" "gcc" "src/core/CMakeFiles/sdea_core.dir/unsupervised.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/sdea_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sdea_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/sdea_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sdea_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sdea_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sdea_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

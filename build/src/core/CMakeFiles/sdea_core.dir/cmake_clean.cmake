@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdea_core.dir/alignment_pipeline.cc.o"
+  "CMakeFiles/sdea_core.dir/alignment_pipeline.cc.o.d"
+  "CMakeFiles/sdea_core.dir/ann_index.cc.o"
+  "CMakeFiles/sdea_core.dir/ann_index.cc.o.d"
+  "CMakeFiles/sdea_core.dir/attribute_embedding.cc.o"
+  "CMakeFiles/sdea_core.dir/attribute_embedding.cc.o.d"
+  "CMakeFiles/sdea_core.dir/attribute_sequencer.cc.o"
+  "CMakeFiles/sdea_core.dir/attribute_sequencer.cc.o.d"
+  "CMakeFiles/sdea_core.dir/candidate_generator.cc.o"
+  "CMakeFiles/sdea_core.dir/candidate_generator.cc.o.d"
+  "CMakeFiles/sdea_core.dir/embedding_store.cc.o"
+  "CMakeFiles/sdea_core.dir/embedding_store.cc.o.d"
+  "CMakeFiles/sdea_core.dir/numeric_channel.cc.o"
+  "CMakeFiles/sdea_core.dir/numeric_channel.cc.o.d"
+  "CMakeFiles/sdea_core.dir/relation_embedding.cc.o"
+  "CMakeFiles/sdea_core.dir/relation_embedding.cc.o.d"
+  "CMakeFiles/sdea_core.dir/sdea.cc.o"
+  "CMakeFiles/sdea_core.dir/sdea.cc.o.d"
+  "CMakeFiles/sdea_core.dir/stable_matching.cc.o"
+  "CMakeFiles/sdea_core.dir/stable_matching.cc.o.d"
+  "CMakeFiles/sdea_core.dir/text_alignment_encoder.cc.o"
+  "CMakeFiles/sdea_core.dir/text_alignment_encoder.cc.o.d"
+  "CMakeFiles/sdea_core.dir/unsupervised.cc.o"
+  "CMakeFiles/sdea_core.dir/unsupervised.cc.o.d"
+  "libsdea_core.a"
+  "libsdea_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdea_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

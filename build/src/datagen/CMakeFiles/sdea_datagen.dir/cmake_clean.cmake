@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdea_datagen.dir/generator.cc.o"
+  "CMakeFiles/sdea_datagen.dir/generator.cc.o.d"
+  "CMakeFiles/sdea_datagen.dir/lexicon.cc.o"
+  "CMakeFiles/sdea_datagen.dir/lexicon.cc.o.d"
+  "CMakeFiles/sdea_datagen.dir/presets.cc.o"
+  "CMakeFiles/sdea_datagen.dir/presets.cc.o.d"
+  "libsdea_datagen.a"
+  "libsdea_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdea_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdea_eval.dir/csv.cc.o"
+  "CMakeFiles/sdea_eval.dir/csv.cc.o.d"
+  "CMakeFiles/sdea_eval.dir/metrics.cc.o"
+  "CMakeFiles/sdea_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/sdea_eval.dir/table_printer.cc.o"
+  "CMakeFiles/sdea_eval.dir/table_printer.cc.o.d"
+  "libsdea_eval.a"
+  "libsdea_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdea_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

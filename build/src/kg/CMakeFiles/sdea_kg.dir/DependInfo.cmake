@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kg/binary_io.cc" "src/kg/CMakeFiles/sdea_kg.dir/binary_io.cc.o" "gcc" "src/kg/CMakeFiles/sdea_kg.dir/binary_io.cc.o.d"
+  "/root/repo/src/kg/knowledge_graph.cc" "src/kg/CMakeFiles/sdea_kg.dir/knowledge_graph.cc.o" "gcc" "src/kg/CMakeFiles/sdea_kg.dir/knowledge_graph.cc.o.d"
+  "/root/repo/src/kg/merge.cc" "src/kg/CMakeFiles/sdea_kg.dir/merge.cc.o" "gcc" "src/kg/CMakeFiles/sdea_kg.dir/merge.cc.o.d"
+  "/root/repo/src/kg/subgraph.cc" "src/kg/CMakeFiles/sdea_kg.dir/subgraph.cc.o" "gcc" "src/kg/CMakeFiles/sdea_kg.dir/subgraph.cc.o.d"
+  "/root/repo/src/kg/validation.cc" "src/kg/CMakeFiles/sdea_kg.dir/validation.cc.o" "gcc" "src/kg/CMakeFiles/sdea_kg.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sdea_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

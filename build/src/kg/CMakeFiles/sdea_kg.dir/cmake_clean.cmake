@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdea_kg.dir/binary_io.cc.o"
+  "CMakeFiles/sdea_kg.dir/binary_io.cc.o.d"
+  "CMakeFiles/sdea_kg.dir/knowledge_graph.cc.o"
+  "CMakeFiles/sdea_kg.dir/knowledge_graph.cc.o.d"
+  "CMakeFiles/sdea_kg.dir/merge.cc.o"
+  "CMakeFiles/sdea_kg.dir/merge.cc.o.d"
+  "CMakeFiles/sdea_kg.dir/subgraph.cc.o"
+  "CMakeFiles/sdea_kg.dir/subgraph.cc.o.d"
+  "CMakeFiles/sdea_kg.dir/validation.cc.o"
+  "CMakeFiles/sdea_kg.dir/validation.cc.o.d"
+  "libsdea_kg.a"
+  "libsdea_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdea_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

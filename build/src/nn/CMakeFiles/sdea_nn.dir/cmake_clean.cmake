@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdea_nn.dir/attention.cc.o"
+  "CMakeFiles/sdea_nn.dir/attention.cc.o.d"
+  "CMakeFiles/sdea_nn.dir/gru.cc.o"
+  "CMakeFiles/sdea_nn.dir/gru.cc.o.d"
+  "CMakeFiles/sdea_nn.dir/layers.cc.o"
+  "CMakeFiles/sdea_nn.dir/layers.cc.o.d"
+  "CMakeFiles/sdea_nn.dir/loss.cc.o"
+  "CMakeFiles/sdea_nn.dir/loss.cc.o.d"
+  "CMakeFiles/sdea_nn.dir/module.cc.o"
+  "CMakeFiles/sdea_nn.dir/module.cc.o.d"
+  "CMakeFiles/sdea_nn.dir/optimizer.cc.o"
+  "CMakeFiles/sdea_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/sdea_nn.dir/serialization.cc.o"
+  "CMakeFiles/sdea_nn.dir/serialization.cc.o.d"
+  "CMakeFiles/sdea_nn.dir/transformer.cc.o"
+  "CMakeFiles/sdea_nn.dir/transformer.cc.o.d"
+  "libsdea_nn.a"
+  "libsdea_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdea_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdea_tensor.dir/gradcheck.cc.o"
+  "CMakeFiles/sdea_tensor.dir/gradcheck.cc.o.d"
+  "CMakeFiles/sdea_tensor.dir/graph.cc.o"
+  "CMakeFiles/sdea_tensor.dir/graph.cc.o.d"
+  "CMakeFiles/sdea_tensor.dir/sparse.cc.o"
+  "CMakeFiles/sdea_tensor.dir/sparse.cc.o.d"
+  "CMakeFiles/sdea_tensor.dir/tensor.cc.o"
+  "CMakeFiles/sdea_tensor.dir/tensor.cc.o.d"
+  "libsdea_tensor.a"
+  "libsdea_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdea_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/normalizer.cc" "src/text/CMakeFiles/sdea_text.dir/normalizer.cc.o" "gcc" "src/text/CMakeFiles/sdea_text.dir/normalizer.cc.o.d"
+  "/root/repo/src/text/pretrain.cc" "src/text/CMakeFiles/sdea_text.dir/pretrain.cc.o" "gcc" "src/text/CMakeFiles/sdea_text.dir/pretrain.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/sdea_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/sdea_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocab.cc" "src/text/CMakeFiles/sdea_text.dir/vocab.cc.o" "gcc" "src/text/CMakeFiles/sdea_text.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/sdea_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sdea_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdea_text.dir/normalizer.cc.o"
+  "CMakeFiles/sdea_text.dir/normalizer.cc.o.d"
+  "CMakeFiles/sdea_text.dir/pretrain.cc.o"
+  "CMakeFiles/sdea_text.dir/pretrain.cc.o.d"
+  "CMakeFiles/sdea_text.dir/tokenizer.cc.o"
+  "CMakeFiles/sdea_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/sdea_text.dir/vocab.cc.o"
+  "CMakeFiles/sdea_text.dir/vocab.cc.o.d"
+  "libsdea_text.a"
+  "libsdea_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdea_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

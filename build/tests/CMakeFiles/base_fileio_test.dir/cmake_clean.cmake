@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_fileio_test.dir/base_fileio_test.cc.o"
+  "CMakeFiles/base_fileio_test.dir/base_fileio_test.cc.o.d"
+  "base_fileio_test"
+  "base_fileio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_fileio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_path_test.dir/baselines_path_test.cc.o"
+  "CMakeFiles/baselines_path_test.dir/baselines_path_test.cc.o.d"
+  "baselines_path_test"
+  "baselines_path_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_candidates_test.dir/core_candidates_test.cc.o"
+  "CMakeFiles/core_candidates_test.dir/core_candidates_test.cc.o.d"
+  "core_candidates_test"
+  "core_candidates_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_candidates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_embedding_store_test.dir/core_embedding_store_test.cc.o"
+  "CMakeFiles/core_embedding_store_test.dir/core_embedding_store_test.cc.o.d"
+  "core_embedding_store_test"
+  "core_embedding_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_embedding_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

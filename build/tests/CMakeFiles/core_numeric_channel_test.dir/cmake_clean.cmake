@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_numeric_channel_test.dir/core_numeric_channel_test.cc.o"
+  "CMakeFiles/core_numeric_channel_test.dir/core_numeric_channel_test.cc.o.d"
+  "core_numeric_channel_test"
+  "core_numeric_channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_numeric_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_relation_module_test.dir/core_relation_module_test.cc.o"
+  "CMakeFiles/core_relation_module_test.dir/core_relation_module_test.cc.o.d"
+  "core_relation_module_test"
+  "core_relation_module_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_relation_module_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sdea_end2end_test.dir/core_sdea_end2end_test.cc.o"
+  "CMakeFiles/core_sdea_end2end_test.dir/core_sdea_end2end_test.cc.o.d"
+  "core_sdea_end2end_test"
+  "core_sdea_end2end_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sdea_end2end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

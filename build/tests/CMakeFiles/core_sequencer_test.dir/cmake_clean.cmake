@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sequencer_test.dir/core_sequencer_test.cc.o"
+  "CMakeFiles/core_sequencer_test.dir/core_sequencer_test.cc.o.d"
+  "core_sequencer_test"
+  "core_sequencer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sequencer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

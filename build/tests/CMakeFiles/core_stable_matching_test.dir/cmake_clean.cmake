@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_stable_matching_test.dir/core_stable_matching_test.cc.o"
+  "CMakeFiles/core_stable_matching_test.dir/core_stable_matching_test.cc.o.d"
+  "core_stable_matching_test"
+  "core_stable_matching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_stable_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_text_encoder_test.dir/core_text_encoder_test.cc.o"
+  "CMakeFiles/core_text_encoder_test.dir/core_text_encoder_test.cc.o.d"
+  "core_text_encoder_test"
+  "core_text_encoder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_text_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

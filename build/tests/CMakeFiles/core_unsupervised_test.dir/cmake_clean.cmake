@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_unsupervised_test.dir/core_unsupervised_test.cc.o"
+  "CMakeFiles/core_unsupervised_test.dir/core_unsupervised_test.cc.o.d"
+  "core_unsupervised_test"
+  "core_unsupervised_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_unsupervised_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/datagen_bridging_test.cc" "tests/CMakeFiles/datagen_bridging_test.dir/datagen_bridging_test.cc.o" "gcc" "tests/CMakeFiles/datagen_bridging_test.dir/datagen_bridging_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sdea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sdea_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sdea_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sdea_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sdea_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sdea_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sdea_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/sdea_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sdea_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_bridging_test.dir/datagen_bridging_test.cc.o"
+  "CMakeFiles/datagen_bridging_test.dir/datagen_bridging_test.cc.o.d"
+  "datagen_bridging_test"
+  "datagen_bridging_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_bridging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

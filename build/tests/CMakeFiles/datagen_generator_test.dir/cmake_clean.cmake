@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_generator_test.dir/datagen_generator_test.cc.o"
+  "CMakeFiles/datagen_generator_test.dir/datagen_generator_test.cc.o.d"
+  "datagen_generator_test"
+  "datagen_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_lexicon_test.dir/datagen_lexicon_test.cc.o"
+  "CMakeFiles/datagen_lexicon_test.dir/datagen_lexicon_test.cc.o.d"
+  "datagen_lexicon_test"
+  "datagen_lexicon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_lexicon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

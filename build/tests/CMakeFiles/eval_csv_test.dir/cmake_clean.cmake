@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_csv_test.dir/eval_csv_test.cc.o"
+  "CMakeFiles/eval_csv_test.dir/eval_csv_test.cc.o.d"
+  "eval_csv_test"
+  "eval_csv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_binary_io_test.dir/kg_binary_io_test.cc.o"
+  "CMakeFiles/kg_binary_io_test.dir/kg_binary_io_test.cc.o.d"
+  "kg_binary_io_test"
+  "kg_binary_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_binary_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_merge_test.dir/kg_merge_test.cc.o"
+  "CMakeFiles/kg_merge_test.dir/kg_merge_test.cc.o.d"
+  "kg_merge_test"
+  "kg_merge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

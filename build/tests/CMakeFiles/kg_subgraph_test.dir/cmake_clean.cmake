@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_subgraph_test.dir/kg_subgraph_test.cc.o"
+  "CMakeFiles/kg_subgraph_test.dir/kg_subgraph_test.cc.o.d"
+  "kg_subgraph_test"
+  "kg_subgraph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_subgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

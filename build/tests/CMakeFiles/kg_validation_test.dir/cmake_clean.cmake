@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_validation_test.dir/kg_validation_test.cc.o"
+  "CMakeFiles/kg_validation_test.dir/kg_validation_test.cc.o.d"
+  "kg_validation_test"
+  "kg_validation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_graph_test.dir/tensor_graph_test.cc.o"
+  "CMakeFiles/tensor_graph_test.dir/tensor_graph_test.cc.o.d"
+  "tensor_graph_test"
+  "tensor_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

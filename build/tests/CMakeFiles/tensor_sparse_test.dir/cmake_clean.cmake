@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_sparse_test.dir/tensor_sparse_test.cc.o"
+  "CMakeFiles/tensor_sparse_test.dir/tensor_sparse_test.cc.o.d"
+  "tensor_sparse_test"
+  "tensor_sparse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_sparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

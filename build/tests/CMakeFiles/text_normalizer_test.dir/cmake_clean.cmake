@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_normalizer_test.dir/text_normalizer_test.cc.o"
+  "CMakeFiles/text_normalizer_test.dir/text_normalizer_test.cc.o.d"
+  "text_normalizer_test"
+  "text_normalizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_normalizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_pretrain_test.dir/text_pretrain_test.cc.o"
+  "CMakeFiles/text_pretrain_test.dir/text_pretrain_test.cc.o.d"
+  "text_pretrain_test"
+  "text_pretrain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_pretrain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
