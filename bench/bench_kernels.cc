@@ -3,10 +3,12 @@
 // candidate generation, stable matching, and benchmark generation.
 #include <benchmark/benchmark.h>
 
+#include "base/threadpool.h"
 #include "core/ann_index.h"
 #include "core/candidate_generator.h"
 #include "core/stable_matching.h"
 #include "datagen/generator.h"
+#include "eval/metrics.h"
 #include "nn/gru.h"
 #include "nn/transformer.h"
 #include "text/tokenizer.h"
@@ -14,6 +16,19 @@
 namespace {
 
 using namespace sdea;
+
+// Rebuilds the global pool at the requested size for the *Threaded benches
+// and restores the ambient default on destruction.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int num_threads) {
+    base::ThreadPool::SetGlobalNumThreads(num_threads);
+  }
+  ~ScopedThreads() {
+    base::ThreadPool::SetGlobalNumThreads(
+        base::ThreadPool::DefaultNumThreads());
+  }
+};
 
 void BM_Matmul(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -39,6 +54,100 @@ void BM_MatmulTransposeB(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MatmulTransposeB)->Arg(256)->Arg(1024);
+
+// --- Serial-vs-N-thread comparisons for the sharded kernels. -------------
+// Arg 0 is the problem size, arg 1 the thread count; compare rows with the
+// same size to read off the scaling (e.g. {512, 1} vs {512, 8} Matmul).
+
+void BM_MatmulThreaded(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  ScopedThreads threads(static_cast<int>(state.range(1)));
+  Rng rng(1);
+  Tensor a = Tensor::RandomNormal({n, n}, 1.0f, &rng);
+  Tensor b = Tensor::RandomNormal({n, n}, 1.0f, &rng);
+  for (auto _ : state) {
+    Tensor c = tmath::Matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulThreaded)
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->Args({512, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScoreMatrixThreaded(benchmark::State& state) {
+  // The n x m cosine score matrix behind the paper's tables:
+  // MatmulTransposeB over row-normalized embeddings.
+  const int64_t n = state.range(0);
+  ScopedThreads threads(static_cast<int>(state.range(1)));
+  Rng rng(2);
+  Tensor a = Tensor::RandomNormal({n, 64}, 1.0f, &rng);
+  Tensor b = Tensor::RandomNormal({n, 64}, 1.0f, &rng);
+  for (auto _ : state) {
+    Tensor c = tmath::MatmulTransposeB(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * 64);
+}
+BENCHMARK(BM_ScoreMatrixThreaded)
+    ->Args({2048, 1})
+    ->Args({2048, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EvaluateAlignmentThreaded(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  ScopedThreads threads(static_cast<int>(state.range(1)));
+  Rng rng(3);
+  Tensor src = Tensor::RandomNormal({n, 64}, 1.0f, &rng);
+  Tensor tgt = Tensor::RandomNormal({n, 64}, 1.0f, &rng);
+  std::vector<int64_t> gold(static_cast<size_t>(n));
+  for (size_t i = 0; i < gold.size(); ++i) {
+    gold[i] = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(n)));
+  }
+  for (auto _ : state) {
+    auto m = eval::EvaluateAlignment(src, tgt, gold);
+    benchmark::DoNotOptimize(&m);
+  }
+}
+BENCHMARK(BM_EvaluateAlignmentThreaded)
+    ->Args({2048, 1})
+    ->Args({2048, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IvfQueryBatchThreaded(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  ScopedThreads threads(static_cast<int>(state.range(1)));
+  Rng rng(4);
+  Tensor tgt = Tensor::RandomNormal({n, 64}, 1.0f, &rng);
+  Tensor src = Tensor::RandomNormal({n, 64}, 1.0f, &rng);
+  const core::IvfIndex index(tgt, core::IvfOptions{});
+  for (auto _ : state) {
+    auto c = index.QueryBatch(src, 10);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_IvfQueryBatchThreaded)
+    ->Args({4000, 1})
+    ->Args({4000, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StableMatchingThreaded(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  ScopedThreads threads(static_cast<int>(state.range(1)));
+  Rng rng(5);
+  Tensor scores = Tensor::RandomNormal({n, n}, 1.0f, &rng);
+  for (auto _ : state) {
+    auto m = core::StableMatch(scores);
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_StableMatchingThreaded)
+    ->Args({800, 1})
+    ->Args({800, 8})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SparseMatmul(benchmark::State& state) {
   const int64_t n = state.range(0);

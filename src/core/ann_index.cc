@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "base/check.h"
+#include "base/threadpool.h"
 
 namespace sdea::core {
 namespace {
@@ -13,6 +14,31 @@ float DotRow(const float* a, const float* b, int64_t d) {
   double s = 0.0;
   for (int64_t i = 0; i < d; ++i) s += static_cast<double>(a[i]) * b[i];
   return static_cast<float>(s);
+}
+
+// assignment[i] = argmax_j data[i] . centroids[j], ties to the lowest j.
+// Rows are sharded across threads; each row writes only its own slot, so
+// the assignment is identical for every thread count.
+void AssignToNearestCentroid(const Tensor& data, const Tensor& centroids,
+                             std::vector<int64_t>* assignment) {
+  const int64_t m = data.dim(0), d = data.dim(1);
+  const int64_t c = centroids.dim(0);
+  base::ParallelFor(
+      m, base::GrainForWork(m, c * d), [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          const float* row = data.data() + i * d;
+          int64_t best = 0;
+          float best_score = -2.0f;
+          for (int64_t j = 0; j < c; ++j) {
+            const float s = DotRow(row, centroids.data() + j * d, d);
+            if (s > best_score) {
+              best_score = s;
+              best = j;
+            }
+          }
+          (*assignment)[static_cast<size_t>(i)] = best;
+        }
+      });
 }
 
 }  // namespace
@@ -43,19 +69,7 @@ IvfIndex::IvfIndex(const Tensor& rows, const IvfOptions& options)
   std::vector<int64_t> assignment(static_cast<size_t>(m), 0);
   for (int64_t iter = 0; iter < options.kmeans_iters; ++iter) {
     // Assign to the most similar centroid (cosine == dot, all normalized).
-    for (int64_t i = 0; i < m; ++i) {
-      const float* row = data_.data() + i * d;
-      int64_t best = 0;
-      float best_score = -2.0f;
-      for (int64_t j = 0; j < c; ++j) {
-        const float s = DotRow(row, centroids_.data() + j * d, d);
-        if (s > best_score) {
-          best_score = s;
-          best = j;
-        }
-      }
-      assignment[static_cast<size_t>(i)] = best;
-    }
+    AssignToNearestCentroid(data_, centroids_, &assignment);
     // Recompute centroids as normalized means.
     centroids_.Zero();
     std::vector<int64_t> counts(static_cast<size_t>(c), 0);
@@ -77,6 +91,12 @@ IvfIndex::IvfIndex(const Tensor& rows, const IvfOptions& options)
     tmath::L2NormalizeRowsInPlace(&centroids_);
   }
 
+  // The loop above ends with a centroid update (possibly reseeding empty
+  // clusters), so `assignment` describes the *previous* centroids. Re-assign
+  // against the final centroids before building the cells; otherwise cells
+  // and centroids disagree and a cluster reseeded on the last iteration
+  // would always own an empty cell (queries probing it would come up short).
+  AssignToNearestCentroid(data_, centroids_, &assignment);
   cells_.assign(static_cast<size_t>(c), {});
   for (int64_t i = 0; i < m; ++i) {
     cells_[static_cast<size_t>(assignment[static_cast<size_t>(i)])]
@@ -131,10 +151,20 @@ std::vector<std::vector<int64_t>> IvfIndex::QueryBatch(const Tensor& queries,
                                                        int64_t k) const {
   Tensor q = queries;
   tmath::L2NormalizeRowsInPlace(&q);
-  std::vector<std::vector<int64_t>> out(static_cast<size_t>(q.dim(0)));
-  for (int64_t i = 0; i < q.dim(0); ++i) {
-    out[static_cast<size_t>(i)] = Query(q.data() + i * q.dim(1), q.dim(1), k);
-  }
+  const int64_t nq = q.dim(0), d = q.dim(1);
+  const int64_t c = centroids_.dim(0);
+  std::vector<std::vector<int64_t>> out(static_cast<size_t>(nq));
+  // Queries are independent (Query is const) and each writes only its own
+  // output slot. Estimated per-query work: centroid scan + probed cells.
+  const int64_t per_query =
+      (c + options_.num_probes * std::max<int64_t>(1, data_.dim(0) / c)) * d;
+  base::ParallelFor(nq, base::GrainForWork(nq, per_query),
+                    [&](int64_t begin, int64_t end) {
+                      for (int64_t i = begin; i < end; ++i) {
+                        out[static_cast<size_t>(i)] =
+                            Query(q.data() + i * d, d, k);
+                      }
+                    });
   return out;
 }
 

@@ -4,24 +4,30 @@
 #include <numeric>
 
 #include "base/check.h"
+#include "base/threadpool.h"
 
 namespace sdea::core {
 
 std::vector<int64_t> StableMatch(const Tensor& scores) {
   SDEA_CHECK_EQ(scores.rank(), 2);
   const int64_t n = scores.dim(0), m = scores.dim(1);
-  // Preference lists for each source (targets by decreasing score).
+  // Preference lists for each source (targets by decreasing score). Rows
+  // sort independently with a total order (score, then index), so building
+  // them in parallel is deterministic; the proposal loop below stays serial.
   std::vector<std::vector<int32_t>> prefs(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) {
-    auto& p = prefs[static_cast<size_t>(i)];
-    p.resize(static_cast<size_t>(m));
-    std::iota(p.begin(), p.end(), 0);
-    const float* row = scores.data() + i * m;
-    std::sort(p.begin(), p.end(), [row](int32_t a, int32_t b) {
-      if (row[a] != row[b]) return row[a] > row[b];
-      return a < b;
-    });
-  }
+  base::ParallelFor(
+      n, base::GrainForWork(n, 16 * m), [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          auto& p = prefs[static_cast<size_t>(i)];
+          p.resize(static_cast<size_t>(m));
+          std::iota(p.begin(), p.end(), 0);
+          const float* row = scores.data() + i * m;
+          std::sort(p.begin(), p.end(), [row](int32_t a, int32_t b) {
+            if (row[a] != row[b]) return row[a] > row[b];
+            return a < b;
+          });
+        }
+      });
   std::vector<int64_t> match(static_cast<size_t>(n), -1);
   std::vector<int64_t> target_holder(static_cast<size_t>(m), -1);
   std::vector<size_t> next_proposal(static_cast<size_t>(n), 0);

@@ -1,6 +1,7 @@
 #include "eval/metrics.h"
 
 #include "base/check.h"
+#include "base/threadpool.h"
 
 namespace sdea::eval {
 namespace {
@@ -25,21 +26,42 @@ int64_t RankOfGold(const float* scores, int64_t m, int64_t gold) {
   return better + 1;
 }
 
+// Gold rank per query row (0 where gold[i] < 0), computed with one query
+// per parallel-for index. Each query writes only its own slot and the O(m)
+// rank scan is order-identical to the serial loop, so the result — and
+// every reduction over it done serially afterwards — is bitwise-identical
+// for any thread count.
+std::vector<int64_t> RanksFromScores(const Tensor& scores,
+                                     const std::vector<int64_t>& gold) {
+  SDEA_CHECK_EQ(scores.rank(), 2);
+  const int64_t n = scores.dim(0), m = scores.dim(1);
+  SDEA_CHECK_EQ(static_cast<int64_t>(gold.size()), n);
+  std::vector<int64_t> ranks(static_cast<size_t>(n), 0);
+  base::ParallelFor(n, base::GrainForWork(n, m),
+                    [&](int64_t begin, int64_t end) {
+                      for (int64_t i = begin; i < end; ++i) {
+                        const int64_t g = gold[static_cast<size_t>(i)];
+                        if (g < 0) continue;
+                        SDEA_CHECK_LT(g, m);
+                        ranks[static_cast<size_t>(i)] =
+                            RankOfGold(scores.data() + i * m, m, g);
+                      }
+                    });
+  return ranks;
+}
+
 }  // namespace
 
 RankingMetrics EvaluateFromScores(const Tensor& scores,
                                   const std::vector<int64_t>& gold) {
-  SDEA_CHECK_EQ(scores.rank(), 2);
-  const int64_t n = scores.dim(0), m = scores.dim(1);
-  SDEA_CHECK_EQ(static_cast<int64_t>(gold.size()), n);
+  const std::vector<int64_t> ranks = RanksFromScores(scores, gold);
   RankingMetrics out;
   double mrr_sum = 0.0;
   int64_t hit1 = 0, hit10 = 0;
-  for (int64_t i = 0; i < n; ++i) {
-    const int64_t g = gold[static_cast<size_t>(i)];
-    if (g < 0) continue;
-    SDEA_CHECK_LT(g, m);
-    const int64_t rank = RankOfGold(scores.data() + i * m, m, g);
+  // Serial reduction in row order keeps the double sum deterministic.
+  for (size_t i = 0; i < ranks.size(); ++i) {
+    if (gold[i] < 0) continue;
+    const int64_t rank = ranks[i];
     ++out.num_queries;
     if (rank <= 1) ++hit1;
     if (rank <= 10) ++hit10;
@@ -64,15 +86,7 @@ std::vector<int64_t> GoldRanks(const Tensor& src, const Tensor& tgt,
                                const std::vector<int64_t>& gold) {
   const Tensor s = NormalizedCopy(src);
   const Tensor t = NormalizedCopy(tgt);
-  const Tensor scores = tmath::MatmulTransposeB(s, t);
-  const int64_t n = scores.dim(0), m = scores.dim(1);
-  std::vector<int64_t> ranks(static_cast<size_t>(n), 0);
-  for (int64_t i = 0; i < n; ++i) {
-    const int64_t g = gold[static_cast<size_t>(i)];
-    if (g < 0) continue;
-    ranks[static_cast<size_t>(i)] = RankOfGold(scores.data() + i * m, m, g);
-  }
-  return ranks;
+  return RanksFromScores(tmath::MatmulTransposeB(s, t), gold);
 }
 
 std::vector<RankingMetrics> EvaluateByDegree(

@@ -1,9 +1,11 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
 #include "base/strings.h"
+#include "base/threadpool.h"
 
 namespace sdea {
 namespace {
@@ -99,7 +101,11 @@ void Tensor::SetRow(int64_t r, const Tensor& src) {
 }
 
 float Tensor::Sum() const {
-  return std::accumulate(data_.begin(), data_.end(), 0.0f);
+  // Accumulate in double (like Norm); a float accumulator loses ~4 decimal
+  // digits once the running sum dwarfs the next addend (e.g. 1M elements).
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x);
+  return static_cast<float>(s);
 }
 
 float Tensor::Norm() const {
@@ -132,6 +138,71 @@ std::string Tensor::DebugString() const {
 }
 
 namespace tmath {
+namespace {
+
+// Row-range kernels behind the three matmul variants. Each computes output
+// rows [i_begin, i_end) under the shared accumulation policy (tensor.h):
+// every output element accumulates its k products in double, in ascending-k
+// order, with no term skipped, and rounds to float once. The parallel path
+// shards rows across threads and the serial path is the single shard
+// [0, m), so both execute this exact code and agree bitwise.
+
+// c[i,:] = a[i,:] @ b for a [m,k], b [k,n]; k-j inner order streams b rows.
+void MatmulRowRange(const float* pa, const float* pb, float* pc, int64_t k,
+                    int64_t n, int64_t i_begin, int64_t i_end) {
+  std::vector<double> acc(static_cast<size_t>(n));
+  for (int64_t i = i_begin; i < i_end; ++i) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    const float* arow = pa + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const double aik = arow[kk];
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) acc[static_cast<size_t>(j)] += aik * brow[j];
+    }
+    float* crow = pc + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      crow[j] = static_cast<float>(acc[static_cast<size_t>(j)]);
+    }
+  }
+}
+
+// c[i,j] = a[i,:] . b[j,:] for a [m,k], b [n,k].
+void MatmulTransposeBRowRange(const float* pa, const float* pb, float* pc,
+                              int64_t k, int64_t n, int64_t i_begin,
+                              int64_t i_end) {
+  for (int64_t i = i_begin; i < i_end; ++i) {
+    const float* arow = pa + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double s = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        s += static_cast<double>(arow[kk]) * brow[kk];
+      }
+      pc[i * n + j] = static_cast<float>(s);
+    }
+  }
+}
+
+// c[i,:] = a[:,i]^T @ b for a [k,m], b [k,n]; a is read column-wise.
+void MatmulTransposeARowRange(const float* pa, const float* pb, float* pc,
+                              int64_t k, int64_t m, int64_t n, int64_t i_begin,
+                              int64_t i_end) {
+  std::vector<double> acc(static_cast<size_t>(n));
+  for (int64_t i = i_begin; i < i_end; ++i) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const double aik = pa[kk * m + i];
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) acc[static_cast<size_t>(j)] += aik * brow[j];
+    }
+    float* crow = pc + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      crow[j] = static_cast<float>(acc[static_cast<size_t>(j)]);
+    }
+  }
+}
+
+}  // namespace
 
 Tensor Matmul(const Tensor& a, const Tensor& b) {
   SDEA_CHECK_EQ(a.rank(), 2);
@@ -142,16 +213,10 @@ Tensor Matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // i-k-j loop order: streams through b and c rows (cache friendly).
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  base::ParallelFor(m, base::GrainForWork(m, k * n),
+                    [&](int64_t begin, int64_t end) {
+                      MatmulRowRange(pa, pb, pc, k, n, begin, end);
+                    });
   return c;
 }
 
@@ -164,15 +229,10 @@ Tensor MatmulTransposeB(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double s = 0.0;
-      for (int64_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
-      pc[i * n + j] = static_cast<float>(s);
-    }
-  }
+  base::ParallelFor(m, base::GrainForWork(m, k * n),
+                    [&](int64_t begin, int64_t end) {
+                      MatmulTransposeBRowRange(pa, pb, pc, k, n, begin, end);
+                    });
   return c;
 }
 
@@ -185,16 +245,10 @@ Tensor MatmulTransposeA(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float aik = arow[i];
-      if (aik == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  base::ParallelFor(m, base::GrainForWork(m, k * n),
+                    [&](int64_t begin, int64_t end) {
+                      MatmulTransposeARowRange(pa, pb, pc, k, m, n, begin, end);
+                    });
   return c;
 }
 
@@ -246,18 +300,23 @@ Tensor SoftmaxRows(const Tensor& a) {
   SDEA_CHECK_EQ(a.rank(), 2);
   Tensor c = a;
   const int64_t rows = a.dim(0), cols = a.dim(1);
-  for (int64_t i = 0; i < rows; ++i) {
-    float* row = c.data() + i * cols;
-    float mx = row[0];
-    for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, row[j]);
-    double sum = 0.0;
-    for (int64_t j = 0; j < cols; ++j) {
-      row[j] = std::exp(row[j] - mx);
-      sum += row[j];
-    }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (int64_t j = 0; j < cols; ++j) row[j] *= inv;
-  }
+  // Rows are independent, so sharding them preserves bitwise results.
+  base::ParallelFor(
+      rows, base::GrainForWork(rows, 8 * cols),
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          float* row = c.data() + i * cols;
+          float mx = row[0];
+          for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, row[j]);
+          double sum = 0.0;
+          for (int64_t j = 0; j < cols; ++j) {
+            row[j] = std::exp(row[j] - mx);
+            sum += row[j];
+          }
+          const float inv = static_cast<float>(1.0 / sum);
+          for (int64_t j = 0; j < cols; ++j) row[j] *= inv;
+        }
+      });
   return c;
 }
 

@@ -99,7 +99,7 @@ class Tensor {
 
   bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
 
-  /// Sum of all elements.
+  /// Sum of all elements (accumulated in double, rounded once at the end).
   float Sum() const;
 
   /// Euclidean norm of all elements.
@@ -118,6 +118,19 @@ class Tensor {
 
 /// Free-function math on plain tensors (no autograd). These back both the
 /// autograd ops and inference-only fast paths.
+///
+/// Accumulation policy (all three matmul variants): every output element
+/// accumulates its k partial products in double precision, in ascending-k
+/// order, with no term skipped (so NaN/Inf in either operand propagates per
+/// IEEE semantics), and is rounded to float exactly once at the end. The
+/// variants therefore agree bitwise on transposed views of the same
+/// operands, e.g. Matmul(a, b) == MatmulTransposeB(a, Transpose(b)).
+///
+/// Threading: Matmul / MatmulTransposeB / MatmulTransposeA / SoftmaxRows
+/// shard output rows across base::ThreadPool::Global(). Each shard owns a
+/// disjoint row range and runs the identical per-row kernel as the serial
+/// path, so results are bitwise-identical for every thread count (see the
+/// determinism contract in base/threadpool.h).
 namespace tmath {
 
 /// c = a @ b for rank-2 a [m,k], b [k,n].

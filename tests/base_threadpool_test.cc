@@ -1,0 +1,121 @@
+#include "base/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace sdea::base {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  for (auto& v : visits) v.store(0);
+  pool.ParallelFor(1000, 7, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) visits[static_cast<size_t>(i)]++;
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesAreAFunctionOfNAndGrain) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  pool.ParallelFor(103, 10, [&](int64_t begin, int64_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(begin, end);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_EQ(chunks.size(), 11u);
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    EXPECT_EQ(chunks[c].first, static_cast<int64_t>(c) * 10);
+    EXPECT_EQ(chunks[c].second,
+              std::min<int64_t>(103, static_cast<int64_t>(c + 1) * 10));
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(100, 9, [&](int64_t begin, int64_t end) {
+      int64_t local = 0;
+      for (int64_t i = begin; i < end; ++i) local += i;
+      sum += local;
+    });
+    EXPECT_EQ(sum.load(), 100 * 99 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<std::pair<int64_t, int64_t>> chunks;  // No mutex needed.
+  pool.ParallelFor(100, 10, [&](int64_t begin, int64_t end) {
+    chunks.emplace_back(begin, end);
+  });
+  // Inline path runs the whole range as one chunk.
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<int64_t, int64_t>{0, 100}));
+}
+
+TEST(ThreadPoolTest, EmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, 10, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // n <= grain stays on the calling thread as one chunk.
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  pool.ParallelFor(5, 10, [&](int64_t begin, int64_t end) {
+    chunks.emplace_back(begin, end);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<int64_t, int64_t>{0, 5}));
+}
+
+TEST(ThreadPoolTest, NestedParallelForDegradesToSerialWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(64 * 64);
+  for (auto& v : visits) v.store(0);
+  pool.ParallelFor(64, 4, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      pool.ParallelFor(64, 4, [&](int64_t b2, int64_t e2) {
+        for (int64_t j = b2; j < e2; ++j) {
+          visits[static_cast<size_t>(i * 64 + j)]++;
+        }
+      });
+    }
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsReplaceable) {
+  ThreadPool::SetGlobalNumThreads(2);
+  EXPECT_EQ(ThreadPool::Global()->num_threads(), 2);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(257, 16, [&](int64_t begin, int64_t end) {
+    sum += end - begin;
+  });
+  EXPECT_EQ(sum.load(), 257);
+  ThreadPool::SetGlobalNumThreads(ThreadPool::DefaultNumThreads());
+}
+
+TEST(ThreadPoolTest, DefaultNumThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+}
+
+TEST(ThreadPoolTest, GrainForWorkBounds) {
+  EXPECT_EQ(GrainForWork(0, 100), 1);
+  EXPECT_EQ(GrainForWork(10, 1 << 20), 1);     // Heavy rows: grain 1.
+  EXPECT_EQ(GrainForWork(10, 1), 10);          // Light rows: one chunk.
+  EXPECT_GT(GrainForWork(1 << 20, 16), 1);     // Light rows, many items.
+  EXPECT_LE(GrainForWork(1 << 20, 16), 1 << 20);
+}
+
+}  // namespace
+}  // namespace sdea::base

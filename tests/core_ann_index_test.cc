@@ -93,6 +93,34 @@ TEST(IvfIndexTest, DefaultClusterHeuristic) {
   EXPECT_EQ(index.num_clusters(), 20);  // sqrt(400).
 }
 
+TEST(IvfIndexTest, ReseededEmptyClusterOwnsItsCell) {
+  // 15 identical rows along e0 plus one along e1. Both initial seeds land
+  // in the e0 group (all its rows are identical), so the first assignment
+  // sends every row to cluster 0 and cluster 1 is reseeded during the
+  // centroid update. With kmeans_iters = 1 that reseed is the *final*
+  // centroid state; before the final-assignment fix, cells_ was built from
+  // the stale pre-reseed assignment, leaving the reseeded cluster with an
+  // empty cell and single-probe queries with zero results.
+  Tensor rows({16, 4});
+  for (int64_t i = 0; i < 15; ++i) {
+    rows.SetRow(i, Tensor::FromVector({1.0f, 0.0f, 0.0f, 0.0f}));
+  }
+  rows.SetRow(15, Tensor::FromVector({0.0f, 1.0f, 0.0f, 0.0f}));
+  IvfOptions opt;
+  opt.num_clusters = 2;
+  opt.num_probes = 1;
+  opt.kmeans_iters = 1;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    opt.seed = seed;
+    const IvfIndex index(rows, opt);
+    Tensor q({1, 4});
+    q.SetRow(0, Tensor::FromVector({1.0f, 0.0f, 0.0f, 0.0f}));
+    const auto got = index.Query(q.data(), 4, 5);
+    ASSERT_EQ(got.size(), 5u) << "seed " << seed;
+    for (int64_t id : got) EXPECT_LT(id, 15);  // All from the e0 group.
+  }
+}
+
 TEST(IvfIndexTest, Deterministic) {
   Rng rng(6);
   Tensor tgt = Tensor::RandomNormal({100, 8}, 1.0f, &rng);

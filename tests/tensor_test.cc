@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace sdea {
 namespace {
@@ -166,6 +167,43 @@ TEST(TMathTest, L2NormalizeRows) {
   // Zero row untouched.
   EXPECT_EQ(a.at(1, 0), 0.0f);
   EXPECT_EQ(a.at(1, 1), 0.0f);
+}
+
+TEST(TensorTest, SumAccumulatesInDouble) {
+  // A float accumulator drifts by ~1% here (1M additions of 0.1f give
+  // ~100958 instead of ~100000); double accumulation stays exact to the
+  // final rounding.
+  Tensor t({1000000}, 0.1f);
+  EXPECT_NEAR(t.Sum(), 100000.0f, 0.5f);
+}
+
+TEST(TMathTest, MatmulPropagatesNaNThroughZeroCoefficients) {
+  // 0 * NaN is NaN under IEEE semantics; the accumulation policy forbids
+  // skipping zero terms, so a NaN in b must reach the output even when the
+  // matching a coefficient is zero.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const Tensor a({2, 2}, {0.0f, 1.0f, 1.0f, 0.0f});
+  const Tensor b({2, 2}, {nan, 1.0f, 1.0f, 1.0f});
+  const Tensor c = tmath::Matmul(a, b);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));  // 0*NaN + 1*1.
+  EXPECT_TRUE(std::isnan(c.at(1, 0)));  // 1*NaN + 0*1.
+  EXPECT_EQ(c.at(0, 1), 1.0f);
+  // Same contract for the transposed-A variant.
+  const Tensor ct = tmath::MatmulTransposeA(tmath::Transpose(a), b);
+  EXPECT_TRUE(std::isnan(ct.at(0, 0)));
+}
+
+TEST(TMathTest, MatmulVariantsShareOneAccumulationPolicy) {
+  Rng rng(99);
+  const Tensor a = Tensor::RandomNormal({17, 13}, 1.0f, &rng);
+  const Tensor b = Tensor::RandomNormal({13, 19}, 1.0f, &rng);
+  const Tensor c = tmath::Matmul(a, b);
+  const Tensor c_tb = tmath::MatmulTransposeB(a, tmath::Transpose(b));
+  const Tensor c_ta = tmath::MatmulTransposeA(tmath::Transpose(a), b);
+  for (int64_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(c[i], c_tb[i]);
+    EXPECT_EQ(c[i], c_ta[i]);
+  }
 }
 
 }  // namespace
