@@ -1,6 +1,7 @@
 #include "base/fileio.h"
 
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <cstdio>
 
@@ -31,6 +32,18 @@ Status WriteStringToFile(const std::string& path,
   const int close_rc = std::fclose(f);
   if (written != contents.size() || close_rc != 0) {
     return Status::IoError("write error: " + path);
+  }
+  return Status::Ok();
+}
+
+Status WriteStringToFileAtomic(const std::string& path,
+                               const std::string& contents) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  SDEA_RETURN_IF_ERROR(WriteStringToFile(tmp, contents));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename failed: " + tmp + " -> " + path);
   }
   return Status::Ok();
 }

@@ -14,6 +14,14 @@ Result<std::string> ReadFileToString(const std::string& path);
 /// Writes `contents` to `path`, truncating any existing file.
 Status WriteStringToFile(const std::string& path, const std::string& contents);
 
+/// Writes `contents` to a temp file next to `path`, then renames it over
+/// `path`. POSIX rename is atomic within a filesystem, so a reader (or a
+/// crash mid-write) can only ever observe the old complete file or the new
+/// complete file — never a torn one. The temp name embeds the pid so two
+/// processes writing the same path don't clobber each other's temp file.
+Status WriteStringToFileAtomic(const std::string& path,
+                               const std::string& contents);
+
 /// Reads a file as lines (LF or CRLF), without terminators.
 Result<std::vector<std::string>> ReadLines(const std::string& path);
 

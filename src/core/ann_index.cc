@@ -106,6 +106,9 @@ IvfIndex::IvfIndex(const Tensor& rows, const IvfOptions& options)
 
 std::vector<int64_t> IvfIndex::Query(const float* query, int64_t dim,
                                      int64_t k) const {
+  // k <= 0 would make the partial_sort bounds below negative (UB); an
+  // empty index has nothing to return. Both degrade to "no candidates".
+  if (k <= 0 || data_.dim(0) == 0 || centroids_.dim(0) == 0) return {};
   const int64_t d = data_.dim(1);
   SDEA_CHECK_EQ(dim, d);
   const int64_t c = centroids_.dim(0);
@@ -149,6 +152,11 @@ std::vector<int64_t> IvfIndex::Query(const float* query, int64_t dim,
 
 std::vector<std::vector<int64_t>> IvfIndex::QueryBatch(const Tensor& queries,
                                                        int64_t k) const {
+  if (queries.size() == 0 || k <= 0 || data_.dim(0) == 0) {
+    // One empty answer per query row (0 rows for an empty/rank-0 tensor).
+    return std::vector<std::vector<int64_t>>(static_cast<size_t>(
+        queries.rank() == 2 ? queries.dim(0) : 0));
+  }
   Tensor q = queries;
   tmath::L2NormalizeRowsInPlace(&q);
   const int64_t nq = q.dim(0), d = q.dim(1);

@@ -29,11 +29,16 @@ class IvfIndex {
   /// internally.
   IvfIndex(const Tensor& rows, const IvfOptions& options);
 
-  /// Indices of the approximate top-k most cosine-similar rows.
+  /// Indices of the approximate top-k most cosine-similar rows. Defensive
+  /// edges: k <= 0 or an empty index returns an empty vector; k larger
+  /// than the number of candidates scanned is clamped. Thread-safe for
+  /// concurrent calls (read-only).
   std::vector<int64_t> Query(const float* query, int64_t dim,
                              int64_t k) const;
 
   /// Convenience over many queries ([N, d]); rows normalized internally.
+  /// Same edge handling as Query, applied per row (k <= 0 or an empty
+  /// index yields N empty answers).
   std::vector<std::vector<int64_t>> QueryBatch(const Tensor& queries,
                                                int64_t k) const;
 

@@ -55,7 +55,9 @@ Status EmbeddingStore::Save(const std::string& path) const {
   }
   out.append(reinterpret_cast<const char*>(embeddings_.data()),
              static_cast<size_t>(embeddings_.size()) * sizeof(float));
-  return WriteStringToFile(path, out);
+  // Atomic (temp + rename) so a crash mid-save can never leave a torn
+  // artifact for a serving snapshot manager to pick up.
+  return WriteStringToFileAtomic(path, out);
 }
 
 Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
@@ -104,6 +106,7 @@ Result<Tensor> EmbeddingStore::Get(const std::string& name) const {
 
 std::vector<EmbeddingStore::Neighbor> EmbeddingStore::NearestNeighbors(
     const Tensor& query, int64_t k) const {
+  if (size() == 0 || k <= 0) return {};
   SDEA_CHECK_EQ(query.size(), dim());
   Tensor q({1, dim()});
   q.SetRow(0, query);

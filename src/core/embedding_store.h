@@ -25,7 +25,9 @@ class EmbeddingStore {
                                        Tensor embeddings);
 
   /// Binary persistence (magic + names + float32 matrix). Round-trips
-  /// exactly.
+  /// exactly. Save is atomic (temp file + rename): a crash mid-save leaves
+  /// the previous artifact intact, never a torn one, and Load rejects any
+  /// truncated/partial file cleanly.
   Status Save(const std::string& path) const;
   static Result<EmbeddingStore> Load(const std::string& path);
 
@@ -48,7 +50,9 @@ class EmbeddingStore {
   };
 
   /// Top-k most cosine-similar entries to `query` (length dim()). Exact
-  /// scan unless BuildIndex was called.
+  /// scan unless BuildIndex was called. Defensive edges: k <= 0 or an
+  /// empty store yields an empty vector; k > size() clamps. Thread-safe
+  /// for concurrent calls (read-only).
   std::vector<Neighbor> NearestNeighbors(const Tensor& query,
                                          int64_t k) const;
 

@@ -1,0 +1,72 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/check.h"
+
+namespace sdea::serve {
+
+RequestBatcher::RequestBatcher(const BatcherOptions& options, BatchFn fn)
+    : options_(options), fn_(std::move(fn)) {
+  SDEA_CHECK(fn_ != nullptr);
+  options_.max_batch_size = std::max<int64_t>(options_.max_batch_size, 1);
+  if (options_.max_wait.count() < 0) {
+    options_.max_wait = std::chrono::microseconds(0);
+  }
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+RequestBatcher::~RequestBatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  dispatcher_.join();
+}
+
+std::future<AlignResult> RequestBatcher::Submit(ServeRequest request) {
+  request.enqueue_time = std::chrono::steady_clock::now();
+  std::future<AlignResult> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SDEA_CHECK(!stop_);  // Submitting into a destructing batcher.
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void RequestBatcher::DispatcherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ set and nothing left to drain.
+
+    // Hold the batch open until it fills or the oldest request has waited
+    // max_wait. New arrivals notify cv_, so a filling batch is noticed
+    // immediately rather than at the deadline.
+    const auto deadline = queue_.front().enqueue_time + options_.max_wait;
+    while (!stop_ &&
+           static_cast<int64_t>(queue_.size()) < options_.max_batch_size &&
+           std::chrono::steady_clock::now() < deadline) {
+      cv_.wait_until(lock, deadline);
+    }
+
+    const size_t take = std::min(
+        queue_.size(), static_cast<size_t>(options_.max_batch_size));
+    std::vector<ServeRequest> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+
+    lock.unlock();
+    fn_(&batch);
+    lock.lock();
+  }
+}
+
+}  // namespace sdea::serve

@@ -1,0 +1,99 @@
+#ifndef SDEA_SERVE_BATCHER_H_
+#define SDEA_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/status.h"
+#include "core/embedding_store.h"
+#include "tensor/tensor.h"
+
+namespace sdea::serve {
+
+/// One scored candidate, as returned by EmbeddingStore.
+using Neighbor = core::EmbeddingStore::Neighbor;
+
+/// What a client gets back for one alignment query.
+using AlignResult = Result<std::vector<Neighbor>>;
+
+/// One in-flight alignment query. Either a text query (`is_text`, `text` =
+/// the cache key, `embedding` filled in by the encode stage) or a direct
+/// embedding query (`embedding` already populated).
+struct ServeRequest {
+  bool is_text = false;
+  std::string text;
+  Tensor embedding;
+  int64_t k = 10;
+  std::chrono::steady_clock::time_point enqueue_time{};
+  std::promise<AlignResult> promise;
+};
+
+struct BatcherOptions {
+  /// Largest batch handed to the batch function; values < 1 are treated
+  /// as 1.
+  int64_t max_batch_size = 32;
+  /// How long the dispatcher holds an under-full batch open waiting for
+  /// more requests, measured from the oldest queued request's arrival.
+  /// Under saturation batches fill to max_batch_size immediately and this
+  /// bound never applies; it caps added latency at low load.
+  std::chrono::microseconds max_wait{200};
+};
+
+/// Coalesces concurrent single queries into batches. Any number of client
+/// threads Submit() requests and block on (or poll) the returned future; a
+/// single dispatcher thread pops requests in FIFO order, groups up to
+/// `max_batch_size` of them, and hands the group to the batch function,
+/// which must fulfill every request's promise exactly once.
+///
+/// Routing is deterministic by construction: a request's result travels
+/// through its own promise, so batch composition (which is timing-
+/// dependent) can never route an answer to the wrong caller. Whether the
+/// *content* of an answer is independent of batch composition is the batch
+/// function's contract (AlignmentServer's is: it answers each batch row
+/// with the identical per-row computation a serial call would run).
+class RequestBatcher {
+ public:
+  /// Receives the batch in FIFO submission order and must set every
+  /// request's promise (value or error) before returning.
+  using BatchFn = std::function<void(std::vector<ServeRequest>*)>;
+
+  RequestBatcher(const BatcherOptions& options, BatchFn fn);
+
+  /// Stops accepting work, drains every queued request through the batch
+  /// function, and joins the dispatcher.
+  ~RequestBatcher();
+
+  RequestBatcher(const RequestBatcher&) = delete;
+  RequestBatcher& operator=(const RequestBatcher&) = delete;
+
+  /// Enqueues `request` and returns the future its answer will arrive on.
+  /// Must not be called concurrently with destruction.
+  std::future<AlignResult> Submit(ServeRequest request);
+
+  const BatcherOptions& options() const { return options_; }
+
+ private:
+  void DispatcherLoop();
+
+  BatcherOptions options_;
+  BatchFn fn_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<ServeRequest> queue_;  // Guarded by mu_.
+  bool stop_ = false;               // Guarded by mu_.
+
+  std::thread dispatcher_;  // Started last in the constructor.
+};
+
+}  // namespace sdea::serve
+
+#endif  // SDEA_SERVE_BATCHER_H_

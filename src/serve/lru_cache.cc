@@ -1,0 +1,67 @@
+#include "serve/lru_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace sdea::serve {
+
+ShardedLruCache::ShardedLruCache(const LruCacheOptions& options)
+    : shards_(std::max<size_t>(options.num_shards, 1)) {
+  if (options.capacity > 0) {
+    // Round up so the summed shard capacities cover the request.
+    shard_capacity_ =
+        (options.capacity + shards_.size() - 1) / shards_.size();
+  }
+}
+
+ShardedLruCache::Shard& ShardedLruCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+bool ShardedLruCache::Get(const std::string& key, Tensor* value) {
+  if (shard_capacity_ == 0) return false;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return false;
+  shard.entries.splice(shard.entries.begin(), shard.entries, it->second);
+  *value = it->second->second;
+  return true;
+}
+
+void ShardedLruCache::Put(const std::string& key, Tensor value) {
+  if (shard_capacity_ == 0) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.entries.splice(shard.entries.begin(), shard.entries, it->second);
+    return;
+  }
+  shard.entries.emplace_front(key, std::move(value));
+  shard.index[key] = shard.entries.begin();
+  if (shard.entries.size() > shard_capacity_) {
+    shard.index.erase(shard.entries.back().first);
+    shard.entries.pop_back();
+  }
+}
+
+size_t ShardedLruCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+void ShardedLruCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+    shard.index.clear();
+  }
+}
+
+}  // namespace sdea::serve

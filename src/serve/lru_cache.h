@@ -1,0 +1,78 @@
+#ifndef SDEA_SERVE_LRU_CACHE_H_
+#define SDEA_SERVE_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sdea::serve {
+
+struct LruCacheOptions {
+  /// Total entries across all shards; 0 disables the cache entirely
+  /// (every Get misses, every Put is a no-op).
+  size_t capacity = 4096;
+  /// Independent shards, each with its own lock and LRU list. More shards
+  /// reduce lock contention between concurrent request threads at the cost
+  /// of slightly coarser global LRU behaviour (eviction is per-shard).
+  size_t num_shards = 8;
+};
+
+/// A sharded, thread-safe LRU map from a text key to its encoded embedding
+/// row. Keys hash to a fixed shard; each shard orders its entries by
+/// recency and evicts its own least-recently-used entry when full. Used by
+/// AlignmentServer to skip the encoder forward pass for repeated or
+/// overlapping attribute-text queries.
+class ShardedLruCache {
+ public:
+  explicit ShardedLruCache(const LruCacheOptions& options = {});
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Copies the cached value for `key` into `*value` and promotes the entry
+  /// to most-recently-used. Returns false (leaving `*value` untouched) on
+  /// miss.
+  bool Get(const std::string& key, Tensor* value);
+
+  /// Inserts or overwrites `key`; either way the entry becomes the shard's
+  /// most-recently-used. Evicts the shard's LRU entry when the shard is
+  /// over capacity.
+  void Put(const std::string& key, Tensor value);
+
+  /// Current number of cached entries (sums shard sizes; a concurrent
+  /// mutation may be counted in neither or one shard, never twice).
+  size_t size() const;
+
+  /// Effective capacity: per-shard capacity times shard count. At least the
+  /// requested capacity (rounded up to a multiple of the shard count), or 0
+  /// when the cache is disabled.
+  size_t capacity() const { return shard_capacity_ * shards_.size(); }
+
+  /// Drops every entry.
+  void Clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // front = most-recently-used.
+    std::list<std::pair<std::string, Tensor>> entries;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, Tensor>>::iterator>
+        index;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t shard_capacity_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace sdea::serve
+
+#endif  // SDEA_SERVE_LRU_CACHE_H_

@@ -1,0 +1,133 @@
+#ifndef SDEA_SERVE_SERVER_H_
+#define SDEA_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/ann_index.h"
+#include "core/embedding_store.h"
+#include "serve/batcher.h"
+#include "serve/lru_cache.h"
+#include "serve/snapshot.h"
+#include "serve/stats.h"
+#include "tensor/tensor.h"
+
+namespace sdea::serve {
+
+/// Encodes a batch of attribute texts into a [texts.size(), dim] embedding
+/// matrix. In production this wraps the trained attribute-text encoder
+/// (e.g. TextAlignmentEncoder); tests and benches plug in cheap
+/// deterministic substitutes.
+///
+/// Contract for batched == serial answer equality: row i of the result
+/// must depend only on texts[i] (no cross-row normalization or pooling),
+/// so encoding a text in a batch of 40 yields the same bits as encoding it
+/// alone. All tmath matmul-based encoders satisfy this (each output row is
+/// a pure function of the corresponding input row).
+using BatchEncoderFn =
+    std::function<Tensor(const std::vector<std::string>&)>;
+
+struct ServerOptions {
+  BatcherOptions batcher;
+  LruCacheOptions cache;
+  /// Build the snapshot's IVF index on swap/load when the store has none.
+  /// Disable for small stores where the exact scan is already fast.
+  bool build_index = true;
+  core::IvfOptions index;
+  /// Key the embedding cache (and feed the encoder) with
+  /// text::NormalizeText(query) instead of the raw query string, so
+  /// trivially different spellings of one attribute value share an entry.
+  bool normalize_text = true;
+};
+
+/// The online alignment-serving front end: answers "align this entity
+/// embedding / this attribute text -> top-k candidates" queries from many
+/// concurrent clients against a hot-swappable embedding-store snapshot.
+///
+/// Request path: client threads submit through a RequestBatcher; the
+/// dispatcher thread pins ONE snapshot per batch (so every answer in a
+/// batch is coherent even mid-swap), resolves text queries through the
+/// sharded LRU cache, batch-encodes the misses with one BatchEncoderFn
+/// call, then answers every row with the store's NearestNeighbors —
+/// sharded across base::ThreadPool but per-row identical to a serial call,
+/// so concurrent batched answers are bitwise-equal to one-at-a-time
+/// answers (a tested property, see tests/serve_server_test.cc).
+///
+/// Snapshot path: SwapSnapshot/LoadSnapshot build + index the new store
+/// off to the side and publish it atomically; in-flight batches finish on
+/// the snapshot they pinned. The text cache survives swaps intentionally:
+/// cached entries are encoder outputs, which do not depend on the store.
+class AlignmentServer {
+ public:
+  /// `encoder` may be null when only embedding queries will be served;
+  /// text queries then fail with InvalidArgument.
+  explicit AlignmentServer(const ServerOptions& options = {},
+                           BatchEncoderFn encoder = nullptr);
+  ~AlignmentServer() = default;
+
+  AlignmentServer(const AlignmentServer&) = delete;
+  AlignmentServer& operator=(const AlignmentServer&) = delete;
+
+  /// Publishes `store` (indexing it first if options say so and it has no
+  /// index) as the serving snapshot. Returns the new version. Callable at
+  /// any time, including while queries are in flight.
+  uint64_t SwapSnapshot(core::EmbeddingStore store);
+
+  /// Loads a store artifact from disk and publishes it (same as
+  /// SwapSnapshot otherwise).
+  Result<uint64_t> LoadSnapshot(const std::string& path);
+
+  /// The snapshot queries are currently answered against; nullptr before
+  /// the first swap/load.
+  std::shared_ptr<const ServingSnapshot> snapshot() const {
+    return snapshots_.Current();
+  }
+  uint64_t snapshot_version() const { return snapshots_.version(); }
+
+  /// Blocking: top-k store entries most similar to `query` (length =
+  /// store dim). k <= 0 yields an empty answer; k > store size clamps.
+  AlignResult AlignEmbedding(const Tensor& query, int64_t k);
+
+  /// Blocking: encodes `text` (through the cache) and aligns the result.
+  AlignResult AlignText(const std::string& text, int64_t k);
+
+  /// Fire-and-wait-later variants; the future is fulfilled by the
+  /// dispatcher thread once the request's batch completes.
+  std::future<AlignResult> AlignEmbeddingAsync(Tensor query, int64_t k);
+  std::future<AlignResult> AlignTextAsync(std::string text, int64_t k);
+
+  StatsSnapshot stats() const { return stats_.Snapshot(); }
+
+  /// Benchmark/test helpers. Not synchronized against in-flight queries.
+  void ResetStats() { stats_.Reset(); }
+  void ClearCache() { cache_.Clear(); }
+
+  /// Replaces the batcher (draining it first) with one using `options`,
+  /// keeping the loaded snapshot and cache. Must not race with in-flight
+  /// queries; intended for benchmarks sweeping batching configurations on
+  /// one indexed server.
+  void ReconfigureBatcher(const BatcherOptions& options);
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  void RunBatch(std::vector<ServeRequest>* batch);
+
+  ServerOptions options_;
+  BatchEncoderFn encoder_;
+  SnapshotManager snapshots_;
+  ShardedLruCache cache_;
+  ServeStats stats_;
+  // Declared last: destroyed (and therefore drained) first, while the
+  // members RunBatch touches are still alive.
+  std::unique_ptr<RequestBatcher> batcher_;
+};
+
+}  // namespace sdea::serve
+
+#endif  // SDEA_SERVE_SERVER_H_

@@ -1,0 +1,35 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+namespace sdea::serve {
+
+std::shared_ptr<const ServingSnapshot> SnapshotManager::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t SnapshotManager::Swap(core::EmbeddingStore store) {
+  auto snap = std::make_shared<ServingSnapshot>();
+  snap->store = std::move(store);
+  std::lock_guard<std::mutex> lock(mu_);
+  snap->version = ++last_version_;
+  current_ = std::move(snap);
+  return last_version_;
+}
+
+Result<uint64_t> SnapshotManager::LoadAndSwap(
+    const std::string& path, bool build_index,
+    const core::IvfOptions& index_options) {
+  SDEA_ASSIGN_OR_RETURN(core::EmbeddingStore store,
+                        core::EmbeddingStore::Load(path));
+  if (build_index && !store.has_index()) store.BuildIndex(index_options);
+  return Swap(std::move(store));
+}
+
+uint64_t SnapshotManager::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_version_;
+}
+
+}  // namespace sdea::serve

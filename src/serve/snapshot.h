@@ -1,0 +1,66 @@
+#ifndef SDEA_SERVE_SNAPSHOT_H_
+#define SDEA_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "base/status.h"
+#include "core/ann_index.h"
+#include "core/embedding_store.h"
+
+namespace sdea::serve {
+
+/// One immutable serving state: a versioned embedding store (with its IVF
+/// index built inside, if any). Once published through SnapshotManager a
+/// snapshot is never mutated again, so any number of request threads may
+/// read it concurrently; EmbeddingStore's query methods are const and
+/// touch no mutable state.
+struct ServingSnapshot {
+  uint64_t version = 0;
+  core::EmbeddingStore store;
+};
+
+/// Holds the current snapshot behind a shared_ptr and swaps it atomically.
+/// Readers pin the snapshot they are answering against with Current(); a
+/// concurrent Swap publishes the replacement for *subsequent* readers while
+/// in-flight queries finish on the pinned old snapshot, which stays alive
+/// until its last shared_ptr drops. This is the zero-downtime reload path:
+/// a freshly trained store is built and indexed off to the side, then
+/// swapped in with one pointer store.
+class SnapshotManager {
+ public:
+  SnapshotManager() = default;
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  /// The currently published snapshot, or nullptr before the first Swap.
+  std::shared_ptr<const ServingSnapshot> Current() const;
+
+  /// Publishes `store` as the new current snapshot and returns its version
+  /// (monotonically increasing from 1). Build the store's index *before*
+  /// calling — Swap itself is just an allocation and a pointer store.
+  uint64_t Swap(core::EmbeddingStore store);
+
+  /// Loads a store artifact from disk, optionally builds its IVF index,
+  /// and publishes it. The load + index build happen entirely outside the
+  /// swap lock; queries keep flowing against the old snapshot meanwhile.
+  Result<uint64_t> LoadAndSwap(const std::string& path,
+                               bool build_index = true,
+                               const core::IvfOptions& index_options = {});
+
+  bool has_snapshot() const { return Current() != nullptr; }
+
+  /// Version of the current snapshot; 0 when none has been published.
+  uint64_t version() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ServingSnapshot> current_;
+  uint64_t last_version_ = 0;  // Guarded by mu_.
+};
+
+}  // namespace sdea::serve
+
+#endif  // SDEA_SERVE_SNAPSHOT_H_

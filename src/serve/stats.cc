@@ -1,0 +1,172 @@
+#include "serve/stats.h"
+
+#include <cstdio>
+
+namespace sdea::serve {
+namespace {
+
+// Bucket upper bounds (inclusive); the last bucket is unbounded.
+constexpr uint64_t kBatchBounds[StatsSnapshot::kBatchBuckets - 1] = {
+    1, 2, 4, 8, 16, 32, 64};
+constexpr int64_t kLatencyBoundsUs[StatsSnapshot::kLatencyBuckets - 1] = {
+    1, 4, 16, 64, 256, 1024, 4096, 16384, 65536};
+
+int BatchBucket(uint64_t batch_size) {
+  for (int b = 0; b < StatsSnapshot::kBatchBuckets - 1; ++b) {
+    if (batch_size <= kBatchBounds[b]) return b;
+  }
+  return StatsSnapshot::kBatchBuckets - 1;
+}
+
+int LatencyBucket(int64_t micros) {
+  for (int b = 0; b < StatsSnapshot::kLatencyBuckets - 1; ++b) {
+    if (micros <= kLatencyBoundsUs[b]) return b;
+  }
+  return StatsSnapshot::kLatencyBuckets - 1;
+}
+
+void AppendHistogram(std::string* out, const char* label,
+                     const uint64_t* counts, const int64_t* bounds,
+                     int num_buckets) {
+  out->append(label);
+  char buf[64];
+  for (int b = 0; b < num_buckets; ++b) {
+    if (b < num_buckets - 1) {
+      std::snprintf(buf, sizeof(buf), " [<=%lld]=%llu",
+                    static_cast<long long>(bounds[b]),
+                    static_cast<unsigned long long>(counts[b]));
+    } else {
+      std::snprintf(buf, sizeof(buf), " [inf]=%llu",
+                    static_cast<unsigned long long>(counts[b]));
+    }
+    out->append(buf);
+  }
+  out->append("\n");
+}
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+}  // namespace
+
+double StatsSnapshot::cache_hit_rate() const {
+  const uint64_t lookups = cache_hits + cache_misses;
+  if (lookups == 0) return 0.0;
+  return static_cast<double>(cache_hits) / static_cast<double>(lookups);
+}
+
+double StatsSnapshot::mean_batch_size() const {
+  if (batches == 0) return 0.0;
+  return static_cast<double>(batched_queries) / static_cast<double>(batches);
+}
+
+std::string StatsSnapshot::ToString() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "serve stats: %llu queries (%llu text, %llu embedding, "
+                "%llu failed) in %llu batches (mean %.2f/batch)\n",
+                static_cast<unsigned long long>(queries),
+                static_cast<unsigned long long>(text_queries),
+                static_cast<unsigned long long>(embedding_queries),
+                static_cast<unsigned long long>(failed_queries),
+                static_cast<unsigned long long>(batches), mean_batch_size());
+  out.append(buf);
+  std::snprintf(buf, sizeof(buf),
+                "cache: %llu hits / %llu misses (%.1f%% hit rate), "
+                "%llu texts encoded; %llu snapshot swaps\n",
+                static_cast<unsigned long long>(cache_hits),
+                static_cast<unsigned long long>(cache_misses),
+                100.0 * cache_hit_rate(),
+                static_cast<unsigned long long>(encoded_texts),
+                static_cast<unsigned long long>(snapshot_swaps));
+  out.append(buf);
+  {
+    int64_t batch_bounds[kBatchBuckets - 1];
+    for (int b = 0; b < kBatchBuckets - 1; ++b) {
+      batch_bounds[b] = static_cast<int64_t>(kBatchBounds[b]);
+    }
+    AppendHistogram(&out, "batch sizes:", batch_size_hist.data(),
+                    batch_bounds, kBatchBuckets);
+  }
+  const char* stage_names[kNumStages] = {"encode us:", "search us:",
+                                         "total us: "};
+  for (int s = 0; s < kNumStages; ++s) {
+    AppendHistogram(&out, stage_names[s], latency_hist[s].data(),
+                    kLatencyBoundsUs, kLatencyBuckets);
+  }
+  return out;
+}
+
+void ServeStats::RecordQuery(bool is_text) {
+  queries_.fetch_add(1, kRelaxed);
+  if (is_text) {
+    text_queries_.fetch_add(1, kRelaxed);
+  } else {
+    embedding_queries_.fetch_add(1, kRelaxed);
+  }
+}
+
+void ServeStats::RecordFailedQuery() { failed_queries_.fetch_add(1, kRelaxed); }
+
+void ServeStats::RecordBatch(uint64_t batch_size) {
+  batches_.fetch_add(1, kRelaxed);
+  batched_queries_.fetch_add(batch_size, kRelaxed);
+  batch_size_hist_[BatchBucket(batch_size)].fetch_add(1, kRelaxed);
+}
+
+void ServeStats::RecordCacheHit() { cache_hits_.fetch_add(1, kRelaxed); }
+
+void ServeStats::RecordCacheMiss() { cache_misses_.fetch_add(1, kRelaxed); }
+
+void ServeStats::RecordEncodedTexts(uint64_t count) {
+  encoded_texts_.fetch_add(count, kRelaxed);
+}
+
+void ServeStats::RecordSwap() { snapshot_swaps_.fetch_add(1, kRelaxed); }
+
+void ServeStats::RecordLatency(Stage stage, int64_t micros) {
+  latency_hist_[static_cast<int>(stage)][LatencyBucket(micros)].fetch_add(
+      1, kRelaxed);
+}
+
+StatsSnapshot ServeStats::Snapshot() const {
+  StatsSnapshot snap;
+  snap.queries = queries_.load(kRelaxed);
+  snap.text_queries = text_queries_.load(kRelaxed);
+  snap.embedding_queries = embedding_queries_.load(kRelaxed);
+  snap.failed_queries = failed_queries_.load(kRelaxed);
+  snap.batches = batches_.load(kRelaxed);
+  snap.batched_queries = batched_queries_.load(kRelaxed);
+  snap.cache_hits = cache_hits_.load(kRelaxed);
+  snap.cache_misses = cache_misses_.load(kRelaxed);
+  snap.encoded_texts = encoded_texts_.load(kRelaxed);
+  snap.snapshot_swaps = snapshot_swaps_.load(kRelaxed);
+  for (int b = 0; b < StatsSnapshot::kBatchBuckets; ++b) {
+    snap.batch_size_hist[b] = batch_size_hist_[b].load(kRelaxed);
+  }
+  for (int s = 0; s < StatsSnapshot::kNumStages; ++s) {
+    for (int b = 0; b < StatsSnapshot::kLatencyBuckets; ++b) {
+      snap.latency_hist[s][b] = latency_hist_[s][b].load(kRelaxed);
+    }
+  }
+  return snap;
+}
+
+void ServeStats::Reset() {
+  queries_.store(0, kRelaxed);
+  text_queries_.store(0, kRelaxed);
+  embedding_queries_.store(0, kRelaxed);
+  failed_queries_.store(0, kRelaxed);
+  batches_.store(0, kRelaxed);
+  batched_queries_.store(0, kRelaxed);
+  cache_hits_.store(0, kRelaxed);
+  cache_misses_.store(0, kRelaxed);
+  encoded_texts_.store(0, kRelaxed);
+  snapshot_swaps_.store(0, kRelaxed);
+  for (auto& c : batch_size_hist_) c.store(0, kRelaxed);
+  for (auto& stage : latency_hist_) {
+    for (auto& c : stage) c.store(0, kRelaxed);
+  }
+}
+
+}  // namespace sdea::serve

@@ -1,0 +1,95 @@
+#ifndef SDEA_SERVE_STATS_H_
+#define SDEA_SERVE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace sdea::serve {
+
+/// A point-in-time copy of the serving counters: plain values, safe to
+/// store, diff between two instants, or print.
+struct StatsSnapshot {
+  /// Batch-size histogram bucket upper bounds: 1, 2, 4, 8, 16, 32, 64, inf.
+  static constexpr int kBatchBuckets = 8;
+  /// Latency bucket upper bounds in microseconds:
+  /// 1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, inf.
+  static constexpr int kLatencyBuckets = 10;
+  /// Instrumented pipeline stages (indices into latency_hist).
+  static constexpr int kNumStages = 3;
+
+  uint64_t queries = 0;            ///< Successfully answered requests.
+  uint64_t text_queries = 0;       ///< Of `queries`, text-keyed ones.
+  uint64_t embedding_queries = 0;  ///< Of `queries`, embedding-keyed ones.
+  uint64_t failed_queries = 0;     ///< Requests answered with an error.
+  uint64_t batches = 0;            ///< Dispatched batches (incl. failed).
+  uint64_t batched_queries = 0;    ///< Sum of batch sizes.
+  uint64_t cache_hits = 0;         ///< Text lookups served from the cache.
+  uint64_t cache_misses = 0;       ///< Text lookups that needed encoding.
+  uint64_t encoded_texts = 0;      ///< Unique texts sent to the encoder.
+  uint64_t snapshot_swaps = 0;     ///< Hot swaps since construction/reset.
+  std::array<uint64_t, kBatchBuckets> batch_size_hist{};
+  std::array<std::array<uint64_t, kLatencyBuckets>, kNumStages>
+      latency_hist{};
+
+  /// cache_hits / (cache_hits + cache_misses); 0 when no text lookups.
+  double cache_hit_rate() const;
+
+  /// batched_queries / batches; 0 when no batch has been dispatched.
+  double mean_batch_size() const;
+
+  /// Multi-line human-readable summary.
+  std::string ToString() const;
+};
+
+/// Counters shared by all serving threads. Every mutation is a relaxed
+/// atomic increment and Snapshot() is a sequence of relaxed loads, so the
+/// stats path never takes a lock and never serializes request threads.
+/// Snapshot() is therefore not a single consistent cut across counters —
+/// concurrent increments may be half-visible — which is the usual (and
+/// documented) monitoring-counter trade-off.
+class ServeStats {
+ public:
+  enum class Stage { kEncode = 0, kSearch = 1, kTotal = 2 };
+
+  ServeStats() = default;
+  ServeStats(const ServeStats&) = delete;
+  ServeStats& operator=(const ServeStats&) = delete;
+
+  void RecordQuery(bool is_text);
+  void RecordFailedQuery();
+  void RecordBatch(uint64_t batch_size);
+  void RecordCacheHit();
+  void RecordCacheMiss();
+  void RecordEncodedTexts(uint64_t count);
+  void RecordSwap();
+  void RecordLatency(Stage stage, int64_t micros);
+
+  StatsSnapshot Snapshot() const;
+
+  /// Zeroes every counter. Intended for benchmarks sweeping configurations
+  /// on one server; not synchronized against concurrent recording.
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> text_queries_{0};
+  std::atomic<uint64_t> embedding_queries_{0};
+  std::atomic<uint64_t> failed_queries_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_queries_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> encoded_texts_{0};
+  std::atomic<uint64_t> snapshot_swaps_{0};
+  std::array<std::atomic<uint64_t>, StatsSnapshot::kBatchBuckets>
+      batch_size_hist_{};
+  std::array<std::array<std::atomic<uint64_t>, StatsSnapshot::kLatencyBuckets>,
+             StatsSnapshot::kNumStages>
+      latency_hist_{};
+};
+
+}  // namespace sdea::serve
+
+#endif  // SDEA_SERVE_STATS_H_

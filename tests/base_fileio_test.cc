@@ -62,5 +62,32 @@ TEST(FileIoTest, EmptyFileReadsEmpty) {
   EXPECT_TRUE(r->empty());
 }
 
+TEST(FileIoTest, AtomicWriteRoundTrips) {
+  const std::string path = TempPath("sdea_fileio_atomic.txt");
+  ASSERT_TRUE(WriteStringToFileAtomic(path, "first").ok());
+  auto r = ReadFileToString(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "first");
+  // Replacing an existing file goes through the same temp + rename.
+  ASSERT_TRUE(WriteStringToFileAtomic(path, "second, longer").ok());
+  r = ReadFileToString(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "second, longer");
+}
+
+TEST(FileIoTest, AtomicWriteLeavesNoTempFile) {
+  const std::string path = TempPath("sdea_fileio_atomic_clean.txt");
+  ASSERT_TRUE(WriteStringToFileAtomic(path, "payload").ok());
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_FALSE(FileExists(tmp));
+}
+
+TEST(FileIoTest, AtomicWriteToBadDirectoryFails) {
+  EXPECT_FALSE(
+      WriteStringToFileAtomic("/nonexistent_dir_xyz/file.txt", "x").ok());
+}
+
 }  // namespace
 }  // namespace sdea

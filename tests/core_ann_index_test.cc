@@ -121,6 +121,54 @@ TEST(IvfIndexTest, ReseededEmptyClusterOwnsItsCell) {
   }
 }
 
+TEST(IvfIndexTest, KNonPositiveReturnsEmpty) {
+  Rng rng(7);
+  Tensor tgt = Tensor::RandomNormal({50, 4}, 1.0f, &rng);
+  const IvfIndex index(tgt, IvfOptions{});
+  Tensor q = Tensor::RandomNormal({1, 4}, 1.0f, &rng);
+  tmath::L2NormalizeRowsInPlace(&q);
+  // k <= 0 previously made the partial_sort middle iterator negative (UB);
+  // now it degrades to "no candidates".
+  EXPECT_TRUE(index.Query(q.data(), 4, 0).empty());
+  EXPECT_TRUE(index.Query(q.data(), 4, -3).empty());
+  const auto batch = index.QueryBatch(Tensor::RandomNormal({5, 4}, 1.0f,
+                                                           &rng), 0);
+  ASSERT_EQ(batch.size(), 5u);
+  for (const auto& row : batch) EXPECT_TRUE(row.empty());
+}
+
+TEST(IvfIndexTest, EmptyIndexReturnsEmpty) {
+  const IvfIndex index(Tensor({0, 4}), IvfOptions{});
+  EXPECT_EQ(index.num_clusters(), 0);
+  const float query[4] = {1.0f, 0.0f, 0.0f, 0.0f};
+  EXPECT_TRUE(index.Query(query, 4, 5).empty());
+  Rng rng(8);
+  const auto batch =
+      index.QueryBatch(Tensor::RandomNormal({3, 4}, 1.0f, &rng), 5);
+  ASSERT_EQ(batch.size(), 3u);
+  for (const auto& row : batch) EXPECT_TRUE(row.empty());
+}
+
+TEST(IvfIndexTest, EmptyQueryBatchReturnsEmpty) {
+  Rng rng(9);
+  Tensor tgt = Tensor::RandomNormal({20, 4}, 1.0f, &rng);
+  const IvfIndex index(tgt, IvfOptions{});
+  EXPECT_TRUE(index.QueryBatch(Tensor({0, 4}), 5).empty());
+  EXPECT_TRUE(index.QueryBatch(Tensor(), 5).empty());
+}
+
+TEST(IvfIndexTest, KLargerThanIndexClamps) {
+  Rng rng(10);
+  Tensor tgt = Tensor::RandomNormal({12, 4}, 1.0f, &rng);
+  IvfOptions opt;
+  opt.num_clusters = 1;  // One probe scans everything: exactly 12 results.
+  opt.num_probes = 1;
+  const IvfIndex index(tgt, opt);
+  Tensor q = Tensor::RandomNormal({1, 4}, 1.0f, &rng);
+  tmath::L2NormalizeRowsInPlace(&q);
+  EXPECT_EQ(index.Query(q.data(), 4, 1000).size(), 12u);
+}
+
 TEST(IvfIndexTest, Deterministic) {
   Rng rng(6);
   Tensor tgt = Tensor::RandomNormal({100, 8}, 1.0f, &rng);

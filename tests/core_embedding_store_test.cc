@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdlib>
 
 #include "base/fileio.h"
@@ -93,6 +95,76 @@ TEST(EmbeddingStoreTest, LoadRejectsGarbage) {
   const std::string path = TempPath("sdea_emb_garbage.bin");
   ASSERT_TRUE(WriteStringToFile(path, "nope").ok());
   EXPECT_FALSE(EmbeddingStore::Load(path).ok());
+}
+
+TEST(EmbeddingStoreTest, SaveLeavesNoTempResidue) {
+  const EmbeddingStore store = MakeStore();
+  const std::string path = TempPath("sdea_emb_atomic.bin");
+  ASSERT_TRUE(store.Save(path).ok());
+  // The atomic-save temp file must be renamed away, never left behind.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_FALSE(FileExists(tmp));
+  // Overwriting an existing artifact is also atomic and clean.
+  ASSERT_TRUE(store.Save(path).ok());
+  EXPECT_FALSE(FileExists(tmp));
+}
+
+TEST(EmbeddingStoreTest, PartialFileFailsLoadCleanly) {
+  // A crash mid-save can no longer produce a partial artifact (temp +
+  // rename), but a torn file could still arrive via other channels (e.g.
+  // truncated download). Load must reject every prefix cleanly rather
+  // than crash or fabricate a store.
+  const EmbeddingStore store = MakeStore();
+  const std::string path = TempPath("sdea_emb_partial.bin");
+  ASSERT_TRUE(store.Save(path).ok());
+  auto full = ReadFileToString(path);
+  ASSERT_TRUE(full.ok());
+  const std::string& bytes = *full;
+  ASSERT_GT(bytes.size(), 8u);
+  const std::string partial_path = TempPath("sdea_emb_partial_cut.bin");
+  // Every strict prefix is invalid: cut inside the magic, the header, the
+  // name block, and the float payload.
+  for (const size_t cut :
+       {size_t{4}, size_t{12}, size_t{30}, bytes.size() - 1}) {
+    ASSERT_LT(cut, bytes.size());
+    ASSERT_TRUE(
+        WriteStringToFile(partial_path, bytes.substr(0, cut)).ok());
+    auto loaded = EmbeddingStore::Load(partial_path);
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << cut << " bytes loaded";
+  }
+}
+
+TEST(EmbeddingStoreTest, NearestNeighborsEdgeCases) {
+  const EmbeddingStore store = MakeStore();
+  const Tensor query = Tensor::FromVector({1, 0.1f});
+  // k <= 0 yields an empty answer rather than UB in the partial sort.
+  EXPECT_TRUE(store.NearestNeighbors(query, 0).empty());
+  EXPECT_TRUE(store.NearestNeighbors(query, -7).empty());
+  // k > size clamps.
+  EXPECT_EQ(store.NearestNeighbors(query, 100).size(), 3u);
+  // An empty store answers nothing, for any query.
+  auto empty_r = EmbeddingStore::Create({}, Tensor({0, 2}));
+  ASSERT_TRUE(empty_r.ok());
+  const EmbeddingStore empty = std::move(empty_r).value();
+  EXPECT_EQ(empty.size(), 0);
+  EXPECT_TRUE(empty.NearestNeighbors(query, 5).empty());
+}
+
+TEST(EmbeddingStoreTest, NearestNeighborsEdgeCasesWithIndex) {
+  Rng rng(8);
+  Tensor emb = Tensor::RandomNormal({20, 4}, 1.0f, &rng);
+  std::vector<std::string> names;
+  for (int64_t i = 0; i < 20; ++i) names.push_back("e" + std::to_string(i));
+  auto store_r = EmbeddingStore::Create(std::move(names), std::move(emb));
+  ASSERT_TRUE(store_r.ok());
+  EmbeddingStore store = std::move(store_r).value();
+  store.BuildIndex();
+  const Tensor query = Tensor::RandomNormal({4}, 1.0f, &rng);
+  EXPECT_TRUE(store.NearestNeighbors(query, 0).empty());
+  EXPECT_TRUE(store.NearestNeighbors(query, -1).empty());
+  EXPECT_LE(store.NearestNeighbors(query, 500).size(), 20u);
 }
 
 }  // namespace

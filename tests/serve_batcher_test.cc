@@ -1,0 +1,166 @@
+#include "serve/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sdea::serve {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+// A batch function that answers each request with a single neighbor
+// echoing the request's own fields, so a mis-routed answer is detectable.
+void EchoBatch(std::vector<ServeRequest>* batch) {
+  for (ServeRequest& request : *batch) {
+    std::vector<Neighbor> answer;
+    answer.push_back(Neighbor{request.text, request.k, 1.0f});
+    request.promise.set_value(AlignResult(std::move(answer)));
+  }
+}
+
+ServeRequest TextRequest(const std::string& text, int64_t k) {
+  ServeRequest request;
+  request.is_text = true;
+  request.text = text;
+  request.k = k;
+  return request;
+}
+
+TEST(RequestBatcherTest, SingleRequestRoundTrip) {
+  RequestBatcher batcher({.max_batch_size = 8, .max_wait = microseconds(100)},
+                         EchoBatch);
+  auto future = batcher.Submit(TextRequest("hello", 3));
+  AlignResult result = future.get();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].name, "hello");
+  EXPECT_EQ((*result)[0].id, 3);
+}
+
+TEST(RequestBatcherTest, EveryAnswerRoutesToItsOwnCaller) {
+  RequestBatcher batcher(
+      {.max_batch_size = 16, .max_wait = microseconds(200)}, EchoBatch);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&batcher, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string text =
+            "req-" + std::to_string(t) + "-" + std::to_string(i);
+        const int64_t k = t * 1000 + i;
+        AlignResult result = batcher.Submit(TextRequest(text, k)).get();
+        ASSERT_TRUE(result.ok());
+        ASSERT_EQ(result->size(), 1u);
+        // The answer must echo THIS request, not a batch-mate's.
+        ASSERT_EQ((*result)[0].name, text);
+        ASSERT_EQ((*result)[0].id, k);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+TEST(RequestBatcherTest, CoalescesConcurrentRequests) {
+  std::mutex mu;
+  std::vector<size_t> batch_sizes;
+  RequestBatcher batcher(
+      {.max_batch_size = 64, .max_wait = milliseconds(20)},
+      [&](std::vector<ServeRequest>* batch) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          batch_sizes.push_back(batch->size());
+        }
+        // Slow batches let the queue build up behind them.
+        std::this_thread::sleep_for(milliseconds(2));
+        EchoBatch(batch);
+      });
+  constexpr int kRequests = 48;
+  std::vector<std::future<AlignResult>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(batcher.Submit(TextRequest(std::to_string(i), i)));
+  }
+  for (auto& future : futures) {
+    ASSERT_TRUE(future.get().ok());
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  size_t total = 0, max_size = 0;
+  for (size_t s : batch_sizes) {
+    total += s;
+    max_size = std::max(max_size, s);
+  }
+  EXPECT_EQ(total, static_cast<size_t>(kRequests));
+  // Requests submitted while a batch was executing must have coalesced.
+  EXPECT_GT(max_size, 1u);
+  EXPECT_LT(batch_sizes.size(), static_cast<size_t>(kRequests));
+}
+
+TEST(RequestBatcherTest, MaxBatchSizeIsALimit) {
+  std::mutex mu;
+  std::vector<size_t> batch_sizes;
+  std::atomic<bool> first_batch_started{false};
+  RequestBatcher batcher(
+      {.max_batch_size = 4, .max_wait = microseconds(100)},
+      [&](std::vector<ServeRequest>* batch) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          batch_sizes.push_back(batch->size());
+        }
+        first_batch_started.store(true);
+        std::this_thread::sleep_for(milliseconds(1));
+        EchoBatch(batch);
+      });
+  std::vector<std::future<AlignResult>> futures;
+  futures.push_back(batcher.Submit(TextRequest("warmup", 0)));
+  while (!first_batch_started.load()) std::this_thread::yield();
+  // These 31 queue behind the in-flight batch; the 4-cap must split them.
+  for (int i = 0; i < 31; ++i) {
+    futures.push_back(batcher.Submit(TextRequest(std::to_string(i), i)));
+  }
+  for (auto& future : futures) {
+    ASSERT_TRUE(future.get().ok());
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  for (size_t s : batch_sizes) EXPECT_LE(s, 4u);
+}
+
+TEST(RequestBatcherTest, DestructorDrainsPendingRequests) {
+  std::vector<std::future<AlignResult>> futures;
+  {
+    RequestBatcher batcher(
+        {.max_batch_size = 4, .max_wait = milliseconds(50)},
+        [](std::vector<ServeRequest>* batch) {
+          std::this_thread::sleep_for(milliseconds(1));
+          EchoBatch(batch);
+        });
+    for (int i = 0; i < 20; ++i) {
+      futures.push_back(batcher.Submit(TextRequest(std::to_string(i), i)));
+    }
+    // Destructor runs here with most requests still queued.
+  }
+  for (auto& future : futures) {
+    AlignResult result = future.get();  // Must not hang or be abandoned.
+    ASSERT_TRUE(result.ok());
+  }
+}
+
+TEST(RequestBatcherTest, NormalizesDegenerateOptions) {
+  RequestBatcher batcher(
+      {.max_batch_size = -3, .max_wait = microseconds(-5)}, EchoBatch);
+  EXPECT_EQ(batcher.options().max_batch_size, 1);
+  EXPECT_GE(batcher.options().max_wait.count(), 0);
+  auto result = batcher.Submit(TextRequest("x", 1)).get();
+  EXPECT_TRUE(result.ok());
+}
+
+}  // namespace
+}  // namespace sdea::serve

@@ -1,0 +1,114 @@
+#include "serve/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sdea::serve {
+namespace {
+
+Tensor Scalar(float v) { return Tensor::FromVector({v}); }
+
+TEST(ShardedLruCacheTest, MissThenHit) {
+  ShardedLruCache cache({.capacity = 4, .num_shards = 1});
+  Tensor out;
+  EXPECT_FALSE(cache.Get("a", &out));
+  cache.Put("a", Scalar(1.0f));
+  ASSERT_TRUE(cache.Get("a", &out));
+  EXPECT_EQ(out.size(), 1);
+  EXPECT_EQ(out[0], 1.0f);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsed) {
+  // One shard so the global LRU order is exact.
+  ShardedLruCache cache({.capacity = 3, .num_shards = 1});
+  cache.Put("a", Scalar(1.0f));
+  cache.Put("b", Scalar(2.0f));
+  cache.Put("c", Scalar(3.0f));
+  Tensor out;
+  ASSERT_TRUE(cache.Get("a", &out));  // Promote "a"; "b" is now LRU.
+  cache.Put("d", Scalar(4.0f));       // Evicts "b".
+  EXPECT_FALSE(cache.Get("b", &out));
+  EXPECT_TRUE(cache.Get("a", &out));
+  EXPECT_TRUE(cache.Get("c", &out));
+  EXPECT_TRUE(cache.Get("d", &out));
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(ShardedLruCacheTest, PutPromotesExistingKey) {
+  ShardedLruCache cache({.capacity = 2, .num_shards = 1});
+  cache.Put("a", Scalar(1.0f));
+  cache.Put("b", Scalar(2.0f));
+  cache.Put("a", Scalar(10.0f));  // Overwrite + promote; "b" is LRU.
+  cache.Put("c", Scalar(3.0f));   // Evicts "b".
+  Tensor out;
+  EXPECT_FALSE(cache.Get("b", &out));
+  ASSERT_TRUE(cache.Get("a", &out));
+  EXPECT_EQ(out[0], 10.0f);  // New value won.
+}
+
+TEST(ShardedLruCacheTest, CapacityIsRespectedAcrossShards) {
+  ShardedLruCache cache({.capacity = 8, .num_shards = 4});
+  EXPECT_EQ(cache.capacity(), 8u);
+  for (int i = 0; i < 100; ++i) {
+    cache.Put("key" + std::to_string(i), Scalar(static_cast<float>(i)));
+  }
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+TEST(ShardedLruCacheTest, ZeroCapacityDisables) {
+  ShardedLruCache cache({.capacity = 0, .num_shards = 4});
+  cache.Put("a", Scalar(1.0f));
+  Tensor out;
+  EXPECT_FALSE(cache.Get("a", &out));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.capacity(), 0u);
+}
+
+TEST(ShardedLruCacheTest, ClearDropsEverything) {
+  ShardedLruCache cache({.capacity = 16, .num_shards = 4});
+  for (int i = 0; i < 10; ++i) {
+    cache.Put("key" + std::to_string(i), Scalar(static_cast<float>(i)));
+  }
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  Tensor out;
+  EXPECT_FALSE(cache.Get("key3", &out));
+}
+
+TEST(ShardedLruCacheTest, ConcurrentMixedTrafficStaysConsistent) {
+  // Values are a pure function of the key, so any hit must return the
+  // value its key was stored with — regardless of interleaving. Run under
+  // TSan as part of the serve label.
+  ShardedLruCache cache({.capacity = 32, .num_shards = 4});
+  constexpr int kThreads = 8;
+  constexpr int kOps = 4000;
+  constexpr int kKeys = 64;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const int key_id = (i * 7 + t * 13) % kKeys;
+        const std::string key = "key" + std::to_string(key_id);
+        if ((i + t) % 3 == 0) {
+          cache.Put(key, Scalar(static_cast<float>(key_id)));
+        } else {
+          Tensor out;
+          if (cache.Get(key, &out)) {
+            ASSERT_EQ(out.size(), 1);
+            ASSERT_EQ(out[0], static_cast<float>(key_id));
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+}  // namespace
+}  // namespace sdea::serve
