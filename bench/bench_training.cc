@@ -1,0 +1,125 @@
+// Microbenchmarks for the training runtime: Trainer driver overhead per
+// batch (no-op task, so only the loop machinery is measured), checkpoint
+// encode/decode at realistic parameter sizes, and the atomic save path.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "base/rng.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/serialization.h"
+#include "train/checkpoint.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace sdea;
+
+class BenchNet : public nn::Module {
+ public:
+  explicit BenchNet(int64_t rows) {
+    Rng rng(1);
+    w = AddParameter("bench.w", Tensor::RandomNormal({rows, 64}, 0.1f, &rng));
+  }
+  Parameter* w;
+};
+
+class NoopTask : public train::TrainTask {
+ public:
+  explicit NoopTask(size_t n) : n_(n), rng_(7), net_(8) {
+    optimizer_ = std::make_unique<nn::Sgd>(net_.Parameters(), 0.01f);
+  }
+  size_t num_examples() const override { return n_; }
+  Rng* rng() override { return &rng_; }
+  float TrainBatch(const uint64_t* ids, size_t n) override {
+    benchmark::DoNotOptimize(ids);
+    benchmark::DoNotOptimize(n);
+    return 0.0f;
+  }
+  nn::Module* module() override { return &net_; }
+  nn::Optimizer* optimizer() override { return optimizer_.get(); }
+
+ private:
+  size_t n_;
+  Rng rng_;
+  BenchNet net_;
+  std::unique_ptr<nn::Optimizer> optimizer_;
+};
+
+// Driver overhead: shuffle + batching + stats, with TrainBatch a no-op.
+void BM_TrainerEpochOverhead(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  NoopTask task(n);
+  train::TrainerOptions opts;
+  opts.max_epochs = 1;
+  opts.batch_size = 64;
+  for (auto _ : state) {
+    train::Trainer trainer(&task, opts);
+    auto stats = trainer.Run();
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_TrainerEpochOverhead)->Arg(1000)->Arg(10000)->Arg(100000);
+
+train::TrainerCheckpoint MakeCheckpoint(int64_t rows) {
+  BenchNet net(rows);
+  nn::Adam adam(net.Parameters(), 1e-3f);
+  Rng rng(3);
+  train::TrainerCheckpoint ckpt;
+  ckpt.next_epoch = 10;
+  ckpt.epochs_run = 10;
+  ckpt.order.resize(4096);
+  ckpt.rng = rng.SaveState();
+  ckpt.params = nn::SerializeParameters(&net);
+  ckpt.best_params = ckpt.params;
+  adam.SerializeState(&ckpt.optimizer);
+  return ckpt;
+}
+
+void BM_CheckpointEncode(benchmark::State& state) {
+  const auto ckpt = MakeCheckpoint(state.range(0));
+  for (auto _ : state) {
+    std::string blob = train::CheckpointManager::Encode(ckpt);
+    benchmark::DoNotOptimize(blob.data());
+    state.SetBytesProcessed(state.bytes_processed() +
+                            static_cast<int64_t>(blob.size()));
+  }
+}
+BENCHMARK(BM_CheckpointEncode)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_CheckpointDecode(benchmark::State& state) {
+  const std::string blob =
+      train::CheckpointManager::Encode(MakeCheckpoint(state.range(0)));
+  for (auto _ : state) {
+    auto ckpt = train::CheckpointManager::Decode(blob);
+    benchmark::DoNotOptimize(ckpt);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(blob.size()));
+}
+BENCHMARK(BM_CheckpointDecode)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// The full atomic save (encode + temp file + rename): what one epoch of
+// periodic checkpointing costs on the training path.
+void BM_CheckpointAtomicSave(benchmark::State& state) {
+  const auto ckpt = MakeCheckpoint(state.range(0));
+  const char* dir = std::getenv("TMPDIR");
+  const std::string path =
+      std::string(dir != nullptr ? dir : "/tmp") + "/sdea_bench_ckpt.bin";
+  train::CheckpointManager mgr(path);
+  for (auto _ : state) {
+    auto status = mgr.Save(ckpt);
+    benchmark::DoNotOptimize(status);
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_CheckpointAtomicSave)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -8,6 +8,15 @@
 
 namespace sdea {
 
+/// The complete internal state of an Rng, as a plain serializable value.
+/// Restoring a saved state reproduces the exact stream from that point, so
+/// a checkpointed training run can resume bitwise-identically.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// Deterministic pseudo-random number generator (xoshiro256**). Every
 /// stochastic component in the library takes an explicit Rng (or seed) so
 /// experiments are reproducible bit-for-bit.
@@ -65,6 +74,12 @@ class Rng {
   /// Derives an independent child generator; advancing the child does not
   /// perturb this generator's stream.
   Rng Fork();
+
+  /// Captures the full generator state (including the Box–Muller cache).
+  RngState SaveState() const;
+
+  /// Restores a state captured by SaveState.
+  void LoadState(const RngState& state);
 
  private:
   uint64_t s_[4];

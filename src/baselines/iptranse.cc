@@ -4,6 +4,7 @@
 
 #include "base/check.h"
 #include "base/rng.h"
+#include "train/trainer.h"
 
 namespace sdea::baselines {
 namespace {
@@ -11,6 +12,63 @@ namespace {
 // Outgoing adjacency over the merged union graph for path sampling.
 struct OutEdges {
   std::vector<std::vector<std::pair<int32_t, int32_t>>> edges;  // (rel, tail)
+};
+
+// One IPTransE training iteration: each Trainer epoch is a TransE epoch
+// over the union triples (OnEpochBegin, drawing from the model's own Rng)
+// followed by `path_samples_per_epoch` PTransE 2-hop path steps (the
+// "examples" of this task, drawing from the separate path Rng).
+class PathTask : public train::TrainTask {
+ public:
+  PathTask(TransE* model, const std::vector<kg::RelationalTriple>* triples,
+           const std::vector<int32_t>* merge, const OutEdges* out,
+           Rng* path_rng, int64_t path_samples, float path_lr)
+      : model_(model),
+        triples_(triples),
+        merge_(merge),
+        out_(out),
+        path_rng_(path_rng),
+        path_samples_(path_samples),
+        path_lr_(path_lr) {}
+
+  size_t num_examples() const override {
+    return static_cast<size_t>(path_samples_);
+  }
+  Rng* rng() override { return path_rng_; }
+  nn::Module* module() override { return model_->module(); }
+
+  void OnEpochBegin(int64_t /*epoch*/) override {
+    model_->TrainEpoch(*triples_, *merge_);
+  }
+
+  float TrainBatch(const uint64_t* /*ids*/, size_t n) override {
+    const uint64_t total = static_cast<uint64_t>(out_->edges.size());
+    for (size_t s = 0; s < n; ++s) {
+      const int64_t h = Resolve(static_cast<int64_t>(
+          path_rng_->UniformInt(total)));
+      const auto& e1edges = out_->edges[static_cast<size_t>(h)];
+      if (e1edges.empty()) continue;
+      const auto& [r1, m] = e1edges[path_rng_->UniformInt(e1edges.size())];
+      const auto& e2edges = out_->edges[static_cast<size_t>(m)];
+      if (e2edges.empty()) continue;
+      const auto& [r2, t] = e2edges[path_rng_->UniformInt(e2edges.size())];
+      model_->PathStep(h, r1, r2, t, path_lr_);
+    }
+    return 0.0f;
+  }
+
+ private:
+  int64_t Resolve(int64_t raw) const {
+    return static_cast<int64_t>((*merge_)[static_cast<size_t>(raw)]);
+  }
+
+  TransE* model_;
+  const std::vector<kg::RelationalTriple>* triples_;
+  const std::vector<int32_t>* merge_;
+  const OutEdges* out_;
+  Rng* path_rng_;
+  int64_t path_samples_;
+  float path_lr_;
 };
 
 }  // namespace
@@ -66,20 +124,19 @@ Status IpTransE::Fit(const AlignInput& input) {
   };
 
   for (int64_t iter = 0; iter < config_.iterations; ++iter) {
-    for (int64_t epoch = 0; epoch < config_.epochs_per_iteration; ++epoch) {
-      model.TrainEpoch(triples, merge);
-      // PTransE component: random 2-hop paths trained as composite
-      // translations.
-      for (int64_t s = 0; s < config_.path_samples_per_epoch; ++s) {
-        const int64_t h = resolve(static_cast<int64_t>(
-            rng.UniformInt(static_cast<uint64_t>(total))));
-        const auto& e1edges = out.edges[static_cast<size_t>(h)];
-        if (e1edges.empty()) continue;
-        const auto& [r1, m] = e1edges[rng.UniformInt(e1edges.size())];
-        const auto& e2edges = out.edges[static_cast<size_t>(m)];
-        if (e2edges.empty()) continue;
-        const auto& [r2, t] = e2edges[rng.UniformInt(e2edges.size())];
-        model.PathStep(h, r1, r2, t, config_.path_lr);
+    if (config_.path_samples_per_epoch > 0) {
+      PathTask task(&model, &triples, &merge, &out, &rng,
+                    config_.path_samples_per_epoch, config_.path_lr);
+      train::TrainerOptions options;
+      options.max_epochs = config_.epochs_per_iteration;
+      options.batch_size = config_.path_samples_per_epoch;
+      options.shuffle = train::TrainerOptions::Shuffle::kNone;
+      train::Trainer trainer(&task, options);
+      auto stats = trainer.Run();
+      if (!stats.ok()) return stats.status();
+    } else {
+      for (int64_t e = 0; e < config_.epochs_per_iteration; ++e) {
+        model.TrainEpoch(triples, merge);
       }
     }
     if (iter + 1 == config_.iterations) break;

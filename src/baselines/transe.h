@@ -6,6 +6,7 @@
 
 #include "base/rng.h"
 #include "kg/knowledge_graph.h"
+#include "nn/module.h"
 #include "tensor/tensor.h"
 
 namespace sdea::baselines {
@@ -24,7 +25,8 @@ struct TransEConfig {
 /// A hand-rolled TransE embedding table (Bordes et al. 2013) trained with
 /// SGD on margin ranking over corrupted triples: score(h,r,t) = ||h+r-t||^2.
 /// Used as the relational-association engine of the TransE-family baselines
-/// in Table II (MTransE / JAPE-Stru / BootEA).
+/// in Table II (MTransE / JAPE-Stru / BootEA). The epoch loop is driven by
+/// train::Trainer; the per-triple SGD update stays hand-rolled.
 class TransE {
  public:
   TransE(int64_t num_entities, int64_t num_relations,
@@ -50,17 +52,32 @@ class TransE {
   /// One SGD step pulling entity a toward entity b (soft alignment).
   void PullEntities(int64_t a, int64_t b, float lr);
 
-  const Tensor& raw_entities() const { return entities_; }
+  const Tensor& raw_entities() const { return net_.entities->value; }
   int64_t dim() const { return config_.dim; }
 
+  /// The embedding tables as a checkpointable module ("transe.entity" /
+  /// "transe.relation").
+  nn::Module* module() { return &net_; }
+
  private:
+  /// The embedding tables, registered as named parameters so nn
+  /// serialization and the Trainer's checkpointing see them.
+  class Net : public nn::Module {
+   public:
+    Net(int64_t num_entities, int64_t num_relations, int64_t dim, Rng* rng);
+    Parameter* entities = nullptr;   // [E, dim]
+    Parameter* relations = nullptr;  // [R, dim]
+  };
+  class Task;  // train::TrainTask adapter, defined in transe.cc.
+
   void Step(int64_t h, int64_t r, int64_t t, int64_t h_neg, int64_t t_neg);
+  void RunTrainer(const std::vector<kg::RelationalTriple>& triples,
+                  const std::vector<int32_t>& merge, int64_t epochs);
 
   TransEConfig config_;
   int64_t num_entities_;
-  Tensor entities_;   // [E, dim]
-  Tensor relations_;  // [R, dim]
-  Rng rng_;
+  Rng rng_;   // Declared before net_: initialization draws from it.
+  Net net_;
 };
 
 }  // namespace sdea::baselines

@@ -8,6 +8,9 @@
 #include "nn/loss.h"
 #include "nn/module.h"
 #include "nn/optimizer.h"
+#include "train/loss.h"
+#include "train/sampler.h"
+#include "train/trainer.h"
 
 namespace sdea::baselines {
 namespace {
@@ -32,6 +35,81 @@ class TransEdgeNet : public sdea::nn::Module {
   Parameter* b_;
 };
 
+struct Triple {
+  int64_t h, r, t;
+};
+
+// One minibatch of TransEdge: gather ids (drawing tail corruptions from the
+// shared Rng while the id lists are built, as the original loop did),
+// score both contexts, and take an Adam step on the margin loss.
+class TransEdgeTask : public sdea::train::TrainTask {
+ public:
+  TransEdgeTask(TransEdgeNet* net, sdea::nn::Adam* optimizer,
+                const std::vector<Triple>* triples,
+                sdea::train::NegativeSampler sampler, Rng* rng, float margin)
+      : net_(net),
+        optimizer_(optimizer),
+        triples_(triples),
+        sampler_(std::move(sampler)),
+        rng_(rng),
+        loss_fn_(sdea::train::MarginHingeLoss(margin)) {}
+
+  size_t num_examples() const override { return triples_->size(); }
+  Rng* rng() override { return rng_; }
+  sdea::nn::Module* module() override { return net_; }
+  sdea::nn::Optimizer* optimizer() override { return optimizer_; }
+
+  float TrainBatch(const uint64_t* ids, size_t n) override {
+    std::vector<int64_t> h_ids, r_ids, t_ids, tneg_ids;
+    for (size_t i = 0; i < n; ++i) {
+      const Triple& tr = (*triples_)[ids[i]];
+      h_ids.push_back(tr.h);
+      r_ids.push_back(tr.r);
+      t_ids.push_back(tr.t);
+      tneg_ids.push_back(sampler_.SampleEntity(rng_));
+    }
+    Graph g;
+    NodeId ent = g.Param(net_->entity_);
+    NodeId rel = g.Param(net_->relation_);
+    NodeId h = g.Gather(ent, h_ids);
+    NodeId r = g.Gather(rel, r_ids);
+    NodeId t = g.Gather(ent, t_ids);
+    NodeId tn = g.Gather(ent, tneg_ids);
+    // anchor = h + psi(h, t); positive = t; negative = corrupted tail
+    // with its own context.
+    NodeId pos_pred = g.Add(h, Psi(&g, h, t, r));
+    NodeId neg_pred = g.Add(h, Psi(&g, h, tn, r));
+    NodeId d_pos = sdea::nn::RowSquaredL2Distance(&g, pos_pred, t);
+    NodeId d_neg = sdea::nn::RowSquaredL2Distance(&g, neg_pred, tn);
+    NodeId loss = loss_fn_(&g, d_pos, d_neg);
+    optimizer_->ZeroGrad();
+    g.Backward(loss);
+    optimizer_->ClipGradNorm(5.0f);
+    optimizer_->Step();
+    return g.Value(loss).data()[0];
+  }
+
+  void OnEpochEnd(int64_t /*epoch*/) override {
+    tmath::L2NormalizeRowsInPlace(&net_->entity_->value);
+  }
+
+ private:
+  // psi(H, T, R) = tanh([H;T] W + b) + R, rows batched.
+  NodeId Psi(Graph* g, NodeId h, NodeId t, NodeId r) const {
+    NodeId ctx = g->Tanh(g->AddRowBroadcast(
+        g->Matmul(g->ConcatCols(h, t), g->Param(net_->w_)),
+        g->Param(net_->b_)));
+    return g->Add(ctx, r);
+  }
+
+  TransEdgeNet* net_;
+  sdea::nn::Adam* optimizer_;
+  const std::vector<Triple>* triples_;
+  sdea::train::NegativeSampler sampler_;
+  Rng* rng_;
+  sdea::train::PairwiseLossFn loss_fn_;
+};
+
 }  // namespace
 
 Status TransEdge::Fit(const AlignInput& input) {
@@ -52,9 +130,6 @@ Status TransEdge::Fit(const AlignInput& input) {
   for (const auto& [a, b] : input.seeds->train) {
     merge[static_cast<size_t>(n1 + b)] = a;
   }
-  struct Triple {
-    int64_t h, r, t;
-  };
   std::vector<Triple> triples;
   auto resolve = [&](int64_t raw) {
     return merge[static_cast<size_t>(raw)];
@@ -75,55 +150,16 @@ Status TransEdge::Fit(const AlignInput& input) {
   TransEdgeNet net(total, relations, d, &rng);
   sdea::nn::Adam optimizer(net.Parameters(), config_.lr);
 
-  // psi(H, T, R) = tanh([H;T] W + b) + R, rows batched.
-  auto psi = [&](Graph* g, NodeId h, NodeId t, NodeId r) {
-    NodeId ctx = g->Tanh(g->AddRowBroadcast(
-        g->Matmul(g->ConcatCols(h, t), g->Param(net.w_)),
-        g->Param(net.b_)));
-    return g->Add(ctx, r);
-  };
-
-  std::vector<size_t> order(triples.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
-    rng.Shuffle(&order);
-    for (size_t start = 0; start < order.size();
-         start += static_cast<size_t>(config_.batch_size)) {
-      const size_t end = std::min(
-          order.size(), start + static_cast<size_t>(config_.batch_size));
-      std::vector<int64_t> h_ids, r_ids, t_ids, tneg_ids;
-      for (size_t i = start; i < end; ++i) {
-        const Triple& tr = triples[order[i]];
-        h_ids.push_back(tr.h);
-        r_ids.push_back(tr.r);
-        t_ids.push_back(tr.t);
-        tneg_ids.push_back(resolve(static_cast<int64_t>(
-            rng.UniformInt(static_cast<uint64_t>(total)))));
-      }
-      Graph g;
-      NodeId ent = g.Param(net.entity_);
-      NodeId rel = g.Param(net.relation_);
-      NodeId h = g.Gather(ent, h_ids);
-      NodeId r = g.Gather(rel, r_ids);
-      NodeId t = g.Gather(ent, t_ids);
-      NodeId tn = g.Gather(ent, tneg_ids);
-      // anchor = h + psi(h, t); positive = t; negative = corrupted tail
-      // with its own context.
-      NodeId pos_pred = g.Add(h, psi(&g, h, t, r));
-      NodeId neg_pred = g.Add(h, psi(&g, h, tn, r));
-      // Margin loss over ||pred - target||^2 pairs.
-      NodeId d_pos = sdea::nn::RowSquaredL2Distance(&g, pos_pred, t);
-      NodeId d_neg = sdea::nn::RowSquaredL2Distance(&g, neg_pred, tn);
-      NodeId hinge =
-          g.Relu(g.AddConst(g.Sub(d_pos, d_neg), config_.margin));
-      NodeId loss = g.MeanAll(hinge);
-      optimizer.ZeroGrad();
-      g.Backward(loss);
-      optimizer.ClipGradNorm(5.0f);
-      optimizer.Step();
-    }
-    tmath::L2NormalizeRowsInPlace(&net.entity_->value);
-  }
+  TransEdgeTask task(&net, &optimizer, &triples,
+                     train::NegativeSampler(total, merge), &rng,
+                     config_.margin);
+  train::TrainerOptions options;
+  options.max_epochs = config_.epochs;
+  options.batch_size = config_.batch_size;
+  options.shuffle = train::TrainerOptions::Shuffle::kCumulative;
+  train::Trainer trainer(&task, options);
+  auto stats = trainer.Run();
+  if (!stats.ok()) return stats.status();
 
   emb1_ = Tensor({n1, d});
   emb2_ = Tensor({n2, d});

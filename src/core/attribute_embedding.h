@@ -47,9 +47,11 @@ class AttributeEmbeddingModule : public nn::Module {
     return encoder_.ComputeAllEmbeddings(side);
   }
 
-  /// Algorithm 2 pre-training.
-  Result<TrainReport> Pretrain(const kg::AlignmentSeeds& seeds) {
-    return encoder_.Pretrain(seeds);
+  /// Algorithm 2 pre-training. An optional CheckpointManager enables
+  /// periodic save + bitwise-identical resume (see TextAlignmentEncoder).
+  Result<TrainReport> Pretrain(const kg::AlignmentSeeds& seeds,
+                               train::CheckpointManager* checkpoint = nullptr) {
+    return encoder_.Pretrain(seeds, checkpoint);
   }
 
   const AttributeModuleConfig& config() const { return config_; }

@@ -8,22 +8,10 @@
 #include "eval/metrics.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "train/trainer.h"
 
 namespace sdea::core {
 namespace {
-
-std::vector<Tensor> SnapshotParams(const std::vector<Parameter*>& params) {
-  std::vector<Tensor> out;
-  out.reserve(params.size());
-  for (Parameter* p : params) out.push_back(p->value);
-  return out;
-}
-
-void RestoreParams(const std::vector<Tensor>& snapshot,
-                   const std::vector<Parameter*>& params) {
-  SDEA_CHECK_EQ(snapshot.size(), params.size());
-  for (size_t i = 0; i < params.size(); ++i) params[i]->value = snapshot[i];
-}
 
 // Caps an entity's neighbor list deterministically: the first
 // `max_neighbors` edges in insertion order (the generator and real TSV
@@ -177,8 +165,110 @@ Tensor RelationEmbeddingModule::ComputeEntityEmbeddings(
   return out;
 }
 
+namespace {
+
+/// Algorithm 3 as a train::TrainTask: each batch builds one autograd graph
+/// of [Hr; Hm] triplets with candidate-based negatives; each epoch
+/// validates Hits@1 on the full Eq. 17 embeddings (line 12).
+class RelationTrainTask : public train::TrainTask {
+ public:
+  RelationTrainTask(RelationEmbeddingModule* module, nn::Adam* optimizer,
+                    const Tensor* ha1, const Tensor* ha2,
+                    const kg::AlignmentSeeds* seeds,
+                    const std::vector<std::vector<int64_t>>* candidates,
+                    Rng* rng)
+      : module_(module),
+        optimizer_(optimizer),
+        ha1_(ha1),
+        ha2_(ha2),
+        seeds_(seeds),
+        candidates_(candidates),
+        rng_(rng) {}
+
+  size_t num_examples() const override { return seeds_->train.size(); }
+  Rng* rng() override { return rng_; }
+  nn::Module* module() override { return module_; }
+  nn::Optimizer* optimizer() override { return optimizer_; }
+
+  float TrainBatch(const uint64_t* ids, size_t n) override {
+    const RelationModuleConfig& config = module_->config();
+    Graph g;
+    NodeId anchors = -1, positives = -1, negatives = -1;
+    for (size_t i = 0; i < n; ++i) {
+      const auto& [e1, e2] = seeds_->train[ids[i]];
+      const auto& cand = (*candidates_)[static_cast<size_t>(e1)];
+      kg::EntityId neg = kg::kInvalidEntity;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const kg::EntityId c = static_cast<kg::EntityId>(
+            cand[rng_->UniformInt(cand.size())]);
+        if (c != e2) {
+          neg = c;
+          break;
+        }
+      }
+      if (neg == kg::kInvalidEntity) {
+        neg = static_cast<kg::EntityId>(
+            rng_->UniformInt(static_cast<uint64_t>(ha2_->dim(0))));
+        if (neg == e2) neg = (neg + 1) % static_cast<kg::EntityId>(
+                                 ha2_->dim(0));
+      }
+      // Lines 5-8: relation and joint embeddings for anchor/pos/neg.
+      NodeId hr_a, hm_a, hr_p, hm_p, hr_n, hm_n;
+      module_->ForwardEntity(&g, 1, e1, *ha1_, &hr_a, &hm_a);
+      module_->ForwardEntity(&g, 2, e2, *ha2_, &hr_p, &hm_p);
+      module_->ForwardEntity(&g, 2, neg, *ha2_, &hr_n, &hm_n);
+      // Line 9: the loss embedding is the concatenation [Hr; Hm].
+      NodeId a = g.ConcatCols(hr_a, hm_a);
+      NodeId p = g.ConcatCols(hr_p, hm_p);
+      NodeId q = g.ConcatCols(hr_n, hm_n);
+      anchors = (anchors < 0) ? a : g.ConcatRows(anchors, a);
+      positives = (positives < 0) ? p : g.ConcatRows(positives, p);
+      negatives = (negatives < 0) ? q : g.ConcatRows(negatives, q);
+    }
+    NodeId loss = nn::MarginRankingLoss(&g, anchors, positives, negatives,
+                                        config.margin);
+    optimizer_->ZeroGrad();
+    g.Backward(loss);
+    optimizer_->ClipGradNorm(config.grad_clip);
+    optimizer_->Step();
+    return g.Value(loss).data()[0];
+  }
+
+  // Line 12: validate on the final entity embedding (Eq. 17).
+  double EvalMetric() override {
+    const Tensor ent1 = module_->ComputeEntityEmbeddings(1, *ha1_);
+    const Tensor ent2 = module_->ComputeEntityEmbeddings(2, *ha2_);
+    Tensor valid_src({static_cast<int64_t>(seeds_->valid.size()),
+                      module_->entity_embedding_dim()});
+    std::vector<int64_t> gold;
+    gold.reserve(seeds_->valid.size());
+    for (size_t i = 0; i < seeds_->valid.size(); ++i) {
+      valid_src.SetRow(static_cast<int64_t>(i),
+                       ent1.Row(seeds_->valid[i].first));
+      gold.push_back(seeds_->valid[i].second);
+    }
+    const eval::RankingMetrics metrics =
+        seeds_->valid.empty()
+            ? eval::RankingMetrics{}
+            : eval::EvaluateAlignment(valid_src, ent2, gold);
+    return metrics.hits_at_1;
+  }
+
+ private:
+  RelationEmbeddingModule* module_;
+  nn::Adam* optimizer_;
+  const Tensor* ha1_;
+  const Tensor* ha2_;
+  const kg::AlignmentSeeds* seeds_;
+  const std::vector<std::vector<int64_t>>* candidates_;
+  Rng* rng_;
+};
+
+}  // namespace
+
 Result<TrainReport> RelationEmbeddingModule::Train(
-    const Tensor& ha1, const Tensor& ha2, const kg::AlignmentSeeds& seeds) {
+    const Tensor& ha1, const Tensor& ha2, const kg::AlignmentSeeds& seeds,
+    train::CheckpointManager* checkpoint) {
   if (!initialized_) {
     return Status::FailedPrecondition("call Init() before Train()");
   }
@@ -193,90 +283,30 @@ Result<TrainReport> RelationEmbeddingModule::Train(
   const auto candidates =
       GenerateCandidates(ha1, ha2, config_.num_candidates);
 
-  TrainReport report;
-  std::vector<Tensor> best = SnapshotParams(Parameters());
-  int64_t since_best = 0;
-  std::vector<std::pair<kg::EntityId, kg::EntityId>> train = seeds.train;
-
-  for (int64_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
-    rng.Shuffle(&train);
-    for (size_t batch_start = 0; batch_start < train.size();
-         batch_start += static_cast<size_t>(config_.batch_size)) {
-      const size_t batch_end =
-          std::min(train.size(),
-                   batch_start + static_cast<size_t>(config_.batch_size));
-      Graph g;
-      NodeId anchors = -1, positives = -1, negatives = -1;
-      for (size_t i = batch_start; i < batch_end; ++i) {
-        const auto& [e1, e2] = train[i];
-        const auto& cand = candidates[static_cast<size_t>(e1)];
-        kg::EntityId neg = kg::kInvalidEntity;
-        for (int attempt = 0; attempt < 8; ++attempt) {
-          const kg::EntityId c = static_cast<kg::EntityId>(
-              cand[rng.UniformInt(cand.size())]);
-          if (c != e2) {
-            neg = c;
-            break;
-          }
-        }
-        if (neg == kg::kInvalidEntity) {
-          neg = static_cast<kg::EntityId>(
-              rng.UniformInt(static_cast<uint64_t>(ha2.dim(0))));
-          if (neg == e2) neg = (neg + 1) % static_cast<kg::EntityId>(
-                                   ha2.dim(0));
-        }
-        // Lines 5-8: relation and joint embeddings for anchor/pos/neg.
-        NodeId hr_a, hm_a, hr_p, hm_p, hr_n, hm_n;
-        ForwardEntity(&g, 1, e1, ha1, &hr_a, &hm_a);
-        ForwardEntity(&g, 2, e2, ha2, &hr_p, &hm_p);
-        ForwardEntity(&g, 2, neg, ha2, &hr_n, &hm_n);
-        // Line 9: the loss embedding is the concatenation [Hr; Hm].
-        NodeId a = g.ConcatCols(hr_a, hm_a);
-        NodeId p = g.ConcatCols(hr_p, hm_p);
-        NodeId q = g.ConcatCols(hr_n, hm_n);
-        anchors = (anchors < 0) ? a : g.ConcatRows(anchors, a);
-        positives = (positives < 0) ? p : g.ConcatRows(positives, p);
-        negatives = (negatives < 0) ? q : g.ConcatRows(negatives, q);
-      }
-      NodeId loss = nn::MarginRankingLoss(&g, anchors, positives, negatives,
-                                          config_.margin);
-      optimizer.ZeroGrad();
-      g.Backward(loss);
-      optimizer.ClipGradNorm(config_.grad_clip);
-      optimizer.Step();
-    }
-
-    // Line 12: validate on the final entity embedding (Eq. 17).
-    const Tensor ent1 = ComputeEntityEmbeddings(1, ha1);
-    const Tensor ent2 = ComputeEntityEmbeddings(2, ha2);
-    Tensor valid_src({static_cast<int64_t>(seeds.valid.size()),
-                      entity_embedding_dim()});
-    std::vector<int64_t> gold;
-    gold.reserve(seeds.valid.size());
-    for (size_t i = 0; i < seeds.valid.size(); ++i) {
-      valid_src.SetRow(static_cast<int64_t>(i),
-                       ent1.Row(seeds.valid[i].first));
-      gold.push_back(seeds.valid[i].second);
-    }
-    const eval::RankingMetrics metrics =
-        seeds.valid.empty()
-            ? eval::RankingMetrics{}
-            : eval::EvaluateAlignment(valid_src, ent2, gold);
-    report.valid_hits1_history.push_back(metrics.hits_at_1);
-    ++report.epochs_run;
+  RelationTrainTask task(this, &optimizer, &ha1, &ha2, &seeds, &candidates,
+                         &rng);
+  train::TrainerOptions options;
+  options.max_epochs = config_.max_epochs;
+  options.batch_size = config_.batch_size;
+  options.shuffle = train::TrainerOptions::Shuffle::kCumulative;
+  options.evaluate = true;
+  options.patience = config_.patience;
+  options.restore_best = true;
+  options.checkpoint = checkpoint;
+  options.on_epoch = [](const train::EpochStats& es) {
     SDEA_LOG_DEBUG(StrFormat("rel epoch %lld valid H@1=%.2f",
-                             static_cast<long long>(epoch),
-                             metrics.hits_at_1));
-    if (metrics.hits_at_1 > report.best_valid_hits1 ||
-        report.epochs_run == 1) {
-      report.best_valid_hits1 = metrics.hits_at_1;
-      best = SnapshotParams(Parameters());
-      since_best = 0;
-    } else if (++since_best >= config_.patience) {
-      break;
-    }
-  }
-  RestoreParams(best, Parameters());
+                             static_cast<long long>(es.epoch),
+                             es.eval_metric));
+    return true;
+  };
+  train::Trainer trainer(&task, options);
+  auto stats = trainer.Run();
+  if (!stats.ok()) return stats.status();
+
+  TrainReport report;
+  report.epochs_run = trainer.epochs_run();
+  report.best_valid_hits1 = trainer.best_metric();
+  report.valid_hits1_history = trainer.metric_history();
   return report;
 }
 

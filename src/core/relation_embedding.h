@@ -9,6 +9,7 @@
 #include "kg/knowledge_graph.h"
 #include "nn/gru.h"
 #include "nn/layers.h"
+#include "train/checkpoint.h"
 
 namespace sdea::core {
 
@@ -64,8 +65,11 @@ class RelationEmbeddingModule : public nn::Module {
   /// Algorithm 3: trains this module (the transformer stays frozen;
   /// candidates come from the pre-trained attribute embeddings and are
   /// computed once). `ha1`/`ha2` are the frozen attribute embeddings.
+  /// The loop runs on train::Trainer; pass a CheckpointManager to save the
+  /// run periodically and resume it (bitwise-identically) after a kill.
   Result<TrainReport> Train(const Tensor& ha1, const Tensor& ha2,
-                            const kg::AlignmentSeeds& seeds);
+                            const kg::AlignmentSeeds& seeds,
+                            train::CheckpointManager* checkpoint = nullptr);
 
   /// Hent = [Hr; Ha; Hm] for every entity of `side` ([N, out width]),
   /// blocks individually L2-normalized so cosine weighs the three aspects

@@ -3,19 +3,30 @@
 #include "base/logging.h"
 #include "base/strings.h"
 #include "core/numeric_channel.h"
+#include "train/checkpoint.h"
 
 namespace sdea::core {
 
 Result<SdeaFitReport> SdeaModel::Fit(
     const kg::KnowledgeGraph& kg1, const kg::KnowledgeGraph& kg2,
     const kg::AlignmentSeeds& seeds, const SdeaConfig& config,
-    const std::vector<std::string>& pretrain_corpus) {
+    const std::vector<std::string>& pretrain_corpus,
+    const SdeaFitOptions& options) {
   SdeaFitReport report;
+  std::unique_ptr<train::CheckpointManager> attr_ckpt;
+  std::unique_ptr<train::CheckpointManager> rel_ckpt;
+  if (!options.checkpoint_dir.empty()) {
+    attr_ckpt = std::make_unique<train::CheckpointManager>(
+        options.checkpoint_dir + "/attribute.ckpt");
+    rel_ckpt = std::make_unique<train::CheckpointManager>(
+        options.checkpoint_dir + "/relation.ckpt");
+  }
 
   // Phase 1: attribute embedding pre-training (Algorithm 2).
   SDEA_RETURN_IF_ERROR(
       attribute_module_.Init(kg1, kg2, config.attribute, pretrain_corpus));
-  SDEA_ASSIGN_OR_RETURN(report.attribute, attribute_module_.Pretrain(seeds));
+  SDEA_ASSIGN_OR_RETURN(report.attribute,
+                        attribute_module_.Pretrain(seeds, attr_ckpt.get()));
   ha1_ = attribute_module_.ComputeAllEmbeddings(1);
   ha2_ = attribute_module_.ComputeAllEmbeddings(2);
   SDEA_LOG_INFO(StrFormat("attribute module: %lld epochs, valid H@1=%.2f",
@@ -40,7 +51,7 @@ Result<SdeaFitReport> SdeaModel::Fit(
   SDEA_RETURN_IF_ERROR(relation_module_.Init(
       kg1, kg2, config.attribute.text.out_dim, config.relation));
   SDEA_ASSIGN_OR_RETURN(report.relation,
-                        relation_module_.Train(ha1_, ha2_, seeds));
+                        relation_module_.Train(ha1_, ha2_, seeds, rel_ckpt.get()));
   SDEA_LOG_INFO(StrFormat("relation module: %lld epochs, valid H@1=%.2f",
                           static_cast<long long>(report.relation.epochs_run),
                           report.relation.best_valid_hits1));

@@ -31,6 +31,16 @@ struct SdeaFitReport {
   TrainReport relation;
 };
 
+/// Runtime options of one Fit call (as opposed to model hyper-parameters,
+/// which live in SdeaConfig).
+struct SdeaFitOptions {
+  /// When non-empty, both training phases checkpoint into this (existing)
+  /// directory — <dir>/attribute.ckpt and <dir>/relation.ckpt — after
+  /// every epoch, and a re-run Fit resumes from whatever phase/epoch was
+  /// reached, continuing bitwise-identically with the uninterrupted run.
+  std::string checkpoint_dir;
+};
+
 /// The full SDEA pipeline (Fig. 3): attribute embedding pre-training
 /// (Algorithm 2), relation + joint training (Algorithm 3), and cosine
 /// alignment over the final entity embeddings Hent = [Hr; Ha; Hm].
@@ -46,7 +56,8 @@ class SdeaModel {
                             const kg::KnowledgeGraph& kg2,
                             const kg::AlignmentSeeds& seeds,
                             const SdeaConfig& config,
-                            const std::vector<std::string>& pretrain_corpus = {});
+                            const std::vector<std::string>& pretrain_corpus = {},
+                            const SdeaFitOptions& options = {});
 
   /// Final entity embeddings of each side ([N, D]); valid after Fit.
   const Tensor& embeddings1() const { return ent1_; }

@@ -8,24 +8,9 @@
 #include "eval/metrics.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "train/trainer.h"
 
 namespace sdea::core {
-namespace {
-
-std::vector<Tensor> SnapshotParams(const std::vector<Parameter*>& params) {
-  std::vector<Tensor> out;
-  out.reserve(params.size());
-  for (Parameter* p : params) out.push_back(p->value);
-  return out;
-}
-
-void RestoreParams(const std::vector<Tensor>& snapshot,
-                   const std::vector<Parameter*>& params) {
-  SDEA_CHECK_EQ(snapshot.size(), params.size());
-  for (size_t i = 0; i < params.size(); ++i) params[i]->value = snapshot[i];
-}
-
-}  // namespace
 
 Status TextAlignmentEncoder::Init(const std::vector<std::string>& texts1,
                                   const std::vector<std::string>& texts2,
@@ -209,8 +194,110 @@ void TextAlignmentEncoder::SelfSupervisedPretrain() {
   }
 }
 
+namespace {
+
+/// Algorithm 2 as a train::TrainTask. Example i of the Trainer's order maps
+/// to seed pair i % |train| — the legacy loop replicated the pair list
+/// rep-major (`negatives_per_pair` full copies back to back), so the
+/// modulo reproduces the same example array. Candidates are refreshed from
+/// scratch each epoch (lines 2-4) in OnEpochBegin, which draws no
+/// randomness and therefore leaves the shared RNG stream identical to the
+/// historical loop's.
+class TextPretrainTask : public train::TrainTask {
+ public:
+  TextPretrainTask(TextAlignmentEncoder* encoder, nn::Adam* optimizer,
+                   const kg::AlignmentSeeds* seeds, Rng* rng)
+      : encoder_(encoder), optimizer_(optimizer), seeds_(seeds), rng_(rng) {}
+
+  size_t num_examples() const override {
+    return seeds_->train.size() *
+           static_cast<size_t>(encoder_->config().negatives_per_pair);
+  }
+  Rng* rng() override { return rng_; }
+  nn::Module* module() override { return encoder_; }
+  nn::Optimizer* optimizer() override { return optimizer_; }
+
+  // Algorithm 2 lines 2-4: fresh embeddings and candidates per epoch.
+  void OnEpochBegin(int64_t /*epoch*/) override {
+    const Tensor ha1 = encoder_->ComputeAllEmbeddings(1);
+    const Tensor ha2 = encoder_->ComputeAllEmbeddings(2);
+    candidates_ =
+        GenerateCandidates(ha1, ha2, encoder_->config().num_candidates);
+  }
+
+  // Lines 5-10: margin-loss updates over the shuffled training pairs.
+  float TrainBatch(const uint64_t* ids, size_t n) override {
+    const TextEncoderConfig& config = encoder_->config();
+    const size_t base_n = seeds_->train.size();
+    Graph g;
+    NodeId anchors = -1, positives = -1, negatives = -1;
+    for (size_t i = 0; i < n; ++i) {
+      const auto& [e1, e2] = seeds_->train[ids[i] % base_n];
+      // Line 6: negative from the candidate set, != the positive.
+      const auto& cand = candidates_[static_cast<size_t>(e1)];
+      kg::EntityId neg = kg::kInvalidEntity;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const kg::EntityId c =
+            static_cast<kg::EntityId>(cand[rng_->UniformInt(cand.size())]);
+        if (c != e2) {
+          neg = c;
+          break;
+        }
+      }
+      if (neg == kg::kInvalidEntity) {
+        neg = static_cast<kg::EntityId>(rng_->UniformInt(
+            static_cast<uint64_t>(encoder_->num_entities(2))));
+        if (neg == e2) {
+          neg = static_cast<kg::EntityId>((neg + 1) %
+                                          encoder_->num_entities(2));
+        }
+      }
+      NodeId a = encoder_->EncodeEntity(&g, 1, e1, /*training=*/true, rng_);
+      NodeId p = encoder_->EncodeEntity(&g, 2, e2, /*training=*/true, rng_);
+      NodeId q = encoder_->EncodeEntity(&g, 2, neg, /*training=*/true, rng_);
+      anchors = (anchors < 0) ? a : g.ConcatRows(anchors, a);
+      positives = (positives < 0) ? p : g.ConcatRows(positives, p);
+      negatives = (negatives < 0) ? q : g.ConcatRows(negatives, q);
+    }
+    NodeId loss = nn::MarginRankingLoss(&g, anchors, positives, negatives,
+                                        config.margin);
+    optimizer_->ZeroGrad();
+    g.Backward(loss);
+    optimizer_->ClipGradNorm(config.grad_clip);
+    optimizer_->Step();
+    return g.Value(loss).data()[0];
+  }
+
+  // Line 11: validation Hits@1 (0 when there is no validation split, as in
+  // the historical loop, which then effectively stops after `patience`).
+  double EvalMetric() override {
+    if (seeds_->valid.empty()) return 0.0;
+    const Tensor va1 = encoder_->ComputeAllEmbeddings(1);
+    const Tensor va2 = encoder_->ComputeAllEmbeddings(2);
+    Tensor valid_src({static_cast<int64_t>(seeds_->valid.size()),
+                      encoder_->config().out_dim});
+    std::vector<int64_t> gold;
+    gold.reserve(seeds_->valid.size());
+    for (size_t i = 0; i < seeds_->valid.size(); ++i) {
+      valid_src.SetRow(static_cast<int64_t>(i),
+                       va1.Row(seeds_->valid[i].first));
+      gold.push_back(seeds_->valid[i].second);
+    }
+    return eval::EvaluateAlignment(valid_src, va2, gold).hits_at_1;
+  }
+
+ private:
+  TextAlignmentEncoder* encoder_;
+  nn::Adam* optimizer_;
+  const kg::AlignmentSeeds* seeds_;
+  Rng* rng_;
+  std::vector<std::vector<int64_t>> candidates_;
+};
+
+}  // namespace
+
 Result<TrainReport> TextAlignmentEncoder::Pretrain(
-    const kg::AlignmentSeeds& seeds) {
+    const kg::AlignmentSeeds& seeds, train::CheckpointManager* checkpoint) {
   if (!initialized_) {
     return Status::FailedPrecondition("call Init() before Pretrain()");
   }
@@ -221,99 +308,29 @@ Result<TrainReport> TextAlignmentEncoder::Pretrain(
   Rng rng(config_.seed ^ 0xabcdef12345ULL);
   nn::Adam optimizer(Parameters(), config_.lr);
 
-  TrainReport report;
-  std::vector<Tensor> best = SnapshotParams(Parameters());
-  int64_t since_best = 0;
-  const std::vector<std::pair<kg::EntityId, kg::EntityId>>& base_train =
-      seeds.train;
-
-  for (int64_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
-    // Algorithm 2 lines 2-4: fresh embeddings and candidates per epoch.
-    const Tensor ha1 = ComputeAllEmbeddings(1);
-    const Tensor ha2 = ComputeAllEmbeddings(2);
-    const auto candidates =
-        GenerateCandidates(ha1, ha2, config_.num_candidates);
-
-    // Lines 5-10: margin-loss updates over shuffled training pairs
-    // (replicated negatives_per_pair times per epoch).
-    std::vector<std::pair<kg::EntityId, kg::EntityId>> train;
-    train.reserve(base_train.size() *
-                  static_cast<size_t>(config_.negatives_per_pair));
-    for (int64_t rep = 0; rep < config_.negatives_per_pair; ++rep) {
-      for (const auto& pair : base_train) train.push_back(pair);
-    }
-    rng.Shuffle(&train);
-    for (size_t batch_start = 0; batch_start < train.size();
-         batch_start += static_cast<size_t>(config_.batch_size)) {
-      const size_t batch_end =
-          std::min(train.size(),
-                   batch_start + static_cast<size_t>(config_.batch_size));
-      Graph g;
-      NodeId anchors = -1, positives = -1, negatives = -1;
-      for (size_t i = batch_start; i < batch_end; ++i) {
-        const auto& [e1, e2] = train[i];
-        // Line 6: negative from the candidate set, != the positive.
-        const auto& cand = candidates[static_cast<size_t>(e1)];
-        kg::EntityId neg = kg::kInvalidEntity;
-        for (int attempt = 0; attempt < 8; ++attempt) {
-          const kg::EntityId c =
-              static_cast<kg::EntityId>(cand[rng.UniformInt(cand.size())]);
-          if (c != e2) {
-            neg = c;
-            break;
-          }
-        }
-        if (neg == kg::kInvalidEntity) {
-          neg = static_cast<kg::EntityId>(
-              rng.UniformInt(static_cast<uint64_t>(num_entities(2))));
-          if (neg == e2) {
-            neg = static_cast<kg::EntityId>((neg + 1) % num_entities(2));
-          }
-        }
-        NodeId a = EncodeEntity(&g, 1, e1, /*training=*/true, &rng);
-        NodeId p = EncodeEntity(&g, 2, e2, /*training=*/true, &rng);
-        NodeId q = EncodeEntity(&g, 2, neg, /*training=*/true, &rng);
-        anchors = (anchors < 0) ? a : g.ConcatRows(anchors, a);
-        positives = (positives < 0) ? p : g.ConcatRows(positives, p);
-        negatives = (negatives < 0) ? q : g.ConcatRows(negatives, q);
-      }
-      NodeId loss = nn::MarginRankingLoss(&g, anchors, positives, negatives,
-                                          config_.margin);
-      optimizer.ZeroGrad();
-      g.Backward(loss);
-      optimizer.ClipGradNorm(config_.grad_clip);
-      optimizer.Step();
-    }
-
-    // Line 11: validation Hits@1 with early stopping.
-    double h1 = 0.0;
-    if (!seeds.valid.empty()) {
-      const Tensor va1 = ComputeAllEmbeddings(1);
-      const Tensor va2 = ComputeAllEmbeddings(2);
-      Tensor valid_src(
-          {static_cast<int64_t>(seeds.valid.size()), config_.out_dim});
-      std::vector<int64_t> gold;
-      gold.reserve(seeds.valid.size());
-      for (size_t i = 0; i < seeds.valid.size(); ++i) {
-        valid_src.SetRow(static_cast<int64_t>(i),
-                         va1.Row(seeds.valid[i].first));
-        gold.push_back(seeds.valid[i].second);
-      }
-      h1 = eval::EvaluateAlignment(valid_src, va2, gold).hits_at_1;
-    }
-    report.valid_hits1_history.push_back(h1);
-    ++report.epochs_run;
+  TextPretrainTask task(this, &optimizer, &seeds, &rng);
+  train::TrainerOptions options;
+  options.max_epochs = config_.max_epochs;
+  options.batch_size = config_.batch_size;
+  options.shuffle = train::TrainerOptions::Shuffle::kFreshPerEpoch;
+  options.evaluate = true;
+  options.patience = config_.patience;
+  options.restore_best = true;
+  options.checkpoint = checkpoint;
+  options.on_epoch = [](const train::EpochStats& es) {
     SDEA_LOG_DEBUG(StrFormat("text-encoder epoch %lld valid H@1=%.2f",
-                             static_cast<long long>(epoch), h1));
-    if (h1 > report.best_valid_hits1 || report.epochs_run == 1) {
-      report.best_valid_hits1 = h1;
-      best = SnapshotParams(Parameters());
-      since_best = 0;
-    } else if (++since_best >= config_.patience) {
-      break;
-    }
-  }
-  RestoreParams(best, Parameters());
+                             static_cast<long long>(es.epoch),
+                             es.eval_metric));
+    return true;
+  };
+  train::Trainer trainer(&task, options);
+  auto stats = trainer.Run();
+  if (!stats.ok()) return stats.status();
+
+  TrainReport report;
+  report.epochs_run = trainer.epochs_run();
+  report.best_valid_hits1 = trainer.best_metric();
+  report.valid_hits1_history = trainer.metric_history();
   return report;
 }
 

@@ -12,6 +12,7 @@
 #include "nn/transformer.h"
 #include "text/pretrain.h"
 #include "text/tokenizer.h"
+#include "train/checkpoint.h"
 
 namespace sdea::core {
 
@@ -97,8 +98,14 @@ class TextAlignmentEncoder : public nn::Module {
 
   /// Algorithm 2 fine-tuning with early stopping on validation Hits@1;
   /// restores the best checkpoint before returning. Runs the
-  /// self-supervised stage first (if ssl_epochs > 0).
-  Result<TrainReport> Pretrain(const kg::AlignmentSeeds& seeds);
+  /// self-supervised stage first (if ssl_epochs > 0). The fine-tuning loop
+  /// runs on train::Trainer; pass a CheckpointManager to save the run
+  /// periodically and resume it (bitwise-identically) after a kill. Note
+  /// the SSL stage runs before the Trainer and is repeated on resume, which
+  /// is harmless: its RNG is independent and the resumed Trainer overwrites
+  /// all parameters from the checkpoint.
+  Result<TrainReport> Pretrain(const kg::AlignmentSeeds& seeds,
+                               train::CheckpointManager* checkpoint = nullptr);
 
   /// The label-free contrastive encoder pre-training stage; public so the
   /// ablation bench can invoke/skip it independently.

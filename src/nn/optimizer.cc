@@ -2,7 +2,41 @@
 
 #include <cmath>
 
+#include "nn/serialization.h"
+
 namespace sdea::nn {
+namespace {
+
+// Shared (de)serialization of one slot-tensor list (velocity, m, v): a
+// count followed by the tensors. Shapes must match the parameter list.
+void AppendSlots(std::string* out, const std::vector<Tensor>& slots) {
+  AppendU64(out, slots.size());
+  for (const Tensor& t : slots) AppendTensor(out, t);
+}
+
+Status ReadSlots(const std::string& in, size_t* pos, size_t expected,
+                 std::vector<Tensor>* slots) {
+  uint64_t count = 0;
+  if (!ReadU64(in, pos, &count) || count != expected) {
+    return Status::InvalidArgument("optimizer state: slot count mismatch");
+  }
+  std::vector<Tensor> loaded;
+  loaded.reserve(expected);
+  for (size_t k = 0; k < expected; ++k) {
+    Tensor t;
+    if (!ReadTensor(in, pos, &t)) {
+      return Status::InvalidArgument("optimizer state: truncated slot");
+    }
+    if (t.shape() != (*slots)[k].shape()) {
+      return Status::InvalidArgument("optimizer state: slot shape mismatch");
+    }
+    loaded.push_back(std::move(t));
+  }
+  *slots = std::move(loaded);
+  return Status::Ok();
+}
+
+}  // namespace
 
 void Optimizer::ZeroGrad() {
   for (Parameter* p : params_) p->ZeroGrad();
@@ -50,6 +84,14 @@ void Sgd::Step() {
   }
 }
 
+void Sgd::SerializeState(std::string* out) const {
+  AppendSlots(out, velocity_);
+}
+
+Status Sgd::DeserializeState(const std::string& in, size_t* pos) {
+  return ReadSlots(in, pos, velocity_.size(), &velocity_);
+}
+
 Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2,
            float eps, float weight_decay)
     : Optimizer(std::move(params)),
@@ -85,6 +127,28 @@ void Adam::Step() {
       p->value[i] -= lr_ * update;
     }
   }
+}
+
+void Adam::SerializeState(std::string* out) const {
+  AppendU64(out, static_cast<uint64_t>(t_));
+  AppendSlots(out, m_);
+  AppendSlots(out, v_);
+}
+
+Status Adam::DeserializeState(const std::string& in, size_t* pos) {
+  uint64_t t = 0;
+  if (!ReadU64(in, pos, &t)) {
+    return Status::InvalidArgument("optimizer state: truncated step counter");
+  }
+  // Stage into copies so a truncated blob leaves this optimizer untouched.
+  std::vector<Tensor> m = m_;
+  std::vector<Tensor> v = v_;
+  SDEA_RETURN_IF_ERROR(ReadSlots(in, pos, m.size(), &m));
+  SDEA_RETURN_IF_ERROR(ReadSlots(in, pos, v.size(), &v));
+  m_ = std::move(m);
+  v_ = std::move(v);
+  t_ = static_cast<int64_t>(t);
+  return Status::Ok();
 }
 
 }  // namespace sdea::nn

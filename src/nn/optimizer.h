@@ -1,8 +1,10 @@
 #ifndef SDEA_NN_OPTIMIZER_H_
 #define SDEA_NN_OPTIMIZER_H_
 
+#include <string>
 #include <vector>
 
+#include "base/status.h"
 #include "tensor/graph.h"
 
 namespace sdea::nn {
@@ -28,6 +30,20 @@ class Optimizer {
   /// Returns the pre-clip norm.
   float ClipGradNorm(float max_norm);
 
+  /// Current learning rate (the target of train::LrSchedule).
+  virtual float lr() const = 0;
+  virtual void set_lr(float lr) = 0;
+
+  /// Appends this optimizer's slot state (momentum/moment tensors, step
+  /// counters — everything beyond the parameters themselves) to `out`, so a
+  /// checkpointed run resumes with bitwise-identical updates.
+  virtual void SerializeState(std::string* out) const = 0;
+
+  /// Restores state written by SerializeState, advancing `*pos`. Returns
+  /// InvalidArgument when the blob does not match this optimizer's
+  /// parameter count/shapes.
+  virtual Status DeserializeState(const std::string& in, size_t* pos) = 0;
+
   const std::vector<Parameter*>& params() const { return params_; }
 
  protected:
@@ -41,8 +57,10 @@ class Sgd : public Optimizer {
 
   void Step() override;
 
-  void set_lr(float lr) { lr_ = lr; }
-  float lr() const { return lr_; }
+  void set_lr(float lr) override { lr_ = lr; }
+  float lr() const override { return lr_; }
+  void SerializeState(std::string* out) const override;
+  Status DeserializeState(const std::string& in, size_t* pos) override;
 
  private:
   float lr_;
@@ -58,8 +76,10 @@ class Adam : public Optimizer {
 
   void Step() override;
 
-  void set_lr(float lr) { lr_ = lr; }
-  float lr() const { return lr_; }
+  void set_lr(float lr) override { lr_ = lr; }
+  float lr() const override { return lr_; }
+  void SerializeState(std::string* out) const override;
+  Status DeserializeState(const std::string& in, size_t* pos) override;
 
  private:
   float lr_;

@@ -10,6 +10,8 @@ namespace {
 
 constexpr char kMagic[8] = {'S', 'D', 'E', 'A', 'C', 'K', 'P', '1'};
 
+}  // namespace
+
 void AppendU64(std::string* out, uint64_t v) {
   char buf[8];
   std::memcpy(buf, &v, 8);
@@ -23,9 +25,60 @@ bool ReadU64(const std::string& in, size_t* pos, uint64_t* v) {
   return true;
 }
 
-}  // namespace
+void AppendF64(std::string* out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
 
-Status SaveCheckpoint(Module* module, const std::string& path) {
+bool ReadF64(const std::string& in, size_t* pos, double* v) {
+  if (*pos + 8 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+void AppendBytes(std::string* out, const std::string& bytes) {
+  AppendU64(out, bytes.size());
+  out->append(bytes);
+}
+
+bool ReadBytes(const std::string& in, size_t* pos, std::string* bytes) {
+  uint64_t len = 0;
+  if (!ReadU64(in, pos, &len) || *pos + len > in.size()) return false;
+  bytes->assign(in.data() + *pos, len);
+  *pos += len;
+  return true;
+}
+
+void AppendTensor(std::string* out, const Tensor& t) {
+  AppendU64(out, t.shape().size());
+  for (int64_t d : t.shape()) AppendU64(out, static_cast<uint64_t>(d));
+  out->append(reinterpret_cast<const char*>(t.data()),
+              static_cast<size_t>(t.size()) * sizeof(float));
+}
+
+bool ReadTensor(const std::string& in, size_t* pos, Tensor* t) {
+  uint64_t rank = 0;
+  if (!ReadU64(in, pos, &rank) || rank > 8) return false;
+  std::vector<int64_t> shape;
+  int64_t elements = 1;
+  for (uint64_t d = 0; d < rank; ++d) {
+    uint64_t dim = 0;
+    if (!ReadU64(in, pos, &dim)) return false;
+    shape.push_back(static_cast<int64_t>(dim));
+    elements *= static_cast<int64_t>(dim);
+  }
+  const size_t bytes = static_cast<size_t>(elements) * sizeof(float);
+  if (*pos + bytes > in.size()) return false;
+  Tensor out(shape);
+  std::memcpy(out.data(), in.data() + *pos, bytes);
+  *pos += bytes;
+  *t = std::move(out);
+  return true;
+}
+
+std::string SerializeParameters(Module* module) {
   std::vector<Parameter*> params = module->Parameters();
   std::string out;
   out.append(kMagic, sizeof(kMagic));
@@ -33,28 +86,22 @@ Status SaveCheckpoint(Module* module, const std::string& path) {
   for (Parameter* p : params) {
     AppendU64(&out, p->name.size());
     out.append(p->name);
-    AppendU64(&out, p->value.shape().size());
-    for (int64_t d : p->value.shape()) {
-      AppendU64(&out, static_cast<uint64_t>(d));
-    }
-    const size_t bytes = static_cast<size_t>(p->value.size()) * sizeof(float);
-    out.append(reinterpret_cast<const char*>(p->value.data()), bytes);
+    AppendTensor(&out, p->value);
   }
-  return WriteStringToFile(path, out);
+  return out;
 }
 
-Status LoadCheckpoint(Module* module, const std::string& path) {
-  SDEA_ASSIGN_OR_RETURN(std::string in, ReadFileToString(path));
+Status DeserializeParameters(Module* module, const std::string& in) {
   if (in.size() < sizeof(kMagic) ||
       std::memcmp(in.data(), kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("not an SDEA checkpoint: " + path);
+    return Status::InvalidArgument("not an SDEA parameter checkpoint");
   }
   size_t pos = sizeof(kMagic);
   uint64_t count = 0;
   if (!ReadU64(in, &pos, &count)) {
     return Status::InvalidArgument("truncated checkpoint header");
   }
-  // Parse every entry into (shape, data-offset) keyed by name.
+  // Pass 1: parse every entry into (shape, data-offset) keyed by name.
   struct Entry {
     std::vector<int64_t> shape;
     size_t data_offset;
@@ -91,18 +138,40 @@ Status LoadCheckpoint(Module* module, const std::string& path) {
     pos += bytes;
     entries[std::move(name)] = std::move(e);
   }
-  for (Parameter* p : module->Parameters()) {
+  // Pass 2: validate every module parameter against the blob before any
+  // copy, so a bad checkpoint cannot leave the module half-loaded.
+  std::vector<Parameter*> params = module->Parameters();
+  for (Parameter* p : params) {
     auto it = entries.find(p->name);
     if (it == entries.end()) {
-      return Status::NotFound("checkpoint missing parameter: " + p->name);
+      return Status::InvalidArgument(
+          "checkpoint has no entry for parameter '" + p->name +
+          "' (unknown or missing name); no parameters were modified");
     }
-    const Entry& e = it->second;
-    if (e.shape != p->value.shape()) {
-      return Status::InvalidArgument("shape mismatch for parameter: " +
-                                     p->name);
+    if (it->second.shape != p->value.shape()) {
+      return Status::InvalidArgument(
+          "checkpoint shape mismatch for parameter '" + p->name +
+          "'; no parameters were modified");
     }
+  }
+  // Pass 3: all-or-nothing copy.
+  for (Parameter* p : params) {
+    const Entry& e = entries.find(p->name)->second;
     std::memcpy(p->value.data(), in.data() + e.data_offset,
                 static_cast<size_t>(e.num_elements) * sizeof(float));
+  }
+  return Status::Ok();
+}
+
+Status SaveCheckpoint(Module* module, const std::string& path) {
+  return WriteStringToFileAtomic(path, SerializeParameters(module));
+}
+
+Status LoadCheckpoint(Module* module, const std::string& path) {
+  SDEA_ASSIGN_OR_RETURN(std::string in, ReadFileToString(path));
+  Status s = DeserializeParameters(module, in);
+  if (!s.ok()) {
+    return Status(s.code(), s.message() + " (checkpoint: " + path + ")");
   }
   return Status::Ok();
 }

@@ -1,0 +1,106 @@
+#include "train/checkpoint.h"
+
+#include "base/fileio.h"
+#include "base/strings.h"
+#include "nn/serialization.h"
+
+namespace sdea::train {
+namespace {
+
+constexpr char kMagic[] = "SDEATRN1";
+constexpr size_t kMagicLen = 8;
+
+Status Truncated() {
+  return Status::InvalidArgument("trainer checkpoint truncated");
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(std::string path)
+    : path_(std::move(path)) {}
+
+bool CheckpointManager::Exists() const { return FileExists(path_); }
+
+std::string CheckpointManager::Encode(const TrainerCheckpoint& ckpt) {
+  std::string out;
+  out.append(kMagic, kMagicLen);
+  nn::AppendU64(&out, static_cast<uint64_t>(ckpt.next_epoch));
+  nn::AppendU64(&out, static_cast<uint64_t>(ckpt.epochs_run));
+  nn::AppendF64(&out, ckpt.best_metric);
+  nn::AppendU64(&out, static_cast<uint64_t>(ckpt.since_best));
+  nn::AppendU64(&out, ckpt.metric_history.size());
+  for (double m : ckpt.metric_history) nn::AppendF64(&out, m);
+  nn::AppendU64(&out, ckpt.order.size());
+  for (uint64_t o : ckpt.order) nn::AppendU64(&out, o);
+  for (uint64_t s : ckpt.rng.s) nn::AppendU64(&out, s);
+  nn::AppendU64(&out, ckpt.rng.has_cached_normal ? 1 : 0);
+  nn::AppendF64(&out, ckpt.rng.cached_normal);
+  nn::AppendBytes(&out, ckpt.params);
+  nn::AppendBytes(&out, ckpt.best_params);
+  nn::AppendBytes(&out, ckpt.optimizer);
+  nn::AppendU64(&out, ckpt.finished ? 1 : 0);
+  return out;
+}
+
+Result<TrainerCheckpoint> CheckpointManager::Decode(const std::string& blob) {
+  if (blob.size() < kMagicLen || blob.compare(0, kMagicLen, kMagic) != 0) {
+    return Status::InvalidArgument(
+        "not a trainer checkpoint (bad magic header)");
+  }
+  size_t pos = kMagicLen;
+  TrainerCheckpoint ckpt;
+  uint64_t u = 0;
+  if (!nn::ReadU64(blob, &pos, &u)) return Truncated();
+  ckpt.next_epoch = static_cast<int64_t>(u);
+  if (!nn::ReadU64(blob, &pos, &u)) return Truncated();
+  ckpt.epochs_run = static_cast<int64_t>(u);
+  if (!nn::ReadF64(blob, &pos, &ckpt.best_metric)) return Truncated();
+  if (!nn::ReadU64(blob, &pos, &u)) return Truncated();
+  ckpt.since_best = static_cast<int64_t>(u);
+
+  uint64_t n = 0;
+  if (!nn::ReadU64(blob, &pos, &n)) return Truncated();
+  if (n > blob.size()) return Truncated();  // Cheap sanity bound.
+  ckpt.metric_history.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!nn::ReadF64(blob, &pos, &ckpt.metric_history[i])) return Truncated();
+  }
+  if (!nn::ReadU64(blob, &pos, &n)) return Truncated();
+  if (n > blob.size()) return Truncated();
+  ckpt.order.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!nn::ReadU64(blob, &pos, &ckpt.order[i])) return Truncated();
+  }
+  for (uint64_t& s : ckpt.rng.s) {
+    if (!nn::ReadU64(blob, &pos, &s)) return Truncated();
+  }
+  if (!nn::ReadU64(blob, &pos, &u)) return Truncated();
+  ckpt.rng.has_cached_normal = (u != 0);
+  if (!nn::ReadF64(blob, &pos, &ckpt.rng.cached_normal)) return Truncated();
+  if (!nn::ReadBytes(blob, &pos, &ckpt.params)) return Truncated();
+  if (!nn::ReadBytes(blob, &pos, &ckpt.best_params)) return Truncated();
+  if (!nn::ReadBytes(blob, &pos, &ckpt.optimizer)) return Truncated();
+  if (!nn::ReadU64(blob, &pos, &u)) return Truncated();
+  ckpt.finished = (u != 0);
+  if (pos != blob.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "trainer checkpoint has %zu trailing bytes", blob.size() - pos));
+  }
+  return ckpt;
+}
+
+Status CheckpointManager::Save(const TrainerCheckpoint& ckpt) const {
+  return WriteStringToFileAtomic(path_, Encode(ckpt));
+}
+
+Result<TrainerCheckpoint> CheckpointManager::Load() const {
+  SDEA_ASSIGN_OR_RETURN(std::string blob, ReadFileToString(path_));
+  auto decoded = Decode(blob);
+  if (!decoded.ok()) {
+    return Status::InvalidArgument(decoded.status().message() +
+                                   " (checkpoint: " + path_ + ")");
+  }
+  return decoded;
+}
+
+}  // namespace sdea::train

@@ -1,0 +1,38 @@
+#include "train/loss.h"
+
+#include "nn/loss.h"
+
+namespace sdea::train {
+
+PairwiseLossFn MarginHingeLoss(float margin) {
+  return [margin](Graph* g, NodeId d_pos, NodeId d_neg) {
+    NodeId hinge = g->Relu(g->AddConst(g->Sub(d_pos, d_neg), margin));
+    return g->MeanAll(hinge);
+  };
+}
+
+PairwiseLossFn SquaredMarginHingeLoss(float margin) {
+  return [margin](Graph* g, NodeId d_pos, NodeId d_neg) {
+    NodeId hinge = g->Relu(g->AddConst(g->Sub(d_pos, d_neg), margin));
+    return g->MeanAll(g->Mul(hinge, hinge));
+  };
+}
+
+PairwiseLossFn SigmoidRankingLoss(float margin) {
+  return [margin](Graph* g, NodeId d_pos, NodeId d_neg) {
+    return g->MeanAll(
+        g->Sigmoid(g->AddConst(g->Sub(d_pos, d_neg), margin)));
+  };
+}
+
+TripletLossFn TripletDistanceLoss(PairwiseLossFn pairwise) {
+  return [pairwise = std::move(pairwise)](Graph* g, NodeId anchors,
+                                          NodeId positives,
+                                          NodeId negatives) {
+    NodeId d_pos = nn::RowSquaredL2Distance(g, anchors, positives);
+    NodeId d_neg = nn::RowSquaredL2Distance(g, anchors, negatives);
+    return pairwise(g, d_pos, d_neg);
+  };
+}
+
+}  // namespace sdea::train

@@ -1,0 +1,43 @@
+#ifndef SDEA_TRAIN_LOSS_H_
+#define SDEA_TRAIN_LOSS_H_
+
+#include <functional>
+
+#include "tensor/graph.h"
+
+namespace sdea::train {
+
+/// Maps per-row positive/negative distance columns ([B,1] each, smaller =
+/// more similar) to a scalar loss node. This is the pluggable core shared
+/// by every contrastive trainer in the repo: the TransE family scores
+/// ||h+psi-t||^2 pairs, the SDEA modules score embedding-row L2 pairs, and
+/// both feed the same distance-pair reduction.
+using PairwiseLossFn =
+    std::function<NodeId(Graph* g, NodeId d_pos, NodeId d_neg)>;
+
+/// The paper's margin hinge (Eq. 18 core): mean(max(0, d_pos - d_neg + m)).
+/// Matches nn::MarginRankingLoss when fed row L2 distances.
+PairwiseLossFn MarginHingeLoss(float margin);
+
+/// Squared margin hinge: mean(max(0, d_pos - d_neg + m)^2). Smoother near
+/// the boundary; an ablation alternative, not used by the paper's models.
+PairwiseLossFn SquaredMarginHingeLoss(float margin);
+
+/// Sigmoid surrogate of the 0/1 ranking loss:
+/// mean(sigmoid(d_pos - d_neg + m)). Bounded, so single hard negatives
+/// cannot dominate a batch.
+PairwiseLossFn SigmoidRankingLoss(float margin);
+
+/// Maps row-batched anchor/positive/negative embedding matrices ([B,d]
+/// each) to a scalar loss.
+using TripletLossFn = std::function<NodeId(Graph* g, NodeId anchors,
+                                           NodeId positives,
+                                           NodeId negatives)>;
+
+/// Row squared-L2 distances fed into `pairwise` — with MarginHingeLoss
+/// this is exactly nn::MarginRankingLoss, the loss of Algorithms 2 and 3.
+TripletLossFn TripletDistanceLoss(PairwiseLossFn pairwise);
+
+}  // namespace sdea::train
+
+#endif  // SDEA_TRAIN_LOSS_H_

@@ -1,0 +1,46 @@
+#include "train/sampler.h"
+
+#include "base/check.h"
+
+namespace sdea::train {
+
+NegativeSampler::NegativeSampler(int64_t num_entities)
+    : num_entities_(num_entities) {
+  SDEA_CHECK_GT(num_entities, 0);
+}
+
+NegativeSampler::NegativeSampler(int64_t num_entities,
+                                 std::vector<int64_t> merge)
+    : num_entities_(num_entities), merge_(std::move(merge)) {
+  SDEA_CHECK_GT(num_entities, 0);
+  SDEA_CHECK(merge_.empty() ||
+             merge_.size() == static_cast<size_t>(num_entities));
+}
+
+NegativeSampler::NegativeSampler(int64_t num_entities,
+                                 const std::vector<int32_t>& merge)
+    : num_entities_(num_entities) {
+  SDEA_CHECK_GT(num_entities, 0);
+  SDEA_CHECK(merge.empty() ||
+             merge.size() == static_cast<size_t>(num_entities));
+  merge_.reserve(merge.size());
+  for (int32_t slot : merge) merge_.push_back(slot);
+}
+
+NegativeSampler::CorruptedPair NegativeSampler::CorruptHeadOrTail(
+    int64_t head, int64_t tail, Rng* rng) const {
+  CorruptedPair out{head, tail};
+  if (rng->Bernoulli(0.5)) {
+    out.head = SampleEntity(rng);
+  } else {
+    out.tail = SampleEntity(rng);
+  }
+  return out;
+}
+
+int64_t NegativeSampler::SampleEntity(Rng* rng) const {
+  return Resolve(static_cast<int64_t>(
+      rng->UniformInt(static_cast<uint64_t>(num_entities_))));
+}
+
+}  // namespace sdea::train

@@ -1,0 +1,28 @@
+#include "train/schedule.h"
+
+#include "base/check.h"
+
+namespace sdea::train {
+
+StepDecayLr::StepDecayLr(float base, float factor, int64_t every)
+    : base_(base), factor_(factor), every_(every) {
+  SDEA_CHECK_GT(every, 0);
+}
+
+float StepDecayLr::LearningRate(int64_t epoch) const {
+  float lr = base_;
+  for (int64_t steps = epoch / every_; steps > 0; --steps) lr *= factor_;
+  return lr;
+}
+
+WarmupLr::WarmupLr(float base, int64_t warmup) : base_(base), warmup_(warmup) {
+  SDEA_CHECK_GT(warmup, 0);
+}
+
+float WarmupLr::LearningRate(int64_t epoch) const {
+  if (epoch >= warmup_) return base_;
+  return base_ * static_cast<float>(epoch + 1) /
+         static_cast<float>(warmup_);
+}
+
+}  // namespace sdea::train

@@ -1,0 +1,59 @@
+#ifndef SDEA_TRAIN_SCHEDULE_H_
+#define SDEA_TRAIN_SCHEDULE_H_
+
+#include <cstdint>
+
+namespace sdea::train {
+
+/// Learning-rate schedule strategy. The Trainer queries the schedule at
+/// the start of every epoch and pushes the result into the task's
+/// optimizer, so the rate is a pure function of the epoch index — which is
+/// what makes checkpoint/resume trivially reproduce it (no extra state to
+/// persist). A null schedule leaves the optimizer's rate untouched, which
+/// is how the migrated legacy loops keep their exact historical numerics.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+
+  /// The learning rate to apply for 0-based `epoch`.
+  virtual float LearningRate(int64_t epoch) const = 0;
+};
+
+/// The same rate every epoch.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float LearningRate(int64_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// Multiplies the base rate by `factor` every `every` epochs:
+/// lr(e) = base * factor^(e / every).
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(float base, float factor, int64_t every);
+  float LearningRate(int64_t epoch) const override;
+
+ private:
+  float base_;
+  float factor_;
+  int64_t every_;
+};
+
+/// Linear warmup over `warmup` epochs from base/warmup up to base, then
+/// constant — the transformer-style ramp without the decay tail.
+class WarmupLr : public LrSchedule {
+ public:
+  WarmupLr(float base, int64_t warmup);
+  float LearningRate(int64_t epoch) const override;
+
+ private:
+  float base_;
+  int64_t warmup_;
+};
+
+}  // namespace sdea::train
+
+#endif  // SDEA_TRAIN_SCHEDULE_H_

@@ -1,0 +1,28 @@
+#include "train/serve_bridge.h"
+
+#include <utility>
+
+#include "core/embedding_store.h"
+
+namespace sdea::train {
+
+Result<uint64_t> PublishEmbeddings(std::vector<std::string> names,
+                                   Tensor embeddings,
+                                   serve::SnapshotManager* manager,
+                                   const PublishOptions& options) {
+  if (manager == nullptr) {
+    return Status::InvalidArgument("snapshot manager must not be null");
+  }
+  SDEA_ASSIGN_OR_RETURN(
+      core::EmbeddingStore store,
+      core::EmbeddingStore::Create(std::move(names), std::move(embeddings)));
+  if (!options.artifact_path.empty()) {
+    SDEA_RETURN_IF_ERROR(store.Save(options.artifact_path));
+  }
+  if (options.build_index) {
+    store.BuildIndex(options.index_options);
+  }
+  return manager->Swap(std::move(store));
+}
+
+}  // namespace sdea::train

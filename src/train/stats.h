@@ -1,0 +1,80 @@
+#ifndef SDEA_TRAIN_STATS_H_
+#define SDEA_TRAIN_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdea::train {
+
+/// A fixed-bucket histogram over doubles. Bucket `i` counts values v with
+/// upper_bounds[i-1] < v <= upper_bounds[i]; one final unbounded bucket
+/// catches the rest. Single-writer (the Trainer records from the driving
+/// thread); snapshots are plain copies.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// Exponential bounds suited to per-batch wall times in milliseconds
+  /// (0.01 ms .. ~164 s, x4 steps).
+  static Histogram ForLatencyMs();
+
+  /// Exponential bounds suited to per-batch loss values (1e-4 .. ~6.5e3,
+  /// x4 steps).
+  static Histogram ForLoss();
+
+  void Record(double v);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  /// Smallest bound b with P(v <= b) >= q, by linear scan of the buckets;
+  /// the unbounded tail reports the observed max. `q` in [0, 1].
+  double Quantile(double q) const;
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  const std::vector<int64_t>& bucket_counts() const { return counts_; }
+
+  /// One-line summary: count/mean/min/max/p50/p99.
+  std::string Summary() const;
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<int64_t> counts_;  // upper_bounds_.size() + 1 buckets.
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Per-epoch progress record.
+struct EpochStats {
+  int64_t epoch = 0;        ///< 0-based epoch index.
+  int64_t num_batches = 0;
+  int64_t num_examples = 0;
+  double loss_sum = 0.0;    ///< Sum of per-batch losses.
+  double wall_ms = 0.0;     ///< Whole-epoch wall time (train + eval).
+  bool has_eval = false;
+  double eval_metric = 0.0;  ///< Dev metric (e.g. Hits@1) when has_eval.
+
+  double mean_loss() const {
+    return num_batches == 0 ? 0.0 : loss_sum / num_batches;
+  }
+};
+
+/// Whole-run training statistics: the per-epoch trail plus run-wide loss
+/// and batch-latency histograms.
+struct TrainStats {
+  std::vector<EpochStats> epochs;
+  Histogram batch_loss = Histogram::ForLoss();
+  Histogram batch_ms = Histogram::ForLatencyMs();
+  double total_wall_ms = 0.0;
+};
+
+}  // namespace sdea::train
+
+#endif  // SDEA_TRAIN_STATS_H_

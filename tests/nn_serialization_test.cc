@@ -36,14 +36,24 @@ TEST(SerializationTest, RoundTripRestoresWeights) {
   }
 }
 
-TEST(SerializationTest, MissingParameterFails) {
+std::vector<float> Flatten(Module* m) {
+  std::vector<float> out;
+  for (Parameter* p : m->Parameters()) {
+    for (int64_t i = 0; i < p->value.size(); ++i) out.push_back(p->value[i]);
+  }
+  return out;
+}
+
+TEST(SerializationTest, UnknownParameterNameIsInvalidArgument) {
   Rng rng(2);
   Mlp small("m", {4, 2}, Activation::kRelu, &rng);
   const std::string path = TempPath("sdea_ckpt_missing.bin");
   ASSERT_TRUE(SaveCheckpoint(&small, path).ok());
   Mlp bigger("m2", {4, 2}, Activation::kRelu, &rng);  // Different names.
+  const std::vector<float> before = Flatten(&bigger);
   Status s = LoadCheckpoint(&bigger, path);
-  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Flatten(&bigger), before);  // Nothing was overwritten.
 }
 
 TEST(SerializationTest, ShapeMismatchFails) {
@@ -54,6 +64,63 @@ TEST(SerializationTest, ShapeMismatchFails) {
   Mlp b("m", {4, 3}, Activation::kRelu, &rng);  // Same names, new shapes.
   Status s = LoadCheckpoint(&b, path);
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationTest, ShapeMismatchLeavesNoPartialLoad) {
+  // Two-layer MLP: the first layer's shapes agree between writer and
+  // reader, the second layer's do not. A single-pass loader would copy
+  // layer 1 before discovering the layer-2 mismatch; the contract is that
+  // a failed load modifies NO parameter.
+  Rng rng(4);
+  Mlp writer("m", {4, 8, 2}, Activation::kRelu, &rng);
+  const std::string path = TempPath("sdea_ckpt_partial.bin");
+  ASSERT_TRUE(SaveCheckpoint(&writer, path).ok());
+  Rng rng2(5);
+  Mlp reader("m", {4, 8, 3}, Activation::kRelu, &rng2);
+  const std::vector<float> before = Flatten(&reader);
+  Status s = LoadCheckpoint(&reader, path);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Flatten(&reader), before);
+}
+
+TEST(SerializationTest, BlobRoundTripBitwise) {
+  Rng rng(6);
+  Mlp a("m", {3, 5}, Activation::kRelu, &rng);
+  const std::string blob = SerializeParameters(&a);
+  Rng rng2(7);
+  Mlp b("m", {3, 5}, Activation::kRelu, &rng2);
+  ASSERT_TRUE(DeserializeParameters(&b, blob).ok());
+  EXPECT_EQ(Flatten(&a), Flatten(&b));
+}
+
+TEST(SerializationTest, WireHelpersRoundTrip) {
+  std::string buf;
+  AppendU64(&buf, 0xdeadbeefcafef00dULL);
+  AppendF64(&buf, -0.0625);
+  AppendBytes(&buf, "payload");
+  Tensor t({2, 3});
+  for (int64_t i = 0; i < t.size(); ++i) t[i] = 0.5f * static_cast<float>(i);
+  AppendTensor(&buf, t);
+
+  size_t pos = 0;
+  uint64_t u = 0;
+  double d = 0.0;
+  std::string bytes;
+  Tensor back;
+  ASSERT_TRUE(ReadU64(buf, &pos, &u));
+  ASSERT_TRUE(ReadF64(buf, &pos, &d));
+  ASSERT_TRUE(ReadBytes(buf, &pos, &bytes));
+  ASSERT_TRUE(ReadTensor(buf, &pos, &back));
+  EXPECT_EQ(u, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(d, -0.0625);
+  EXPECT_EQ(bytes, "payload");
+  ASSERT_EQ(back.shape(), t.shape());
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(back[i], t[i]);
+  EXPECT_EQ(pos, buf.size());
+
+  // Truncated reads fail without advancing past the end.
+  ASSERT_FALSE(ReadU64(buf, &pos, &u));
+  ASSERT_FALSE(ReadTensor(buf, &pos, &back));
 }
 
 TEST(SerializationTest, GarbageFileRejected) {

@@ -1,0 +1,114 @@
+// The train→serve bridge: freshly trained embeddings become a served
+// snapshot (hot-swapped, versioned), optionally with an on-disk artifact a
+// separate server process can LoadAndSwap.
+#include "train/serve_bridge.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "serve/snapshot.h"
+
+namespace sdea::train {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+Tensor MakeEmbeddings(int64_t n, int64_t d, float scale) {
+  Tensor t({n, d});
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = scale * static_cast<float>((i % 7) - 3);
+  }
+  return t;
+}
+
+std::vector<std::string> MakeNames(int64_t n) {
+  std::vector<std::string> names;
+  for (int64_t i = 0; i < n; ++i) names.push_back("e" + std::to_string(i));
+  return names;
+}
+
+TEST(ServeBridgeTest, PublishSwapsVersionedSnapshot) {
+  serve::SnapshotManager manager;
+  EXPECT_FALSE(manager.has_snapshot());
+
+  PublishOptions opts;
+  opts.build_index = false;
+  auto v1 = PublishEmbeddings(MakeNames(12), MakeEmbeddings(12, 4, 1.0f),
+                              &manager, opts);
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  EXPECT_EQ(*v1, 1u);
+  ASSERT_TRUE(manager.has_snapshot());
+  EXPECT_EQ(manager.version(), 1u);
+  auto snap = manager.Current();
+  EXPECT_EQ(snap->store.size(), 12);
+  EXPECT_EQ(snap->store.dim(), 4);
+  EXPECT_EQ(snap->store.names()[3], "e3");
+
+  // Re-publishing (the per-epoch refresh path) bumps the version while an
+  // in-flight reader keeps its pinned snapshot alive.
+  auto v2 = PublishEmbeddings(MakeNames(12), MakeEmbeddings(12, 4, 2.0f),
+                              &manager, opts);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v2, 2u);
+  EXPECT_EQ(manager.version(), 2u);
+  EXPECT_EQ(snap->version, 1u);  // The pinned snapshot is untouched.
+}
+
+TEST(ServeBridgeTest, PublishedStoreAnswersQueries) {
+  serve::SnapshotManager manager;
+  auto v = PublishEmbeddings(MakeNames(30), MakeEmbeddings(30, 8, 1.0f),
+                             &manager);  // Default: index built.
+  ASSERT_TRUE(v.ok());
+  auto snap = manager.Current();
+  const Tensor query = snap->store.embeddings().Row(5);
+  auto nn = snap->store.NearestNeighbors(query, 3);
+  ASSERT_FALSE(nn.empty());
+  // The entity's own (normalized) row is its nearest neighbor.
+  EXPECT_EQ(nn[0].name, snap->store.names()[5]);
+}
+
+TEST(ServeBridgeTest, ArtifactRoundTripsThroughLoadAndSwap) {
+  const std::string path = TempPath("sdea_bridge_artifact.bin");
+  std::remove(path.c_str());
+
+  serve::SnapshotManager trainer_side;
+  PublishOptions opts;
+  opts.artifact_path = path;
+  opts.build_index = false;
+  ASSERT_TRUE(PublishEmbeddings(MakeNames(10), MakeEmbeddings(10, 4, 1.0f),
+                                &trainer_side, opts)
+                  .ok());
+
+  // A separately running server picks the artifact up from disk.
+  serve::SnapshotManager server_side;
+  auto v = server_side.LoadAndSwap(path, /*build_index=*/false);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  auto served = server_side.Current();
+  auto trained = trainer_side.Current();
+  ASSERT_EQ(served->store.size(), trained->store.size());
+  EXPECT_EQ(served->store.names(), trained->store.names());
+  for (int64_t i = 0; i < served->store.embeddings().size(); ++i) {
+    // Load re-normalizes the already-normalized rows, which may wiggle the
+    // low bit; the values are otherwise identical.
+    EXPECT_FLOAT_EQ(served->store.embeddings()[i],
+                    trained->store.embeddings()[i]);
+  }
+}
+
+TEST(ServeBridgeTest, RejectsMismatchedInput) {
+  serve::SnapshotManager manager;
+  auto r = PublishEmbeddings(MakeNames(5), MakeEmbeddings(4, 4, 1.0f),
+                             &manager);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(manager.has_snapshot());
+}
+
+}  // namespace
+}  // namespace sdea::train
