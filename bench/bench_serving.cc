@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/embedding_store.h"
+#include "obs/obs.h"
 #include "serve/server.h"
 #include "tensor/tensor.h"
 #include "text/normalizer.h"
@@ -292,6 +293,27 @@ int main(int argc, char** argv) {
     const RunResult served =
         RunServed(&server, pool, threads, queries_per_thread);
     PrintRow("served batched", threads, frac, served, naive.qps);
+  }
+
+  // --- Sweep 3: obs instrumentation overhead on the served hot path. ------
+  // Same workload with trace spans force-enabled vs force-disabled; the
+  // delta bounds what the batcher/encode/search spans cost per query.
+  PrintHeader("[obs overhead, 4 client threads, 25% distinct]");
+  {
+    const std::vector<std::string> pool =
+        MakeTextPool(std::max<size_t>(1, total / 4));
+    const bool was_enabled = obs::Enabled();
+    obs::SetEnabled(false);
+    const RunResult obs_off =
+        RunServed(&server, pool, threads, queries_per_thread);
+    PrintRow("served obs off", threads, 0.25, obs_off, obs_off.qps);
+    obs::SetEnabled(true);
+    const RunResult obs_on =
+        RunServed(&server, pool, threads, queries_per_thread);
+    PrintRow("served obs on", threads, 0.25, obs_on, obs_off.qps);
+    obs::SetEnabled(was_enabled);
+    std::printf("  obs-enabled overhead: %+.1f%% qps\n",
+                100.0 * (obs_off.qps - obs_on.qps) / obs_off.qps);
   }
 
   std::printf("\nbatched+cached vs naive at 4 client threads (25%% "

@@ -12,6 +12,7 @@
 #include "nn/module.h"
 #include "nn/optimizer.h"
 #include "nn/serialization.h"
+#include "obs/obs.h"
 #include "train/checkpoint.h"
 #include "train/trainer.h"
 
@@ -51,8 +52,13 @@ class NoopTask : public train::TrainTask {
 };
 
 // Driver overhead: shuffle + batching + stats, with TrainBatch a no-op.
+// The second argument toggles obs instrumentation (spans + registry
+// recording), so comparing obs:0 vs obs:1 rows measures its cost and the
+// obs:0 row against historical numbers bounds the disabled-path overhead.
 void BM_TrainerEpochOverhead(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
+  const bool was_enabled = obs::Enabled();
+  obs::SetEnabled(state.range(1) != 0);
   NoopTask task(n);
   train::TrainerOptions opts;
   opts.max_epochs = 1;
@@ -62,9 +68,17 @@ void BM_TrainerEpochOverhead(benchmark::State& state) {
     auto stats = trainer.Run();
     benchmark::DoNotOptimize(stats);
   }
+  obs::SetEnabled(was_enabled);
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
-BENCHMARK(BM_TrainerEpochOverhead)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_TrainerEpochOverhead)
+    ->ArgNames({"n", "obs"})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1});
 
 train::TrainerCheckpoint MakeCheckpoint(int64_t rows) {
   BenchNet net(rows);

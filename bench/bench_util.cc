@@ -8,6 +8,7 @@
 
 #include "base/check.h"
 #include "base/strings.h"
+#include "obs/export.h"
 #include "baselines/bert_int_lite.h"
 #include "baselines/cea.h"
 #include "baselines/hman.h"
@@ -29,6 +30,10 @@ double NowSeconds() {
 }
 
 BenchOptions ParseOptions(int argc, char** argv) {
+  // Flush the trace buffer on exit when SDEA_OBS_TRACE=<path> is set, so
+  // any table bench can emit a chrome://tracing timeline without per-bench
+  // wiring.
+  std::atexit(+[] { (void)obs::MaybeWriteTraceFromEnv(); });
   BenchOptions o;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];

@@ -1,12 +1,24 @@
 #include "base/logging.h"
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
+
+#include "base/strings.h"
 
 namespace sdea {
 namespace {
 
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+// Applies SDEA_LOG_LEVEL before main() (dynamic initialization of a
+// namespace-scope object), so an explicit SetLogLevel call afterwards
+// always wins over the environment.
+[[maybe_unused]] const bool g_env_applied = [] {
+  InitLogLevelFromEnv();
+  return true;
+}();
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,18 +36,51 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel GetLogLevel() { return g_level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+bool ParseLogLevel(std::string_view value, LogLevel* out) {
+  const std::string v = ToLower(Trim(value));
+  if (v == "debug" || v == "0") {
+    *out = LogLevel::kDebug;
+  } else if (v == "info" || v == "1") {
+    *out = LogLevel::kInfo;
+  } else if (v == "warning" || v == "warn" || v == "2") {
+    *out = LogLevel::kWarning;
+  } else if (v == "error" || v == "3") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void InitLogLevelFromEnv() {
+  const char* value = std::getenv("SDEA_LOG_LEVEL");
+  if (value == nullptr) return;
+  LogLevel level;
+  if (ParseLogLevel(value, &level)) SetLogLevel(level);
+}
+
+uint32_t ThreadId() {
+  static std::atomic<uint32_t> next_id{1};
+  thread_local const uint32_t id =
+      next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 void LogMessage(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
   std::time_t now = std::time(nullptr);
   std::tm tm_buf;
   localtime_r(&now, &tm_buf);
   char ts[32];
   std::strftime(ts, sizeof(ts), "%H:%M:%S", &tm_buf);
-  std::fprintf(stderr, "[%s %s] %s\n", ts, LevelName(level), message.c_str());
+  std::fprintf(stderr, "[%s t%u %s] %s\n", ts, ThreadId(), LevelName(level),
+               message.c_str());
 }
 
 }  // namespace sdea

@@ -1,7 +1,9 @@
 #ifndef SDEA_BASE_LOGGING_H_
 #define SDEA_BASE_LOGGING_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace sdea {
 
@@ -11,7 +13,26 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Writes a timestamped message to stderr if `level` passes the filter.
+/// Parses "debug", "info", "warning"/"warn", "error" (case-insensitive)
+/// or a numeric level "0".."3". Returns false (leaving `out` untouched)
+/// for anything else.
+bool ParseLogLevel(std::string_view value, LogLevel* out);
+
+/// Applies the SDEA_LOG_LEVEL environment variable to the global level.
+/// Runs automatically before main() (static initialization), so processes
+/// honour the variable without any call; exposed for tests and for
+/// re-reading after a setenv. Unset or unparsable values leave the level
+/// unchanged.
+void InitLogLevelFromEnv();
+
+/// A small sequential id for the calling thread (1, 2, ... in first-use
+/// order). Stable for the thread's lifetime; used by the log prefix and
+/// the trace exporters so interleaved trainer/server output is
+/// attributable to a thread.
+uint32_t ThreadId();
+
+/// Writes "[HH:MM:SS tN LEVEL] message" to stderr if `level` passes the
+/// filter, where N is ThreadId().
 void LogMessage(LogLevel level, const std::string& message);
 
 }  // namespace sdea

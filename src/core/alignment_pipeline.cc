@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/stable_matching.h"
+#include "obs/trace.h"
 
 namespace sdea::core {
 
@@ -10,15 +11,23 @@ Result<AlignmentResult> AlignmentPipeline::Run(
     const kg::KnowledgeGraph& kg1, const kg::KnowledgeGraph& kg2,
     const kg::AlignmentSeeds& seeds, const PipelineConfig& config,
     const std::vector<std::string>& pretrain_corpus) {
+  obs::TraceSpan run_span("pipeline/run");
   AlignmentResult result;
-  SDEA_ASSIGN_OR_RETURN(
-      result.fit_report,
-      model_.Fit(kg1, kg2, seeds, config.model, pretrain_corpus));
+  {
+    obs::TraceSpan fit_span("pipeline/fit");
+    SDEA_ASSIGN_OR_RETURN(
+        result.fit_report,
+        model_.Fit(kg1, kg2, seeds, config.model, pretrain_corpus));
+  }
   ran_ = true;
 
-  result.test_metrics = model_.Evaluate(seeds.test);
+  {
+    obs::TraceSpan eval_span("pipeline/evaluate");
+    result.test_metrics = model_.Evaluate(seeds.test);
+  }
 
   // Decision layer over cosine similarities.
+  obs::TraceSpan decide_span("pipeline/decide");
   Tensor e1 = model_.embeddings1();
   Tensor e2 = model_.embeddings2();
   tmath::L2NormalizeRowsInPlace(&e1);

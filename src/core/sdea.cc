@@ -3,6 +3,7 @@
 #include "base/logging.h"
 #include "base/strings.h"
 #include "core/numeric_channel.h"
+#include "obs/trace.h"
 #include "train/checkpoint.h"
 
 namespace sdea::core {
@@ -22,13 +23,21 @@ Result<SdeaFitReport> SdeaModel::Fit(
         options.checkpoint_dir + "/relation.ckpt");
   }
 
+  obs::TraceSpan fit_span("sdea/fit");
+
   // Phase 1: attribute embedding pre-training (Algorithm 2).
-  SDEA_RETURN_IF_ERROR(
-      attribute_module_.Init(kg1, kg2, config.attribute, pretrain_corpus));
-  SDEA_ASSIGN_OR_RETURN(report.attribute,
-                        attribute_module_.Pretrain(seeds, attr_ckpt.get()));
-  ha1_ = attribute_module_.ComputeAllEmbeddings(1);
-  ha2_ = attribute_module_.ComputeAllEmbeddings(2);
+  {
+    obs::TraceSpan span("sdea/attribute_pretrain");
+    SDEA_RETURN_IF_ERROR(
+        attribute_module_.Init(kg1, kg2, config.attribute, pretrain_corpus));
+    SDEA_ASSIGN_OR_RETURN(report.attribute,
+                          attribute_module_.Pretrain(seeds, attr_ckpt.get()));
+  }
+  {
+    obs::TraceSpan span("sdea/attribute_embed");
+    ha1_ = attribute_module_.ComputeAllEmbeddings(1);
+    ha2_ = attribute_module_.ComputeAllEmbeddings(2);
+  }
   SDEA_LOG_INFO(StrFormat("attribute module: %lld epochs, valid H@1=%.2f",
                           static_cast<long long>(report.attribute.epochs_run),
                           report.attribute.best_valid_hits1));
@@ -48,14 +57,19 @@ Result<SdeaFitReport> SdeaModel::Fit(
   }
 
   // Phase 2: relation + joint training (Algorithm 3), transformer frozen.
-  SDEA_RETURN_IF_ERROR(relation_module_.Init(
-      kg1, kg2, config.attribute.text.out_dim, config.relation));
-  SDEA_ASSIGN_OR_RETURN(report.relation,
-                        relation_module_.Train(ha1_, ha2_, seeds, rel_ckpt.get()));
+  {
+    obs::TraceSpan span("sdea/relation_train");
+    SDEA_RETURN_IF_ERROR(relation_module_.Init(
+        kg1, kg2, config.attribute.text.out_dim, config.relation));
+    SDEA_ASSIGN_OR_RETURN(
+        report.relation,
+        relation_module_.Train(ha1_, ha2_, seeds, rel_ckpt.get()));
+  }
   SDEA_LOG_INFO(StrFormat("relation module: %lld epochs, valid H@1=%.2f",
                           static_cast<long long>(report.relation.epochs_run),
                           report.relation.best_valid_hits1));
 
+  obs::TraceSpan embed_span("sdea/entity_embed");
   ent1_ = relation_module_.ComputeEntityEmbeddings(1, ha1_);
   ent2_ = relation_module_.ComputeEntityEmbeddings(2, ha2_);
   if (config.use_numeric_channel) {

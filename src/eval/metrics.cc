@@ -2,6 +2,7 @@
 
 #include "base/check.h"
 #include "base/threadpool.h"
+#include "obs/trace.h"
 
 namespace sdea::eval {
 namespace {
@@ -54,6 +55,7 @@ std::vector<int64_t> RanksFromScores(const Tensor& scores,
 
 RankingMetrics EvaluateFromScores(const Tensor& scores,
                                   const std::vector<int64_t>& gold) {
+  obs::TraceSpan span("eval/from_scores");
   const std::vector<int64_t> ranks = RanksFromScores(scores, gold);
   RankingMetrics out;
   double mrr_sum = 0.0;
@@ -77,6 +79,7 @@ RankingMetrics EvaluateFromScores(const Tensor& scores,
 
 RankingMetrics EvaluateAlignment(const Tensor& src, const Tensor& tgt,
                                  const std::vector<int64_t>& gold) {
+  obs::TraceSpan span("eval/alignment");
   const Tensor s = NormalizedCopy(src);
   const Tensor t = NormalizedCopy(tgt);
   return EvaluateFromScores(tmath::MatmulTransposeB(s, t), gold);

@@ -1,0 +1,146 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "base/fileio.h"
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace sdea::obs {
+namespace {
+
+// Prometheus metric-name alphabet; everything else becomes '_'.
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                    c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out->append(StrFormat("\\u%04x", c));
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string TextSummary(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += StrFormat("%s = %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += StrFormat("%s = %g\n", name.c_str(), value);
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    out += StrFormat("%s: %s\n", name.c_str(), hist.Summary().c_str());
+  }
+  return out;
+}
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string n = SanitizeMetricName(name);
+    out += StrFormat("# TYPE %s counter\n", n.c_str());
+    out += StrFormat("%s %llu\n", n.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string n = SanitizeMetricName(name);
+    out += StrFormat("# TYPE %s gauge\n", n.c_str());
+    out += StrFormat("%s %g\n", n.c_str(), value);
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string n = SanitizeMetricName(name);
+    out += StrFormat("# TYPE %s histogram\n", n.c_str());
+    int64_t cumulative = 0;
+    const auto& bounds = hist.upper_bounds();
+    const auto& counts = hist.bucket_counts();
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      out += StrFormat("%s_bucket{le=\"%g\"} %lld\n", n.c_str(), bounds[i],
+                       static_cast<long long>(cumulative));
+    }
+    cumulative += counts.back();
+    out += StrFormat("%s_bucket{le=\"+Inf\"} %lld\n", n.c_str(),
+                     static_cast<long long>(cumulative));
+    out += StrFormat("%s_sum %g\n", n.c_str(), hist.sum());
+    out += StrFormat("%s_count %lld\n", n.c_str(),
+                     static_cast<long long>(hist.count()));
+  }
+  return out;
+}
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(&out, event.name);
+    out += StrFormat(
+        "\",\"cat\":\"sdea\",\"ph\":\"X\",\"ts\":%lld,\"dur\":%lld,"
+        "\"pid\":1,\"tid\":%u,\"args\":{\"depth\":%d}}",
+        static_cast<long long>(event.start_us),
+        static_cast<long long>(event.dur_us), event.tid, event.depth);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status WriteTraceJson(const TraceBuffer& buffer, const std::string& path) {
+  return WriteStringToFileAtomic(path, ChromeTraceJson(buffer.Events()));
+}
+
+Status MaybeWriteTraceFromEnv() {
+  const char* path = std::getenv("SDEA_OBS_TRACE");
+  if (path == nullptr || path[0] == '\0') return Status::Ok();
+  const TraceBuffer* buffer = TraceBuffer::Default();
+  const Status status = WriteTraceJson(*buffer, path);
+  if (status.ok()) {
+    SDEA_LOG_INFO(StrFormat(
+        "obs: wrote %lld trace events (%llu dropped) to %s — open in "
+        "chrome://tracing",
+        static_cast<long long>(buffer->size()),
+        static_cast<unsigned long long>(buffer->dropped()), path));
+  } else {
+    SDEA_LOG_WARNING("obs: failed to write trace: " + status.ToString());
+  }
+  return status;
+}
+
+}  // namespace sdea::obs

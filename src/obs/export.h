@@ -1,0 +1,41 @@
+#ifndef SDEA_OBS_EXPORT_H_
+#define SDEA_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace sdea::obs {
+
+/// Multi-line human-readable rendering of a metrics snapshot: one
+/// "name = value" line per counter/gauge, one summary line per histogram.
+std::string TextSummary(const MetricsSnapshot& snapshot);
+
+/// Prometheus text exposition format. Counter/gauge families with TYPE
+/// comments; histograms as cumulative `_bucket{le="..."}` series plus
+/// `_sum`/`_count`. Metric names are sanitized to [a-zA-Z0-9_:] with
+/// other characters mapped to '_'.
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+/// chrome://tracing "trace event format" JSON: one complete ("ph":"X")
+/// event per span, with ts/dur in microseconds and the recording thread
+/// as tid. Load the output via chrome://tracing or https://ui.perfetto.dev.
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
+
+/// Renders `buffer` as chrome-trace JSON and writes it atomically to
+/// `path` (temp file + rename, so a crash never leaves a torn file).
+Status WriteTraceJson(const TraceBuffer& buffer, const std::string& path);
+
+/// When the SDEA_OBS_TRACE environment variable names a path, writes the
+/// default trace buffer there (WriteTraceJson) and logs the destination;
+/// otherwise does nothing. Returns the write status (Ok when unset).
+/// Benchmarks call this at exit so `SDEA_OBS_TRACE=run.json bench_...`
+/// produces an openable trace with zero code changes.
+Status MaybeWriteTraceFromEnv();
+
+}  // namespace sdea::obs
+
+#endif  // SDEA_OBS_EXPORT_H_

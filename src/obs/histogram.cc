@@ -1,0 +1,111 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/strings.h"
+
+namespace sdea::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1, 0) {
+  SDEA_CHECK(!upper_bounds_.empty());
+  for (size_t i = 1; i < upper_bounds_.size(); ++i) {
+    SDEA_CHECK_LT(upper_bounds_[i - 1], upper_bounds_[i]);
+  }
+}
+
+Histogram Histogram::Exponential(double first, double factor, int count) {
+  SDEA_CHECK_GT(factor, 1.0);
+  SDEA_CHECK_GE(count, 1);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double b = first;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return Histogram(std::move(bounds));
+}
+
+Histogram Histogram::Linear(double first, double width, int count) {
+  SDEA_CHECK_GT(width, 0.0);
+  SDEA_CHECK_GE(count, 1);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(first + width * i);
+  }
+  return Histogram(std::move(bounds));
+}
+
+Histogram Histogram::FromParts(std::vector<double> upper_bounds,
+                               std::vector<int64_t> counts, int64_t count,
+                               double sum, double min, double max) {
+  Histogram h(std::move(upper_bounds));
+  SDEA_CHECK_EQ(counts.size(), h.upper_bounds_.size() + 1);
+  h.counts_ = std::move(counts);
+  h.count_ = count;
+  h.sum_ = sum;
+  h.min_ = min;
+  h.max_ = max;
+  return h;
+}
+
+void Histogram::Record(double v) {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), v);
+  ++counts_[static_cast<size_t>(it - upper_bounds_.begin())];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  SDEA_CHECK(upper_bounds_ == other.upper_bounds_);
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const double target = q * static_cast<double>(count_);
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (static_cast<double>(seen) >= target && counts_[i] > 0) {
+      // Clamping to the observed max keeps the estimate inside the data
+      // range: it covers both the unbounded tail bucket and bounded
+      // buckets whose upper bound exceeds everything recorded.
+      return i < upper_bounds_.size() ? std::min(upper_bounds_[i], max_)
+                                      : max_;
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  return StrFormat(
+      "count=%lld mean=%.4g min=%.4g max=%.4g p50<=%.4g p99<=%.4g",
+      static_cast<long long>(count_), mean(), min(), max(), Quantile(0.5),
+      Quantile(0.99));
+}
+
+}  // namespace sdea::obs

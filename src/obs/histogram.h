@@ -1,0 +1,78 @@
+#ifndef SDEA_OBS_HISTOGRAM_H_
+#define SDEA_OBS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdea::obs {
+
+/// A fixed-bucket histogram over doubles, the one bucket implementation
+/// shared by the whole codebase (it replaced the copy-pasted
+/// train::Histogram and serve latency/batch-size bucket code). Bucket `i`
+/// counts values v with upper_bounds[i-1] < v <= upper_bounds[i]; one
+/// final unbounded bucket catches the rest.
+///
+/// This is a plain single-writer value type: Record from one thread, copy
+/// freely, Merge per-thread instances afterwards. For a concurrent
+/// relaxed-atomic variant use obs::HistogramCell (registry.h), whose
+/// Snapshot() returns one of these.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// `count` bounds first, first*factor, ... (factor > 1, count >= 1).
+  static Histogram Exponential(double first, double factor, int count);
+
+  /// `count` bounds first, first+width, ... (width > 0, count >= 1).
+  static Histogram Linear(double first, double width, int count);
+
+  /// Rebuilds a histogram from previously captured parts (the
+  /// HistogramCell snapshot path). `counts` must have bounds.size() + 1
+  /// entries and sum to `count`; min/max are ignored when count == 0.
+  static Histogram FromParts(std::vector<double> upper_bounds,
+                             std::vector<int64_t> counts, int64_t count,
+                             double sum, double min, double max);
+
+  void Record(double v);
+
+  /// Folds `other` into this histogram. Requires identical bounds.
+  /// Merging per-thread histograms is associative and commutative: any
+  /// merge order yields identical buckets and aggregates.
+  void Merge(const Histogram& other);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Upper-bound estimate of the q-quantile with fully defined edge
+  /// cases: an empty histogram returns 0 for every q; q <= 0 returns
+  /// min(); q >= 1 returns max(); otherwise the smallest bucket bound b
+  /// with P(v <= b) >= q, clamped to the observed max (so a histogram of
+  /// one value reports that value at every quantile, and values beyond
+  /// the last bound report max() rather than an undefined bound).
+  double Quantile(double q) const;
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  const std::vector<int64_t>& bucket_counts() const { return counts_; }
+
+  /// One-line summary: count/mean/min/max/p50/p99.
+  std::string Summary() const;
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<int64_t> counts_;  // upper_bounds_.size() + 1 buckets.
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace sdea::obs
+
+#endif  // SDEA_OBS_HISTOGRAM_H_

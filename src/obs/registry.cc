@@ -1,0 +1,150 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "base/check.h"
+
+namespace sdea::obs {
+
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}  // namespace
+
+void Gauge::Add(double delta) {
+  double cur = value_.load(kRelaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta, kRelaxed, kRelaxed)) {
+  }
+}
+
+HistogramCell::HistogramCell(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  SDEA_CHECK(!upper_bounds_.empty());
+  for (size_t i = 1; i < upper_bounds_.size(); ++i) {
+    SDEA_CHECK_LT(upper_bounds_[i - 1], upper_bounds_[i]);
+  }
+}
+
+void HistogramCell::Record(double v) {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), v);
+  counts_[static_cast<size_t>(it - upper_bounds_.begin())].fetch_add(1,
+                                                                     kRelaxed);
+  count_.fetch_add(1, kRelaxed);
+  double cur = sum_.load(kRelaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, kRelaxed, kRelaxed)) {
+  }
+  cur = min_.load(kRelaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, kRelaxed, kRelaxed)) {
+  }
+  cur = max_.load(kRelaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, kRelaxed, kRelaxed)) {
+  }
+}
+
+Histogram HistogramCell::Snapshot() const {
+  std::vector<int64_t> counts(counts_.size());
+  int64_t total = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts[i] = counts_[i].load(kRelaxed);
+    total += counts[i];
+  }
+  // Aggregates are loaded after the buckets; under concurrent recording
+  // they may run slightly ahead, so the bucket total is the count (keeps
+  // the snapshot internally consistent: buckets always sum to count()).
+  const double sum = sum_.load(kRelaxed);
+  const double min = min_.load(kRelaxed);
+  const double max = max_.load(kRelaxed);
+  return Histogram::FromParts(upper_bounds_, std::move(counts), total,
+                              total == 0 ? 0.0 : sum,
+                              total == 0 ? 0.0 : min,
+                              total == 0 ? 0.0 : max);
+}
+
+void HistogramCell::Reset() {
+  for (auto& c : counts_) c.store(0, kRelaxed);
+  count_.store(0, kRelaxed);
+  sum_.store(0.0, kRelaxed);
+  min_.store(std::numeric_limits<double>::infinity(), kRelaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), kRelaxed);
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* const kDefault = new MetricsRegistry();
+  return kDefault;
+}
+
+bool MetricsRegistry::NameTaken(const std::string& name) const {
+  return counters_.count(name) + gauges_.count(name) +
+             histograms_.count(name) >
+         0;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second.get();
+  SDEA_CHECK_MSG(!NameTaken(name), "metric %s already registered as another kind",
+                 name.c_str());
+  return counters_.emplace(name, std::make_unique<Counter>())
+      .first->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second.get();
+  SDEA_CHECK_MSG(!NameTaken(name), "metric %s already registered as another kind",
+                 name.c_str());
+  return gauges_.emplace(name, std::make_unique<Gauge>())
+      .first->second.get();
+}
+
+HistogramCell* MetricsRegistry::GetHistogram(
+    const std::string& name, const std::vector<double>& upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    SDEA_CHECK_MSG(it->second->upper_bounds() == upper_bounds,
+                   "histogram %s re-registered with different bounds",
+                   name.c_str());
+    return it->second.get();
+  }
+  SDEA_CHECK_MSG(!NameTaken(name), "metric %s already registered as another kind",
+                 name.c_str());
+  return histograms_
+      .emplace(name, std::make_unique<HistogramCell>(upper_bounds))
+      .first->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, cell] : histograms_) {
+    snap.histograms.emplace_back(name, cell->Snapshot());
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, cell] : histograms_) cell->Reset();
+}
+
+}  // namespace sdea::obs

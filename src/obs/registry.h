@@ -1,0 +1,139 @@
+#ifndef SDEA_OBS_REGISTRY_H_
+#define SDEA_OBS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace sdea::obs {
+
+/// A monotonically increasing named counter. Every mutation is a relaxed
+/// atomic increment; reads are relaxed loads, so the hot path never takes
+/// a lock (the ServeStats discipline, now shared by everything).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Not synchronized against concurrent increments (benchmark/test use).
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A named last-value gauge (e.g. "current snapshot version", "epochs
+/// run"). Set/Add are lock-free; Add uses a CAS loop because
+/// std::atomic<double>::fetch_add is not universally available.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// The concurrent counterpart of obs::Histogram: relaxed-atomic buckets
+/// and aggregates, safe to Record from any number of threads with no
+/// locking. Snapshot() is a sequence of relaxed loads producing a plain
+/// Histogram — not a single consistent cut across the aggregates
+/// (concurrent records may be half-visible), the usual monitoring-counter
+/// trade-off, identical to what ServeStats::Snapshot always documented.
+class HistogramCell {
+ public:
+  explicit HistogramCell(std::vector<double> upper_bounds);
+  HistogramCell(const HistogramCell&) = delete;
+  HistogramCell& operator=(const HistogramCell&) = delete;
+
+  void Record(double v);
+
+  Histogram Snapshot() const;
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+
+  /// Not synchronized against concurrent Record (benchmark/test use).
+  void Reset();
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::atomic<int64_t>> counts_;  // upper_bounds_.size() + 1.
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// A point-in-time copy of every metric in a registry, sorted by name
+/// within each kind. Plain values: safe to store, diff, or export
+/// (obs/export.h renders it as text or Prometheus exposition format).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Histogram>> histograms;
+};
+
+/// The named-metrics directory. Get* registers on first use and returns a
+/// stable handle; subsequent calls with the same name return the same
+/// handle, so instrumentation sites resolve their handles once and then
+/// record lock-free forever. Registration takes a mutex (cold path only);
+/// recording through a handle never does.
+///
+/// Ownership model: Default() is the process-wide registry that
+/// library-level instrumentation (train::Trainer, the pipeline spans'
+/// metric twins) records into. Components that need isolated counters —
+/// e.g. each serve::ServeStats, or a unit test — construct their own
+/// instance instead; handles are owned by (and die with) their registry.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide instance (never destroyed).
+  static MetricsRegistry* Default();
+
+  /// A name registers as exactly one kind; asking for an existing name as
+  /// a different kind is a programming error (aborts). GetHistogram with
+  /// an existing name requires identical bounds.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  HistogramCell* GetHistogram(const std::string& name,
+                              const std::vector<double>& upper_bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (handles stay valid). Not
+  /// synchronized against concurrent recording.
+  void Reset();
+
+ private:
+  bool NameTaken(const std::string& name) const;  // Caller holds mu_.
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramCell>> histograms_;
+};
+
+}  // namespace sdea::obs
+
+#endif  // SDEA_OBS_REGISTRY_H_

@@ -1,0 +1,84 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+#include "base/logging.h"
+
+namespace sdea::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point TraceEpoch() {
+  static const Clock::time_point kEpoch = Clock::now();
+  return kEpoch;
+}
+
+thread_local int32_t tls_depth = 0;
+
+}  // namespace
+
+int64_t TraceNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               TraceEpoch())
+      .count();
+}
+
+TraceBuffer::TraceBuffer(size_t capacity) : capacity_(capacity) {}
+
+TraceBuffer* TraceBuffer::Default() {
+  static TraceBuffer* const kDefault = new TraceBuffer();
+  return kDefault;
+}
+
+void TraceBuffer::Add(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceBuffer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+TraceSpan::TraceSpan(const char* name, TraceBuffer* buffer) {
+  if (!Enabled()) return;  // buffer_ stays null: the dtor is a no-op too.
+  name_ = name;
+  buffer_ = buffer != nullptr ? buffer : TraceBuffer::Default();
+  depth_ = tls_depth++;
+  start_us_ = TraceNowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (buffer_ == nullptr) return;
+  --tls_depth;
+  TraceEvent event;
+  event.name = name_;
+  event.start_us = start_us_;
+  event.dur_us = TraceNowMicros() - start_us_;
+  event.tid = ThreadId();
+  event.depth = depth_;
+  buffer_->Add(std::move(event));
+}
+
+}  // namespace sdea::obs

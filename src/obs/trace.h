@@ -1,0 +1,86 @@
+#ifndef SDEA_OBS_TRACE_H_
+#define SDEA_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace sdea::obs {
+
+/// One completed span: a named [start, start+dur) interval on one thread.
+/// Timestamps are microseconds on the steady clock, relative to a
+/// process-wide epoch captured at first use, so events from every thread
+/// share one timeline.
+struct TraceEvent {
+  std::string name;
+  int64_t start_us = 0;
+  int64_t dur_us = 0;
+  uint32_t tid = 0;    ///< sdea::ThreadId() of the recording thread.
+  int32_t depth = 0;   ///< Nesting depth on that thread (0 = outermost).
+};
+
+/// A bounded in-memory sink for completed spans. Append takes a mutex
+/// (spans complete at epoch/batch granularity, so this is never a hot
+/// path); once `capacity` events are held, further events are counted in
+/// dropped() and discarded, so a long benchmark keeps the run's head —
+/// the phase structure — instead of growing without bound.
+class TraceBuffer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  explicit TraceBuffer(size_t capacity = kDefaultCapacity);
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// The process-wide buffer that TraceSpan records into by default.
+  static TraceBuffer* Default();
+
+  void Add(TraceEvent event);
+
+  /// Copy of the buffered events, in completion order.
+  std::vector<TraceEvent> Events() const;
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t dropped() const;
+
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  uint64_t dropped_ = 0;
+};
+
+/// RAII scoped timer: construction opens a span, destruction records it
+/// into the buffer (Default() unless one is given). Each thread keeps a
+/// thread-local depth counter, so nested spans reconstruct the call tree
+/// in the exporters. When obs::Enabled() is false at construction the
+/// span is a no-op: one relaxed load, nothing recorded.
+///
+/// `name` must outlive the span (string literals in practice).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, TraceBuffer* buffer = nullptr);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  TraceBuffer* buffer_ = nullptr;  // Null when disabled at entry.
+  int64_t start_us_ = 0;
+  int32_t depth_ = 0;
+};
+
+/// Microseconds since the process trace epoch (first use of the clock).
+int64_t TraceNowMicros();
+
+}  // namespace sdea::obs
+
+#endif  // SDEA_OBS_TRACE_H_

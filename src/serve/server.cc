@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "base/threadpool.h"
+#include "obs/trace.h"
 #include "text/normalizer.h"
 
 namespace sdea::serve {
@@ -24,7 +25,10 @@ int64_t MicrosSince(Clock::time_point start) {
 
 AlignmentServer::AlignmentServer(const ServerOptions& options,
                                  BatchEncoderFn encoder)
-    : options_(options), encoder_(std::move(encoder)), cache_(options.cache) {
+    : options_(options),
+      encoder_(std::move(encoder)),
+      cache_(options.cache),
+      stats_(options.metrics) {
   batcher_ = std::make_unique<RequestBatcher>(
       options_.batcher,
       [this](std::vector<ServeRequest>* batch) { RunBatch(batch); });
@@ -84,6 +88,7 @@ void AlignmentServer::ReconfigureBatcher(const BatcherOptions& options) {
 }
 
 void AlignmentServer::RunBatch(std::vector<ServeRequest>* batch) {
+  obs::TraceSpan batch_span("serve/batch");
   const size_t n = batch->size();
   stats_.RecordBatch(n);
 
@@ -128,6 +133,7 @@ void AlignmentServer::RunBatch(std::vector<ServeRequest>* batch) {
             "text query but no encoder configured");
       }
     } else {
+      obs::TraceSpan encode_span("serve/encode");
       const auto encode_start = Clock::now();
       const Tensor encoded = encoder_(texts_to_encode);
       stats_.RecordLatency(ServeStats::Stage::kEncode,
@@ -169,23 +175,27 @@ void AlignmentServer::RunBatch(std::vector<ServeRequest>* batch) {
   // each writes only its own slot, so results are bitwise-equal to serial
   // one-at-a-time answers for every thread count and batch composition.
   std::vector<std::vector<Neighbor>> results(n);
-  const auto search_start = Clock::now();
-  const int64_t per_query =
-      5 *
-      (1 + static_cast<int64_t>(
-               std::sqrt(static_cast<double>(snap->store.size())))) *
-      std::max<int64_t>(dim, 1);
-  base::ParallelFor(static_cast<int64_t>(n),
-                    base::GrainForWork(static_cast<int64_t>(n), per_query),
-                    [&](int64_t begin, int64_t end) {
-                      for (int64_t i = begin; i < end; ++i) {
-                        const auto idx = static_cast<size_t>(i);
-                        if (!failed[idx].ok()) continue;
-                        results[idx] = snap->store.NearestNeighbors(
-                            (*batch)[idx].embedding, (*batch)[idx].k);
-                      }
-                    });
-  stats_.RecordLatency(ServeStats::Stage::kSearch, MicrosSince(search_start));
+  {
+    obs::TraceSpan search_span("serve/search");
+    const auto search_start = Clock::now();
+    const int64_t per_query =
+        5 *
+        (1 + static_cast<int64_t>(
+                 std::sqrt(static_cast<double>(snap->store.size())))) *
+        std::max<int64_t>(dim, 1);
+    base::ParallelFor(static_cast<int64_t>(n),
+                      base::GrainForWork(static_cast<int64_t>(n), per_query),
+                      [&](int64_t begin, int64_t end) {
+                        for (int64_t i = begin; i < end; ++i) {
+                          const auto idx = static_cast<size_t>(i);
+                          if (!failed[idx].ok()) continue;
+                          results[idx] = snap->store.NearestNeighbors(
+                              (*batch)[idx].embedding, (*batch)[idx].k);
+                        }
+                      });
+    stats_.RecordLatency(ServeStats::Stage::kSearch,
+                         MicrosSince(search_start));
+  }
 
   for (size_t i = 0; i < n; ++i) {
     ServeRequest& request = (*batch)[i];

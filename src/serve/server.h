@@ -10,6 +10,7 @@
 
 #include "base/status.h"
 #include "core/ann_index.h"
+#include "obs/registry.h"
 #include "core/embedding_store.h"
 #include "serve/batcher.h"
 #include "serve/lru_cache.h"
@@ -43,6 +44,12 @@ struct ServerOptions {
   /// text::NormalizeText(query) instead of the raw query string, so
   /// trivially different spellings of one attribute value share an entry.
   bool normalize_text = true;
+  /// Registry the server's "serve.*" metrics register on (borrowed; must
+  /// outlive the server). Null gives the server a private registry, so
+  /// several servers in one process never share counters; point it at
+  /// obs::MetricsRegistry::Default() to fold the metrics into the
+  /// process-wide exporter view.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// The online alignment-serving front end: answers "align this entity
@@ -102,6 +109,11 @@ class AlignmentServer {
   std::future<AlignResult> AlignTextAsync(std::string text, int64_t k);
 
   StatsSnapshot stats() const { return stats_.Snapshot(); }
+
+  /// The registry holding the server's "serve.*" metrics (private unless
+  /// ServerOptions::metrics injected one); feed it to the obs exporters
+  /// for text/Prometheus output.
+  obs::MetricsRegistry* metrics() const { return stats_.registry(); }
 
   /// Benchmark/test helpers. Not synchronized against in-flight queries.
   void ResetStats() { stats_.Reset(); }

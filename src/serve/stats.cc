@@ -1,39 +1,36 @@
 #include "serve/stats.h"
 
 #include <cstdio>
+#include <vector>
+
+#include "base/check.h"
 
 namespace sdea::serve {
 namespace {
 
-// Bucket upper bounds (inclusive); the last bucket is unbounded.
-constexpr uint64_t kBatchBounds[StatsSnapshot::kBatchBuckets - 1] = {
-    1, 2, 4, 8, 16, 32, 64};
-constexpr int64_t kLatencyBoundsUs[StatsSnapshot::kLatencyBuckets - 1] = {
-    1, 4, 16, 64, 256, 1024, 4096, 16384, 65536};
-
-int BatchBucket(uint64_t batch_size) {
-  for (int b = 0; b < StatsSnapshot::kBatchBuckets - 1; ++b) {
-    if (batch_size <= kBatchBounds[b]) return b;
-  }
-  return StatsSnapshot::kBatchBuckets - 1;
+// Bucket upper bounds (inclusive); the registry histograms add the final
+// unbounded bucket, matching the StatsSnapshot array layout exactly.
+const std::vector<double>& BatchBounds() {
+  static const std::vector<double> kBounds = {1, 2, 4, 8, 16, 32, 64};
+  return kBounds;
 }
 
-int LatencyBucket(int64_t micros) {
-  for (int b = 0; b < StatsSnapshot::kLatencyBuckets - 1; ++b) {
-    if (micros <= kLatencyBoundsUs[b]) return b;
-  }
-  return StatsSnapshot::kLatencyBuckets - 1;
+const std::vector<double>& LatencyBoundsUs() {
+  static const std::vector<double> kBounds = {1,    4,    16,    64,   256,
+                                              1024, 4096, 16384, 65536};
+  return kBounds;
 }
 
-void AppendHistogram(std::string* out, const char* label,
-                     const uint64_t* counts, const int64_t* bounds,
-                     int num_buckets) {
+void AppendHistogramLine(std::string* out, const char* label,
+                         const uint64_t* counts,
+                         const std::vector<double>& bounds) {
   out->append(label);
   char buf[64];
+  const int num_buckets = static_cast<int>(bounds.size()) + 1;
   for (int b = 0; b < num_buckets; ++b) {
     if (b < num_buckets - 1) {
       std::snprintf(buf, sizeof(buf), " [<=%lld]=%llu",
-                    static_cast<long long>(bounds[b]),
+                    static_cast<long long>(bounds[static_cast<size_t>(b)]),
                     static_cast<unsigned long long>(counts[b]));
     } else {
       std::snprintf(buf, sizeof(buf), " [inf]=%llu",
@@ -44,7 +41,14 @@ void AppendHistogram(std::string* out, const char* label,
   out->append("\n");
 }
 
-constexpr auto kRelaxed = std::memory_order_relaxed;
+template <size_t N>
+void CopyBuckets(const obs::Histogram& hist, std::array<uint64_t, N>* out) {
+  const std::vector<int64_t>& counts = hist.bucket_counts();
+  SDEA_CHECK_EQ(counts.size(), N);
+  for (size_t b = 0; b < N; ++b) {
+    (*out)[b] = static_cast<uint64_t>(counts[b]);
+  }
+}
 
 }  // namespace
 
@@ -80,93 +84,109 @@ std::string StatsSnapshot::ToString() const {
                 static_cast<unsigned long long>(encoded_texts),
                 static_cast<unsigned long long>(snapshot_swaps));
   out.append(buf);
-  {
-    int64_t batch_bounds[kBatchBuckets - 1];
-    for (int b = 0; b < kBatchBuckets - 1; ++b) {
-      batch_bounds[b] = static_cast<int64_t>(kBatchBounds[b]);
-    }
-    AppendHistogram(&out, "batch sizes:", batch_size_hist.data(),
-                    batch_bounds, kBatchBuckets);
-  }
+  AppendHistogramLine(&out, "batch sizes:", batch_size_hist.data(),
+                      BatchBounds());
   const char* stage_names[kNumStages] = {"encode us:", "search us:",
                                          "total us: "};
   for (int s = 0; s < kNumStages; ++s) {
-    AppendHistogram(&out, stage_names[s], latency_hist[s].data(),
-                    kLatencyBoundsUs, kLatencyBuckets);
+    AppendHistogramLine(&out, stage_names[s], latency_hist[s].data(),
+                        LatencyBoundsUs());
   }
   return out;
 }
 
-void ServeStats::RecordQuery(bool is_text) {
-  queries_.fetch_add(1, kRelaxed);
-  if (is_text) {
-    text_queries_.fetch_add(1, kRelaxed);
-  } else {
-    embedding_queries_.fetch_add(1, kRelaxed);
+ServeStats::ServeStats(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  registry_ = registry;
+  queries_ = registry_->GetCounter("serve.queries");
+  text_queries_ = registry_->GetCounter("serve.text_queries");
+  embedding_queries_ = registry_->GetCounter("serve.embedding_queries");
+  failed_queries_ = registry_->GetCounter("serve.failed_queries");
+  batches_ = registry_->GetCounter("serve.batches");
+  batched_queries_ = registry_->GetCounter("serve.batched_queries");
+  cache_hits_ = registry_->GetCounter("serve.cache_hits");
+  cache_misses_ = registry_->GetCounter("serve.cache_misses");
+  encoded_texts_ = registry_->GetCounter("serve.encoded_texts");
+  snapshot_swaps_ = registry_->GetCounter("serve.snapshot_swaps");
+  batch_size_hist_ =
+      registry_->GetHistogram("serve.batch_size", BatchBounds());
+  const char* stage_names[StatsSnapshot::kNumStages] = {
+      "serve.latency_us.encode", "serve.latency_us.search",
+      "serve.latency_us.total"};
+  for (int s = 0; s < StatsSnapshot::kNumStages; ++s) {
+    latency_hist_[static_cast<size_t>(s)] =
+        registry_->GetHistogram(stage_names[s], LatencyBoundsUs());
   }
 }
 
-void ServeStats::RecordFailedQuery() { failed_queries_.fetch_add(1, kRelaxed); }
+void ServeStats::RecordQuery(bool is_text) {
+  queries_->Increment();
+  if (is_text) {
+    text_queries_->Increment();
+  } else {
+    embedding_queries_->Increment();
+  }
+}
+
+void ServeStats::RecordFailedQuery() { failed_queries_->Increment(); }
 
 void ServeStats::RecordBatch(uint64_t batch_size) {
-  batches_.fetch_add(1, kRelaxed);
-  batched_queries_.fetch_add(batch_size, kRelaxed);
-  batch_size_hist_[BatchBucket(batch_size)].fetch_add(1, kRelaxed);
+  batches_->Increment();
+  batched_queries_->Increment(batch_size);
+  batch_size_hist_->Record(static_cast<double>(batch_size));
 }
 
-void ServeStats::RecordCacheHit() { cache_hits_.fetch_add(1, kRelaxed); }
+void ServeStats::RecordCacheHit() { cache_hits_->Increment(); }
 
-void ServeStats::RecordCacheMiss() { cache_misses_.fetch_add(1, kRelaxed); }
+void ServeStats::RecordCacheMiss() { cache_misses_->Increment(); }
 
 void ServeStats::RecordEncodedTexts(uint64_t count) {
-  encoded_texts_.fetch_add(count, kRelaxed);
+  encoded_texts_->Increment(count);
 }
 
-void ServeStats::RecordSwap() { snapshot_swaps_.fetch_add(1, kRelaxed); }
+void ServeStats::RecordSwap() { snapshot_swaps_->Increment(); }
 
 void ServeStats::RecordLatency(Stage stage, int64_t micros) {
-  latency_hist_[static_cast<int>(stage)][LatencyBucket(micros)].fetch_add(
-      1, kRelaxed);
+  latency_hist_[static_cast<size_t>(stage)]->Record(
+      static_cast<double>(micros));
 }
 
 StatsSnapshot ServeStats::Snapshot() const {
   StatsSnapshot snap;
-  snap.queries = queries_.load(kRelaxed);
-  snap.text_queries = text_queries_.load(kRelaxed);
-  snap.embedding_queries = embedding_queries_.load(kRelaxed);
-  snap.failed_queries = failed_queries_.load(kRelaxed);
-  snap.batches = batches_.load(kRelaxed);
-  snap.batched_queries = batched_queries_.load(kRelaxed);
-  snap.cache_hits = cache_hits_.load(kRelaxed);
-  snap.cache_misses = cache_misses_.load(kRelaxed);
-  snap.encoded_texts = encoded_texts_.load(kRelaxed);
-  snap.snapshot_swaps = snapshot_swaps_.load(kRelaxed);
-  for (int b = 0; b < StatsSnapshot::kBatchBuckets; ++b) {
-    snap.batch_size_hist[b] = batch_size_hist_[b].load(kRelaxed);
-  }
+  snap.queries = queries_->Value();
+  snap.text_queries = text_queries_->Value();
+  snap.embedding_queries = embedding_queries_->Value();
+  snap.failed_queries = failed_queries_->Value();
+  snap.batches = batches_->Value();
+  snap.batched_queries = batched_queries_->Value();
+  snap.cache_hits = cache_hits_->Value();
+  snap.cache_misses = cache_misses_->Value();
+  snap.encoded_texts = encoded_texts_->Value();
+  snap.snapshot_swaps = snapshot_swaps_->Value();
+  CopyBuckets(batch_size_hist_->Snapshot(), &snap.batch_size_hist);
   for (int s = 0; s < StatsSnapshot::kNumStages; ++s) {
-    for (int b = 0; b < StatsSnapshot::kLatencyBuckets; ++b) {
-      snap.latency_hist[s][b] = latency_hist_[s][b].load(kRelaxed);
-    }
+    CopyBuckets(latency_hist_[static_cast<size_t>(s)]->Snapshot(),
+                &snap.latency_hist[static_cast<size_t>(s)]);
   }
   return snap;
 }
 
 void ServeStats::Reset() {
-  queries_.store(0, kRelaxed);
-  text_queries_.store(0, kRelaxed);
-  embedding_queries_.store(0, kRelaxed);
-  failed_queries_.store(0, kRelaxed);
-  batches_.store(0, kRelaxed);
-  batched_queries_.store(0, kRelaxed);
-  cache_hits_.store(0, kRelaxed);
-  cache_misses_.store(0, kRelaxed);
-  encoded_texts_.store(0, kRelaxed);
-  snapshot_swaps_.store(0, kRelaxed);
-  for (auto& c : batch_size_hist_) c.store(0, kRelaxed);
-  for (auto& stage : latency_hist_) {
-    for (auto& c : stage) c.store(0, kRelaxed);
-  }
+  queries_->Reset();
+  text_queries_->Reset();
+  embedding_queries_->Reset();
+  failed_queries_->Reset();
+  batches_->Reset();
+  batched_queries_->Reset();
+  cache_hits_->Reset();
+  cache_misses_->Reset();
+  encoded_texts_->Reset();
+  snapshot_swaps_->Reset();
+  batch_size_hist_->Reset();
+  for (obs::HistogramCell* cell : latency_hist_) cell->Reset();
 }
 
 }  // namespace sdea::serve

@@ -2,9 +2,11 @@
 #define SDEA_SERVE_STATS_H_
 
 #include <array>
-#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
+
+#include "obs/registry.h"
 
 namespace sdea::serve {
 
@@ -43,17 +45,25 @@ struct StatsSnapshot {
   std::string ToString() const;
 };
 
-/// Counters shared by all serving threads. Every mutation is a relaxed
-/// atomic increment and Snapshot() is a sequence of relaxed loads, so the
-/// stats path never takes a lock and never serializes request threads.
-/// Snapshot() is therefore not a single consistent cut across counters —
-/// concurrent increments may be half-visible — which is the usual (and
-/// documented) monitoring-counter trade-off.
+/// Counters shared by all serving threads — now a thin view over
+/// obs::MetricsRegistry handles ("serve.*" names), so the serving metrics
+/// flow through the same registry, exporters, and Prometheus format as
+/// everything else. The recording discipline is unchanged: every mutation
+/// is a relaxed atomic increment and Snapshot() a sequence of relaxed
+/// loads, so the stats path never takes a lock and never serializes
+/// request threads. Snapshot() is therefore not a single consistent cut
+/// across counters — concurrent increments may be half-visible — the
+/// usual (and documented) monitoring-counter trade-off.
 class ServeStats {
  public:
   enum class Stage { kEncode = 0, kSearch = 1, kTotal = 2 };
 
-  ServeStats() = default;
+  /// With no argument each ServeStats owns a private registry, so two
+  /// servers in one process never share counters. Pass a registry
+  /// (borrowed, must outlive this object) to expose the "serve.*" metrics
+  /// on a shared one, e.g. MetricsRegistry::Default() for a process with
+  /// a single server and one Prometheus endpoint.
+  explicit ServeStats(obs::MetricsRegistry* registry = nullptr);
   ServeStats(const ServeStats&) = delete;
   ServeStats& operator=(const ServeStats&) = delete;
 
@@ -72,22 +82,24 @@ class ServeStats {
   /// on one server; not synchronized against concurrent recording.
   void Reset();
 
+  /// The registry the handles live on (owned or borrowed), for exporters.
+  obs::MetricsRegistry* registry() const { return registry_; }
+
  private:
-  std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> text_queries_{0};
-  std::atomic<uint64_t> embedding_queries_{0};
-  std::atomic<uint64_t> failed_queries_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> batched_queries_{0};
-  std::atomic<uint64_t> cache_hits_{0};
-  std::atomic<uint64_t> cache_misses_{0};
-  std::atomic<uint64_t> encoded_texts_{0};
-  std::atomic<uint64_t> snapshot_swaps_{0};
-  std::array<std::atomic<uint64_t>, StatsSnapshot::kBatchBuckets>
-      batch_size_hist_{};
-  std::array<std::array<std::atomic<uint64_t>, StatsSnapshot::kLatencyBuckets>,
-             StatsSnapshot::kNumStages>
-      latency_hist_{};
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_;
+  obs::Counter* queries_;
+  obs::Counter* text_queries_;
+  obs::Counter* embedding_queries_;
+  obs::Counter* failed_queries_;
+  obs::Counter* batches_;
+  obs::Counter* batched_queries_;
+  obs::Counter* cache_hits_;
+  obs::Counter* cache_misses_;
+  obs::Counter* encoded_texts_;
+  obs::Counter* snapshot_swaps_;
+  obs::HistogramCell* batch_size_hist_;
+  std::array<obs::HistogramCell*, StatsSnapshot::kNumStages> latency_hist_;
 };
 
 }  // namespace sdea::serve

@@ -1,76 +1,13 @@
 #include "train/stats.h"
 
-#include <algorithm>
-
-#include "base/check.h"
-#include "base/strings.h"
-
 namespace sdea::train {
-namespace {
 
-std::vector<double> ExponentialBounds(double first, double factor,
-                                      int count) {
-  std::vector<double> bounds;
-  bounds.reserve(static_cast<size_t>(count));
-  double b = first;
-  for (int i = 0; i < count; ++i) {
-    bounds.push_back(b);
-    b *= factor;
-  }
-  return bounds;
+Histogram MakeBatchLatencyHistogram() {
+  return Histogram::Exponential(0.01, 4.0, 13);  // 0.01ms .. ~167s
 }
 
-}  // namespace
-
-Histogram::Histogram(std::vector<double> upper_bounds)
-    : upper_bounds_(std::move(upper_bounds)),
-      counts_(upper_bounds_.size() + 1, 0) {
-  SDEA_CHECK(!upper_bounds_.empty());
-  for (size_t i = 1; i < upper_bounds_.size(); ++i) {
-    SDEA_CHECK_LT(upper_bounds_[i - 1], upper_bounds_[i]);
-  }
-}
-
-Histogram Histogram::ForLatencyMs() {
-  return Histogram(ExponentialBounds(0.01, 4.0, 13));  // 0.01ms .. ~167s
-}
-
-Histogram Histogram::ForLoss() {
-  return Histogram(ExponentialBounds(1e-4, 4.0, 14));  // 1e-4 .. ~6.7e3
-}
-
-void Histogram::Record(double v) {
-  const auto it =
-      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), v);
-  ++counts_[static_cast<size_t>(it - upper_bounds_.begin())];
-  ++count_;
-  sum_ += v;
-  if (count_ == 1) {
-    min_ = max_ = v;
-  } else {
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
-  }
-}
-
-double Histogram::Quantile(double q) const {
-  if (count_ == 0) return 0.0;
-  const double target = q * static_cast<double>(count_);
-  int64_t seen = 0;
-  for (size_t i = 0; i < counts_.size(); ++i) {
-    seen += counts_[i];
-    if (static_cast<double>(seen) >= target && counts_[i] > 0) {
-      return i < upper_bounds_.size() ? upper_bounds_[i] : max_;
-    }
-  }
-  return max_;
-}
-
-std::string Histogram::Summary() const {
-  return StrFormat(
-      "count=%lld mean=%.4g min=%.4g max=%.4g p50<=%.4g p99<=%.4g",
-      static_cast<long long>(count_), mean(), min(), max(), Quantile(0.5),
-      Quantile(0.99));
+Histogram MakeLossHistogram() {
+  return Histogram::Exponential(1e-4, 4.0, 14);  // 1e-4 .. ~6.7e3
 }
 
 }  // namespace sdea::train

@@ -2,54 +2,23 @@
 #define SDEA_TRAIN_STATS_H_
 
 #include <cstdint>
-#include <string>
 #include <vector>
+
+#include "obs/histogram.h"
 
 namespace sdea::train {
 
-/// A fixed-bucket histogram over doubles. Bucket `i` counts values v with
-/// upper_bounds[i-1] < v <= upper_bounds[i]; one final unbounded bucket
-/// catches the rest. Single-writer (the Trainer records from the driving
-/// thread); snapshots are plain copies.
-class Histogram {
- public:
-  /// `upper_bounds` must be strictly increasing and non-empty.
-  explicit Histogram(std::vector<double> upper_bounds);
+/// The training stats use the shared observability histogram; the old
+/// train::Histogram bucket code was folded into obs::Histogram.
+using Histogram = ::sdea::obs::Histogram;
 
-  /// Exponential bounds suited to per-batch wall times in milliseconds
-  /// (0.01 ms .. ~164 s, x4 steps).
-  static Histogram ForLatencyMs();
+/// Exponential bounds suited to per-batch wall times in milliseconds
+/// (0.01 ms .. ~167 s, x4 steps).
+Histogram MakeBatchLatencyHistogram();
 
-  /// Exponential bounds suited to per-batch loss values (1e-4 .. ~6.5e3,
-  /// x4 steps).
-  static Histogram ForLoss();
-
-  void Record(double v);
-
-  int64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
-  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
-
-  /// Smallest bound b with P(v <= b) >= q, by linear scan of the buckets;
-  /// the unbounded tail reports the observed max. `q` in [0, 1].
-  double Quantile(double q) const;
-
-  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
-  const std::vector<int64_t>& bucket_counts() const { return counts_; }
-
-  /// One-line summary: count/mean/min/max/p50/p99.
-  std::string Summary() const;
-
- private:
-  std::vector<double> upper_bounds_;
-  std::vector<int64_t> counts_;  // upper_bounds_.size() + 1 buckets.
-  int64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-};
+/// Exponential bounds suited to per-batch loss values (1e-4 .. ~6.7e3,
+/// x4 steps).
+Histogram MakeLossHistogram();
 
 /// Per-epoch progress record.
 struct EpochStats {
@@ -70,8 +39,8 @@ struct EpochStats {
 /// and batch-latency histograms.
 struct TrainStats {
   std::vector<EpochStats> epochs;
-  Histogram batch_loss = Histogram::ForLoss();
-  Histogram batch_ms = Histogram::ForLatencyMs();
+  Histogram batch_loss = MakeLossHistogram();
+  Histogram batch_ms = MakeBatchLatencyHistogram();
   double total_wall_ms = 0.0;
 };
 

@@ -6,6 +6,9 @@
 
 #include "base/check.h"
 #include "nn/serialization.h"
+#include "obs/obs.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace sdea::train {
 namespace {
@@ -15,6 +18,34 @@ double MsSince(std::chrono::steady_clock::time_point t0) {
              std::chrono::steady_clock::now() - t0)
       .count();
 }
+
+// Registry twins of the per-run TrainStats, so dashboards and the
+// Prometheus exporter see training progress across every Trainer in the
+// process. Handles resolve once; recording is gated on obs::Enabled() so
+// the disabled hot path costs one relaxed load per batch.
+struct TrainerMetrics {
+  obs::Counter* epochs;
+  obs::Counter* batches;
+  obs::Counter* examples;
+  obs::HistogramCell* batch_loss;
+  obs::HistogramCell* batch_ms;
+
+  static const TrainerMetrics& Get() {
+    static const TrainerMetrics m = [] {
+      obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
+      TrainerMetrics out;
+      out.epochs = reg->GetCounter("train.epochs");
+      out.batches = reg->GetCounter("train.batches");
+      out.examples = reg->GetCounter("train.examples");
+      out.batch_loss = reg->GetHistogram(
+          "train.batch_loss", MakeLossHistogram().upper_bounds());
+      out.batch_ms = reg->GetHistogram(
+          "train.batch_ms", MakeBatchLatencyHistogram().upper_bounds());
+      return out;
+    }();
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -139,6 +170,7 @@ Result<TrainStats> Trainer::Run() {
   bool stop = false;
   int64_t epoch = start_epoch;
   for (; epoch < options_.max_epochs && !stop; ++epoch) {
+    obs::TraceSpan epoch_span("train/epoch");
     const auto epoch_t0 = std::chrono::steady_clock::now();
     EpochStats es;
     es.epoch = epoch;
@@ -158,15 +190,25 @@ Result<TrainStats> Trainer::Run() {
       const size_t len = std::min(batch, n - start);
       const auto batch_t0 = std::chrono::steady_clock::now();
       const float loss = task_->TrainBatch(order_.data() + start, len);
-      stats.batch_ms.Record(MsSince(batch_t0));
+      const double ms = MsSince(batch_t0);
+      stats.batch_ms.Record(ms);
       stats.batch_loss.Record(loss);
+      if (obs::Enabled()) {
+        const TrainerMetrics& m = TrainerMetrics::Get();
+        m.batch_ms->Record(ms);
+        m.batch_loss->Record(loss);
+        m.batches->Increment();
+        m.examples->Increment(len);
+      }
       es.loss_sum += loss;
       ++es.num_batches;
       es.num_examples += static_cast<int64_t>(len);
     }
     task_->OnEpochEnd(epoch);
+    if (obs::Enabled()) TrainerMetrics::Get().epochs->Increment();
 
     if (options_.evaluate) {
+      obs::TraceSpan eval_span("train/eval");
       const double metric = task_->EvalMetric();
       metric_history_.push_back(metric);
       ++epochs_run_;
@@ -193,6 +235,7 @@ Result<TrainStats> Trainer::Run() {
     if (options_.checkpoint != nullptr && !stop &&
         epoch + 1 < options_.max_epochs &&
         (epoch + 1) % options_.checkpoint_every == 0) {
+      obs::TraceSpan ckpt_span("train/checkpoint");
       SDEA_RETURN_IF_ERROR(
           options_.checkpoint->Save(MakeCheckpoint(epoch + 1, false)));
     }

@@ -1,0 +1,137 @@
+// base/logging tests: level parsing, the SDEA_LOG_LEVEL environment hook,
+// sequential thread ids, and the emitted stderr line format (captured by
+// redirecting fd 2 into a temp file).
+#include "base/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+#include "base/fileio.h"
+#include "base/strings.h"
+
+namespace sdea {
+namespace {
+
+TEST(LoggingTest, ParseLogLevelNamesAndNumbers) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("0", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("3", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("  info \n", &level));  // Whitespace trimmed.
+  EXPECT_EQ(level, LogLevel::kInfo);
+}
+
+TEST(LoggingTest, ParseLogLevelRejectsGarbageAndLeavesOutput) {
+  LogLevel level = LogLevel::kWarning;
+  for (const char* bad : {"", "verbose", "4", "-1", "infoo"}) {
+    EXPECT_FALSE(ParseLogLevel(bad, &level)) << bad;
+    EXPECT_EQ(level, LogLevel::kWarning) << bad;
+  }
+}
+
+TEST(LoggingTest, InitLogLevelFromEnvAppliesAndIgnoresGarbage) {
+  const LogLevel before = GetLogLevel();
+  ::setenv("SDEA_LOG_LEVEL", "error", 1);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Unparsable values leave the level unchanged.
+  ::setenv("SDEA_LOG_LEVEL", "shouty", 1);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  ::unsetenv("SDEA_LOG_LEVEL");
+  InitLogLevelFromEnv();  // Unset: unchanged.
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, ThreadIdIsStableAndDistinctAcrossThreads) {
+  const uint32_t mine = ThreadId();
+  EXPECT_GT(mine, 0u);
+  EXPECT_EQ(ThreadId(), mine);  // Stable within a thread.
+  uint32_t other1 = 0, other2 = 0;
+  std::thread t1([&] { other1 = ThreadId(); });
+  t1.join();
+  std::thread t2([&] { other2 = ThreadId(); });
+  t2.join();
+  EXPECT_NE(other1, mine);
+  EXPECT_NE(other2, mine);
+  EXPECT_NE(other1, other2);
+}
+
+// Redirects fd 2 into a temp file around `fn` and returns what was
+// written. Works regardless of gtest's own stderr use because the
+// redirect window only spans the log calls.
+std::string CaptureStderr(const std::function<void()>& fn) {
+  std::fflush(stderr);
+  const std::string path =
+      ::testing::TempDir() + "/sdea_logging_capture.txt";
+  const int saved = ::dup(2);
+  EXPECT_GE(saved, 0);
+  FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  ::dup2(::fileno(f), 2);
+  fn();
+  std::fflush(stderr);
+  ::dup2(saved, 2);
+  ::close(saved);
+  std::fclose(f);
+  auto contents = ReadFileToString(path);
+  std::remove(path.c_str());
+  return contents.ok() ? *contents : std::string();
+}
+
+TEST(LoggingTest, LogMessageFormatHasTimeThreadAndLevel) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  const std::string out = CaptureStderr(
+      [] { SDEA_LOG_INFO("hello from the logging test"); });
+  SetLogLevel(before);
+  // "[HH:MM:SS tN INFO] message".
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_NE(out.find(" INFO] hello from the logging test\n"),
+            std::string::npos)
+      << out;
+  const std::string tid_token = StrFormat(" t%u ", ThreadId());
+  EXPECT_NE(out.find(tid_token), std::string::npos) << out;
+  // Timestamp shape: "[HH:MM:SS" — colons at fixed offsets.
+  ASSERT_GE(out.size(), 9u);
+  EXPECT_EQ(out[3], ':');
+  EXPECT_EQ(out[6], ':');
+}
+
+TEST(LoggingTest, MessagesBelowLevelAreDropped) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  const std::string out = CaptureStderr([] {
+    SDEA_LOG_DEBUG("dropped-debug");
+    SDEA_LOG_INFO("dropped-info");
+    SDEA_LOG_WARNING("dropped-warning");
+    SDEA_LOG_ERROR("kept-error");
+  });
+  SetLogLevel(before);
+  EXPECT_EQ(out.find("dropped-debug"), std::string::npos) << out;
+  EXPECT_EQ(out.find("dropped-info"), std::string::npos) << out;
+  EXPECT_EQ(out.find("dropped-warning"), std::string::npos) << out;
+  EXPECT_NE(out.find("ERROR] kept-error"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace sdea

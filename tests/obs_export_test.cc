@@ -1,0 +1,125 @@
+// obs exporter tests: text summary, Prometheus exposition format
+// (cumulative buckets, sanitized names), chrome-trace JSON (escaping,
+// event fields), trace file writing, and the SDEA_OBS_TRACE env hook.
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/fileio.h"
+#include "obs/obs.h"
+#include "obs/registry.h"
+
+namespace sdea::obs {
+namespace {
+
+MetricsSnapshot SampleSnapshot() {
+  MetricsRegistry reg;
+  reg.GetCounter("serve.queries")->Increment(7);
+  reg.GetGauge("train.lr")->Set(0.125);
+  HistogramCell* h = reg.GetHistogram("serve.latency-us", {1.0, 10.0});
+  h->Record(0.5);
+  h->Record(0.5);
+  h->Record(5.0);
+  h->Record(5000.0);
+  return reg.Snapshot();
+}
+
+TEST(ObsExportTest, TextSummaryListsEveryMetric) {
+  const std::string text = TextSummary(SampleSnapshot());
+  EXPECT_NE(text.find("serve.queries = 7"), std::string::npos) << text;
+  EXPECT_NE(text.find("train.lr = 0.125"), std::string::npos) << text;
+  EXPECT_NE(text.find("serve.latency-us: count=4"), std::string::npos)
+      << text;
+}
+
+TEST(ObsExportTest, PrometheusTextSanitizesAndCumulates) {
+  const std::string text = PrometheusText(SampleSnapshot());
+  // Names sanitized: '.' and '-' become '_'.
+  EXPECT_NE(text.find("# TYPE serve_queries counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serve_queries 7"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE train_lr gauge"), std::string::npos) << text;
+  EXPECT_NE(text.find("train_lr 0.125"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE serve_latency_us histogram"),
+            std::string::npos)
+      << text;
+  // Buckets are cumulative: 2 at le=1, 3 at le=10, all 4 at +Inf.
+  EXPECT_NE(text.find("serve_latency_us_bucket{le=\"1\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serve_latency_us_bucket{le=\"10\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serve_latency_us_bucket{le=\"+Inf\"} 4"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serve_latency_us_sum 5006"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serve_latency_us_count 4"), std::string::npos)
+      << text;
+}
+
+TEST(ObsExportTest, ChromeTraceJsonRendersCompleteEvents) {
+  std::vector<TraceEvent> events;
+  events.push_back(TraceEvent{"train/epoch", 100, 50, 1, 0});
+  events.push_back(TraceEvent{"train/eval", 120, 20, 2, 1});
+  const std::string json = ChromeTraceJson(events);
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u) << json;
+  EXPECT_NE(json.find("\"name\":\"train/epoch\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"ph\":\"X\",\"ts\":100,\"dur\":50"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"tid\":2,\"args\":{\"depth\":1}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos)
+      << json;
+}
+
+TEST(ObsExportTest, ChromeTraceJsonEscapesNames) {
+  std::vector<TraceEvent> events;
+  events.push_back(TraceEvent{"a\"b\\c\nd", 0, 1, 1, 0});
+  const std::string json = ChromeTraceJson(events);
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd"), std::string::npos) << json;
+}
+
+TEST(ObsExportTest, EmptyEventListIsValidJson) {
+  EXPECT_EQ(ChromeTraceJson({}),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST(ObsExportTest, WriteTraceJsonWritesFile) {
+  TraceBuffer buffer(8);
+  buffer.Add(TraceEvent{"phase", 10, 5, 1, 0});
+  const std::string path =
+      ::testing::TempDir() + "/obs_export_trace.json";
+  ASSERT_TRUE(WriteTraceJson(buffer, path).ok());
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_NE(contents->find("\"name\":\"phase\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsExportTest, MaybeWriteTraceFromEnvIsNoopWhenUnset) {
+  ::unsetenv("SDEA_OBS_TRACE");
+  EXPECT_TRUE(MaybeWriteTraceFromEnv().ok());
+}
+
+TEST(ObsExportTest, MaybeWriteTraceFromEnvWritesDefaultBuffer) {
+  const std::string path =
+      ::testing::TempDir() + "/obs_export_env_trace.json";
+  ::setenv("SDEA_OBS_TRACE", path.c_str(), /*overwrite=*/1);
+  EXPECT_TRUE(MaybeWriteTraceFromEnv().ok());
+  ::unsetenv("SDEA_OBS_TRACE");
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_NE(contents->find("traceEvents"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sdea::obs

@@ -1,0 +1,162 @@
+// obs::Histogram unit tests: bucketing semantics, the factories, the
+// quantile edge cases (the regression suite for the old train::Histogram
+// bugs), merge associativity/commutativity, and FromParts round-trips.
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sdea::obs {
+namespace {
+
+TEST(ObsHistogramTest, BucketsByUpperBoundInclusive) {
+  Histogram h({1.0, 10.0, 100.0});
+  // Boundary values land in the bucket whose bound they equal.
+  for (double v : {0.5, 1.0, 10.0, 100.0, 101.0}) h.Record(v);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<int64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 101.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 212.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.5);
+}
+
+TEST(ObsHistogramTest, ExponentialFactory) {
+  Histogram h = Histogram::Exponential(1.0, 2.0, 4);
+  EXPECT_EQ(h.upper_bounds(), (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  EXPECT_EQ(h.bucket_counts().size(), 5u);  // One unbounded tail.
+}
+
+TEST(ObsHistogramTest, LinearFactory) {
+  Histogram h = Histogram::Linear(10.0, 5.0, 3);
+  EXPECT_EQ(h.upper_bounds(), (std::vector<double>{10.0, 15.0, 20.0}));
+}
+
+// --- Quantile edge-case regressions ------------------------------------
+// The old train::Histogram returned an arbitrary bound for an empty
+// histogram, undefined values for q outside (0, 1), and the last *bound*
+// (not the observed max) for values past it. Each case is pinned here.
+
+TEST(ObsHistogramTest, QuantileOfEmptyHistogramIsZero) {
+  Histogram h({1.0, 10.0});
+  for (double q : {-1.0, 0.0, 0.5, 0.99, 1.0, 2.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 0.0) << "q=" << q;
+  }
+}
+
+TEST(ObsHistogramTest, QuantileAtZeroIsMinAtOneIsMax) {
+  Histogram h({1.0, 10.0, 100.0});
+  for (double v : {0.5, 5.0, 50.0}) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(-3.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(7.0), 50.0);
+}
+
+TEST(ObsHistogramTest, QuantileBeyondLastBoundReportsObservedMax) {
+  Histogram h({1.0, 10.0});
+  h.Record(5000.0);  // Lands in the unbounded tail.
+  h.Record(0.5);
+  // p99 falls in the tail bucket: no defined bound, so report max().
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 5000.0);
+}
+
+TEST(ObsHistogramTest, QuantileClampsBoundToObservedMax) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Record(2.0);  // Bucket bound 10, but nothing observed above 2.
+  // Every quantile of a single-value histogram is that value, not the
+  // containing bucket's (much larger) upper bound.
+  for (double q : {0.01, 0.5, 0.99}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 2.0) << "q=" << q;
+  }
+}
+
+TEST(ObsHistogramTest, QuantileInteriorPicksSmallestCoveringBound) {
+  Histogram h({1.0, 10.0, 100.0});
+  for (double v : {0.5, 0.7, 5.0, 50.0, 500.0}) h.Record(v);
+  // P(v <= 1) = 0.4, P(v <= 10) = 0.6.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.4), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.6), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.8), 100.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 500.0);  // Tail: observed max.
+}
+
+// --- Merge --------------------------------------------------------------
+
+Histogram Filled(const std::vector<double>& values) {
+  Histogram h({1.0, 10.0, 100.0});
+  for (double v : values) h.Record(v);
+  return h;
+}
+
+void ExpectSame(const Histogram& a, const Histogram& b) {
+  EXPECT_EQ(a.bucket_counts(), b.bucket_counts());
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_DOUBLE_EQ(a.sum(), b.sum());
+  EXPECT_DOUBLE_EQ(a.min(), b.min());
+  EXPECT_DOUBLE_EQ(a.max(), b.max());
+}
+
+TEST(ObsHistogramTest, MergeFoldsCountsAndAggregates) {
+  Histogram a = Filled({0.5, 5.0});
+  Histogram b = Filled({50.0, 500.0});
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_EQ(a.bucket_counts(), (std::vector<int64_t>{1, 1, 1, 1}));
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 500.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 555.5);
+}
+
+TEST(ObsHistogramTest, MergeWithEmptySidesIsIdentity) {
+  Histogram empty({1.0, 10.0, 100.0});
+  Histogram a = Filled({0.5, 5.0});
+  Histogram a_copy = a;
+  a.Merge(empty);
+  ExpectSame(a, a_copy);  // Right identity.
+  Histogram e2({1.0, 10.0, 100.0});
+  e2.Merge(a);
+  ExpectSame(e2, a);  // Left identity.
+}
+
+TEST(ObsHistogramTest, MergeIsAssociativeAndCommutative) {
+  const std::vector<std::vector<double>> parts = {
+      {0.5, 5.0}, {50.0}, {500.0, 0.1, 7.0}};
+  // (a + b) + c.
+  Histogram left = Filled(parts[0]);
+  left.Merge(Filled(parts[1]));
+  left.Merge(Filled(parts[2]));
+  // a + (b + c).
+  Histogram bc = Filled(parts[1]);
+  bc.Merge(Filled(parts[2]));
+  Histogram right = Filled(parts[0]);
+  right.Merge(bc);
+  ExpectSame(left, right);
+  // c + b + a.
+  Histogram rev = Filled(parts[2]);
+  rev.Merge(Filled(parts[1]));
+  rev.Merge(Filled(parts[0]));
+  ExpectSame(left, rev);
+}
+
+TEST(ObsHistogramTest, FromPartsRoundTripsSnapshot) {
+  Histogram h = Filled({0.5, 5.0, 500.0});
+  Histogram rebuilt =
+      Histogram::FromParts(h.upper_bounds(), h.bucket_counts(), h.count(),
+                           h.sum(), h.min(), h.max());
+  ExpectSame(h, rebuilt);
+  EXPECT_DOUBLE_EQ(rebuilt.Quantile(0.5), h.Quantile(0.5));
+}
+
+TEST(ObsHistogramTest, SummaryMentionsKeyFields) {
+  Histogram h = Filled({0.5, 5.0});
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("count=2"), std::string::npos) << s;
+  EXPECT_NE(s.find("p50"), std::string::npos) << s;
+  EXPECT_NE(s.find("p99"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace sdea::obs

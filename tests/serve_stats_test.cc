@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <thread>
 #include <vector>
+
+#include "obs/registry.h"
 
 namespace sdea::serve {
 namespace {
@@ -124,6 +128,80 @@ TEST(ServeStatsTest, ResetZeroesEverything) {
   for (const auto& stage : snap.latency_hist) {
     for (uint64_t c : stage) EXPECT_EQ(c, 0u);
   }
+}
+
+// Snapshots taken while writers are live must be well-formed: histogram
+// buckets sum to their totals and derived rates stay in range, even
+// though a snapshot is relaxed loads, not a consistent cut.
+TEST(ServeStatsTest, SnapshotUnderConcurrentWritesIsWellFormed) {
+  ServeStats stats;
+  constexpr int kWriters = 4;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&stats, &stop, t] {
+      uint64_t batch = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        stats.RecordQuery(t % 2 == 0);
+        stats.RecordBatch(batch);
+        stats.RecordCacheHit();
+        stats.RecordCacheMiss();
+        stats.RecordLatency(ServeStats::Stage::kTotal,
+                            static_cast<uint64_t>(batch * 100));
+        batch = batch % 100 + 1;
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    const StatsSnapshot snap = stats.Snapshot();
+    // The batches counter and the batch-size histogram are separate
+    // atomics: a snapshot may catch a writer between the two updates, so
+    // they can transiently disagree by at most one per in-flight writer.
+    uint64_t batch_total = 0;
+    for (uint64_t c : snap.batch_size_hist) batch_total += c;
+    const uint64_t hi = std::max(batch_total, snap.batches);
+    const uint64_t lo = std::min(batch_total, snap.batches);
+    EXPECT_LE(hi - lo, static_cast<uint64_t>(kWriters));
+    EXPECT_GE(snap.queries, snap.text_queries);
+    const double rate = snap.cache_hit_rate();
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+    if (snap.batches > 0) EXPECT_GE(snap.mean_batch_size(), 1.0);
+  }
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+  // Quiescent: everything recorded is visible.
+  const StatsSnapshot final_snap = stats.Snapshot();
+  EXPECT_EQ(final_snap.cache_hits, final_snap.cache_misses);
+  EXPECT_EQ(final_snap.queries, final_snap.batches);
+}
+
+// ServeStats is a view over registry handles: an injected registry
+// exposes the same numbers through the generic metrics snapshot.
+TEST(ServeStatsTest, InjectedRegistryExposesServeMetrics) {
+  obs::MetricsRegistry registry;
+  ServeStats stats(&registry);
+  EXPECT_EQ(stats.registry(), &registry);
+  stats.RecordQuery(true);
+  stats.RecordBatch(3);
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  uint64_t queries = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "serve.queries") queries = value;
+  }
+  EXPECT_EQ(queries, 1u);
+  bool found_batch_hist = false;
+  for (const auto& [name, hist] : snap.histograms) {
+    if (name == "serve.batch_size") {
+      found_batch_hist = true;
+      EXPECT_EQ(hist.count(), 1);
+    }
+  }
+  EXPECT_TRUE(found_batch_hist);
+  // The owning-registry default stays isolated from the injected one.
+  ServeStats isolated;
+  EXPECT_NE(isolated.registry(), &registry);
+  EXPECT_EQ(isolated.Snapshot().queries, 0u);
 }
 
 TEST(ServeStatsTest, ToStringMentionsKeyFields) {

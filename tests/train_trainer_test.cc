@@ -257,7 +257,7 @@ TEST(TrainerTest, HistogramBucketsAndQuantiles) {
   // The unbounded tail reports the observed max.
   EXPECT_DOUBLE_EQ(h.Quantile(1.0), 500.0);
   EXPECT_NE(h.Summary().find("count=5"), std::string::npos);
-  Histogram empty = Histogram::ForLoss();
+  Histogram empty = MakeLossHistogram();
   EXPECT_EQ(empty.count(), 0);
   EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
   EXPECT_DOUBLE_EQ(empty.Quantile(0.99), 0.0);
