@@ -1,0 +1,120 @@
+// Decoder-validation throughput: what a full robustness pass over each
+// binary decoder costs, and the per-decode cost of rejecting mutated
+// blobs. These bound how long the `fuzz`-labeled ctest suites take and
+// show that the bounds checks added for robustness are not a tax on the
+// happy path (valid-blob decode is dominated by allocation/copy, not by
+// the checks).
+#include <benchmark/benchmark.h>
+
+#include "base/rng.h"
+#include "core/embedding_store.h"
+#include "datagen/generator.h"
+#include "kg/binary_io.h"
+#include "nn/layers.h"
+#include "nn/serialization.h"
+#include "testing/fuzz.h"
+#include "train/checkpoint.h"
+
+namespace sdea {
+namespace {
+
+std::string KgBlob() {
+  datagen::GeneratorConfig cfg;
+  cfg.num_matched = 200;
+  auto bench = datagen::BenchmarkGenerator().Generate(cfg);
+  return kg::EncodeBinary(bench.kg1);
+}
+
+std::string CheckpointBlob() {
+  train::TrainerCheckpoint ckpt;
+  ckpt.metric_history.assign(64, 0.5);
+  ckpt.order.resize(4096);
+  ckpt.params = std::string(1 << 16, 'p');
+  ckpt.best_params = std::string(1 << 16, 'b');
+  ckpt.optimizer = std::string(1 << 17, 'o');
+  return train::CheckpointManager::Encode(ckpt);
+}
+
+std::string EmbeddingBlob() {
+  std::vector<std::string> names;
+  for (int i = 0; i < 1024; ++i) names.push_back("entity_" + std::to_string(i));
+  Tensor emb({1024, 64}, 0.5f);
+  auto store = core::EmbeddingStore::Create(std::move(names), std::move(emb));
+  SDEA_CHECK(store.ok());
+  return store->Encode();
+}
+
+void BM_DecodeKg(benchmark::State& state) {
+  const std::string blob = KgBlob();
+  for (auto _ : state) {
+    auto decoded = kg::DecodeBinary(blob);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(blob.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_DecodeKg);
+
+void BM_DecodeCheckpoint(benchmark::State& state) {
+  const std::string blob = CheckpointBlob();
+  for (auto _ : state) {
+    auto decoded = train::CheckpointManager::Decode(blob);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(blob.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_DecodeCheckpoint);
+
+void BM_DecodeEmbeddingStore(benchmark::State& state) {
+  const std::string blob = EmbeddingBlob();
+  for (auto _ : state) {
+    auto decoded = core::EmbeddingStore::Decode(blob);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(blob.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_DecodeEmbeddingStore);
+
+void BM_DecodeParams(benchmark::State& state) {
+  Rng rng(1);
+  nn::Mlp module("m", {64, 128, 64}, nn::Activation::kRelu, &rng);
+  const std::string blob = nn::SerializeParameters(&module);
+  for (auto _ : state) {
+    const Status s = nn::DeserializeParameters(&module, blob);
+    benchmark::DoNotOptimize(s.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(blob.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_DecodeParams);
+
+// One mutate+decode fuzz case, the unit the 5000-iteration suites repeat:
+// mostly rejects, occasionally a still-valid blob.
+void BM_MutateAndDecodeKg(benchmark::State& state) {
+  const std::string blob = KgBlob();
+  Rng rng(0x5dea);
+  for (auto _ : state) {
+    const std::string mutated = sdea::testing::MutateBlob(blob, &rng, 8);
+    auto decoded = kg::DecodeBinary(mutated);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+}
+BENCHMARK(BM_MutateAndDecodeKg);
+
+void BM_MutateAndDecodeEmbeddingStore(benchmark::State& state) {
+  const std::string blob = EmbeddingBlob();
+  Rng rng(0x5dea);
+  for (auto _ : state) {
+    const std::string mutated = sdea::testing::MutateBlob(blob, &rng, 8);
+    auto decoded = core::EmbeddingStore::Decode(mutated);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+}
+BENCHMARK(BM_MutateAndDecodeEmbeddingStore);
+
+}  // namespace
+}  // namespace sdea
+
+BENCHMARK_MAIN();

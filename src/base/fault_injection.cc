@@ -1,0 +1,23 @@
+#include "base/fault_injection.h"
+
+#include <atomic>
+
+namespace sdea {
+namespace {
+
+// Relaxed is enough: installation happens-before use in every test (the
+// test thread installs, then triggers the I/O), and the production path
+// only ever observes the initial nullptr.
+std::atomic<FaultInjector*> g_injector{nullptr};
+
+}  // namespace
+
+FaultInjector* ExchangeFaultInjector(FaultInjector* injector) {
+  return g_injector.exchange(injector, std::memory_order_acq_rel);
+}
+
+FaultInjector* CurrentFaultInjector() {
+  return g_injector.load(std::memory_order_acquire);
+}
+
+}  // namespace sdea

@@ -1,0 +1,71 @@
+#ifndef SDEA_BASE_FAULT_INJECTION_H_
+#define SDEA_BASE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sdea {
+
+/// Deterministic fault-injection hook for the base/fileio primitives.
+///
+/// When an injector is installed (ExchangeFaultInjector), every
+/// ReadFileToString / WriteStringToFile / WriteStringToFileAtomic call first
+/// asks it what should happen. The injector can let the operation proceed,
+/// fail it cleanly (simulating EIO / ENOSPC / a failed rename), or — for
+/// writes — persist only a prefix of the contents before failing, which is
+/// exactly what a crash or a full disk mid-write leaves behind. Tests use
+/// this to prove that every persistence caller either recovers or returns a
+/// clean Status: never a crash, never a half-written file that later loads
+/// as garbage.
+///
+/// This is a test seam, not a production feature: the default state is "no
+/// injector" and the only cost on that path is one relaxed atomic load.
+class FaultInjector {
+ public:
+  /// The primitive file operations fileio funnels through this hook.
+  /// kRename is the commit point of WriteStringToFileAtomic.
+  enum class FileOp { kRead, kWrite, kRename };
+
+  /// What the injector wants done with one operation.
+  struct FaultAction {
+    /// Fail the operation with Status::IoError.
+    bool fail = false;
+    /// For a failing kWrite: number of leading bytes actually persisted
+    /// before the simulated failure (-1 leaves the target untouched, as if
+    /// the open itself failed). Ignored for kRead/kRename.
+    int64_t short_write_bytes = -1;
+  };
+
+  virtual ~FaultInjector() = default;
+
+  /// Called once per file operation, before it runs. `path` is the final
+  /// destination (for atomic writes, the real target — not the temp file).
+  virtual FaultAction OnFileOp(FileOp op, const std::string& path) = 0;
+};
+
+/// Installs `injector` as the process-wide hook (nullptr uninstalls) and
+/// returns the previously installed one. The caller keeps ownership; the
+/// injector must outlive its installation.
+FaultInjector* ExchangeFaultInjector(FaultInjector* injector);
+
+/// The currently installed hook, or nullptr.
+FaultInjector* CurrentFaultInjector();
+
+/// RAII installation: installs in the constructor, restores the previous
+/// hook in the destructor. Scopes nest.
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(FaultInjector* injector)
+      : previous_(ExchangeFaultInjector(injector)) {}
+  ~ScopedFaultInjector() { ExchangeFaultInjector(previous_); }
+
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+}  // namespace sdea
+
+#endif  // SDEA_BASE_FAULT_INJECTION_H_

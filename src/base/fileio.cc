@@ -3,13 +3,35 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 
+#include "base/fault_injection.h"
 #include "base/strings.h"
 
 namespace sdea {
+namespace {
+
+/// Consults the installed FaultInjector (if any) for `op` on `path`.
+/// Returns true when the operation must fail; `*short_write_bytes` is the
+/// injector's partial-persist request for writes.
+bool InjectFault(FaultInjector::FileOp op, const std::string& path,
+                 int64_t* short_write_bytes = nullptr) {
+  FaultInjector* injector = CurrentFaultInjector();
+  if (injector == nullptr) return false;
+  const FaultInjector::FaultAction action = injector->OnFileOp(op, path);
+  if (short_write_bytes != nullptr) {
+    *short_write_bytes = action.short_write_bytes;
+  }
+  return action.fail;
+}
+
+}  // namespace
 
 Result<std::string> ReadFileToString(const std::string& path) {
+  if (InjectFault(FaultInjector::FileOp::kRead, path)) {
+    return Status::IoError("injected read fault: " + path);
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IoError("cannot open for read: " + path);
   std::string out;
@@ -26,6 +48,20 @@ Result<std::string> ReadFileToString(const std::string& path) {
 
 Status WriteStringToFile(const std::string& path,
                          const std::string& contents) {
+  int64_t short_write_bytes = -1;
+  if (InjectFault(FaultInjector::FileOp::kWrite, path, &short_write_bytes)) {
+    if (short_write_bytes >= 0) {
+      // Simulate a crash / ENOSPC mid-write: a prefix really lands on disk.
+      const size_t n = std::min(static_cast<size_t>(short_write_bytes),
+                                contents.size());
+      std::FILE* f = std::fopen(path.c_str(), "wb");
+      if (f != nullptr) {
+        std::fwrite(contents.data(), 1, n, f);
+        std::fclose(f);
+      }
+    }
+    return Status::IoError("injected write fault: " + path);
+  }
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IoError("cannot open for write: " + path);
   const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
@@ -40,7 +76,17 @@ Status WriteStringToFileAtomic(const std::string& path,
                                const std::string& contents) {
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
-  SDEA_RETURN_IF_ERROR(WriteStringToFile(tmp, contents));
+  Status write_status = WriteStringToFile(tmp, contents);
+  if (!write_status.ok()) {
+    // A short write may have left a partial temp file; never leave it
+    // around where a directory scan could mistake it for an artifact.
+    std::remove(tmp.c_str());
+    return write_status;
+  }
+  if (InjectFault(FaultInjector::FileOp::kRename, path)) {
+    std::remove(tmp.c_str());
+    return Status::IoError("injected rename fault: " + tmp + " -> " + path);
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::IoError("rename failed: " + tmp + " -> " + path);
@@ -84,7 +130,7 @@ Status WriteTsv(const std::string& path,
     out += Join(row, "\t");
     out += '\n';
   }
-  return WriteStringToFile(path, out);
+  return WriteStringToFileAtomic(path, out);
 }
 
 bool FileExists(const std::string& path) {

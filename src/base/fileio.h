@@ -8,6 +8,10 @@
 
 namespace sdea {
 
+// All primitives here route through the FaultInjector hook in
+// base/fault_injection.h when one is installed, so tests can inject read
+// errors, ENOSPC-style short writes, and failed renames deterministically.
+
 /// Reads an entire file into a string.
 Result<std::string> ReadFileToString(const std::string& path);
 
@@ -28,7 +32,7 @@ Result<std::vector<std::string>> ReadLines(const std::string& path);
 /// Reads a tab-separated file into rows of fields. Blank lines are skipped.
 Result<std::vector<std::vector<std::string>>> ReadTsv(const std::string& path);
 
-/// Writes rows as a tab-separated file.
+/// Writes rows as a tab-separated file (atomically, via temp + rename).
 Status WriteTsv(const std::string& path,
                 const std::vector<std::vector<std::string>>& rows);
 

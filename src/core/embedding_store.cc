@@ -44,7 +44,7 @@ Result<EmbeddingStore> EmbeddingStore::Create(std::vector<std::string> names,
   return store;
 }
 
-Status EmbeddingStore::Save(const std::string& path) const {
+std::string EmbeddingStore::Encode() const {
   std::string out;
   out.append(kMagic, sizeof(kMagic));
   AppendU64(&out, names_.size());
@@ -55,39 +55,66 @@ Status EmbeddingStore::Save(const std::string& path) const {
   }
   out.append(reinterpret_cast<const char*>(embeddings_.data()),
              static_cast<size_t>(embeddings_.size()) * sizeof(float));
-  // Atomic (temp + rename) so a crash mid-save can never leave a torn
-  // artifact for a serving snapshot manager to pick up.
-  return WriteStringToFileAtomic(path, out);
+  return out;
 }
 
-Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
-  SDEA_ASSIGN_OR_RETURN(std::string in, ReadFileToString(path));
+Status EmbeddingStore::Save(const std::string& path) const {
+  // Atomic (temp + rename) so a crash mid-save can never leave a torn
+  // artifact for a serving snapshot manager to pick up.
+  return WriteStringToFileAtomic(path, Encode());
+}
+
+Result<EmbeddingStore> EmbeddingStore::Decode(const std::string& in) {
   if (in.size() < sizeof(kMagic) ||
       std::memcmp(in.data(), kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("not an SDEA embedding store: " + path);
+    return Status::InvalidArgument("not an SDEA embedding store");
   }
   size_t pos = sizeof(kMagic);
   uint64_t count = 0, dim = 0;
   if (!ReadU64(in, &pos, &count) || !ReadU64(in, &pos, &dim)) {
     return Status::InvalidArgument("truncated embedding store header");
   }
+  // Bound both header fields against what the blob could possibly hold
+  // before allocating anything: each name costs >= 8 bytes, each row
+  // count*dim floats. Without these a corrupt all-ones count either spins
+  // billions of failed reads or throws length_error out of reserve().
+  const uint64_t budget = in.size() - pos;
+  if (count > budget / 8) {
+    return Status::InvalidArgument("embedding store count exceeds blob size");
+  }
+  const uint64_t max_floats = in.size() / sizeof(float);
+  if (dim > max_floats || (count > 0 && dim > max_floats / count)) {
+    return Status::InvalidArgument("embedding store dim exceeds blob size");
+  }
   std::vector<std::string> names;
   names.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t len = 0;
-    if (!ReadU64(in, &pos, &len) || pos + len > in.size()) {
+    if (!ReadU64(in, &pos, &len) || len > in.size() - pos) {
       return Status::InvalidArgument("truncated embedding store names");
     }
     names.push_back(in.substr(pos, len));
     pos += len;
   }
   const size_t bytes = static_cast<size_t>(count * dim) * sizeof(float);
-  if (pos + bytes > in.size()) {
+  if (bytes > in.size() - pos) {
     return Status::InvalidArgument("truncated embedding store data");
   }
   Tensor embeddings({static_cast<int64_t>(count), static_cast<int64_t>(dim)});
-  std::memcpy(embeddings.data(), in.data() + pos, bytes);
+  // An empty store (count or dim 0) has a null data(); memcpy forbids
+  // null arguments even for 0 bytes.
+  if (bytes > 0) std::memcpy(embeddings.data(), in.data() + pos, bytes);
   return Create(std::move(names), std::move(embeddings));
+}
+
+Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
+  SDEA_ASSIGN_OR_RETURN(std::string in, ReadFileToString(path));
+  auto decoded = Decode(in);
+  if (!decoded.ok()) {
+    return Status(decoded.status().code(),
+                  decoded.status().message() + ": " + path);
+  }
+  return decoded;
 }
 
 Result<int64_t> EmbeddingStore::Find(const std::string& name) const {

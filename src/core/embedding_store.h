@@ -31,6 +31,14 @@ class EmbeddingStore {
   Status Save(const std::string& path) const;
   static Result<EmbeddingStore> Load(const std::string& path);
 
+  /// The wire format behind Save/Load, exposed blob-level so tests can
+  /// corrupt bytes without touching the filesystem. Decode is robust
+  /// against arbitrary bytes: any malformed input (bad magic, truncation,
+  /// counts or dims that exceed what the blob could hold, duplicate names)
+  /// returns InvalidArgument — never a crash or an unbounded allocation.
+  std::string Encode() const;
+  static Result<EmbeddingStore> Decode(const std::string& blob);
+
   int64_t size() const { return embeddings_.dim(0); }
   int64_t dim() const { return embeddings_.size() == 0 ? 0 : embeddings_.dim(1); }
   const std::vector<std::string>& names() const { return names_; }

@@ -33,7 +33,9 @@ std::string ResultsToCsv(const std::vector<ResultRecord>& records) {
 
 Status WriteResultsCsv(const std::vector<ResultRecord>& records,
                        const std::string& path) {
-  return WriteStringToFile(path, ResultsToCsv(records));
+  // Atomic so a crash mid-write can't leave a truncated results file that
+  // a later aggregation step half-parses.
+  return WriteStringToFileAtomic(path, ResultsToCsv(records));
 }
 
 }  // namespace sdea::eval

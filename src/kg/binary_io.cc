@@ -24,8 +24,12 @@ class Reader {
  public:
   explicit Reader(const std::string& data) : data_(data) {}
 
+  /// Bytes not yet consumed — the budget every on-disk count is bounded
+  /// against before its loop runs.
+  size_t remaining() const { return data_.size() - pos_; }
+
   bool ReadU32(uint32_t* v) {
-    if (pos_ + 4 > data_.size()) return false;
+    if (remaining() < 4) return false;
     std::memcpy(v, data_.data() + pos_, 4);
     pos_ += 4;
     return true;
@@ -33,7 +37,9 @@ class Reader {
 
   bool ReadString(std::string* s) {
     uint32_t len = 0;
-    if (!ReadU32(&len) || pos_ + len > data_.size()) return false;
+    // Compare against the remaining budget rather than `pos_ + len` so a
+    // huge len cannot wrap a 32-bit size_t and sneak past the check.
+    if (!ReadU32(&len) || len > remaining()) return false;
     s->assign(data_, pos_, len);
     pos_ += len;
     return true;
@@ -46,7 +52,7 @@ class Reader {
 
 }  // namespace
 
-Status SaveBinary(const KnowledgeGraph& graph, const std::string& path) {
+std::string EncodeBinary(const KnowledgeGraph& graph) {
   std::string out;
   out.append(kMagic, sizeof(kMagic));
   AppendU32(&out, static_cast<uint32_t>(graph.num_entities()));
@@ -74,23 +80,35 @@ Status SaveBinary(const KnowledgeGraph& graph, const std::string& path) {
     AppendU32(&out, static_cast<uint32_t>(t.attribute));
     AppendString(&out, t.value);
   }
-  return WriteStringToFile(path, out);
+  return out;
 }
 
-Result<KnowledgeGraph> LoadBinary(const std::string& path) {
-  SDEA_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+Status SaveBinary(const KnowledgeGraph& graph, const std::string& path) {
+  // Atomic (temp + rename): a crash mid-save must never leave a truncated
+  // file that a later LoadBinary rejects — or worse, half-parses.
+  return WriteStringToFileAtomic(path, EncodeBinary(graph));
+}
+
+Result<KnowledgeGraph> DecodeBinary(const std::string& data) {
   if (data.size() < sizeof(kMagic) ||
       std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("not an SDEA binary KG: " + path);
+    return Status::InvalidArgument("not an SDEA binary KG");
   }
   Reader reader(data);
   KnowledgeGraph g;
-  auto truncated = [&path] {
-    return Status::InvalidArgument("truncated binary KG: " + path);
+  auto truncated = [] {
+    return Status::InvalidArgument("truncated binary KG");
+  };
+  // Every on-disk count is bounded against the bytes its section could
+  // possibly occupy before the loop runs, so a corrupt 0xFFFFFFFF count
+  // fails in O(1) instead of spinning billions of failed reads.
+  auto oversized = [] {
+    return Status::InvalidArgument("binary KG count exceeds file size");
   };
 
   uint32_t entities = 0;
   if (!reader.ReadU32(&entities)) return truncated();
+  if (entities > reader.remaining() / 4) return oversized();
   for (uint32_t i = 0; i < entities; ++i) {
     std::string name;
     if (!reader.ReadString(&name)) return truncated();
@@ -100,20 +118,27 @@ Result<KnowledgeGraph> LoadBinary(const std::string& path) {
   }
   uint32_t relations = 0;
   if (!reader.ReadU32(&relations)) return truncated();
+  if (relations > reader.remaining() / 4) return oversized();
   for (uint32_t i = 0; i < relations; ++i) {
     std::string name;
     if (!reader.ReadString(&name)) return truncated();
-    g.AddRelation(name);
+    if (g.AddRelation(name) != static_cast<RelationId>(i)) {
+      return Status::InvalidArgument("duplicate relation name in binary KG");
+    }
   }
   uint32_t attributes = 0;
   if (!reader.ReadU32(&attributes)) return truncated();
+  if (attributes > reader.remaining() / 4) return oversized();
   for (uint32_t i = 0; i < attributes; ++i) {
     std::string name;
     if (!reader.ReadString(&name)) return truncated();
-    g.AddAttribute(name);
+    if (g.AddAttribute(name) != static_cast<AttributeId>(i)) {
+      return Status::InvalidArgument("duplicate attribute name in binary KG");
+    }
   }
   uint32_t rel_triples = 0;
   if (!reader.ReadU32(&rel_triples)) return truncated();
+  if (rel_triples > reader.remaining() / 12) return oversized();
   for (uint32_t i = 0; i < rel_triples; ++i) {
     uint32_t h = 0, r = 0, t = 0;
     if (!reader.ReadU32(&h) || !reader.ReadU32(&r) || !reader.ReadU32(&t)) {
@@ -128,6 +153,7 @@ Result<KnowledgeGraph> LoadBinary(const std::string& path) {
   }
   uint32_t attr_triples = 0;
   if (!reader.ReadU32(&attr_triples)) return truncated();
+  if (attr_triples > reader.remaining() / 12) return oversized();
   for (uint32_t i = 0; i < attr_triples; ++i) {
     uint32_t e = 0, a = 0;
     std::string value;
@@ -143,6 +169,16 @@ Result<KnowledgeGraph> LoadBinary(const std::string& path) {
                          static_cast<AttributeId>(a), std::move(value));
   }
   return g;
+}
+
+Result<KnowledgeGraph> LoadBinary(const std::string& path) {
+  SDEA_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  auto decoded = DecodeBinary(data);
+  if (!decoded.ok()) {
+    return Status(decoded.status().code(),
+                  decoded.status().message() + ": " + path);
+  }
+  return decoded;
 }
 
 }  // namespace sdea::kg

@@ -13,10 +13,22 @@ namespace sdea::kg {
 /// magnitude faster than from TSV). Format: magic + string tables
 /// (entities, relations, attributes) + fixed-width relational triples +
 /// length-prefixed attribute triples. Round-trips exactly.
+
+/// Serializes `graph` into the SDEAKGB1 wire format.
+std::string EncodeBinary(const KnowledgeGraph& graph);
+
+/// Parses a blob written by EncodeBinary. Robust against arbitrary bytes:
+/// returns InvalidArgument (never crashes, hangs, or over-allocates) on a
+/// wrong magic, truncated sections, counts that exceed what the blob could
+/// possibly hold, out-of-range triple ids, or duplicate names.
+Result<KnowledgeGraph> DecodeBinary(const std::string& data);
+
+/// Writes EncodeBinary(graph) to `path` atomically (temp file + rename), so
+/// a crash mid-save leaves the previous file intact — never a torn one.
 Status SaveBinary(const KnowledgeGraph& graph, const std::string& path);
 
-/// Loads a graph written by SaveBinary. Rejects files with a wrong magic
-/// or truncated sections.
+/// Loads a graph written by SaveBinary (ReadFileToString + DecodeBinary,
+/// with the path added to any error message).
 Result<KnowledgeGraph> LoadBinary(const std::string& path);
 
 }  // namespace sdea::kg

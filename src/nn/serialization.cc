@@ -1,6 +1,7 @@
 #include "nn/serialization.h"
 
 #include <cstring>
+#include <limits>
 #include <map>
 
 #include "base/fileio.h"
@@ -9,6 +10,22 @@ namespace sdea::nn {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'D', 'E', 'A', 'C', 'K', 'P', '1'};
+
+/// Validates one shape dimension and folds it into the running element
+/// count, rejecting anything that could not fit in `max_elements` (derived
+/// from the bytes actually left in the blob). Written so neither the
+/// product nor the later int64 cast can overflow: a corrupt dim can be
+/// all-ones or sign-boundary and still fail cleanly.
+bool AccumulateDim(uint64_t dim, uint64_t max_elements, uint64_t* elements) {
+  if (dim > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+    return false;  // Would become a negative tensor dimension.
+  }
+  if (dim != 0 && *elements > max_elements / dim) {
+    return false;  // Product exceeds what the blob could possibly hold.
+  }
+  *elements *= dim;
+  return true;
+}
 
 }  // namespace
 
@@ -19,7 +36,7 @@ void AppendU64(std::string* out, uint64_t v) {
 }
 
 bool ReadU64(const std::string& in, size_t* pos, uint64_t* v) {
-  if (*pos + 8 > in.size()) return false;
+  if (*pos > in.size() || in.size() - *pos < 8) return false;
   std::memcpy(v, in.data() + *pos, 8);
   *pos += 8;
   return true;
@@ -32,7 +49,7 @@ void AppendF64(std::string* out, double v) {
 }
 
 bool ReadF64(const std::string& in, size_t* pos, double* v) {
-  if (*pos + 8 > in.size()) return false;
+  if (*pos > in.size() || in.size() - *pos < 8) return false;
   std::memcpy(v, in.data() + *pos, 8);
   *pos += 8;
   return true;
@@ -45,7 +62,9 @@ void AppendBytes(std::string* out, const std::string& bytes) {
 
 bool ReadBytes(const std::string& in, size_t* pos, std::string* bytes) {
   uint64_t len = 0;
-  if (!ReadU64(in, pos, &len) || *pos + len > in.size()) return false;
+  // Budget comparison, not `*pos + len`: an all-ones len would wrap the
+  // sum, pass the old check, and throw length_error out of assign().
+  if (!ReadU64(in, pos, &len) || len > in.size() - *pos) return false;
   bytes->assign(in.data() + *pos, len);
   *pos += len;
   return true;
@@ -61,18 +80,21 @@ void AppendTensor(std::string* out, const Tensor& t) {
 bool ReadTensor(const std::string& in, size_t* pos, Tensor* t) {
   uint64_t rank = 0;
   if (!ReadU64(in, pos, &rank) || rank > 8) return false;
+  const uint64_t max_elements = (in.size() - *pos) / sizeof(float);
   std::vector<int64_t> shape;
-  int64_t elements = 1;
+  uint64_t elements = 1;
   for (uint64_t d = 0; d < rank; ++d) {
     uint64_t dim = 0;
     if (!ReadU64(in, pos, &dim)) return false;
+    if (!AccumulateDim(dim, max_elements, &elements)) return false;
     shape.push_back(static_cast<int64_t>(dim));
-    elements *= static_cast<int64_t>(dim);
   }
   const size_t bytes = static_cast<size_t>(elements) * sizeof(float);
-  if (*pos + bytes > in.size()) return false;
-  Tensor out(shape);
-  std::memcpy(out.data(), in.data() + *pos, bytes);
+  if (bytes > in.size() - *pos) return false;
+  Tensor out(std::move(shape));
+  // A zero-element tensor (any dim 0) has a null data(); memcpy forbids
+  // null arguments even for 0 bytes.
+  if (bytes > 0) std::memcpy(out.data(), in.data() + *pos, bytes);
   *pos += bytes;
   *t = std::move(out);
   return true;
@@ -101,6 +123,12 @@ Status DeserializeParameters(Module* module, const std::string& in) {
   if (!ReadU64(in, &pos, &count)) {
     return Status::InvalidArgument("truncated checkpoint header");
   }
+  // Each entry costs at least 16 bytes (name length + rank), so a count
+  // beyond this bound is corrupt; reject it before looping rather than
+  // grinding through billions of failed parses.
+  if (count > (in.size() - pos) / 16) {
+    return Status::InvalidArgument("checkpoint entry count exceeds blob size");
+  }
   // Pass 1: parse every entry into (shape, data-offset) keyed by name.
   struct Entry {
     std::vector<int64_t> shape;
@@ -110,7 +138,7 @@ Status DeserializeParameters(Module* module, const std::string& in) {
   std::map<std::string, Entry> entries;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t name_len = 0;
-    if (!ReadU64(in, &pos, &name_len) || pos + name_len > in.size()) {
+    if (!ReadU64(in, &pos, &name_len) || name_len > in.size() - pos) {
       return Status::InvalidArgument("truncated checkpoint entry name");
     }
     std::string name = in.substr(pos, name_len);
@@ -119,20 +147,23 @@ Status DeserializeParameters(Module* module, const std::string& in) {
     if (!ReadU64(in, &pos, &rank) || rank > 8) {
       return Status::InvalidArgument("bad checkpoint entry rank");
     }
+    const uint64_t max_elements = (in.size() - pos) / sizeof(float);
     Entry e;
-    e.num_elements = 1;
+    uint64_t elements = 1;
     for (uint64_t d = 0; d < rank; ++d) {
       uint64_t dim = 0;
       if (!ReadU64(in, &pos, &dim)) {
         return Status::InvalidArgument("truncated checkpoint shape");
       }
+      if (!AccumulateDim(dim, max_elements, &elements)) {
+        return Status::InvalidArgument("bad checkpoint entry shape");
+      }
       e.shape.push_back(static_cast<int64_t>(dim));
-      e.num_elements *= static_cast<int64_t>(dim);
     }
+    e.num_elements = static_cast<int64_t>(elements);
     e.data_offset = pos;
-    const size_t bytes =
-        static_cast<size_t>(e.num_elements) * sizeof(float);
-    if (pos + bytes > in.size()) {
+    const size_t bytes = static_cast<size_t>(elements) * sizeof(float);
+    if (bytes > in.size() - pos) {
       return Status::InvalidArgument("truncated checkpoint data");
     }
     pos += bytes;

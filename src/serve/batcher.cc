@@ -17,24 +17,43 @@ RequestBatcher::RequestBatcher(const BatcherOptions& options, BatchFn fn)
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
-RequestBatcher::~RequestBatcher() {
+RequestBatcher::~RequestBatcher() { Shutdown(); }
+
+void RequestBatcher::Shutdown() {
+  bool won_shutdown = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
+    if (!stop_) {
+      stop_ = true;
+      won_shutdown = true;
+    }
   }
-  cv_.notify_all();
-  dispatcher_.join();
+  if (won_shutdown) {
+    cv_.notify_all();
+    dispatcher_.join();
+  }
 }
 
 std::future<AlignResult> RequestBatcher::Submit(ServeRequest request) {
   request.enqueue_time = std::chrono::steady_clock::now();
   std::future<AlignResult> future = request.promise.get_future();
+  bool accepted = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    SDEA_CHECK(!stop_);  // Submitting into a destructing batcher.
-    queue_.push_back(std::move(request));
+    if (!stop_) {
+      queue_.push_back(std::move(request));
+      accepted = true;
+    }
   }
-  cv_.notify_one();
+  if (accepted) {
+    cv_.notify_one();
+  } else {
+    // A request racing shutdown gets a clean error on its own future —
+    // never an abort, and never a promise left unfulfilled. Requests that
+    // made it into the queue before the stop flag are still drained.
+    request.promise.set_value(AlignResult(Status::FailedPrecondition(
+        "request batcher is shut down; submission rejected")));
+  }
   return future;
 }
 

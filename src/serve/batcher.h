@@ -67,15 +67,22 @@ class RequestBatcher {
 
   RequestBatcher(const BatcherOptions& options, BatchFn fn);
 
-  /// Stops accepting work, drains every queued request through the batch
-  /// function, and joins the dispatcher.
+  /// Calls Shutdown(). As with any object, no other thread may still be
+  /// calling into the batcher once destruction begins.
   ~RequestBatcher();
 
   RequestBatcher(const RequestBatcher&) = delete;
   RequestBatcher& operator=(const RequestBatcher&) = delete;
 
+  /// Stops accepting work, drains every already-queued request through the
+  /// batch function, and joins the dispatcher. Idempotent and safe to call
+  /// from any thread; concurrent Submit calls are rejected gracefully.
+  void Shutdown();
+
   /// Enqueues `request` and returns the future its answer will arrive on.
-  /// Must not be called concurrently with destruction.
+  /// A request racing Shutdown (or destruction-initiated shutdown) is not
+  /// an error worth dying for: it resolves the returned future with
+  /// FailedPrecondition instead of crashing the process.
   std::future<AlignResult> Submit(ServeRequest request);
 
   const BatcherOptions& options() const { return options_; }

@@ -1,0 +1,23 @@
+#include "testing/faults.h"
+
+namespace sdea::testing {
+
+FaultInjector::FaultAction CountdownFaultInjector::OnFileOp(
+    FileOp op, const std::string& path) {
+  FaultAction action;
+  if (op != plan_.op) return action;
+  if (!plan_.path_substring.empty() &&
+      path.find(plan_.path_substring) == std::string::npos) {
+    return action;
+  }
+  const int64_t index = matching_ops_++;
+  const bool fire = plan_.repeat ? index >= plan_.trigger_after
+                                 : index == plan_.trigger_after;
+  if (!fire) return action;
+  ++faults_injected_;
+  action.fail = true;
+  action.short_write_bytes = plan_.short_write_bytes;
+  return action;
+}
+
+}  // namespace sdea::testing

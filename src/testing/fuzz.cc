@@ -1,0 +1,151 @@
+#include "testing/fuzz.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "base/strings.h"
+
+namespace sdea::testing {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Adversarial integers for length/count fields: the boundary values that
+/// turn into 4-billion-iteration loops, overflowing `pos + len` checks, and
+/// negative dimensions after an int64 cast.
+constexpr uint64_t kEvilU64[] = {
+    0,
+    1,
+    0x7FFFFFFFull,
+    0x80000000ull,
+    0xFFFFFFFFull,
+    0x7FFFFFFFFFFFFFFFull,
+    0x8000000000000000ull,
+    0xFFFFFFFFFFFFFFFFull,
+};
+constexpr size_t kNumEvil = sizeof(kEvilU64) / sizeof(kEvilU64[0]);
+
+void SplatLittleEndian(std::string* blob, Rng* rng, size_t width) {
+  if (blob->size() < width) return;
+  const size_t pos = rng->UniformInt(blob->size() - width + 1);
+  uint64_t value = rng->Bernoulli(0.75)
+                       ? kEvilU64[rng->UniformInt(kNumEvil)]
+                       : rng->Next();
+  for (size_t i = 0; i < width; ++i) {
+    (*blob)[pos + i] = static_cast<char>(value & 0xFF);
+    value >>= 8;
+  }
+}
+
+void ApplyOneEdit(std::string* blob, Rng* rng) {
+  switch (rng->UniformInt(6)) {
+    case 0: {  // Flip one byte.
+      if (blob->empty()) return;
+      (*blob)[rng->UniformInt(blob->size())] =
+          static_cast<char>(rng->UniformInt(256));
+      return;
+    }
+    case 1:  // Corrupt a u32-sized field.
+      SplatLittleEndian(blob, rng, 4);
+      return;
+    case 2:  // Corrupt a u64-sized field.
+      SplatLittleEndian(blob, rng, 8);
+      return;
+    case 3: {  // Truncate.
+      if (blob->empty()) return;
+      blob->resize(rng->UniformInt(blob->size()));
+      return;
+    }
+    case 4: {  // Delete a small range.
+      if (blob->empty()) return;
+      const size_t pos = rng->UniformInt(blob->size());
+      const size_t len =
+          1 + rng->UniformInt(std::min<size_t>(16, blob->size() - pos));
+      blob->erase(pos, len);
+      return;
+    }
+    default: {  // Append junk (trailing-bytes handling).
+      const size_t len = 1 + rng->UniformInt(16);
+      for (size_t i = 0; i < len; ++i) {
+        blob->push_back(static_cast<char>(rng->UniformInt(256)));
+      }
+      return;
+    }
+  }
+}
+
+/// Runs one decode and checks the contract. `what` names the case for the
+/// violation message.
+Status RunCase(const std::string& bytes, const DecodeFn& decode,
+               double budget_seconds, const std::string& what,
+               FuzzStats* stats) {
+  const auto t0 = Clock::now();
+  const Status outcome = decode(bytes);
+  const double elapsed = SecondsSince(t0);
+  if (stats != nullptr) {
+    ++stats->cases;
+    if (outcome.ok()) {
+      ++stats->accepted;
+    } else if (outcome.code() == StatusCode::kInvalidArgument) {
+      ++stats->rejected;
+    }
+    stats->max_case_seconds = std::max(stats->max_case_seconds, elapsed);
+  }
+  if (!outcome.ok() && outcome.code() != StatusCode::kInvalidArgument) {
+    return Status::Internal("decoder contract violation on " + what +
+                            ": expected ok() or InvalidArgument, got " +
+                            outcome.ToString());
+  }
+  if (elapsed > budget_seconds) {
+    return Status::Internal(StrFormat(
+        "decoder suspected hang on %s: one case took %.1f s",
+        what.c_str(), elapsed));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string MutateBlob(const std::string& blob, Rng* rng, int max_edits) {
+  std::string mutated = blob;
+  const int edits = 1 + static_cast<int>(rng->UniformInt(
+                            static_cast<uint64_t>(std::max(max_edits, 1))));
+  for (int i = 0; i < edits; ++i) ApplyOneEdit(&mutated, rng);
+  return mutated;
+}
+
+Status CheckTruncationRobustness(const std::string& blob,
+                                 const DecodeFn& decode, FuzzStats* stats) {
+  const FuzzOptions defaults;
+  for (size_t len = 0; len < blob.size(); ++len) {
+    SDEA_RETURN_IF_ERROR(RunCase(
+        blob.substr(0, len), decode, defaults.per_case_budget_seconds,
+        StrFormat("truncation to %zu of %zu bytes", len, blob.size()),
+        stats));
+  }
+  return Status::Ok();
+}
+
+Status CheckMutationRobustness(const std::string& blob,
+                               const DecodeFn& decode,
+                               const FuzzOptions& options, FuzzStats* stats) {
+  Rng rng(options.seed);
+  for (int64_t i = 0; i < options.iterations; ++i) {
+    const std::string mutated =
+        MutateBlob(blob, &rng, options.max_edits_per_case);
+    SDEA_RETURN_IF_ERROR(
+        RunCase(mutated, decode, options.per_case_budget_seconds,
+                StrFormat("mutation case %lld (seed %llu)",
+                          static_cast<long long>(i),
+                          static_cast<unsigned long long>(options.seed)),
+                stats));
+  }
+  return Status::Ok();
+}
+
+}  // namespace sdea::testing

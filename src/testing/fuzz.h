@@ -1,0 +1,66 @@
+#ifndef SDEA_TESTING_FUZZ_H_
+#define SDEA_TESTING_FUZZ_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "base/rng.h"
+#include "base/status.h"
+
+namespace sdea::testing {
+
+/// A binary decoder under test: parses `blob` and reports how it went.
+/// Decoders that produce a value wrap it, e.g.
+///   [](const std::string& b) { return kg::DecodeBinary(b).status(); }
+using DecodeFn = std::function<Status(const std::string&)>;
+
+/// The decoder robustness contract (DESIGN.md §8): on *arbitrary* bytes a
+/// decoder must return ok() or InvalidArgument — any other code, any crash,
+/// any hang, or any unbounded allocation is a bug. IoError is reserved for
+/// the filesystem layer and must never leak out of a pure blob decoder.
+struct FuzzOptions {
+  int64_t iterations = 5000;    ///< Mutated cases to replay.
+  uint64_t seed = 0x5dea;       ///< base::Rng seed; same seed, same cases.
+  int max_edits_per_case = 8;   ///< Mutations applied per case (1..max).
+  /// A single decode taking longer than this is reported as a suspected
+  /// hang (e.g. a corrupt 4-billion count spinning failed reads). Generous
+  /// on purpose: sanitizer builds are slow.
+  double per_case_budget_seconds = 5.0;
+};
+
+/// Aggregate outcome counts, for logging and for asserting the corpus
+/// actually exercised both accept and reject paths.
+struct FuzzStats {
+  int64_t cases = 0;
+  int64_t accepted = 0;         ///< Decoder returned ok().
+  int64_t rejected = 0;         ///< Decoder returned InvalidArgument.
+  double max_case_seconds = 0.0;
+};
+
+/// Applies 1..max_edits seeded mutations to a copy of `blob`: byte flips,
+/// 4/8-byte little-endian splats of adversarial values (0, 1, all-ones,
+/// sign-boundary — the ones that become huge counts and overflowing length
+/// fields), truncations, deletions, and appends.
+std::string MutateBlob(const std::string& blob, Rng* rng, int max_edits);
+
+/// Replays `decode` on every strict prefix of `blob` (truncation at every
+/// offset, including empty). Returns Ok when every outcome honours the
+/// contract; otherwise an Internal status describing the first violating
+/// prefix. The full blob itself is not replayed (callers assert it decodes
+/// ok separately).
+Status CheckTruncationRobustness(const std::string& blob,
+                                 const DecodeFn& decode,
+                                 FuzzStats* stats = nullptr);
+
+/// Replays `decode` on options.iterations seeded mutations of `blob`.
+/// Returns Ok when every outcome honours the contract; otherwise an
+/// Internal status carrying the case's seed index so it can be replayed.
+Status CheckMutationRobustness(const std::string& blob,
+                               const DecodeFn& decode,
+                               const FuzzOptions& options = {},
+                               FuzzStats* stats = nullptr);
+
+}  // namespace sdea::testing
+
+#endif  // SDEA_TESTING_FUZZ_H_

@@ -196,7 +196,7 @@ Status SubwordTokenizer::Save(const std::string& path) const {
     out += vocab_.GetToken(i);
     out += '\n';
   }
-  return WriteStringToFile(path, out);
+  return WriteStringToFileAtomic(path, out);
 }
 
 Status SubwordTokenizer::Load(const std::string& path) {

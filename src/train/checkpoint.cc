@@ -60,13 +60,16 @@ Result<TrainerCheckpoint> CheckpointManager::Decode(const std::string& blob) {
 
   uint64_t n = 0;
   if (!nn::ReadU64(blob, &pos, &n)) return Truncated();
-  if (n > blob.size()) return Truncated();  // Cheap sanity bound.
+  // Each element costs 8 bytes, so bound the counts against the bytes
+  // actually left before resizing — a corrupt all-ones count must fail in
+  // O(1), not allocate, and not spin billions of failed reads.
+  if (n > (blob.size() - pos) / 8) return Truncated();
   ckpt.metric_history.resize(n);
   for (uint64_t i = 0; i < n; ++i) {
     if (!nn::ReadF64(blob, &pos, &ckpt.metric_history[i])) return Truncated();
   }
   if (!nn::ReadU64(blob, &pos, &n)) return Truncated();
-  if (n > blob.size()) return Truncated();
+  if (n > (blob.size() - pos) / 8) return Truncated();
   ckpt.order.resize(n);
   for (uint64_t i = 0; i < n; ++i) {
     if (!nn::ReadU64(blob, &pos, &ckpt.order[i])) return Truncated();

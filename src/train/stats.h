@@ -42,6 +42,10 @@ struct TrainStats {
   Histogram batch_loss = MakeLossHistogram();
   Histogram batch_ms = MakeBatchLatencyHistogram();
   double total_wall_ms = 0.0;
+  /// Checkpoint saves that failed (and were logged + skipped). Training
+  /// continues through save failures — losing a checkpoint is recoverable,
+  /// aborting a long run is not.
+  int64_t checkpoint_failures = 0;
 };
 
 }  // namespace sdea::train

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "base/check.h"
+#include "base/logging.h"
 #include "nn/serialization.h"
 #include "obs/obs.h"
 #include "obs/registry.h"
@@ -236,8 +237,16 @@ Result<TrainStats> Trainer::Run() {
         epoch + 1 < options_.max_epochs &&
         (epoch + 1) % options_.checkpoint_every == 0) {
       obs::TraceSpan ckpt_span("train/checkpoint");
-      SDEA_RETURN_IF_ERROR(
-          options_.checkpoint->Save(MakeCheckpoint(epoch + 1, false)));
+      // A failed save (full disk, dead mount) costs a resume point, not
+      // the run: log it and keep training. The atomic writer guarantees
+      // the previous checkpoint on disk is still complete.
+      const Status saved =
+          options_.checkpoint->Save(MakeCheckpoint(epoch + 1, false));
+      if (!saved.ok()) {
+        ++stats.checkpoint_failures;
+        SDEA_LOG_WARNING("checkpoint save failed, training continues: " +
+                         saved.ToString());
+      }
     }
   }
 
@@ -247,9 +256,15 @@ Result<TrainStats> Trainer::Run() {
   }
   if (options_.checkpoint != nullptr) {
     // Final save is marked finished and records the post-restore params, so
-    // resuming a completed run is a pure state reload.
-    SDEA_RETURN_IF_ERROR(options_.checkpoint->Save(MakeCheckpoint(
-        /*next_epoch=*/epoch, /*finished=*/true)));
+    // resuming a completed run is a pure state reload. Like the periodic
+    // saves, a failure here must not discard the completed training run —
+    // the trained parameters live in the task, not the checkpoint.
+    const Status saved = options_.checkpoint->Save(MakeCheckpoint(
+        /*next_epoch=*/epoch, /*finished=*/true));
+    if (!saved.ok()) {
+      ++stats.checkpoint_failures;
+      SDEA_LOG_WARNING("final checkpoint save failed: " + saved.ToString());
+    }
   }
 
   stats.total_wall_ms = MsSince(run_t0);

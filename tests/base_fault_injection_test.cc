@@ -1,0 +1,174 @@
+// Tests for the deterministic fault-injecting file layer: the hook
+// mechanics themselves, and the headline guarantee that
+// WriteStringToFileAtomic can never leave a torn file no matter where the
+// fault lands (while plain WriteStringToFile demonstrably can — which is
+// why every saver in the tree now goes through the atomic path).
+#include "base/fault_injection.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "base/fileio.h"
+#include "base/rng.h"
+#include "testing/faults.h"
+
+namespace sdea {
+namespace {
+
+using testing::CountdownFaultInjector;
+using testing::FaultPlan;
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+std::string AtomicTempName(const std::string& path) {
+  return path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+}
+
+TEST(FaultInjectionTest, NoInjectorMeansPassthrough) {
+  const std::string path = TempPath("sdea_fi_passthrough.txt");
+  ASSERT_EQ(CurrentFaultInjector(), nullptr);
+  ASSERT_TRUE(WriteStringToFile(path, "hello").ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "hello");
+}
+
+TEST(FaultInjectionTest, ScopedInstallAndNestedRestore) {
+  CountdownFaultInjector outer{FaultPlan{}};
+  CountdownFaultInjector inner{FaultPlan{}};
+  EXPECT_EQ(CurrentFaultInjector(), nullptr);
+  {
+    ScopedFaultInjector scope_outer(&outer);
+    EXPECT_EQ(CurrentFaultInjector(), &outer);
+    {
+      ScopedFaultInjector scope_inner(&inner);
+      EXPECT_EQ(CurrentFaultInjector(), &inner);
+    }
+    EXPECT_EQ(CurrentFaultInjector(), &outer);
+  }
+  EXPECT_EQ(CurrentFaultInjector(), nullptr);
+}
+
+TEST(FaultInjectionTest, ReadFaultReturnsIoError) {
+  const std::string path = TempPath("sdea_fi_read.txt");
+  ASSERT_TRUE(WriteStringToFile(path, "contents").ok());
+
+  CountdownFaultInjector injector{
+      FaultPlan{.op = FaultInjector::FileOp::kRead}};
+  ScopedFaultInjector scope(&injector);
+  auto read = ReadFileToString(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(injector.faults_injected(), 1);
+}
+
+TEST(FaultInjectionTest, CountdownFailsOnlyTheNthOp) {
+  const std::string path = TempPath("sdea_fi_countdown.txt");
+  CountdownFaultInjector injector{
+      FaultPlan{.op = FaultInjector::FileOp::kWrite, .trigger_after = 1}};
+  ScopedFaultInjector scope(&injector);
+  EXPECT_TRUE(WriteStringToFile(path, "first").ok());
+  EXPECT_FALSE(WriteStringToFile(path, "second").ok());
+  EXPECT_TRUE(WriteStringToFile(path, "third").ok());
+  EXPECT_EQ(injector.matching_ops(), 3);
+  EXPECT_EQ(injector.faults_injected(), 1);
+}
+
+TEST(FaultInjectionTest, PathSubstringFilterScopesTheFault) {
+  const std::string victim = TempPath("sdea_fi_victim.ckpt");
+  const std::string bystander = TempPath("sdea_fi_bystander.txt");
+  CountdownFaultInjector injector{FaultPlan{.op = FaultInjector::FileOp::kWrite,
+                                            .repeat = true,
+                                            .path_substring = ".ckpt"}};
+  ScopedFaultInjector scope(&injector);
+  EXPECT_TRUE(WriteStringToFile(bystander, "fine").ok());
+  EXPECT_FALSE(WriteStringToFile(victim, "broken").ok());
+  EXPECT_TRUE(WriteStringToFile(bystander, "still fine").ok());
+}
+
+TEST(FaultInjectionTest, ShortWriteTearsPlainWrites) {
+  const std::string path = TempPath("sdea_fi_short.txt");
+  ASSERT_TRUE(WriteStringToFile(path, "old complete contents").ok());
+
+  CountdownFaultInjector injector{FaultPlan{
+      .op = FaultInjector::FileOp::kWrite, .short_write_bytes = 5}};
+  ScopedFaultInjector scope(&injector);
+  ASSERT_FALSE(WriteStringToFile(path, "new contents").ok());
+
+  ScopedFaultInjector off(nullptr);
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  // This is the torn-file failure mode: neither the old nor the new file.
+  EXPECT_EQ(*read, "new c");
+}
+
+TEST(FaultInjectionTest, AtomicWriteIsNeverTorn) {
+  const std::string path = TempPath("sdea_fi_atomic.bin");
+  const std::string old_contents = "v1: the complete previous artifact";
+  ASSERT_TRUE(WriteStringToFileAtomic(path, old_contents).ok());
+
+  const std::string new_contents(257, 'x');
+  Rng rng(7);
+  // Whatever the fault — hard write failure, a short write of any length,
+  // or a failed rename — the target always reads back as the previous
+  // complete artifact and no temp file survives.
+  for (int scenario = 0; scenario < 40; ++scenario) {
+    FaultPlan plan;
+    switch (scenario % 3) {
+      case 0:
+        plan.op = FaultInjector::FileOp::kWrite;
+        break;
+      case 1:
+        plan.op = FaultInjector::FileOp::kWrite;
+        plan.short_write_bytes =
+            static_cast<int64_t>(rng.UniformInt(new_contents.size() + 1));
+        break;
+      default:
+        plan.op = FaultInjector::FileOp::kRename;
+        break;
+    }
+    CountdownFaultInjector injector{plan};
+    {
+      ScopedFaultInjector scope(&injector);
+      auto status = WriteStringToFileAtomic(path, new_contents);
+      ASSERT_FALSE(status.ok()) << "scenario " << scenario;
+      EXPECT_EQ(status.code(), StatusCode::kIoError);
+    }
+    EXPECT_EQ(injector.faults_injected(), 1) << "scenario " << scenario;
+    auto read = ReadFileToString(path);
+    ASSERT_TRUE(read.ok()) << "scenario " << scenario;
+    EXPECT_EQ(*read, old_contents) << "scenario " << scenario;
+    EXPECT_FALSE(FileExists(AtomicTempName(path)))
+        << "stray temp file in scenario " << scenario;
+  }
+
+  // With the injector gone the write goes through.
+  ASSERT_TRUE(WriteStringToFileAtomic(path, new_contents).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, new_contents);
+}
+
+TEST(FaultInjectionTest, AtomicWriteFaultWithNoPreviousFile) {
+  const std::string path = TempPath("sdea_fi_atomic_fresh.bin");
+  std::remove(path.c_str());
+
+  CountdownFaultInjector injector{FaultPlan{
+      .op = FaultInjector::FileOp::kWrite, .short_write_bytes = 3}};
+  ScopedFaultInjector scope(&injector);
+  ASSERT_FALSE(WriteStringToFileAtomic(path, "brand new").ok());
+  // Nothing existed before, nothing may exist after — not even a partial
+  // temp file a directory scan could mistake for an artifact.
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_FALSE(FileExists(AtomicTempName(path)));
+}
+
+}  // namespace
+}  // namespace sdea

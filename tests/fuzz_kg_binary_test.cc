@@ -1,0 +1,147 @@
+// Fuzz + fault-injection regression suite for the SDEAKGB1 KG decoder:
+// truncation at every offset, thousands of seeded mutations, the crafted
+// corrupt counts that used to spin ~4B failed-read iterations, the
+// duplicate-name blobs that used to abort inside AddRelationalTriple's
+// SDEA_CHECK, and the atomic-save guarantee for kg::SaveBinary.
+#include "kg/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "base/fileio.h"
+#include "datagen/generator.h"
+#include "testing/faults.h"
+#include "testing/fuzz.h"
+
+namespace sdea::kg {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void AppendString(std::string* out, const std::string& s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+KnowledgeGraph SmallGraph() {
+  datagen::GeneratorConfig cfg;
+  cfg.num_matched = 40;
+  auto bench = datagen::BenchmarkGenerator().Generate(cfg);
+  return std::move(bench.kg1);
+}
+
+sdea::testing::DecodeFn Decoder() {
+  return [](const std::string& blob) { return DecodeBinary(blob).status(); };
+}
+
+TEST(KgBinaryFuzzTest, ValidBlobDecodes) {
+  const KnowledgeGraph g = SmallGraph();
+  const std::string blob = EncodeBinary(g);
+  auto decoded = DecodeBinary(blob);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->num_entities(), g.num_entities());
+  EXPECT_EQ(decoded->relational_triples().size(),
+            g.relational_triples().size());
+}
+
+TEST(KgBinaryFuzzTest, TruncationAtEveryOffset) {
+  const std::string blob = EncodeBinary(SmallGraph());
+  sdea::testing::FuzzStats stats;
+  const Status verdict =
+      sdea::testing::CheckTruncationRobustness(blob, Decoder(), &stats);
+  EXPECT_TRUE(verdict.ok()) << verdict.ToString();
+  EXPECT_EQ(stats.cases, static_cast<int64_t>(blob.size()));
+  // Every strict prefix must be rejected — none may "load as garbage".
+  EXPECT_EQ(stats.rejected, stats.cases);
+}
+
+TEST(KgBinaryFuzzTest, SeededMutations) {
+  const std::string blob = EncodeBinary(SmallGraph());
+  sdea::testing::FuzzOptions options;
+  options.iterations = 5000;
+  sdea::testing::FuzzStats stats;
+  const Status verdict = sdea::testing::CheckMutationRobustness(
+      blob, Decoder(), options, &stats);
+  EXPECT_TRUE(verdict.ok()) << verdict.ToString();
+  EXPECT_EQ(stats.cases, options.iterations);
+  // The corpus must actually exercise the reject path.
+  EXPECT_GT(stats.rejected, 0);
+}
+
+TEST(KgBinaryFuzzTest, HugeEntityCountRejectsInConstantTime) {
+  std::string blob = EncodeBinary(SmallGraph());
+  // The entity count lives right after the 8-byte magic.
+  const uint32_t evil = 0xFFFFFFFFu;
+  std::memcpy(blob.data() + 8, &evil, 4);
+  auto decoded = DecodeBinary(blob);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KgBinaryFuzzTest, DuplicateRelationNameRejectedNotAborted) {
+  // Hand-built blob: 2 entities, a relation table declaring 2 entries that
+  // intern to the same id, and a triple referencing relation 1 — which
+  // exists per the declared count but not in the interned table. The old
+  // decoder ran this straight into AddRelationalTriple's SDEA_CHECK.
+  std::string blob = "SDEAKGB1";
+  AppendU32(&blob, 2);  // entities
+  AppendString(&blob, "a");
+  AppendString(&blob, "b");
+  AppendU32(&blob, 2);  // relations (duplicates!)
+  AppendString(&blob, "r");
+  AppendString(&blob, "r");
+  AppendU32(&blob, 0);  // attributes
+  AppendU32(&blob, 1);  // relational triples
+  AppendU32(&blob, 0);  // head
+  AppendU32(&blob, 1);  // relation id 1: declared, never interned
+  AppendU32(&blob, 1);  // tail
+  AppendU32(&blob, 0);  // attribute triples
+  auto decoded = DecodeBinary(blob);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KgBinaryFuzzTest, SaveBinaryIsAtomicUnderInjectedFaults) {
+  const KnowledgeGraph g = SmallGraph();
+  const std::string path = TempPath("sdea_kg_atomic_fuzz.bin");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+
+  KnowledgeGraph replacement;
+  replacement.AddEntity("only");
+
+  // Break the save at each stage (hard write failure, 10-byte short
+  // write, failed rename): the file on disk must still load as the
+  // original complete graph every time.
+  for (const auto& plan :
+       {sdea::testing::FaultPlan{.op = FaultInjector::FileOp::kWrite},
+        sdea::testing::FaultPlan{.op = FaultInjector::FileOp::kWrite,
+                                 .short_write_bytes = 10},
+        sdea::testing::FaultPlan{.op = FaultInjector::FileOp::kRename}}) {
+    sdea::testing::CountdownFaultInjector injector{plan};
+    {
+      ScopedFaultInjector scope(&injector);
+      EXPECT_FALSE(SaveBinary(replacement, path).ok());
+    }
+    EXPECT_EQ(injector.faults_injected(), 1);
+    auto loaded = LoadBinary(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->num_entities(), g.num_entities());
+    EXPECT_EQ(loaded->relational_triples().size(),
+              g.relational_triples().size());
+  }
+}
+
+}  // namespace
+}  // namespace sdea::kg

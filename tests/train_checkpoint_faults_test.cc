@@ -1,0 +1,149 @@
+// Fault-injection tests for checkpointing under a failing filesystem: a
+// checkpoint save that fails mid-training must be logged and counted, not
+// kill the run, and whatever checkpoint file the run leaves behind must
+// always be a complete, loadable one (atomic save).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "base/fault_injection.h"
+#include "base/fileio.h"
+#include "base/rng.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/serialization.h"
+#include "testing/faults.h"
+#include "train/checkpoint.h"
+#include "train/trainer.h"
+
+namespace sdea::train {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+class WalkNet : public nn::Module {
+ public:
+  explicit WalkNet(int64_t dim = 8) {
+    w = AddParameter("walk.w", Tensor({1, dim}));
+  }
+  Parameter* w;
+};
+
+// Same RNG-and-order-sensitive task as train_checkpoint_test.cc: any
+// perturbation the fault path introduces shows up as a parameter diff.
+class WalkTask : public TrainTask {
+ public:
+  explicit WalkTask(uint64_t seed) : rng_(seed) {
+    optimizer_ = std::make_unique<nn::Adam>(net_.Parameters(), 0.05f);
+  }
+
+  size_t num_examples() const override { return 6; }
+  Rng* rng() override { return &rng_; }
+
+  float TrainBatch(const uint64_t* ids, size_t n) override {
+    net_.ZeroGrad();
+    float* g = net_.w->grad.data();
+    for (size_t i = 0; i < n; ++i) {
+      g[ids[i] % 8] += rng_.UniformFloat(-1.0f, 1.0f);
+    }
+    optimizer_->Step();
+    return net_.w->value.data()[0];
+  }
+
+  double EvalMetric() override {
+    return static_cast<double>(net_.w->value.data()[0]);
+  }
+
+  nn::Module* module() override { return &net_; }
+  nn::Optimizer* optimizer() override { return optimizer_.get(); }
+
+  Rng rng_;
+  WalkNet net_;
+  std::unique_ptr<nn::Optimizer> optimizer_;
+};
+
+TrainerOptions WalkOptions() {
+  TrainerOptions opts;
+  opts.max_epochs = 8;
+  opts.batch_size = 3;
+  opts.shuffle = TrainerOptions::Shuffle::kCumulative;
+  opts.evaluate = true;
+  opts.restore_best = true;
+  return opts;
+}
+
+TEST(TrainCheckpointFaultsTest, FailedSavesDoNotStopTraining) {
+  // Reference: a clean run with no checkpointing at all.
+  WalkTask ref(/*seed=*/42);
+  Trainer ref_trainer(&ref, WalkOptions());
+  ASSERT_TRUE(ref_trainer.Run().ok());
+  const std::string ref_params = nn::SerializeParameters(&ref.net_);
+
+  // Faulted run: every write touching the .ckpt path fails.
+  const std::string path = TempPath("sdea_faulted_run.ckpt");
+  std::remove(path.c_str());
+  WalkTask task(/*seed=*/42);
+  CheckpointManager mgr(path);
+  TrainerOptions opts = WalkOptions();
+  opts.checkpoint = &mgr;
+  sdea::testing::CountdownFaultInjector injector{
+      sdea::testing::FaultPlan{.op = FaultInjector::FileOp::kWrite,
+                               .repeat = true,
+                               .path_substring = ".ckpt"}};
+  Trainer trainer(&task, opts);
+  Result<TrainStats> stats = Status::Internal("run never executed");
+  {
+    ScopedFaultInjector scope(&injector);
+    stats = trainer.Run();
+  }
+  // Training completed despite every save failing; the failures were
+  // counted: 7 periodic saves (the last epoch skips its periodic save)
+  // plus the final finished-save.
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->checkpoint_failures, 8);
+  EXPECT_GT(injector.faults_injected(), 0);
+  // And the failed saves did not perturb the numerics.
+  EXPECT_EQ(nn::SerializeParameters(&task.net_), ref_params);
+  // The atomic writer never got as far as creating the file.
+  EXPECT_FALSE(FileExists(path));
+}
+
+TEST(TrainCheckpointFaultsTest, IntermittentFaultLeavesLoadableCheckpoint) {
+  // Fail the 3rd and every later .ckpt write: the file on disk stays
+  // whatever the last successful atomic save produced, and it loads.
+  const std::string path = TempPath("sdea_intermittent.ckpt");
+  std::remove(path.c_str());
+  WalkTask task(/*seed=*/42);
+  CheckpointManager mgr(path);
+  TrainerOptions opts = WalkOptions();
+  opts.checkpoint = &mgr;
+  sdea::testing::CountdownFaultInjector injector{
+      sdea::testing::FaultPlan{.op = FaultInjector::FileOp::kWrite,
+                               .trigger_after = 2,
+                               .repeat = true,
+                               .path_substring = ".ckpt"}};
+  Trainer trainer(&task, opts);
+  Result<TrainStats> stats = Status::Internal("run never executed");
+  {
+    ScopedFaultInjector scope(&injector);
+    stats = trainer.Run();
+  }
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->checkpoint_failures, 0);
+  ASSERT_TRUE(FileExists(path));
+  auto ckpt = mgr.Load();
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+  // Two saves succeeded (after epochs 0 and 1), so the surviving
+  // checkpoint resumes from epoch 2.
+  EXPECT_EQ(ckpt->next_epoch, 2);
+  EXPECT_FALSE(ckpt->finished);
+}
+
+}  // namespace
+}  // namespace sdea::train
