@@ -3,6 +3,11 @@
 // candidate generation, stable matching, and benchmark generation.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
 #include "base/threadpool.h"
 #include "core/ann_index.h"
 #include "core/candidate_generator.h"
@@ -11,6 +16,8 @@
 #include "eval/metrics.h"
 #include "nn/gru.h"
 #include "nn/transformer.h"
+#include "tensor/kernels.h"
+#include "tensor/topk.h"
 #include "text/tokenizer.h"
 
 namespace {
@@ -29,6 +36,158 @@ class ScopedThreads {
         base::ThreadPool::DefaultNumThreads());
   }
 };
+
+// --- Kernel-variant matrix: (exact | fast) x (scalar | avx2). ------------
+// Registered via BENCHMARK_CAPTURE so rows read e.g.
+// BM_Matmul512/fast_avx2; compare rows of the same shape to read off the
+// exact-mode cost and the AVX2-vs-scalar speedup. AVX2 rows skip with an
+// error on hosts without AVX2+FMA instead of silently running scalar.
+
+using tmath::KernelMode;
+using tmath::SimdLevel;
+
+// Pins (mode, level) for the duration of one benchmark run and restores
+// the ambient configuration afterwards.
+class ScopedVariant {
+ public:
+  ScopedVariant(KernelMode mode, SimdLevel level)
+      : saved_mode_(tmath::ActiveKernelMode()),
+        saved_level_(tmath::ActiveSimdLevel()) {
+    tmath::SetKernelMode(mode);
+    tmath::SetSimdLevel(level);
+  }
+  ~ScopedVariant() {
+    tmath::SetKernelMode(saved_mode_);
+    tmath::SetSimdLevel(saved_level_);
+  }
+
+ private:
+  KernelMode saved_mode_;
+  SimdLevel saved_level_;
+};
+
+bool SkipUnsupported(benchmark::State& state, SimdLevel level) {
+  if (level == SimdLevel::kAvx2 && !tmath::Avx2Supported()) {
+    state.SkipWithError("AVX2+FMA not supported on this host");
+    return true;
+  }
+  return false;
+}
+
+void BM_Matmul512(benchmark::State& state, KernelMode mode,
+                  SimdLevel level) {
+  if (SkipUnsupported(state, level)) return;
+  ScopedVariant variant(mode, level);
+  Rng rng(21);
+  Tensor a = Tensor::RandomNormal({256, 512}, 1.0f, &rng);
+  Tensor b = Tensor::RandomNormal({512, 256}, 1.0f, &rng);
+  for (auto _ : state) {
+    Tensor c = tmath::Matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 512 * 256);
+}
+BENCHMARK_CAPTURE(BM_Matmul512, exact, KernelMode::kExact,
+                  SimdLevel::kScalar);
+BENCHMARK_CAPTURE(BM_Matmul512, fast_scalar, KernelMode::kFast,
+                  SimdLevel::kScalar);
+BENCHMARK_CAPTURE(BM_Matmul512, fast_avx2, KernelMode::kFast,
+                  SimdLevel::kAvx2);
+
+void BM_ScoreMatrix512(benchmark::State& state, KernelMode mode,
+                       SimdLevel level) {
+  // MatmulTransposeB over 512-dim rows: the alignment score matrix.
+  if (SkipUnsupported(state, level)) return;
+  ScopedVariant variant(mode, level);
+  Rng rng(22);
+  Tensor a = Tensor::RandomNormal({256, 512}, 1.0f, &rng);
+  Tensor b = Tensor::RandomNormal({256, 512}, 1.0f, &rng);
+  for (auto _ : state) {
+    Tensor c = tmath::MatmulTransposeB(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 512 * 256);
+}
+BENCHMARK_CAPTURE(BM_ScoreMatrix512, exact, KernelMode::kExact,
+                  SimdLevel::kScalar);
+BENCHMARK_CAPTURE(BM_ScoreMatrix512, fast_scalar, KernelMode::kFast,
+                  SimdLevel::kScalar);
+BENCHMARK_CAPTURE(BM_ScoreMatrix512, fast_avx2, KernelMode::kFast,
+                  SimdLevel::kAvx2);
+
+void BM_Gemv512(benchmark::State& state, KernelMode mode, SimdLevel level) {
+  // One query against `rows` stored 512-dim rows — the per-request shape
+  // of candidate generation and EmbeddingStore::NearestNeighbors. Each
+  // row is streamed exactly once, so the store size picks the regime:
+  // 512 rows (1 MB) stay L2-resident and compare kernel throughput,
+  // 8192 rows (16 MB) spill to L3/DRAM where every variant converges on
+  // memory bandwidth and the SIMD gap narrows.
+  if (SkipUnsupported(state, level)) return;
+  ScopedVariant variant(mode, level);
+  const int64_t rows_n = state.range(0);
+  Rng rng(23);
+  Tensor rows = Tensor::RandomNormal({rows_n, 512}, 1.0f, &rng);
+  Tensor x = Tensor::RandomNormal({512}, 1.0f, &rng);
+  std::vector<float> y(static_cast<size_t>(rows_n));
+  for (auto _ : state) {
+    tmath::kernels::Gemv(rows.data(), rows_n, 512, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows_n * 512);
+}
+BENCHMARK_CAPTURE(BM_Gemv512, exact, KernelMode::kExact, SimdLevel::kScalar)
+    ->Arg(512)
+    ->Arg(8192);
+BENCHMARK_CAPTURE(BM_Gemv512, fast_scalar, KernelMode::kFast,
+                  SimdLevel::kScalar)
+    ->Arg(512)
+    ->Arg(8192);
+BENCHMARK_CAPTURE(BM_Gemv512, fast_avx2, KernelMode::kFast, SimdLevel::kAvx2)
+    ->Arg(512)
+    ->Arg(8192);
+
+// --- Top-k selection: radix select vs the old partial_sort. --------------
+// Same (score desc, index asc) answer; compare BM_TopKRadix/m to
+// BM_TopKPartialSort/m. k = 10, the candidate-generation default.
+
+std::vector<float> TopKScores(int64_t m) {
+  Rng rng(24);
+  std::vector<float> scores(static_cast<size_t>(m));
+  for (float& s : scores) s = rng.UniformFloat(-1.0f, 1.0f);
+  return scores;
+}
+
+void BM_TopKRadix(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  const std::vector<float> scores = TopKScores(m);
+  for (auto _ : state) {
+    auto top = tmath::TopK(scores.data(), m, 10);
+    benchmark::DoNotOptimize(top.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_TopKRadix)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_TopKPartialSort(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  const std::vector<float> scores = TopKScores(m);
+  for (auto _ : state) {
+    // The pre-radix implementation all four call sites hand-rolled.
+    std::vector<int64_t> order(static_cast<size_t>(m));
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + 10, order.end(),
+                      [&](int64_t a, int64_t b) {
+                        const float sa = scores[static_cast<size_t>(a)];
+                        const float sb = scores[static_cast<size_t>(b)];
+                        if (sa != sb) return sa > sb;
+                        return a < b;
+                      });
+    order.resize(10);
+    benchmark::DoNotOptimize(order.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_TopKPartialSort)->Arg(10000)->Arg(100000)->Arg(1000000);
 
 void BM_Matmul(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -277,4 +436,27 @@ BENCHMARK(BM_BenchmarkGeneration)->Arg(500)->Arg(2000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults to machine-readable JSON output in
+// the working directory (BENCH_kernels.json) when the caller didn't pass
+// --benchmark_out themselves. CI archives that file.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

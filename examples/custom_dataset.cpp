@@ -17,6 +17,7 @@
 #include "base/fileio.h"
 #include "core/sdea.h"
 #include "datagen/generator.h"
+#include "tensor/topk.h"
 
 int main() {
   using namespace sdea;
@@ -93,13 +94,8 @@ int main() {
   tmath::L2NormalizeRowsInPlace(&q);
   tmath::L2NormalizeRowsInPlace(&tgt);
   const Tensor scores = tmath::MatmulTransposeB(q, tgt);
-  // Top-3 by score.
-  std::vector<int64_t> order(static_cast<size_t>(scores.size()));
-  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
-  std::partial_sort(order.begin(), order.begin() + 3, order.end(),
-                    [&](int64_t a, int64_t b) {
-                      return scores[a] > scores[b];
-                    });
+  // Top-3 by score (radix-select; ties break to the lower entity id).
+  const std::vector<int64_t> order = tmath::TopK(scores.data(), scores.size(), 3);
   std::printf("\nquery: %s\n", kg1->entity_name(query).c_str());
   for (int k = 0; k < 3; ++k) {
     std::printf("  #%d %-30s score %.3f\n", k + 1,

@@ -4,6 +4,7 @@
 
 #include "core/stable_matching.h"
 #include "obs/trace.h"
+#include "tensor/topk.h"
 
 namespace sdea::core {
 
@@ -83,23 +84,12 @@ std::vector<AlignedPair> AlignmentPipeline::TopTargets(kg::EntityId source,
   tmath::L2NormalizeRowsInPlace(&t);
   const Tensor scores = tmath::MatmulTransposeB(q, t);
   const int64_t m = scores.size();
-  const int64_t kk = std::min(k, m);
-  std::vector<int64_t> order(static_cast<size_t>(m));
-  for (int64_t i = 0; i < m; ++i) order[static_cast<size_t>(i)] = i;
-  std::partial_sort(order.begin(), order.begin() + kk, order.end(),
-                    [&](int64_t a, int64_t b) {
-                      if (scores[a] != scores[b]) {
-                        return scores[a] > scores[b];
-                      }
-                      return a < b;
-                    });
+  const std::vector<int64_t> order = tmath::TopK(scores.data(), m, k);
   std::vector<AlignedPair> out;
-  out.reserve(static_cast<size_t>(kk));
-  for (int64_t i = 0; i < kk; ++i) {
-    out.push_back(AlignedPair{source,
-                              static_cast<kg::EntityId>(order[
-                                  static_cast<size_t>(i)]),
-                              scores[order[static_cast<size_t>(i)]]});
+  out.reserve(order.size());
+  for (int64_t target : order) {
+    out.push_back(AlignedPair{source, static_cast<kg::EntityId>(target),
+                              scores[target]});
   }
   return out;
 }

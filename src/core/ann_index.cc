@@ -2,19 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 
 #include "base/check.h"
 #include "base/threadpool.h"
+#include "tensor/kernels.h"
+#include "tensor/topk.h"
 
 namespace sdea::core {
 namespace {
-
-float DotRow(const float* a, const float* b, int64_t d) {
-  double s = 0.0;
-  for (int64_t i = 0; i < d; ++i) s += static_cast<double>(a[i]) * b[i];
-  return static_cast<float>(s);
-}
 
 // assignment[i] = argmax_j data[i] . centroids[j], ties to the lowest j.
 // Rows are sharded across threads; each row writes only its own slot, so
@@ -30,7 +25,8 @@ void AssignToNearestCentroid(const Tensor& data, const Tensor& centroids,
           int64_t best = 0;
           float best_score = -2.0f;
           for (int64_t j = 0; j < c; ++j) {
-            const float s = DotRow(row, centroids.data() + j * d, d);
+            const float s =
+                tmath::kernels::ScoreDot(row, centroids.data() + j * d, d);
             if (s > best_score) {
               best_score = s;
               best = j;
@@ -106,47 +102,40 @@ IvfIndex::IvfIndex(const Tensor& rows, const IvfOptions& options)
 
 std::vector<int64_t> IvfIndex::Query(const float* query, int64_t dim,
                                      int64_t k) const {
-  // k <= 0 would make the partial_sort bounds below negative (UB); an
-  // empty index has nothing to return. Both degrade to "no candidates".
+  // k <= 0 has nothing to rank; an empty index has nothing to return.
+  // Both degrade to "no candidates".
   if (k <= 0 || data_.dim(0) == 0 || centroids_.dim(0) == 0) return {};
   const int64_t d = data_.dim(1);
   SDEA_CHECK_EQ(dim, d);
   const int64_t c = centroids_.dim(0);
   const int64_t probes = std::min<int64_t>(options_.num_probes, c);
 
-  // Rank cells by centroid similarity.
-  std::vector<int64_t> cell_order(static_cast<size_t>(c));
-  std::iota(cell_order.begin(), cell_order.end(), 0);
+  // Rank cells by centroid similarity. TopK's total order breaks score
+  // ties by ascending cell index; the old hand-rolled comparator broke
+  // ties by score only, so duplicate centroids produced an
+  // implementation-defined probe set that differed across platforms/STLs.
   std::vector<float> cell_score(static_cast<size_t>(c));
-  for (int64_t j = 0; j < c; ++j) {
-    cell_score[static_cast<size_t>(j)] =
-        DotRow(query, centroids_.data() + j * d, d);
-  }
-  std::partial_sort(cell_order.begin(), cell_order.begin() + probes,
-                    cell_order.end(), [&](int64_t a, int64_t b) {
-                      return cell_score[static_cast<size_t>(a)] >
-                             cell_score[static_cast<size_t>(b)];
-                    });
+  tmath::kernels::Gemv(centroids_.data(), c, d, query, cell_score.data());
+  const std::vector<int64_t> cell_order =
+      tmath::TopK(cell_score.data(), c, probes);
 
-  // Scan the probed cells.
-  std::vector<std::pair<float, int64_t>> scored;
-  for (int64_t p = 0; p < probes; ++p) {
-    for (int64_t row : cells_[static_cast<size_t>(
-             cell_order[static_cast<size_t>(p)])]) {
-      scored.emplace_back(DotRow(query, data_.data() + row * d, d), row);
+  // Scan the probed cells. Scores are gathered per visited row; ties must
+  // still resolve by ascending ROW id (the contract every other top-k site
+  // uses), not visit order, hence the tie-id overload.
+  std::vector<float> scores;
+  std::vector<int64_t> rows;
+  for (int64_t cell : cell_order) {
+    for (int64_t row : cells_[static_cast<size_t>(cell)]) {
+      scores.push_back(
+          tmath::kernels::ScoreDot(query, data_.data() + row * d, d));
+      rows.push_back(row);
     }
   }
-  const int64_t kk = std::min<int64_t>(k, static_cast<int64_t>(scored.size()));
-  std::partial_sort(scored.begin(), scored.begin() + kk, scored.end(),
-                    [](const auto& a, const auto& b) {
-                      if (a.first != b.first) return a.first > b.first;
-                      return a.second < b.second;
-                    });
+  const std::vector<int64_t> top = tmath::TopKWithTieIds(
+      scores.data(), static_cast<int64_t>(scores.size()), k, rows.data());
   std::vector<int64_t> out;
-  out.reserve(static_cast<size_t>(kk));
-  for (int64_t i = 0; i < kk; ++i) {
-    out.push_back(scored[static_cast<size_t>(i)].second);
-  }
+  out.reserve(top.size());
+  for (int64_t pos : top) out.push_back(rows[static_cast<size_t>(pos)]);
   return out;
 }
 

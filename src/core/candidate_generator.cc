@@ -1,9 +1,10 @@
 #include "core/candidate_generator.h"
 
 #include <algorithm>
-#include <numeric>
 
 #include "base/check.h"
+#include "tensor/kernels.h"
+#include "tensor/topk.h"
 
 namespace sdea::core {
 
@@ -19,28 +20,18 @@ std::vector<std::vector<int64_t>> GenerateCandidates(const Tensor& src,
   tmath::L2NormalizeRowsInPlace(&s);
   tmath::L2NormalizeRowsInPlace(&t);
   const int64_t n = s.dim(0), m = t.dim(0);
-  const int64_t kk = std::min(k, m);
   std::vector<std::vector<int64_t>> out(static_cast<size_t>(n));
-  // Row-at-a-time scoring keeps the working set at O(m).
+  // Row-at-a-time scoring keeps the working set at O(m). Scoring goes
+  // through kernels::Gemv so the accumulation contract matches
+  // MatmulTransposeB exactly in either kernel mode; the old hand-rolled
+  // loop multiplied float*float before widening to double, which could
+  // rank near-tie candidates differently here than in the pipeline's
+  // score-matrix path.
   std::vector<float> scores(static_cast<size_t>(m));
-  std::vector<int64_t> idx(static_cast<size_t>(m));
   for (int64_t i = 0; i < n; ++i) {
     const float* srow = s.data() + i * s.dim(1);
-    for (int64_t j = 0; j < m; ++j) {
-      const float* trow = t.data() + j * t.dim(1);
-      double dot = 0.0;
-      for (int64_t d = 0; d < s.dim(1); ++d) dot += srow[d] * trow[d];
-      scores[static_cast<size_t>(j)] = static_cast<float>(dot);
-    }
-    std::iota(idx.begin(), idx.end(), 0);
-    std::partial_sort(idx.begin(), idx.begin() + kk, idx.end(),
-                      [&](int64_t a, int64_t b) {
-                        const float sa = scores[static_cast<size_t>(a)];
-                        const float sb = scores[static_cast<size_t>(b)];
-                        if (sa != sb) return sa > sb;
-                        return a < b;
-                      });
-    out[static_cast<size_t>(i)].assign(idx.begin(), idx.begin() + kk);
+    tmath::kernels::Gemv(t.data(), m, t.dim(1), srow, scores.data());
+    out[static_cast<size_t>(i)] = tmath::TopK(scores.data(), m, k);
   }
   return out;
 }

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <unordered_set>
 
 #include "base/fileio.h"
+#include "tensor/kernels.h"
+#include "tensor/topk.h"
 
 namespace sdea::core {
 namespace {
@@ -83,7 +86,14 @@ Result<EmbeddingStore> EmbeddingStore::Decode(const std::string& in) {
     return Status::InvalidArgument("embedding store count exceeds blob size");
   }
   const uint64_t max_floats = in.size() / sizeof(float);
-  if (dim > max_floats || (count > 0 && dim > max_floats / count)) {
+  if (count == 0) {
+    // An empty store encodes its real dim with no float payload, so the
+    // payload bound doesn't apply — but the dim must still fit a tensor
+    // shape (a corrupt all-ones dim would wrap negative and abort).
+    if (dim > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+      return Status::InvalidArgument("embedding store dim overflows");
+    }
+  } else if (dim > max_floats || dim > max_floats / count) {
     return Status::InvalidArgument("embedding store dim exceeds blob size");
   }
   std::vector<std::string> names;
@@ -133,36 +143,37 @@ Result<Tensor> EmbeddingStore::Get(const std::string& name) const {
 
 std::vector<EmbeddingStore::Neighbor> EmbeddingStore::NearestNeighbors(
     const Tensor& query, int64_t k) const {
+  // The dim contract comes before the trivial-answer returns: checking it
+  // after them let a wrong-dim query against an empty store (or with
+  // k <= 0) silently succeed with {}, hiding the caller bug — the same
+  // guard serve/server.cc applies per request. A default-constructed store
+  // (dim() == 0) has no contract to enforce.
+  if (dim() > 0) SDEA_CHECK_EQ(query.size(), dim());
   if (size() == 0 || k <= 0) return {};
-  SDEA_CHECK_EQ(query.size(), dim());
   Tensor q({1, dim()});
   q.SetRow(0, query);
   tmath::L2NormalizeRowsInPlace(&q);
 
   std::vector<int64_t> ids;
+  std::vector<float> scores;
   if (index_ != nullptr) {
     ids = index_->Query(q.data(), dim(), k);
   } else {
     const int64_t n = size();
-    const int64_t kk = std::min(k, n);
-    std::vector<std::pair<float, int64_t>> scored;
-    scored.reserve(static_cast<size_t>(n));
-    for (int64_t i = 0; i < n; ++i) {
-      scored.emplace_back(
-          tmath::Dot(q.Row(0), embeddings_.Row(i)), i);
-    }
-    std::partial_sort(scored.begin(), scored.begin() + kk, scored.end(),
-                      [](const auto& a, const auto& b) {
-                        if (a.first != b.first) return a.first > b.first;
-                        return a.second < b.second;
-                      });
-    for (int64_t i = 0; i < kk; ++i) ids.push_back(scored[i].second);
+    scores.resize(static_cast<size_t>(n));
+    tmath::kernels::Gemv(embeddings_.data(), n, dim(), q.data(),
+                         scores.data());
+    ids = tmath::TopK(scores.data(), n, k);
   }
   std::vector<Neighbor> out;
   out.reserve(ids.size());
   for (int64_t id : ids) {
-    out.push_back(Neighbor{names_[static_cast<size_t>(id)], id,
-                           tmath::Dot(q.Row(0), embeddings_.Row(id))});
+    const float sim =
+        scores.empty()
+            ? tmath::kernels::ScoreDot(q.data(),
+                                       embeddings_.data() + id * dim(), dim())
+            : scores[static_cast<size_t>(id)];
+    out.push_back(Neighbor{names_[static_cast<size_t>(id)], id, sim});
   }
   return out;
 }

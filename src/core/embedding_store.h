@@ -40,7 +40,12 @@ class EmbeddingStore {
   static Result<EmbeddingStore> Decode(const std::string& blob);
 
   int64_t size() const { return embeddings_.dim(0); }
-  int64_t dim() const { return embeddings_.size() == 0 ? 0 : embeddings_.dim(1); }
+  /// Embedding dimensionality. Known (and enforced on queries) as soon as
+  /// the store was built from a rank-2 matrix — including an empty [0, d]
+  /// one; 0 only for a default-constructed store.
+  int64_t dim() const {
+    return embeddings_.rank() == 2 ? embeddings_.dim(1) : 0;
+  }
   const std::vector<std::string>& names() const { return names_; }
   const Tensor& embeddings() const { return embeddings_; }
 
@@ -58,9 +63,12 @@ class EmbeddingStore {
   };
 
   /// Top-k most cosine-similar entries to `query` (length dim()). Exact
-  /// scan unless BuildIndex was called. Defensive edges: k <= 0 or an
-  /// empty store yields an empty vector; k > size() clamps. Thread-safe
-  /// for concurrent calls (read-only).
+  /// scan unless BuildIndex was called. The dim contract is checked before
+  /// any early return: a wrong-dim query aborts (SDEA_CHECK) even when the
+  /// store is empty or k <= 0, matching serve/server.cc's per-request dim
+  /// guard. Defensive edges: k <= 0 or an empty store yields an empty
+  /// vector; k > size() clamps. Thread-safe for concurrent calls
+  /// (read-only).
   std::vector<Neighbor> NearestNeighbors(const Tensor& query,
                                          int64_t k) const;
 

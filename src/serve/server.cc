@@ -161,9 +161,11 @@ void AlignmentServer::RunBatch(std::vector<ServeRequest>* batch) {
   const int64_t dim = snap->store.dim();
   for (size_t i = 0; i < n; ++i) {
     if (!failed[i].ok()) continue;
-    // An empty store answers every query with an empty candidate list (the
-    // NearestNeighbors guard), so only non-empty stores enforce the dim.
-    if (snap->store.size() > 0 && (*batch)[i].embedding.size() != dim) {
+    // Mirror the store's own dim contract: enforced whenever the snapshot
+    // has a known dim — including an empty [0, d] store, whose
+    // NearestNeighbors now CHECKs the dim before returning its empty
+    // answer. Only a dim-less (default-constructed) store skips it.
+    if (dim > 0 && (*batch)[i].embedding.size() != dim) {
       failed[i] = Status::InvalidArgument(
           "query dim " + std::to_string((*batch)[i].embedding.size()) +
           " != store dim " + std::to_string(dim));

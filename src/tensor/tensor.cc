@@ -6,6 +6,7 @@
 
 #include "base/strings.h"
 #include "base/threadpool.h"
+#include "tensor/kernels.h"
 
 namespace sdea {
 namespace {
@@ -213,9 +214,14 @@ Tensor Matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+  const bool fast = ActiveKernelMode() == KernelMode::kFast;
   base::ParallelFor(m, base::GrainForWork(m, k * n),
                     [&](int64_t begin, int64_t end) {
-                      MatmulRowRange(pa, pb, pc, k, n, begin, end);
+                      if (fast) {
+                        kernels::MatmulRowsFast(pa, pb, pc, k, n, begin, end);
+                      } else {
+                        MatmulRowRange(pa, pb, pc, k, n, begin, end);
+                      }
                     });
   return c;
 }
@@ -229,9 +235,15 @@ Tensor MatmulTransposeB(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+  const bool fast = ActiveKernelMode() == KernelMode::kFast;
   base::ParallelFor(m, base::GrainForWork(m, k * n),
                     [&](int64_t begin, int64_t end) {
-                      MatmulTransposeBRowRange(pa, pb, pc, k, n, begin, end);
+                      if (fast) {
+                        kernels::MatmulTransposeBRowsFast(pa, pb, pc, k, n,
+                                                          begin, end);
+                      } else {
+                        MatmulTransposeBRowRange(pa, pb, pc, k, n, begin, end);
+                      }
                     });
   return c;
 }
@@ -245,9 +257,16 @@ Tensor MatmulTransposeA(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+  const bool fast = ActiveKernelMode() == KernelMode::kFast;
   base::ParallelFor(m, base::GrainForWork(m, k * n),
                     [&](int64_t begin, int64_t end) {
-                      MatmulTransposeARowRange(pa, pb, pc, k, m, n, begin, end);
+                      if (fast) {
+                        kernels::MatmulTransposeARowsFast(pa, pb, pc, k, m, n,
+                                                          begin, end);
+                      } else {
+                        MatmulTransposeARowRange(pa, pb, pc, k, m, n, begin,
+                                                 end);
+                      }
                     });
   return c;
 }

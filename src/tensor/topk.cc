@@ -1,0 +1,236 @@
+#include "tensor/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <optional>
+#include <utility>
+
+#include "tensor/kernels.h"
+
+namespace sdea::tmath {
+namespace {
+
+// Maps a float to a uint32 key whose unsigned order equals the TopK total
+// order (ascending key == ascending rank). The standard monotone
+// transform: flip all bits of negatives, set the sign bit of
+// non-negatives. Two adjustments make it a total order matching the
+// documented contract: -0.0 is canonicalized to +0.0 before transforming
+// (float == treats them equal, so the hand-rolled comparators did too),
+// and every NaN maps to key 0, strictly below key(-inf) = 0x007FFFFF
+// (the raw transform would rank positive NaNs above +inf and negative
+// NaNs below -inf — a platform-dependent mess).
+// Branchless on purpose: the sign test is a coin flip on real score data,
+// and a mispredicted branch per element would cost more than the rest of
+// the select combined (selection ops compile to cmov).
+inline uint32_t OrderedKey(float f) {
+  uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  u = (u == 0x80000000u) ? 0u : u;  // -0.0 -> +0.0.
+  const uint32_t mask =
+      static_cast<uint32_t>(-static_cast<int32_t>(u >> 31)) | 0x80000000u;
+  const uint32_t key = u ^ mask;
+  return (f == f) ? key : 0u;  // NaN (f != f) ranks below everything.
+}
+
+// Full MSD radix select over [0, m). Correct for every input — including
+// all-NaN, massive tie plateaus, and k == m — and O(m) with small
+// constants, but it still touches every element at least twice (histogram
+// + bin). The sampled prefilter below skips it whenever the data lets us
+// scan once instead. Preconditions: 0 < k <= m.
+std::vector<int64_t> RadixSelect(const float* scores, int64_t m, int64_t k,
+                                 const int64_t* tie_ids) {
+  const auto tie = [tie_ids](int64_t pos) {
+    return tie_ids != nullptr ? tie_ids[pos] : pos;
+  };
+
+  std::vector<uint32_t> keys(static_cast<size_t>(m));
+
+  // MSD radix select, one byte per level. Invariants entering a level:
+  // `selected` holds positions already known to be in the top k,
+  // `remaining` = k - selected.size() > 0, and the candidate set (all of
+  // [0, m) at level 0, `cand` afterwards) holds exactly the positions
+  // whose key matches the threshold prefix so far — the only positions
+  // that can still fill the remaining slots.
+  std::vector<int64_t> selected;
+  selected.reserve(static_cast<size_t>(k));
+  std::vector<int64_t> cand;
+  int64_t remaining = k;
+  for (int level = 0; level < 4 && remaining > 0; ++level) {
+    const int shift = 24 - 8 * level;
+    int64_t count[256] = {0};
+    const auto bucket_of = [&](int64_t i) {
+      return static_cast<int>((keys[static_cast<size_t>(i)] >> shift) & 0xFF);
+    };
+    if (level == 0) {
+      // Fused with the key transform: one pass computes, stores, and
+      // histograms each key.
+      for (int64_t i = 0; i < m; ++i) {
+        const uint32_t key = OrderedKey(scores[i]);
+        keys[static_cast<size_t>(i)] = key;
+        ++count[key >> 24];
+      }
+    } else {
+      for (int64_t i : cand) ++count[bucket_of(i)];
+    }
+
+    // Threshold bucket: the highest tb with (count above tb) < remaining,
+    // i.e. the bucket holding the k-th largest key. Guaranteed to exist
+    // because remaining never exceeds the candidate count.
+    int64_t above = 0;
+    int tb = 255;
+    while (above + count[tb] < remaining) {
+      above += count[tb];
+      --tb;
+    }
+
+    // Bin: buckets above tb are fully selected; bucket tb carries on.
+    std::vector<int64_t> next;
+    next.reserve(static_cast<size_t>(count[tb]));
+    const auto bin = [&](int64_t i) {
+      const int b = bucket_of(i);
+      if (b > tb) {
+        selected.push_back(i);
+      } else if (b == tb) {
+        next.push_back(i);
+      }
+    };
+    if (level == 0) {
+      for (int64_t i = 0; i < m; ++i) bin(i);
+    } else {
+      for (int64_t i : cand) bin(i);
+    }
+    remaining -= above;
+    if (count[tb] == remaining) {
+      // The threshold bucket fits exactly — every member is selected no
+      // matter how its lower bytes or tie ids compare.
+      selected.insert(selected.end(), next.begin(), next.end());
+      remaining = 0;
+      break;
+    }
+    cand.swap(next);
+  }
+
+  if (remaining > 0) {
+    // cand holds positions whose key equals the k-th key exactly; the
+    // contract takes the `remaining` smallest tie ids among them.
+    std::nth_element(cand.begin(), cand.begin() + remaining, cand.end(),
+                     [&](int64_t a, int64_t b) { return tie(a) < tie(b); });
+    selected.insert(selected.end(), cand.begin(), cand.begin() + remaining);
+  }
+
+  // Rank the k survivors best-first. O(k log k): the whole point of the
+  // select is that only these k ever see a comparison sort.
+  std::sort(selected.begin(), selected.end(), [&](int64_t a, int64_t b) {
+    const uint32_t ka = keys[static_cast<size_t>(a)];
+    const uint32_t kb = keys[static_cast<size_t>(b)];
+    if (ka != kb) return ka > kb;
+    return tie(a) < tie(b);
+  });
+  return selected;
+}
+
+// Below this size the full select is already cheap and the 4096-point
+// sample would cover a quarter of the input anyway.
+constexpr int64_t kPrefilterMinM = 16384;
+constexpr int64_t kSampleSize = 4096;
+
+// Sampled prefilter: take T = a high-rank score from a deterministic
+// strided sample, collect every position with scores[i] >= T in one
+// branch-light (and AVX2-dispatchable) scan, and select among those
+// candidates only.
+//
+// Why the result is EXACTLY TopK's answer whenever this returns a value:
+// FilterGe's float `>= T` admits the same set as OrderedKey(x) >=
+// OrderedKey(T) — T is never NaN here (its key is > 0), ±0.0 compare
+// equal in both domains, and NaN scores match neither. If count >= k,
+// the k-th largest score overall is >= T (at least count >= k elements
+// are), so the top k AND every element tied with the k-th all sit inside
+// the candidate set; selecting among candidates with the original tie
+// ids therefore reproduces the full select verbatim. On any other
+// outcome we return nullopt and the caller runs the full RadixSelect, so
+// adversarial inputs (tie plateaus, all-NaN, tiny dynamic range) cost
+// one wasted O(m) scan but never a wrong answer. Everything here is a
+// pure function of the input, so the result is identical at every
+// SimdLevel and thread count.
+std::optional<std::vector<int64_t>> TryPrefiltered(const float* scores,
+                                                   int64_t m, int64_t k,
+                                                   const int64_t* tie_ids) {
+  if (m < kPrefilterMinM) return std::nullopt;
+  // Candidate budget: stays o(m) while leaving slack over the expected
+  // candidate count (~3k, by the threshold-rank choice below) before the
+  // count > cap bail-out fires.
+  const int64_t cap = std::max<int64_t>(8 * k, m / 512 + 64);
+  if (cap >= m / 4) return std::nullopt;  // Filter wouldn't be selective.
+
+  std::vector<std::pair<uint32_t, int64_t>> sample(
+      static_cast<size_t>(kSampleSize));
+  const int64_t stride = m / kSampleSize;
+  for (int64_t j = 0; j < kSampleSize; ++j) {
+    const int64_t pos = j * stride;
+    sample[static_cast<size_t>(j)] = {OrderedKey(scores[pos]), pos};
+  }
+  // Threshold = the r-th largest sampled key, with r sized so the
+  // expected number of elements above it is ~3k. Using the sample MAX
+  // (r = 1) looks tempting but is fragile: whenever the sampled max
+  // happens to rank inside the global top k-1 — probability
+  // ~k * kSampleSize / m, far from negligible at m = 100k — fewer than k
+  // elements pass the filter and the whole scan is wasted. Aiming at
+  // rank ~3k makes count < k a tail event while keeping count well
+  // under cap.
+  const int64_t r =
+      std::min<int64_t>(kSampleSize, (3 * k * kSampleSize) / m + 1);
+  std::nth_element(sample.begin(), sample.begin() + (r - 1), sample.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  const auto [threshold_key, threshold_pos] =
+      sample[static_cast<size_t>(r - 1)];
+  if (threshold_key == 0) return std::nullopt;  // Rank-r sample is NaN.
+  const float threshold = scores[threshold_pos];
+  std::vector<int64_t> pos(static_cast<size_t>(cap));
+  const int64_t count =
+      kernels::FilterGe(scores, m, threshold, cap, pos.data());
+  if (count < k || count > cap) return std::nullopt;
+  pos.resize(static_cast<size_t>(count));
+
+  // Select among the candidates. Gathered tie ids carry the ORIGINAL
+  // positions (or caller ids) so tie-breaks match the full select.
+  std::vector<float> sub_scores(static_cast<size_t>(count));
+  std::vector<int64_t> sub_tie(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t p = pos[static_cast<size_t>(i)];
+    sub_scores[static_cast<size_t>(i)] = scores[p];
+    sub_tie[static_cast<size_t>(i)] = tie_ids != nullptr ? tie_ids[p] : p;
+  }
+  std::vector<int64_t> sel =
+      RadixSelect(sub_scores.data(), count, k, sub_tie.data());
+  for (int64_t& s : sel) s = pos[static_cast<size_t>(s)];
+  return sel;
+}
+
+std::vector<int64_t> TopKImpl(const float* scores, int64_t m, int64_t k,
+                              const int64_t* tie_ids) {
+  if (k <= 0 || m <= 0) return {};
+  if (k > m) k = m;
+  if (auto pre = TryPrefiltered(scores, m, k, tie_ids)) {
+    return std::move(*pre);
+  }
+  return RadixSelect(scores, m, k, tie_ids);
+}
+
+}  // namespace
+
+std::vector<int64_t> TopK(const float* scores, int64_t m, int64_t k) {
+  return TopKImpl(scores, m, k, nullptr);
+}
+
+std::vector<int64_t> TopK(const std::vector<float>& scores, int64_t k) {
+  return TopKImpl(scores.data(), static_cast<int64_t>(scores.size()), k,
+                  nullptr);
+}
+
+std::vector<int64_t> TopKWithTieIds(const float* scores, int64_t m, int64_t k,
+                                    const int64_t* tie_ids) {
+  return TopKImpl(scores, m, k, tie_ids);
+}
+
+}  // namespace sdea::tmath

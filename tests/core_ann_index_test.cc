@@ -169,6 +169,35 @@ TEST(IvfIndexTest, KLargerThanIndexClamps) {
   EXPECT_EQ(index.Query(q.data(), 4, 1000).size(), 12u);
 }
 
+TEST(IvfIndexTest, DuplicateCentroidsProbeLowestCellsFirst) {
+  // All rows identical -> every centroid is the same vector (empty clusters
+  // reseed from identical rows) and every cell score ties exactly. The cell
+  // ranking must break those ties by ascending cell index, landing on cell
+  // 0 — the one that owns all the rows. The old comparator ordered cells by
+  // score only, so a full tie left the probe set implementation-defined and
+  // a single probe could pick an empty cell and return nothing.
+  Tensor rows({24, 4});
+  for (int64_t i = 0; i < 24; ++i) {
+    rows.SetRow(i, Tensor::FromVector({0.5f, -0.5f, 0.5f, -0.5f}));
+  }
+  IvfOptions opt;
+  opt.num_clusters = 6;
+  opt.num_probes = 1;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    opt.seed = seed;
+    const IvfIndex index(rows, opt);
+    Tensor q({1, 4});
+    q.SetRow(0, Tensor::FromVector({0.5f, -0.5f, 0.5f, -0.5f}));
+    tmath::L2NormalizeRowsInPlace(&q);
+    const auto got = index.Query(q.data(), 4, 10);
+    ASSERT_EQ(got.size(), 10u) << "seed " << seed;
+    // Row ties inside the scanned cell also break ascending.
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], static_cast<int64_t>(i)) << "seed " << seed;
+    }
+  }
+}
+
 TEST(IvfIndexTest, Deterministic) {
   Rng rng(6);
   Tensor tgt = Tensor::RandomNormal({100, 8}, 1.0f, &rng);

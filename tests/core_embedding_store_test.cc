@@ -152,6 +152,45 @@ TEST(EmbeddingStoreTest, NearestNeighborsEdgeCases) {
   EXPECT_TRUE(empty.NearestNeighbors(query, 5).empty());
 }
 
+TEST(EmbeddingStoreTest, DimCheckedBeforeEmptyAndKEarlyReturns) {
+  // The dim contract must hold in BOTH orders relative to the early
+  // returns: a wrong-dim query aborts even when the store is empty or
+  // k <= 0 — previously the empty-store return ran first and silently
+  // accepted any query shape, while serve's guard rejected it, so the two
+  // layers disagreed about the same request.
+  auto empty_r = EmbeddingStore::Create({}, Tensor({0, 2}));
+  ASSERT_TRUE(empty_r.ok());
+  const EmbeddingStore empty = std::move(empty_r).value();
+  EXPECT_EQ(empty.size(), 0);
+  EXPECT_EQ(empty.dim(), 2);  // Known even with zero rows.
+  // Right dim, empty store: clean empty answer.
+  EXPECT_TRUE(empty.NearestNeighbors(Tensor::FromVector({1, 0}), 5).empty());
+  // Wrong dim dies regardless of which early-return would otherwise fire.
+  EXPECT_DEATH(empty.NearestNeighbors(Tensor::FromVector({1, 0, 0}), 5),
+               "query.size");
+  const EmbeddingStore store = MakeStore();  // 3 rows, dim 2.
+  EXPECT_DEATH(store.NearestNeighbors(Tensor::FromVector({1, 0, 0}), 0),
+               "query.size");
+  EXPECT_DEATH(store.NearestNeighbors(Tensor::FromVector({1}), -7),
+               "query.size");
+  // A default-constructed store (rank-0 embeddings) reports no dim; only
+  // stores built from a rank-2 matrix ever reach NearestNeighbors.
+  const EmbeddingStore dimless;
+  EXPECT_EQ(dimless.dim(), 0);
+}
+
+TEST(EmbeddingStoreTest, EmptyStoreRoundTripKeepsDim) {
+  // Encode/Decode must preserve the column dim of an empty [0, d] store so
+  // a decoded snapshot enforces the same query contract as the original.
+  auto empty_r = EmbeddingStore::Create({}, Tensor({0, 7}));
+  ASSERT_TRUE(empty_r.ok());
+  const std::string blob = empty_r->Encode();
+  auto decoded = EmbeddingStore::Decode(blob);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), 0);
+  EXPECT_EQ(decoded->dim(), 7);
+}
+
 TEST(EmbeddingStoreTest, NearestNeighborsEdgeCasesWithIndex) {
   Rng rng(8);
   Tensor emb = Tensor::RandomNormal({20, 4}, 1.0f, &rng);
