@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "base/threadpool.h"
+#include "bench/bench_meta.h"
 #include "core/ann_index.h"
 #include "core/candidate_generator.h"
 #include "core/stable_matching.h"
@@ -456,6 +457,7 @@ int main(int argc, char** argv) {
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  sdea::bench::AddKernelContext();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -23,8 +23,13 @@ namespace sdea {
 class FaultInjector {
  public:
   /// The primitive file operations fileio funnels through this hook.
-  /// kRename is the commit point of WriteStringToFileAtomic.
-  enum class FileOp { kRead, kWrite, kRename };
+  /// kRename is the commit point of WriteStringToFileAtomic; kFsyncDir is
+  /// the parent-directory fsync that makes the rename itself durable (a
+  /// crash after rename but before the directory entry reaches disk can
+  /// still lose the file — see WriteStringToFileAtomic). kMap is the
+  /// open+mmap of a store shard (store/mmap_file.h), which reads file
+  /// contents without going through ReadFileToString.
+  enum class FileOp { kRead, kWrite, kRename, kFsyncDir, kMap };
 
   /// What the injector wants done with one operation.
   struct FaultAction {

@@ -1,5 +1,6 @@
 #include "base/fileio.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -24,6 +25,37 @@ bool InjectFault(FaultInjector::FileOp op, const std::string& path,
     *short_write_bytes = action.short_write_bytes;
   }
   return action.fail;
+}
+
+/// fsyncs `path` (a regular file) by descriptor. Needed before the rename
+/// in WriteStringToFileAtomic: rename only orders the *directory entry*;
+/// without flushing the file's own data first, a crash can promote an
+/// empty or partial inode to the final name.
+bool FsyncFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  return rc == 0;
+}
+
+/// fsyncs the directory containing `path`, making a completed rename of
+/// `path` itself durable. POSIX rename is atomic but not durable: the new
+/// directory entry lives in the page cache until the directory inode is
+/// flushed, so a crash after rename can resurface the old file (or
+/// nothing). Consults the kFsyncDir injection point so tests can simulate
+/// exactly that crash window.
+bool FsyncParentDir(const std::string& path) {
+  if (InjectFault(FaultInjector::FileOp::kFsyncDir, path)) return false;
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : (slash == 0 ? "/" : path.substr(0, slash));
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  return rc == 0;
 }
 
 }  // namespace
@@ -83,6 +115,10 @@ Status WriteStringToFileAtomic(const std::string& path,
     std::remove(tmp.c_str());
     return write_status;
   }
+  if (!FsyncFile(tmp)) {
+    std::remove(tmp.c_str());
+    return Status::IoError("fsync failed: " + tmp);
+  }
   if (InjectFault(FaultInjector::FileOp::kRename, path)) {
     std::remove(tmp.c_str());
     return Status::IoError("injected rename fault: " + tmp + " -> " + path);
@@ -90,6 +126,14 @@ Status WriteStringToFileAtomic(const std::string& path,
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::IoError("rename failed: " + tmp + " -> " + path);
+  }
+  // The rename is visible but not yet durable. The renamed file is left in
+  // place either way (it is complete and correct); a failed directory
+  // fsync is still reported, because the caller's durability contract —
+  // "when Save returns Ok the artifact survives a crash" — has not been
+  // met.
+  if (!FsyncParentDir(path)) {
+    return Status::IoError("directory fsync failed after rename: " + path);
   }
   return Status::Ok();
 }
@@ -136,6 +180,15 @@ Status WriteTsv(const std::string& path,
 bool FileExists(const std::string& path) {
   struct stat st;
   return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+Status MakeDirectory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0) return Status::Ok();
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+    return Status::Ok();
+  }
+  return Status::IoError("cannot create directory: " + path);
 }
 
 }  // namespace sdea

@@ -39,6 +39,10 @@ Status WriteTsv(const std::string& path,
 /// True if `path` exists and is a regular file.
 bool FileExists(const std::string& path);
 
+/// Creates `path` as a directory (one level; the parent must exist).
+/// Succeeds if the directory is already there.
+Status MakeDirectory(const std::string& path);
+
 }  // namespace sdea
 
 #endif  // SDEA_BASE_FILEIO_H_

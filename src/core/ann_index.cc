@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include "base/check.h"
 #include "base/threadpool.h"
@@ -11,22 +13,38 @@
 namespace sdea::core {
 namespace {
 
-// assignment[i] = argmax_j data[i] . centroids[j], ties to the lowest j.
-// Rows are sharded across threads; each row writes only its own slot, so
-// the assignment is identical for every thread count.
+// assignment[i] = the centroid nearest data[i], ties to the lowest j.
+// Spherical mode ranks by dot product (rows and centroids unit-length, so
+// dot == cosine); Euclidean mode ranks by squared L2 distance via the
+// equivalent argmax of (x . c - 0.5*||c||^2), which shares the ScoreDot
+// inner loop. Rows are sharded across threads; each row writes only its
+// own slot, so the assignment is identical for every thread count.
 void AssignToNearestCentroid(const Tensor& data, const Tensor& centroids,
+                             bool spherical,
                              std::vector<int64_t>* assignment) {
   const int64_t m = data.dim(0), d = data.dim(1);
   const int64_t c = centroids.dim(0);
+  std::vector<float> half_norms;
+  if (!spherical) {
+    half_norms.resize(static_cast<size_t>(c));
+    for (int64_t j = 0; j < c; ++j) {
+      const float* crow = centroids.data() + j * d;
+      half_norms[static_cast<size_t>(j)] =
+          0.5f * tmath::kernels::ScoreDot(crow, crow, d);
+    }
+  }
   base::ParallelFor(
       m, base::GrainForWork(m, c * d), [&](int64_t begin, int64_t end) {
         for (int64_t i = begin; i < end; ++i) {
           const float* row = data.data() + i * d;
           int64_t best = 0;
-          float best_score = -2.0f;
+          float best_score = spherical
+                                 ? -2.0f
+                                 : -std::numeric_limits<float>::infinity();
           for (int64_t j = 0; j < c; ++j) {
-            const float s =
-                tmath::kernels::ScoreDot(row, centroids.data() + j * d, d);
+            float s = tmath::kernels::ScoreDot(row, centroids.data() + j * d,
+                                               d);
+            if (!spherical) s -= half_norms[static_cast<size_t>(j)];
             if (s > best_score) {
               best_score = s;
               best = j;
@@ -39,63 +57,97 @@ void AssignToNearestCentroid(const Tensor& data, const Tensor& centroids,
 
 }  // namespace
 
+KMeansResult KMeansRows(const Tensor& rows, int64_t k,
+                        const KMeansOptions& options) {
+  SDEA_CHECK_EQ(rows.rank(), 2);
+  const int64_t m = rows.dim(0);
+  const int64_t d = rows.dim(1);
+  KMeansResult result;
+  if (m == 0) {
+    result.centroids = Tensor({0, d});
+    return result;
+  }
+  k = std::min(std::max<int64_t>(k, 1), m);
+
+  // k-means++ style init: random distinct rows as seeds.
+  Rng rng(options.seed);
+  const std::vector<size_t> seeds = rng.SampleWithoutReplacement(
+      static_cast<size_t>(m), static_cast<size_t>(k));
+  result.centroids = Tensor({k, d});
+  for (int64_t i = 0; i < k; ++i) {
+    result.centroids.SetRow(
+        i, rows.Row(static_cast<int64_t>(seeds[static_cast<size_t>(i)])));
+  }
+
+  result.assignment.assign(static_cast<size_t>(m), 0);
+  for (int64_t iter = 0; iter < options.iters; ++iter) {
+    AssignToNearestCentroid(rows, result.centroids, options.spherical,
+                            &result.assignment);
+    // Recompute centroids as means (normalized means in spherical mode).
+    result.centroids.Zero();
+    std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+    for (int64_t i = 0; i < m; ++i) {
+      const int64_t a = result.assignment[static_cast<size_t>(i)];
+      ++counts[static_cast<size_t>(a)];
+      float* crow = result.centroids.data() + a * d;
+      const float* row = rows.data() + i * d;
+      for (int64_t j = 0; j < d; ++j) crow[j] += row[j];
+    }
+    for (int64_t j = 0; j < k; ++j) {
+      const int64_t n_j = counts[static_cast<size_t>(j)];
+      if (n_j == 0) {
+        // Re-seed an empty cell with a random row.
+        result.centroids.SetRow(
+            j, rows.Row(static_cast<int64_t>(
+                   rng.UniformInt(static_cast<uint64_t>(m)))));
+      } else if (!options.spherical) {
+        float* crow = result.centroids.data() + j * d;
+        const float inv = 1.0f / static_cast<float>(n_j);
+        for (int64_t jj = 0; jj < d; ++jj) crow[jj] *= inv;
+      }
+    }
+    if (options.spherical) {
+      tmath::L2NormalizeRowsInPlace(&result.centroids);
+    }
+  }
+
+  // The loop above ends with a centroid update (possibly reseeding empty
+  // clusters), so `assignment` describes the *previous* centroids.
+  // Re-assign against the final centroids; otherwise callers bucketing by
+  // assignment disagree with the returned centroids, and a cluster
+  // reseeded on the last iteration would always own an empty bucket.
+  AssignToNearestCentroid(rows, result.centroids, options.spherical,
+                          &result.assignment);
+  return result;
+}
+
 IvfIndex::IvfIndex(const Tensor& rows, const IvfOptions& options)
     : options_(options), data_(rows) {
   SDEA_CHECK_EQ(data_.rank(), 2);
   tmath::L2NormalizeRowsInPlace(&data_);
   const int64_t m = data_.dim(0);
-  const int64_t d = data_.dim(1);
   int64_t c = options.num_clusters;
   if (c <= 0) {
     c = std::max<int64_t>(
         1, static_cast<int64_t>(std::sqrt(static_cast<double>(m))));
   }
   c = std::min(c, m);
-
-  // k-means++ style init: random distinct rows as seeds.
-  Rng rng(options.seed);
-  const std::vector<size_t> seeds = rng.SampleWithoutReplacement(
-      static_cast<size_t>(m), static_cast<size_t>(c));
-  centroids_ = Tensor({c, d});
-  for (int64_t i = 0; i < c; ++i) {
-    centroids_.SetRow(i, data_.Row(static_cast<int64_t>(seeds[
-                             static_cast<size_t>(i)])));
+  if (m == 0) {
+    centroids_ = Tensor({0, data_.dim(1)});
+    return;
   }
 
-  std::vector<int64_t> assignment(static_cast<size_t>(m), 0);
-  for (int64_t iter = 0; iter < options.kmeans_iters; ++iter) {
-    // Assign to the most similar centroid (cosine == dot, all normalized).
-    AssignToNearestCentroid(data_, centroids_, &assignment);
-    // Recompute centroids as normalized means.
-    centroids_.Zero();
-    std::vector<int64_t> counts(static_cast<size_t>(c), 0);
-    for (int64_t i = 0; i < m; ++i) {
-      const int64_t a = assignment[static_cast<size_t>(i)];
-      ++counts[static_cast<size_t>(a)];
-      float* crow = centroids_.data() + a * d;
-      const float* row = data_.data() + i * d;
-      for (int64_t j = 0; j < d; ++j) crow[j] += row[j];
-    }
-    for (int64_t j = 0; j < c; ++j) {
-      if (counts[static_cast<size_t>(j)] == 0) {
-        // Re-seed an empty cell with a random row.
-        centroids_.SetRow(
-            j, data_.Row(static_cast<int64_t>(rng.UniformInt(
-                   static_cast<uint64_t>(m)))));
-      }
-    }
-    tmath::L2NormalizeRowsInPlace(&centroids_);
-  }
-
-  // The loop above ends with a centroid update (possibly reseeding empty
-  // clusters), so `assignment` describes the *previous* centroids. Re-assign
-  // against the final centroids before building the cells; otherwise cells
-  // and centroids disagree and a cluster reseeded on the last iteration
-  // would always own an empty cell (queries probing it would come up short).
-  AssignToNearestCentroid(data_, centroids_, &assignment);
+  // Spherical k-means over the normalized rows (cosine == dot). The same
+  // machinery trains PQ codebooks in Euclidean mode (store/quantizer.cc).
+  KMeansOptions kmeans;
+  kmeans.iters = options.kmeans_iters;
+  kmeans.seed = options.seed;
+  kmeans.spherical = true;
+  KMeansResult km = KMeansRows(data_, c, kmeans);
+  centroids_ = std::move(km.centroids);
   cells_.assign(static_cast<size_t>(c), {});
   for (int64_t i = 0; i < m; ++i) {
-    cells_[static_cast<size_t>(assignment[static_cast<size_t>(i)])]
+    cells_[static_cast<size_t>(km.assignment[static_cast<size_t>(i)])]
         .push_back(i);
   }
 }

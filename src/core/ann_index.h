@@ -9,6 +9,37 @@
 
 namespace sdea::core {
 
+/// Options for the shared k-means machinery underneath IvfIndex cell
+/// assignment and store::PqQuantizer codebook training.
+struct KMeansOptions {
+  int64_t iters = 6;
+  uint64_t seed = 47;
+  /// Spherical (cosine) k-means: assignment by max dot product, centroids
+  /// re-normalized to unit length each round — the IVF configuration,
+  /// where rows are L2-normalized and similarity is cosine. When false,
+  /// plain Euclidean k-means: assignment by min squared L2 distance,
+  /// centroids are un-normalized means — the PQ configuration, where
+  /// subvectors carry magnitude that quantization must preserve.
+  bool spherical = true;
+};
+
+struct KMeansResult {
+  Tensor centroids;                 ///< [k, d].
+  std::vector<int64_t> assignment;  ///< rows.dim(0) entries in [0, k).
+};
+
+/// Lloyd's k-means over the rows of `rows` ([m, d]), deterministic for a
+/// fixed seed AND thread count-independent: the assignment pass shards
+/// rows across base::ThreadPool with each row writing only its own slot,
+/// and every tie (equidistant centroids) breaks toward the lowest centroid
+/// index. Seeds are k distinct random rows; a cluster left empty after an
+/// update round is re-seeded with a random row. The returned assignment is
+/// computed against the FINAL centroids (one extra assignment pass after
+/// the last update), so callers can bucket rows without a stale-centroid
+/// mismatch. k is clamped to m; m == 0 returns empty.
+KMeansResult KMeansRows(const Tensor& rows, int64_t k,
+                        const KMeansOptions& options);
+
 /// Options for the inverted-file approximate top-k index.
 struct IvfOptions {
   int64_t num_clusters = 0;   ///< 0 = sqrt(N) heuristic.

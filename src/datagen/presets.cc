@@ -175,6 +175,35 @@ std::vector<DatasetSpec> AllPresets() {
   return out;
 }
 
+DatasetSpec MillionScalePreset() {
+  GeneratorConfig c;
+  c.name = "MILLION D-W 1M";
+  c.seed = 4001;
+  c.num_matched = 1'000'000;
+  c.extra_entity_frac = 0.0;
+  // Long-tail heavy, like the 100K OpenEA slice it extends.
+  c.degree_zipf_s = 1.45;
+  c.min_degree = 1;
+  c.max_degree = 50;
+  c.num_general_concepts = 12;
+  c.general_link_prob = 0.5;
+  c.num_relations = 500;
+  c.edge_keep_prob = 0.9;
+  // Light attributes: 1M entities x 2 attrs is already 2M triples.
+  c.num_attributes = 80;
+  c.attrs_per_entity = 2.0;
+  c.numeric_share = 0.4;
+  c.attr_keep_prob = 0.9;
+  c.comment_prob = 0.1;
+  c.longtail_strip_prob = 0.5;
+  c.kg1_lang_seed = 91;
+  c.kg2_lang_seed = 91;  // Monolingual; KG2 names are opaque Q-ids.
+  c.kg2_name_mode = NameMode::kOpaqueIds;
+  c.kg2_schema_scale = 1.5;
+  c.pretrain_sentences = 0;  // No LM corpus at this scale.
+  return {"d_w_1m", c};
+}
+
 GeneratorConfig ScaledConfig(GeneratorConfig config, double scale) {
   config.num_matched = std::max<int64_t>(
       200, static_cast<int64_t>(config.num_matched * scale));

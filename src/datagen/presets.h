@@ -32,6 +32,15 @@ std::vector<DatasetSpec> OpenEaPresets();
 /// All nine datasets in paper order (Table VI rows).
 std::vector<DatasetSpec> AllPresets();
 
+/// Million-entity monolingual pair at the scale the OpenEA benchmarking
+/// study treats as the realistic EA regime — the headline dataset for the
+/// sdea::store quantized-snapshot path (README "Million-entity serving").
+/// Attribute density is deliberately light: at this scale the store layer
+/// needs names + embeddings, not rich attribute text, and generation stays
+/// within a single-core budget. Scale it down with ScaledConfig for tests
+/// (the distributional knobs are scale-invariant).
+DatasetSpec MillionScalePreset();
+
 /// Scales the entity count of `config` by `scale` (min 200 matched
 /// entities), leaving distributional parameters untouched. Used to fit the
 /// paper-scale presets onto a single-core time budget; EXPERIMENTS.md

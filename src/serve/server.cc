@@ -51,6 +51,14 @@ Result<uint64_t> AlignmentServer::LoadSnapshot(const std::string& path) {
   return version;
 }
 
+Result<uint64_t> AlignmentServer::LoadQuantizedSnapshot(
+    const std::string& dir) {
+  SDEA_ASSIGN_OR_RETURN(uint64_t version,
+                        snapshots_.OpenQuantizedAndSwap(dir));
+  stats_.RecordSwap();
+  return version;
+}
+
 AlignResult AlignmentServer::AlignEmbedding(const Tensor& query, int64_t k) {
   return AlignEmbeddingAsync(query, k).get();
 }
@@ -158,7 +166,7 @@ void AlignmentServer::RunBatch(std::vector<ServeRequest>* batch) {
     }
   }
 
-  const int64_t dim = snap->store.dim();
+  const int64_t dim = snap->dim();
   for (size_t i = 0; i < n; ++i) {
     if (!failed[i].ok()) continue;
     // Mirror the store's own dim contract: enforced whenever the snapshot
@@ -183,7 +191,7 @@ void AlignmentServer::RunBatch(std::vector<ServeRequest>* batch) {
     const int64_t per_query =
         5 *
         (1 + static_cast<int64_t>(
-                 std::sqrt(static_cast<double>(snap->store.size())))) *
+                 std::sqrt(static_cast<double>(snap->size())))) *
         std::max<int64_t>(dim, 1);
     base::ParallelFor(static_cast<int64_t>(n),
                       base::GrainForWork(static_cast<int64_t>(n), per_query),
@@ -191,7 +199,7 @@ void AlignmentServer::RunBatch(std::vector<ServeRequest>* batch) {
                         for (int64_t i = begin; i < end; ++i) {
                           const auto idx = static_cast<size_t>(i);
                           if (!failed[idx].ok()) continue;
-                          results[idx] = snap->store.NearestNeighbors(
+                          results[idx] = snap->NearestNeighbors(
                               (*batch)[idx].embedding, (*batch)[idx].k);
                         }
                       });

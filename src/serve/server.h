@@ -89,6 +89,12 @@ class AlignmentServer {
   /// SwapSnapshot otherwise).
   Result<uint64_t> LoadSnapshot(const std::string& path);
 
+  /// Opens a memory-mapped SDEASTOR1 quantized snapshot directory and
+  /// publishes it. No index is built: the quantized store answers with its
+  /// own ADC-scan + exact-rerank path, and the snapshot keeps the mmaps
+  /// alive for every batch pinned on it.
+  Result<uint64_t> LoadQuantizedSnapshot(const std::string& dir);
+
   /// The snapshot queries are currently answered against; nullptr before
   /// the first swap/load.
   std::shared_ptr<const ServingSnapshot> snapshot() const {

@@ -9,17 +9,37 @@
 #include "base/status.h"
 #include "core/ann_index.h"
 #include "core/embedding_store.h"
+#include "store/quantized_store.h"
 
 namespace sdea::serve {
 
-/// One immutable serving state: a versioned embedding store (with its IVF
-/// index built inside, if any). Once published through SnapshotManager a
-/// snapshot is never mutated again, so any number of request threads may
-/// read it concurrently; EmbeddingStore's query methods are const and
-/// touch no mutable state.
+/// One immutable serving state: a versioned store. Either an in-RAM
+/// EmbeddingStore (with its IVF index built inside, if any) or a
+/// memory-mapped store::QuantizedStore — the variant for stores too large
+/// to slurp into RAM, whose pages stay on disk until queries touch them.
+/// Once published through SnapshotManager a snapshot is never mutated
+/// again, so any number of request threads may read it concurrently; both
+/// stores' query methods are const and touch no mutable state.
+///
+/// The snapshot owns the quantized store's mmaps, and the server pins one
+/// snapshot per batch, so results never point into an unmapped region
+/// even while a swap retires the snapshot mid-flight.
 struct ServingSnapshot {
   uint64_t version = 0;
   core::EmbeddingStore store;
+  std::unique_ptr<const store::QuantizedStore> quantized;
+
+  int64_t dim() const {
+    return quantized != nullptr ? quantized->dim() : store.dim();
+  }
+  int64_t size() const {
+    return quantized != nullptr ? quantized->size() : store.size();
+  }
+  std::vector<core::EmbeddingStore::Neighbor> NearestNeighbors(
+      const Tensor& query, int64_t k) const {
+    return quantized != nullptr ? quantized->NearestNeighbors(query, k)
+                                : store.NearestNeighbors(query, k);
+  }
 };
 
 /// Holds the current snapshot behind a shared_ptr and swaps it atomically.
@@ -49,6 +69,15 @@ class SnapshotManager {
   Result<uint64_t> LoadAndSwap(const std::string& path,
                                bool build_index = true,
                                const core::IvfOptions& index_options = {});
+
+  /// Publishes a memory-mapped quantized store. Same pointer-store swap;
+  /// the mmaps move into the snapshot and stay alive until the last
+  /// in-flight batch drops its pin.
+  uint64_t SwapQuantized(store::QuantizedStore qstore);
+
+  /// Opens an SDEASTOR1 snapshot directory (O(ms) — only the manifest
+  /// and shard headers are read) and publishes it.
+  Result<uint64_t> OpenQuantizedAndSwap(const std::string& dir);
 
   bool has_snapshot() const { return Current() != nullptr; }
 

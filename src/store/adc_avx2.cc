@@ -1,0 +1,100 @@
+// The store's only translation unit compiled with -mavx2 -mfma (see
+// src/store/CMakeLists.txt), mirroring src/tensor/kernels_avx2.cc: nothing
+// here runs unless runtime dispatch in adc.cc confirmed AVX2+FMA via
+// tmath::ActiveSimdLevel(), so the intrinsics are used unconditionally.
+//
+// Determinism: both scans have a fixed reduction tree per shape. The int8
+// scan reduces each row 32 codes/step across four FMA accumulators (the
+// DotFastAvx2 tree), so fast-AVX2 differs from fast-scalar in the last
+// ulps. The PQ scan instead vectorizes ACROSS rows — one lane per row,
+// subspaces added in ascending order per lane — so its sums are bitwise
+// identical to the scalar fast path, lane width notwithstanding.
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace sdea::store::internal {
+namespace {
+
+// Sums the 8 lanes pairwise; same fixed combine order as the tensor TU.
+inline float HorizontalSum(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_hadd_ps(s, s);
+  s = _mm_hadd_ps(s, s);
+  return _mm_cvtss_f32(s);
+}
+
+// 8 sign-extended int8 codes -> 8 floats.
+inline __m256 LoadCodes8(const uint8_t* p) {
+  const __m128i bytes =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  return _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(bytes));
+}
+
+}  // namespace
+
+void AdcScanInt8Avx2(const uint8_t* codes, int64_t n, int64_t d,
+                     const float* q_scaled, float* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    const uint8_t* code = codes + i * d;
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    int64_t j = 0;
+    for (; j + 32 <= d; j += 32) {
+      acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(q_scaled + j),
+                             LoadCodes8(code + j), acc0);
+      acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(q_scaled + j + 8),
+                             LoadCodes8(code + j + 8), acc1);
+      acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(q_scaled + j + 16),
+                             LoadCodes8(code + j + 16), acc2);
+      acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(q_scaled + j + 24),
+                             LoadCodes8(code + j + 24), acc3);
+    }
+    for (; j + 8 <= d; j += 8) {
+      acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(q_scaled + j),
+                             LoadCodes8(code + j), acc0);
+    }
+    float total = HorizontalSum(_mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                                              _mm256_add_ps(acc2, acc3)));
+    for (; j < d; ++j) {
+      total += q_scaled[j] *
+               static_cast<float>(static_cast<int8_t>(code[j]));
+    }
+    out[i] = total;
+  }
+}
+
+void AdcScanPqAvx2(const uint8_t* codes, int64_t n, int64_t m, int64_t k,
+                   const float* lut, float* out) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 acc = _mm256_setzero_ps();
+    for (int64_t s = 0; s < m; ++s) {
+      // Codes of 8 consecutive rows at subspace s sit m bytes apart; a
+      // vector load can't reach them, so the indices are composed
+      // scalar-side and only the LUT reads are gathered.
+      const uint8_t* c = codes + i * m + s;
+      const __m256i idx = _mm256_set_epi32(
+          static_cast<int>(c[7 * m]), static_cast<int>(c[6 * m]),
+          static_cast<int>(c[5 * m]), static_cast<int>(c[4 * m]),
+          static_cast<int>(c[3 * m]), static_cast<int>(c[2 * m]),
+          static_cast<int>(c[1 * m]), static_cast<int>(c[0 * m]));
+      acc = _mm256_add_ps(acc, _mm256_i32gather_ps(lut + s * k, idx, 4));
+    }
+    _mm256_storeu_ps(out + i, acc);
+  }
+  for (; i < n; ++i) {
+    const uint8_t* code = codes + i * m;
+    float acc = 0.0f;
+    for (int64_t s = 0; s < m; ++s) {
+      acc += lut[s * k + static_cast<int64_t>(code[s])];
+    }
+    out[i] = acc;
+  }
+}
+
+}  // namespace sdea::store::internal

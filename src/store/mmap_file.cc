@@ -1,0 +1,59 @@
+#include "store/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "base/fault_injection.h"
+
+namespace sdea::store {
+
+MmapFile::~MmapFile() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (addr_ != nullptr) ::munmap(addr_, size_);
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  if (FaultInjector* injector = CurrentFaultInjector()) {
+    if (injector->OnFileOp(FaultInjector::FileOp::kMap, path).fail) {
+      return Status::IoError("injected mmap fault: " + path);
+    }
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open for mmap: " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IoError("cannot stat for mmap: " + path);
+  }
+  MmapFile out;
+  out.size_ = static_cast<size_t>(st.st_size);
+  if (out.size_ > 0) {
+    void* addr = ::mmap(nullptr, out.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      return Status::IoError("mmap failed: " + path);
+    }
+    out.addr_ = addr;
+  }
+  // The mapping outlives the descriptor.
+  ::close(fd);
+  return out;
+}
+
+}  // namespace sdea::store

@@ -1,0 +1,47 @@
+#ifndef SDEA_STORE_MMAP_FILE_H_
+#define SDEA_STORE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "base/status.h"
+
+namespace sdea::store {
+
+/// A read-only memory-mapped file. Opening touches no data pages — the
+/// kernel pages them in on first access and may evict them under
+/// pressure, which is what bounds a 10M-row store's resident set to the
+/// pages a query actually reads. Move-only RAII: the mapping lives until
+/// destruction, so anything holding pointers into data() must hold the
+/// MmapFile (the serve snapshot-pinning rule).
+///
+/// Open consults the installed base::FaultInjector under
+/// FileOp::kMap, so crash-recovery tests can fail the map without
+/// touching the filesystem.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  static Result<MmapFile> Open(const std::string& path);
+
+  /// nullptr for an unopened or zero-length file.
+  const uint8_t* data() const {
+    return static_cast<const uint8_t*>(addr_);
+  }
+  size_t size() const { return size_; }
+
+ private:
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace sdea::store
+
+#endif  // SDEA_STORE_MMAP_FILE_H_

@@ -1,0 +1,315 @@
+#include "store/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <utility>
+
+#include "base/check.h"
+#include "base/rng.h"
+#include "base/threadpool.h"
+#include "core/ann_index.h"
+#include "store/wire.h"
+#include "tensor/kernels.h"
+
+namespace sdea::store {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'D', 'E', 'A', 'C', 'B', 'K', '1'};
+
+}  // namespace
+
+const char* QuantizationName(Quantization q) {
+  switch (q) {
+    case Quantization::kInt8:
+      return "int8";
+    case Quantization::kPq:
+      return "pq";
+  }
+  return "unknown";
+}
+
+int64_t Codebook::code_bytes() const {
+  return kind_ == Quantization::kInt8 ? dim_ : pq_m_;
+}
+
+Codebook Codebook::TrainInt8(const Tensor& rows) {
+  SDEA_CHECK_EQ(rows.rank(), 2);
+  const int64_t n = rows.dim(0), d = rows.dim(1);
+  Codebook cb;
+  cb.kind_ = Quantization::kInt8;
+  cb.dim_ = d;
+  std::vector<float> max_abs(static_cast<size_t>(d), 0.0f);
+  // Row-sharded max-abs reduction. Each shard folds into the shared
+  // accumulator under a mutex; max is commutative and associative, so the
+  // merge order (hence thread count) cannot change the result.
+  std::mutex mu;
+  base::ParallelFor(n, base::GrainForWork(n, d),
+                    [&](int64_t begin, int64_t end) {
+                      std::vector<float> local(static_cast<size_t>(d), 0.0f);
+                      for (int64_t i = begin; i < end; ++i) {
+                        const float* row = rows.data() + i * d;
+                        for (int64_t j = 0; j < d; ++j) {
+                          local[static_cast<size_t>(j)] = std::max(
+                              local[static_cast<size_t>(j)],
+                              std::fabs(row[j]));
+                        }
+                      }
+                      std::lock_guard<std::mutex> lock(mu);
+                      for (int64_t j = 0; j < d; ++j) {
+                        max_abs[static_cast<size_t>(j)] = std::max(
+                            max_abs[static_cast<size_t>(j)],
+                            local[static_cast<size_t>(j)]);
+                      }
+                    });
+  cb.scales_.resize(static_cast<size_t>(d));
+  for (int64_t j = 0; j < d; ++j) {
+    const float m = max_abs[static_cast<size_t>(j)];
+    // All-zero (or non-finite-free zero-range) dimensions quantize to 0
+    // whatever the scale; 1.0 keeps encode division well-defined.
+    cb.scales_[static_cast<size_t>(j)] = m > 0.0f ? m / 127.0f : 1.0f;
+  }
+  return cb;
+}
+
+Result<Codebook> Codebook::TrainPq(const Tensor& rows,
+                                   const PqOptions& options) {
+  if (rows.rank() != 2) {
+    return Status::InvalidArgument("PQ training needs a [n, d] matrix");
+  }
+  const int64_t n = rows.dim(0), d = rows.dim(1);
+  const int64_t m = options.num_subspaces;
+  if (n == 0) {
+    return Status::InvalidArgument("PQ training needs at least one row");
+  }
+  if (m <= 0 || d % m != 0) {
+    return Status::InvalidArgument(
+        "PQ subspaces must divide the dimension evenly");
+  }
+  if (options.num_centroids < 1 || options.num_centroids > 256) {
+    return Status::InvalidArgument("PQ centroids must be in [1, 256]");
+  }
+  const int64_t subdim = d / m;
+
+  // Deterministic training sample: distinct random rows, sorted ascending
+  // so the gather below is cache-friendly and independent of the sample
+  // order the RNG happened to produce.
+  std::vector<int64_t> sample;
+  if (n > options.train_sample && options.train_sample > 0) {
+    Rng rng(options.seed);
+    std::vector<size_t> picks = rng.SampleWithoutReplacement(
+        static_cast<size_t>(n), static_cast<size_t>(options.train_sample));
+    sample.assign(picks.begin(), picks.end());
+    std::sort(sample.begin(), sample.end());
+  } else {
+    sample.resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) sample[static_cast<size_t>(i)] = i;
+  }
+  const int64_t sn = static_cast<int64_t>(sample.size());
+  const int64_t k = std::min<int64_t>(options.num_centroids, sn);
+
+  Codebook cb;
+  cb.kind_ = Quantization::kPq;
+  cb.dim_ = d;
+  cb.pq_m_ = m;
+  cb.pq_k_ = k;
+  cb.centroids_ = Tensor({m * k, subdim});
+  // One Euclidean k-means per subspace over the gathered subvectors.
+  // Subvectors carry magnitude the quantizer must preserve, hence
+  // Euclidean rather than the spherical mode IVF uses. Distinct seeds per
+  // subspace so identical subspace distributions don't share init rows.
+  Tensor sub({sn, subdim});
+  for (int64_t s = 0; s < m; ++s) {
+    for (int64_t i = 0; i < sn; ++i) {
+      std::memcpy(sub.data() + i * subdim,
+                  rows.data() + sample[static_cast<size_t>(i)] * d +
+                      s * subdim,
+                  static_cast<size_t>(subdim) * sizeof(float));
+    }
+    core::KMeansOptions km;
+    km.iters = options.kmeans_iters;
+    km.seed = options.seed + static_cast<uint64_t>(s);
+    km.spherical = false;
+    core::KMeansResult result = core::KMeansRows(sub, k, km);
+    SDEA_CHECK_EQ(result.centroids.dim(0), k);
+    std::memcpy(cb.centroids_.data() + s * k * subdim,
+                result.centroids.data(),
+                static_cast<size_t>(k * subdim) * sizeof(float));
+  }
+  return cb;
+}
+
+std::vector<uint8_t> Codebook::EncodeRows(const float* rows,
+                                          int64_t n) const {
+  const int64_t d = dim_;
+  const int64_t cb_bytes = code_bytes();
+  std::vector<uint8_t> codes(static_cast<size_t>(n * cb_bytes));
+  if (n == 0) return codes;
+
+  if (kind_ == Quantization::kInt8) {
+    base::ParallelFor(
+        n, base::GrainForWork(n, d), [&](int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) {
+            const float* row = rows + i * d;
+            uint8_t* code = codes.data() + i * d;
+            for (int64_t j = 0; j < d; ++j) {
+              // Half-away-from-zero rounding (lround), clamped to the
+              // symmetric [-127, 127] range: one deterministic code per
+              // value on every platform, no -128 asymmetry to special-case
+              // in the ADC kernels.
+              const long q = std::lround(
+                  row[j] / scales_[static_cast<size_t>(j)]);
+              const long c = std::max<long>(-127, std::min<long>(127, q));
+              code[j] = static_cast<uint8_t>(static_cast<int8_t>(c));
+            }
+          }
+        });
+    return codes;
+  }
+
+  // PQ: nearest centroid per subspace by squared L2, via the same
+  // argmax(x.c - 0.5*||c||^2) trick the k-means assignment pass uses, so
+  // encode agrees with training about every tie (lowest index wins).
+  const int64_t sub = pq_subdim();
+  std::vector<float> half_norms(static_cast<size_t>(pq_m_ * pq_k_));
+  for (int64_t j = 0; j < pq_m_ * pq_k_; ++j) {
+    const float* crow = centroids_.data() + j * sub;
+    half_norms[static_cast<size_t>(j)] =
+        0.5f * tmath::kernels::ScoreDot(crow, crow, sub);
+  }
+  base::ParallelFor(
+      n, base::GrainForWork(n, pq_m_ * pq_k_ * sub),
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          const float* row = rows + i * d;
+          uint8_t* code = codes.data() + i * pq_m_;
+          for (int64_t s = 0; s < pq_m_; ++s) {
+            const float* x = row + s * sub;
+            int64_t best = 0;
+            float best_score = -std::numeric_limits<float>::infinity();
+            for (int64_t c = 0; c < pq_k_; ++c) {
+              const int64_t idx = s * pq_k_ + c;
+              const float score =
+                  tmath::kernels::ScoreDot(
+                      x, centroids_.data() + idx * sub, sub) -
+                  half_norms[static_cast<size_t>(idx)];
+              if (score > best_score) {
+                best_score = score;
+                best = c;
+              }
+            }
+            code[s] = static_cast<uint8_t>(best);
+          }
+        }
+      });
+  return codes;
+}
+
+void Codebook::DecodeRow(const uint8_t* code, float* out) const {
+  if (kind_ == Quantization::kInt8) {
+    for (int64_t j = 0; j < dim_; ++j) {
+      out[j] = scales_[static_cast<size_t>(j)] *
+               static_cast<float>(static_cast<int8_t>(code[j]));
+    }
+    return;
+  }
+  const int64_t sub = pq_subdim();
+  for (int64_t s = 0; s < pq_m_; ++s) {
+    const int64_t c = static_cast<int64_t>(code[s]);
+    std::memcpy(out + s * sub,
+                centroids_.data() + (s * pq_k_ + c) * sub,
+                static_cast<size_t>(sub) * sizeof(float));
+  }
+}
+
+std::string Codebook::Encode() const {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  wire::AppendU64(&out, static_cast<uint64_t>(kind_));
+  wire::AppendU64(&out, static_cast<uint64_t>(dim_));
+  if (kind_ == Quantization::kInt8) {
+    out.append(reinterpret_cast<const char*>(scales_.data()),
+               scales_.size() * sizeof(float));
+  } else {
+    wire::AppendU64(&out, static_cast<uint64_t>(pq_m_));
+    wire::AppendU64(&out, static_cast<uint64_t>(pq_k_));
+    out.append(reinterpret_cast<const char*>(centroids_.data()),
+               static_cast<size_t>(centroids_.size()) * sizeof(float));
+  }
+  return out;
+}
+
+Result<Codebook> Codebook::Decode(const std::string& in) {
+  if (in.size() < sizeof(kMagic) ||
+      std::memcmp(in.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an SDEA codebook");
+  }
+  size_t pos = sizeof(kMagic);
+  uint64_t kind = 0, dim = 0;
+  if (!wire::ReadU64(in, &pos, &kind) || !wire::ReadU64(in, &pos, &dim)) {
+    return Status::InvalidArgument("truncated codebook header");
+  }
+  if (kind != static_cast<uint64_t>(Quantization::kInt8) &&
+      kind != static_cast<uint64_t>(Quantization::kPq)) {
+    return Status::InvalidArgument("unknown codebook quantization kind");
+  }
+  Codebook cb;
+  cb.kind_ = static_cast<Quantization>(kind);
+
+  if (cb.kind_ == Quantization::kInt8) {
+    // Payload is dim floats; bound dim against the remaining bytes before
+    // allocating (a corrupt all-ones dim must not reach resize()).
+    if (dim > (in.size() - pos) / sizeof(float)) {
+      return Status::InvalidArgument("codebook scales exceed blob size");
+    }
+    cb.dim_ = static_cast<int64_t>(dim);
+    cb.scales_.resize(static_cast<size_t>(dim));
+    if (dim > 0) {
+      std::memcpy(cb.scales_.data(), in.data() + pos,
+                  static_cast<size_t>(dim) * sizeof(float));
+    }
+    for (float s : cb.scales_) {
+      if (!(s > 0.0f) || !std::isfinite(s)) {
+        return Status::InvalidArgument("codebook scales must be positive");
+      }
+    }
+    return cb;
+  }
+
+  uint64_t m = 0, k = 0;
+  if (!wire::ReadU64(in, &pos, &m) || !wire::ReadU64(in, &pos, &k)) {
+    return Status::InvalidArgument("truncated PQ codebook header");
+  }
+  // dim bounded first so every later product stays far from overflow:
+  // the centroid payload is exactly k * dim floats (m * k centroids of
+  // dim/m components each), k <= 256.
+  const uint64_t max_floats = (in.size() - pos) / sizeof(float);
+  if (dim == 0 || dim > max_floats) {
+    return Status::InvalidArgument("PQ codebook dim exceeds blob size");
+  }
+  if (m == 0 || m > dim || dim % m != 0) {
+    return Status::InvalidArgument("PQ subspaces must divide dim");
+  }
+  if (k == 0 || k > 256) {
+    return Status::InvalidArgument("PQ centroid count must be in [1, 256]");
+  }
+  if (k * dim > max_floats) {
+    return Status::InvalidArgument("PQ centroids exceed blob size");
+  }
+  cb.dim_ = static_cast<int64_t>(dim);
+  cb.pq_m_ = static_cast<int64_t>(m);
+  cb.pq_k_ = static_cast<int64_t>(k);
+  cb.centroids_ = Tensor({cb.pq_m_ * cb.pq_k_, cb.dim_ / cb.pq_m_});
+  std::memcpy(cb.centroids_.data(), in.data() + pos,
+              static_cast<size_t>(k * dim) * sizeof(float));
+  for (int64_t i = 0; i < cb.centroids_.size(); ++i) {
+    if (!std::isfinite(cb.centroids_.data()[i])) {
+      return Status::InvalidArgument("PQ centroids must be finite");
+    }
+  }
+  return cb;
+}
+
+}  // namespace sdea::store

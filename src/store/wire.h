@@ -1,0 +1,39 @@
+#ifndef SDEA_STORE_WIRE_H_
+#define SDEA_STORE_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace sdea::store::wire {
+
+/// Little-endian fixed-width primitives shared by the store wire formats
+/// (codebook blobs, the snapshot manifest, shard headers). Same encoding
+/// as core::EmbeddingStore's SDEAEMB1 format; kept header-only so both
+/// the builders and the mmap-side readers use one definition.
+
+inline void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+inline bool ReadU64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+/// Unaligned u64 load from a raw region (mmap'd shard bytes). memcpy
+/// compiles to a plain load on x86 but stays defined on any alignment —
+/// shard region offsets are not required to be 8-aligned by the decoder.
+inline uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace sdea::store::wire
+
+#endif  // SDEA_STORE_WIRE_H_

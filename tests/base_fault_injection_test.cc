@@ -156,6 +156,42 @@ TEST(FaultInjectionTest, AtomicWriteIsNeverTorn) {
   EXPECT_EQ(*read, new_contents);
 }
 
+TEST(FaultInjectionTest, DirectoryFsyncFaultReportsButKeepsTheNewFile) {
+  // The PR-5 gap: rename is atomic but not durable. WriteStringToFileAtomic
+  // now fsyncs the parent directory after the rename; if that fsync fails,
+  // the durability contract is unmet and the call must say so — but the
+  // renamed file is complete and correct, so it stays (a reader that does
+  // see it gets the full new artifact, never a torn one).
+  const std::string path = TempPath("sdea_fi_dirsync.bin");
+  ASSERT_TRUE(WriteStringToFileAtomic(path, "old").ok());
+
+  CountdownFaultInjector injector{
+      FaultPlan{.op = FaultInjector::FileOp::kFsyncDir}};
+  {
+    ScopedFaultInjector scope(&injector);
+    auto status = WriteStringToFileAtomic(path, "new contents");
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kIoError);
+  }
+  EXPECT_EQ(injector.faults_injected(), 1);
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "new contents");
+  EXPECT_FALSE(FileExists(AtomicTempName(path)));
+}
+
+TEST(FaultInjectionTest, DirectoryFsyncHappyPathStillSucceeds) {
+  // A counting (never-firing) injector proves the kFsyncDir hook actually
+  // runs once per atomic write on the healthy path.
+  const std::string path = TempPath("sdea_fi_dirsync_ok.bin");
+  CountdownFaultInjector injector{FaultPlan{
+      .op = FaultInjector::FileOp::kFsyncDir, .trigger_after = 1000}};
+  ScopedFaultInjector scope(&injector);
+  ASSERT_TRUE(WriteStringToFileAtomic(path, "durable").ok());
+  EXPECT_EQ(injector.matching_ops(), 1);
+  EXPECT_EQ(injector.faults_injected(), 0);
+}
+
 TEST(FaultInjectionTest, AtomicWriteFaultWithNoPreviousFile) {
   const std::string path = TempPath("sdea_fi_atomic_fresh.bin");
   std::remove(path.c_str());

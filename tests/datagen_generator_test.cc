@@ -234,6 +234,23 @@ TEST(PresetTest, AllPresetsGenerateAtSmallScale) {
   }
 }
 
+TEST(PresetTest, MillionScalePresetGeneratesWhenScaledDown) {
+  // The 1M headline preset itself is a bench-only configuration; here it
+  // runs at 1/2000 scale to pin its invariants: monolingual pair with
+  // opaque KG2 ids, every matched entity present, no pretrain corpus.
+  const DatasetSpec spec = MillionScalePreset();
+  EXPECT_EQ(spec.id, "d_w_1m");
+  EXPECT_EQ(spec.config.num_matched, 1'000'000);
+  const GeneratorConfig cfg = ScaledConfig(spec.config, 0.0005);
+  EXPECT_EQ(cfg.num_matched, 500);
+  const GeneratedBenchmark b = BenchmarkGenerator().Generate(cfg);
+  // Ground truth covers the 500 matched entities plus the shared general
+  // concepts (both views keep them, so they are aligned too).
+  EXPECT_GE(static_cast<int64_t>(b.ground_truth.size()), 500);
+  EXPECT_GE(b.kg1.num_entities(), 500);
+  EXPECT_TRUE(b.pretrain_corpus.empty());
+}
+
 TEST(PresetTest, ScaledConfigFloors) {
   GeneratorConfig c = SmallConfig();
   c.num_matched = 10'000;

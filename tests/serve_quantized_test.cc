@@ -1,0 +1,157 @@
+// Serving on a memory-mapped quantized snapshot: SnapshotManager publishes
+// it, AlignmentServer answers against it, answers match the in-RAM
+// full-precision store bit-for-bit on top-1, and the mmap stays pinned for
+// in-flight readers across a swap.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/rng.h"
+#include "core/embedding_store.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "store/quantized_store.h"
+#include "tensor/tensor.h"
+
+namespace sdea::serve {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+Tensor RandomRows(int64_t n, int64_t d, uint64_t seed) {
+  Tensor t({n, d});
+  Rng rng(seed);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = rng.UniformFloat(-1.0f, 1.0f);
+  }
+  return t;
+}
+
+std::vector<std::string> Names(int64_t n) {
+  std::vector<std::string> names;
+  for (int64_t i = 0; i < n; ++i) names.push_back("q" + std::to_string(i));
+  return names;
+}
+
+TEST(ServeQuantizedTest, OpenQuantizedAndSwapPublishes) {
+  const std::string dir = TempDir("sdea_serve_qsnap");
+  const int64_t n = 120, d = 16;
+  ASSERT_TRUE(store::QuantizedStore::Write(dir, Names(n),
+                                           RandomRows(n, d, 1), {})
+                  .ok());
+  SnapshotManager manager;
+  EXPECT_FALSE(manager.has_snapshot());
+  auto version = manager.OpenQuantizedAndSwap(dir);
+  ASSERT_TRUE(version.ok()) << version.status().message();
+  EXPECT_EQ(*version, 1u);
+  auto snap = manager.Current();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->dim(), d);
+  EXPECT_EQ(snap->size(), n);
+  EXPECT_NE(snap->quantized, nullptr);
+
+  // A missing snapshot directory reports cleanly, current stays put.
+  EXPECT_FALSE(
+      manager.OpenQuantizedAndSwap(TempDir("sdea_serve_missing")).ok());
+  EXPECT_EQ(manager.version(), 1u);
+}
+
+TEST(ServeQuantizedTest, QuantizedSnapshotAnswersMatchFullPrecision) {
+  const std::string dir = TempDir("sdea_serve_qmatch");
+  const int64_t n = 250, d = 32;
+  const Tensor rows = RandomRows(n, d, 2);
+  ASSERT_TRUE(
+      store::QuantizedStore::Write(dir, Names(n), rows, {}).ok());
+  auto reference = core::EmbeddingStore::Create(Names(n), rows);
+  ASSERT_TRUE(reference.ok());
+
+  SnapshotManager manager;
+  ASSERT_TRUE(manager.OpenQuantizedAndSwap(dir).ok());
+  auto snap = manager.Current();
+
+  const Tensor probe = RandomRows(15, d, 3);
+  for (int64_t i = 0; i < probe.dim(0); ++i) {
+    const Tensor q = probe.Row(i);
+    const auto quant = snap->NearestNeighbors(q, 5);
+    const auto full = reference->NearestNeighbors(q, 5);
+    ASSERT_EQ(quant.size(), 5u);
+    EXPECT_EQ(quant[0].id, full[0].id) << "query " << i;
+    EXPECT_EQ(quant[0].name, full[0].name) << "query " << i;
+    EXPECT_EQ(quant[0].similarity, full[0].similarity) << "query " << i;
+  }
+}
+
+TEST(ServeQuantizedTest, ServerAnswersThroughQuantizedSnapshot) {
+  const std::string dir = TempDir("sdea_serve_qserver");
+  const int64_t n = 150, d = 16;
+  const Tensor rows = RandomRows(n, d, 4);
+  ASSERT_TRUE(
+      store::QuantizedStore::Write(dir, Names(n), rows, {}).ok());
+
+  ServerOptions options;
+  options.batcher.max_batch_size = 8;
+  AlignmentServer server(options);
+  auto loaded = server.LoadQuantizedSnapshot(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  ASSERT_NE(server.snapshot(), nullptr);
+  EXPECT_NE(server.snapshot()->quantized, nullptr);
+
+  auto reference = core::EmbeddingStore::Create(Names(n), rows);
+  ASSERT_TRUE(reference.ok());
+  const Tensor probe = RandomRows(10, d, 5);
+  std::vector<std::future<AlignResult>> futures;
+  for (int64_t i = 0; i < probe.dim(0); ++i) {
+    futures.push_back(server.AlignEmbeddingAsync(probe.Row(i), 3));
+  }
+  for (int64_t i = 0; i < probe.dim(0); ++i) {
+    AlignResult result = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    ASSERT_EQ(result->size(), 3u);
+    const auto full = reference->NearestNeighbors(probe.Row(i), 3);
+    EXPECT_EQ((*result)[0].id, full[0].id) << "query " << i;
+    EXPECT_EQ((*result)[0].similarity, full[0].similarity) << "query " << i;
+  }
+
+  // Wrong-dim queries still fail per request, quantized or not.
+  AlignResult bad = server.AlignEmbedding(RandomRows(1, d + 1, 6).Row(0), 3);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(ServeQuantizedTest, SwapRetiresButPinnedSnapshotSurvives) {
+  const std::string dir = TempDir("sdea_serve_qpin");
+  const int64_t n = 80, d = 8;
+  const Tensor rows = RandomRows(n, d, 7);
+  ASSERT_TRUE(
+      store::QuantizedStore::Write(dir, Names(n), rows, {}).ok());
+  SnapshotManager manager;
+  ASSERT_TRUE(manager.OpenQuantizedAndSwap(dir).ok());
+
+  // Pin the quantized snapshot like a batch would, then swap an in-RAM
+  // store over it. The pinned snapshot (and its mmaps) must keep
+  // answering until the pin drops.
+  auto pinned = manager.Current();
+  auto replacement = core::EmbeddingStore::Create(Names(n), rows);
+  ASSERT_TRUE(replacement.ok());
+  EXPECT_EQ(manager.Swap(std::move(*replacement)), 2u);
+
+  const Tensor q = RandomRows(1, d, 8).Row(0);
+  const auto from_pinned = pinned->NearestNeighbors(q, 3);
+  ASSERT_EQ(from_pinned.size(), 3u);
+  auto current = manager.Current();
+  EXPECT_EQ(current->quantized, nullptr);
+  const auto from_current = current->NearestNeighbors(q, 3);
+  // Same data, both exact after rerank: identical answers.
+  EXPECT_EQ(from_pinned[0].id, from_current[0].id);
+  EXPECT_EQ(from_pinned[0].similarity, from_current[0].similarity);
+}
+
+}  // namespace
+}  // namespace sdea::serve
