@@ -126,4 +126,60 @@ bool LooksNumeric(std::string_view s) {
   return digit;
 }
 
+std::string EscapeTsvField(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeTsvField(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    switch (s[i + 1]) {
+      case '\\':
+        out += '\\';
+        ++i;
+        break;
+      case 't':
+        out += '\t';
+        ++i;
+        break;
+      case 'n':
+        out += '\n';
+        ++i;
+        break;
+      case 'r':
+        out += '\r';
+        ++i;
+        break;
+      default:
+        out += '\\';  // Unknown escape: keep the backslash literally.
+    }
+  }
+  return out;
+}
+
 }  // namespace sdea

@@ -40,6 +40,17 @@ double EditSimilarity(std::string_view a, std::string_view b);
 /// optional fractional part).
 bool LooksNumeric(std::string_view s);
 
+/// Escapes a free-text field for tab-separated output: `\` -> `\\`,
+/// tab -> `\t`, LF -> `\n`, CR -> `\r`. The result contains no field or
+/// record separators, so a TSV row always round-trips with exactly its
+/// written field count.
+std::string EscapeTsvField(std::string_view s);
+
+/// Inverse of EscapeTsvField. Unrecognized escape sequences (and a trailing
+/// lone backslash) are kept literally, so fields written by pre-escaping
+/// code pass through mostly unchanged.
+std::string UnescapeTsvField(std::string_view s);
+
 }  // namespace sdea
 
 #endif  // SDEA_BASE_STRINGS_H_

@@ -8,10 +8,10 @@
 namespace sdea::core {
 
 AttributeSequencer::AttributeSequencer(const kg::KnowledgeGraph* graph,
-                                       uint64_t seed)
-    : graph_(graph) {
+                                       uint64_t seed) {
   SDEA_CHECK(graph != nullptr);
-  const int64_t n = graph->num_attributes();
+  snap_ = graph->Snapshot();
+  const int64_t n = snap_.num_attributes();
   attribute_rank_.resize(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) attribute_rank_[static_cast<size_t>(i)] = i;
   if (seed != kIdentityOrder) {
@@ -21,30 +21,27 @@ AttributeSequencer::AttributeSequencer(const kg::KnowledgeGraph* graph,
 }
 
 std::string AttributeSequencer::Sequence(kg::EntityId e) const {
-  // Collect (rank, triple index) and sort: stable within an attribute by
-  // insertion order.
+  // Collect (rank, attribute row) and sort: stable within an attribute by
+  // insertion order (== ascending row).
   std::vector<std::pair<int64_t, int64_t>> keyed;
-  for (int64_t idx : graph_->attribute_triples_of(e)) {
-    const kg::AttributeTriple& t =
-        graph_->attribute_triples()[static_cast<size_t>(idx)];
-    keyed.emplace_back(attribute_rank_[static_cast<size_t>(t.attribute)],
-                       idx);
+  for (int64_t row : snap_.AttributeRowsOf(e)) {
+    const auto [entity, attribute] = snap_.AttributeIdsAt(row);
+    (void)entity;
+    keyed.emplace_back(attribute_rank_[static_cast<size_t>(attribute)], row);
   }
   std::sort(keyed.begin(), keyed.end());
   std::string out;
-  for (const auto& [rank, idx] : keyed) {
-    const kg::AttributeTriple& t =
-        graph_->attribute_triples()[static_cast<size_t>(idx)];
+  for (const auto& [rank, row] : keyed) {
     if (!out.empty()) out += ' ';
-    out += t.value;
+    out += snap_.ValueAt(row);
   }
   return out;
 }
 
 std::vector<std::string> AttributeSequencer::AllSequences() const {
   std::vector<std::string> out;
-  out.reserve(static_cast<size_t>(graph_->num_entities()));
-  for (kg::EntityId e = 0; e < graph_->num_entities(); ++e) {
+  out.reserve(static_cast<size_t>(snap_.num_entities()));
+  for (kg::EntityId e = 0; e < snap_.num_entities(); ++e) {
     out.push_back(Sequence(e));
   }
   return out;

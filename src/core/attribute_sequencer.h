@@ -18,7 +18,9 @@ namespace sdea::core {
 class AttributeSequencer {
  public:
   /// `seed` drives the random attribute order; pass kIdentityOrder to keep
-  /// insertion order (used by the ablation bench).
+  /// insertion order (used by the ablation bench). Pins a snapshot of
+  /// `graph` at construction: sequencing scans columnar chunks lock-free
+  /// and is unaffected by later writes to the graph.
   AttributeSequencer(const kg::KnowledgeGraph* graph, uint64_t seed);
 
   /// Sentinel seed: keep the KG's attribute insertion order.
@@ -37,7 +39,7 @@ class AttributeSequencer {
   }
 
  private:
-  const kg::KnowledgeGraph* graph_;  // Not owned.
+  kg::KgSnapshot snap_;  ///< Pinned at construction.
   std::vector<int64_t> attribute_rank_;
 };
 

@@ -45,18 +45,20 @@ void EmbedNumber(double value, float* out) {
 }
 
 Tensor ComputeNumericFeatures(const kg::KnowledgeGraph& graph) {
-  const int64_t n = graph.num_entities();
+  const kg::KgSnapshot snap = graph.Snapshot();
+  const int64_t n = snap.num_entities();
   Tensor out({n, kNumericFeatureDim});
   std::vector<int64_t> counts(static_cast<size_t>(n), 0);
   float buf[kNumericFeatureDim];
-  for (const kg::AttributeTriple& t : graph.attribute_triples()) {
+  snap.ForEachAttribute([&](int64_t /*row*/, kg::EntityId entity,
+                            kg::AttributeId /*a*/, const std::string& text) {
     double value = 0.0;
-    if (!ParseNumeric(t.value, &value)) continue;
+    if (!ParseNumeric(text, &value)) return;
     EmbedNumber(value, buf);
-    float* row = out.data() + t.entity * kNumericFeatureDim;
+    float* row = out.data() + entity * kNumericFeatureDim;
     for (int64_t j = 0; j < kNumericFeatureDim; ++j) row[j] += buf[j];
-    ++counts[static_cast<size_t>(t.entity)];
-  }
+    ++counts[static_cast<size_t>(entity)];
+  });
   for (int64_t e = 0; e < n; ++e) {
     if (counts[static_cast<size_t>(e)] == 0) continue;
     const float inv = 1.0f / static_cast<float>(counts[static_cast<size_t>(e)]);

@@ -15,11 +15,12 @@ namespace {
 
 // Caps an entity's neighbor list deterministically: the first
 // `max_neighbors` edges in insertion order (the generator and real TSV
-// loads both preserve source order).
-std::vector<kg::EntityId> CapNeighbors(const kg::KnowledgeGraph& g,
+// loads both preserve source order). Reads the pinned snapshot's sealed
+// chunk indexes instead of a materialized adjacency list.
+std::vector<kg::EntityId> CapNeighbors(const kg::KgSnapshot& snap,
                                        kg::EntityId e, int64_t cap) {
   std::vector<kg::EntityId> out;
-  for (const kg::NeighborEdge& edge : g.neighbors(e)) {
+  for (const kg::NeighborEdge& edge : snap.NeighborsOf(e)) {
     out.push_back(edge.neighbor);
     if (static_cast<int64_t>(out.size()) >= cap) break;
   }
@@ -58,14 +59,16 @@ Status RelationEmbeddingModule::Init(const kg::KnowledgeGraph& kg1,
   AddSubmodule(attention_mlp_.get());
   AddSubmodule(joint_mlp_.get());
 
+  const kg::KgSnapshot snap1 = kg1.Snapshot();
+  const kg::KgSnapshot snap2 = kg2.Snapshot();
   neighbors_.resize(2);
-  neighbors_[0].reserve(static_cast<size_t>(kg1.num_entities()));
-  for (kg::EntityId e = 0; e < kg1.num_entities(); ++e) {
-    neighbors_[0].push_back(CapNeighbors(kg1, e, config.max_neighbors));
+  neighbors_[0].reserve(static_cast<size_t>(snap1.num_entities()));
+  for (kg::EntityId e = 0; e < snap1.num_entities(); ++e) {
+    neighbors_[0].push_back(CapNeighbors(snap1, e, config.max_neighbors));
   }
-  neighbors_[1].reserve(static_cast<size_t>(kg2.num_entities()));
-  for (kg::EntityId e = 0; e < kg2.num_entities(); ++e) {
-    neighbors_[1].push_back(CapNeighbors(kg2, e, config.max_neighbors));
+  neighbors_[1].reserve(static_cast<size_t>(snap2.num_entities()));
+  for (kg::EntityId e = 0; e < snap2.num_entities(); ++e) {
+    neighbors_[1].push_back(CapNeighbors(snap2, e, config.max_neighbors));
   }
   initialized_ = true;
   return Status::Ok();

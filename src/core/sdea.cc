@@ -113,13 +113,14 @@ std::vector<eval::RankingMetrics> SdeaModel::EvaluateByDegree(
     const std::vector<std::pair<kg::EntityId, kg::EntityId>>& pairs,
     const std::vector<int64_t>& bucket_upper) const {
   SDEA_CHECK(fitted_);
+  const kg::KgSnapshot snap1 = kg1.Snapshot();
   Tensor src({static_cast<int64_t>(pairs.size()), ent1_.dim(1)});
   std::vector<int64_t> gold;
   std::vector<int64_t> degrees;
   for (size_t i = 0; i < pairs.size(); ++i) {
     src.SetRow(static_cast<int64_t>(i), ent1_.Row(pairs[i].first));
     gold.push_back(pairs[i].second);
-    degrees.push_back(kg1.degree(pairs[i].first));
+    degrees.push_back(snap1.DegreeOf(pairs[i].first));
   }
   return eval::EvaluateByDegree(src, ent2_, gold, degrees, bucket_upper);
 }

@@ -331,6 +331,9 @@ kg::KnowledgeGraph RenderView(const World& w, const GeneratorConfig& cfg,
       rng};
 
   kg::KnowledgeGraph g;
+  // One commit at the end instead of one per Add: the render is a pure
+  // bulk build, nobody snapshots mid-way.
+  g.BeginBulkLoad();
   std::unordered_set<std::string> used_names;
 
   // Insert matched entities in a per-view shuffled order so ids carry no
@@ -456,6 +459,7 @@ kg::KnowledgeGraph RenderView(const World& w, const GeneratorConfig& cfg,
                            std::move(value));
     }
   }
+  g.EndBulkLoad();
   return g;
 }
 

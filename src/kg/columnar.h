@@ -1,0 +1,374 @@
+#ifndef SDEA_KG_COLUMNAR_H_
+#define SDEA_KG_COLUMNAR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+#include "kg/types.h"
+
+namespace sdea::kg {
+
+/// Chunk capacities of the columnar store. The defaults suit real graphs;
+/// tests shrink them to force many seal boundaries with tiny inputs.
+struct ColumnarOptions {
+  int64_t rel_chunk_rows = 4096;   ///< Relational triples per chunk.
+  int64_t attr_chunk_rows = 2048;  ///< Attribute triples per chunk.
+  int64_t name_chunk_rows = 4096;  ///< Interned names per chunk.
+  /// A sealed attribute chunk dictionary-encodes its values when the
+  /// distinct count is at most this fraction (in percent) of the row
+  /// count; otherwise the chunk stays plain-encoded.
+  int64_t dict_max_distinct_pct = 75;
+};
+
+// ---- Chunks -----------------------------------------------------------------
+//
+// MVCC visibility protocol (hyrise-style, single writer, many readers):
+//
+//  * Every chunk's column arrays are allocated at full capacity up front and
+//    never reallocate. The writer fills slots in row order; a slot, once
+//    covered by a published commit, is never written again.
+//  * Readers never read a chunk's mutable bookkeeping. All visibility comes
+//    from the pinned commit's watermarks: a chunk exposes
+//    min(capacity, watermark - base_row) rows to a given snapshot.
+//  * Seal-time fields (the permutation indexes, and a sealed attribute
+//    chunk's dictionary) are only consulted when the pinned watermark covers
+//    the whole chunk. The writer builds them *before* publishing the commit
+//    that makes the chunk's last row visible, so the commit mutex carries
+//    the happens-before edge and the scan itself takes no locks.
+
+/// A fixed-capacity chunk of dense-id relational columns. head/relation/tail
+/// are dictionary-encoded globally: the ids index the interned name columns.
+struct RelationalChunk {
+  int64_t base_row = 0;   ///< Global row id of slot 0. Immutable.
+  int64_t capacity = 0;   ///< Slot count. Immutable.
+  std::vector<EntityId> head;
+  std::vector<RelationId> relation;
+  std::vector<EntityId> tail;
+  /// Seal-time permutation indexes: local rows sorted by (head[i], i) and
+  /// (tail[i], i). Empty while the chunk is open; valid for readers whose
+  /// watermark covers the full chunk.
+  std::vector<int32_t> by_head;
+  std::vector<int32_t> by_tail;
+};
+
+/// A fixed-capacity chunk of attribute-triple columns. An *open* chunk
+/// stores values plainly in `values`; sealing builds a fresh immutable
+/// chunk object whose values are dictionary-encoded when the chunk has
+/// enough duplication to pay for it (codes into `dict`), or plain-copied
+/// otherwise. The open object stays alive for older pins.
+struct AttributeChunk {
+  int64_t base_row = 0;
+  int64_t capacity = 0;
+  std::vector<EntityId> entity;
+  std::vector<AttributeId> attribute;
+  std::vector<std::string> values;  ///< Plain values (open or sealed-plain).
+  std::vector<std::string> dict;    ///< Distinct values, first-occurrence order.
+  std::vector<uint32_t> codes;      ///< Per-row dict codes; empty when plain.
+  /// Seal-time permutation index: local rows sorted by (entity[i], i).
+  std::vector<int32_t> by_entity;
+
+  bool dict_encoded() const { return !codes.empty(); }
+  const std::string& value_at(int64_t local) const {
+    return codes.empty() ? values[static_cast<size_t>(local)]
+                         : dict[codes[static_cast<size_t>(local)]];
+  }
+};
+
+/// A fixed-capacity chunk of an interned-name column. Name slots below the
+/// pinned name watermark are immutable, so `const std::string&` returns
+/// stay valid for the life of the store.
+struct NameChunk {
+  int64_t base = 0;
+  std::vector<std::string> slots;
+};
+
+using RelChunkList = std::vector<std::shared_ptr<RelationalChunk>>;
+using AttrChunkList = std::vector<std::shared_ptr<AttributeChunk>>;
+using NameChunkList = std::vector<std::shared_ptr<NameChunk>>;
+
+// ---- Snapshot ---------------------------------------------------------------
+
+/// A pinned, immutable view of the store at one commit: the epoch, the
+/// watermarks (entity/relation/attribute counts and triple row counts), and
+/// shared_ptr'd chunk lists. Pinning is a mutex-guarded copy of ~six
+/// shared_ptrs (no allocation); scanning afterwards is lock-free. A
+/// snapshot stays valid for as long as the handle lives, even while the
+/// writer keeps appending, sealing, and committing — and even after the
+/// store itself is destroyed.
+///
+/// Default-constructed snapshots are empty (zero counts).
+class KgSnapshot {
+ public:
+  KgSnapshot() = default;
+
+  /// Monotonic commit number; 0 for the empty snapshot.
+  uint64_t epoch() const { return epoch_; }
+
+  int64_t num_entities() const { return n_entities_; }
+  int64_t num_relations() const { return n_relations_; }
+  int64_t num_attributes() const { return n_attributes_; }
+  int64_t num_relational_triples() const { return rel_rows_; }
+  int64_t num_attribute_triples() const { return attr_rows_; }
+
+  const std::string& entity_name(EntityId id) const {
+    SDEA_CHECK(id >= 0 && id < n_entities_);
+    return NameAt(*entity_names_, name_cap_, id);
+  }
+  const std::string& relation_name(RelationId id) const {
+    SDEA_CHECK(id >= 0 && id < n_relations_);
+    return NameAt(*relation_names_, name_cap_, id);
+  }
+  const std::string& attribute_name(AttributeId id) const {
+    SDEA_CHECK(id >= 0 && id < n_attributes_);
+    return NameAt(*attribute_names_, name_cap_, id);
+  }
+
+  /// Visits every visible relational triple in row order:
+  /// fn(row, head, relation, tail). The loop reads raw column pointers —
+  /// this is the chunk-iterating scan every migrated hot path runs on.
+  template <typename Fn>
+  void ForEachRelational(Fn&& fn) const {
+    if (rel_chunks_ == nullptr) return;
+    for (const auto& chunk : *rel_chunks_) {
+      const int64_t visible = VisibleRows(*chunk, rel_rows_);
+      if (visible <= 0) break;
+      const EntityId* h = chunk->head.data();
+      const RelationId* r = chunk->relation.data();
+      const EntityId* t = chunk->tail.data();
+      const int64_t base = chunk->base_row;
+      for (int64_t i = 0; i < visible; ++i) {
+        fn(base + i, h[i], r[i], t[i]);
+      }
+    }
+  }
+
+  /// Visits every visible attribute triple in row order:
+  /// fn(row, entity, attribute, const std::string& value).
+  template <typename Fn>
+  void ForEachAttribute(Fn&& fn) const {
+    if (attr_chunks_ == nullptr) return;
+    for (const auto& chunk : *attr_chunks_) {
+      const int64_t visible = VisibleRows(*chunk, attr_rows_);
+      if (visible <= 0) break;
+      const EntityId* e = chunk->entity.data();
+      const AttributeId* a = chunk->attribute.data();
+      const int64_t base = chunk->base_row;
+      for (int64_t i = 0; i < visible; ++i) {
+        fn(base + i, e[i], a[i], chunk->value_at(i));
+      }
+    }
+  }
+
+  RelationalTriple RelationalAt(int64_t row) const {
+    SDEA_CHECK(row >= 0 && row < rel_rows_);
+    const RelationalChunk& c = *(*rel_chunks_)[ChunkIndex(row, rel_cap_)];
+    const auto i = static_cast<size_t>(row - c.base_row);
+    return RelationalTriple{c.head[i], c.relation[i], c.tail[i]};
+  }
+
+  /// The id columns of attribute row `row` (use ValueAt for the value).
+  std::pair<EntityId, AttributeId> AttributeIdsAt(int64_t row) const {
+    SDEA_CHECK(row >= 0 && row < attr_rows_);
+    const AttributeChunk& c = *(*attr_chunks_)[ChunkIndex(row, attr_cap_)];
+    const auto i = static_cast<size_t>(row - c.base_row);
+    return {c.entity[i], c.attribute[i]};
+  }
+
+  /// Value of attribute row `row`; the reference stays valid while any
+  /// handle to this snapshot lives.
+  const std::string& ValueAt(int64_t row) const {
+    SDEA_CHECK(row >= 0 && row < attr_rows_);
+    const AttributeChunk& c = *(*attr_chunks_)[ChunkIndex(row, attr_cap_)];
+    return c.value_at(row - c.base_row);
+  }
+
+  /// Edges incident to `e` (both directions) in insertion order — the exact
+  /// order the legacy adjacency lists used: per triple, the head's outgoing
+  /// edge precedes the tail's incoming edge. Sealed chunks answer via their
+  /// by_head/by_tail indexes; the tail open chunk is scanned linearly.
+  /// Out-of-range ids yield an empty vector.
+  std::vector<NeighborEdge> NeighborsOf(EntityId e) const;
+
+  /// Relational degree of `e` (incident triple count, both directions,
+  /// self-loops counted twice). 0 for out-of-range ids.
+  int64_t DegreeOf(EntityId e) const;
+
+  /// Global attribute rows of entity `e`, ascending (== insertion order).
+  /// Empty for out-of-range ids.
+  std::vector<int64_t> AttributeRowsOf(EntityId e) const;
+
+ private:
+  friend class ColumnarKgStore;
+
+  template <typename Chunk>
+  int64_t VisibleRows(const Chunk& chunk, int64_t watermark) const {
+    return std::min<int64_t>(chunk.capacity, watermark - chunk.base_row);
+  }
+  static int64_t ChunkIndex(int64_t row, int64_t cap) { return row / cap; }
+  static const std::string& NameAt(const NameChunkList& chunks, int64_t cap,
+                                   int64_t id) {
+    return chunks[static_cast<size_t>(id / cap)]
+        ->slots[static_cast<size_t>(id % cap)];
+  }
+
+  uint64_t epoch_ = 0;
+  int64_t n_entities_ = 0;
+  int64_t n_relations_ = 0;
+  int64_t n_attributes_ = 0;
+  int64_t rel_rows_ = 0;
+  int64_t attr_rows_ = 0;
+  int64_t rel_cap_ = 1;
+  int64_t attr_cap_ = 1;
+  int64_t name_cap_ = 1;
+  std::shared_ptr<const RelChunkList> rel_chunks_;
+  std::shared_ptr<const AttrChunkList> attr_chunks_;
+  std::shared_ptr<const NameChunkList> entity_names_;
+  std::shared_ptr<const NameChunkList> relation_names_;
+  std::shared_ptr<const NameChunkList> attribute_names_;
+};
+
+// ---- Store ------------------------------------------------------------------
+
+/// The columnar KG store: dictionary-encoded chunked columns with
+/// epoch-versioned snapshot visibility.
+///
+/// Concurrency contract:
+///  * Exactly one thread may call the Append*/Commit writer API.
+///  * Any number of threads may call Snapshot() concurrently with the
+///    writer; each snapshot is a consistent watermark-prefix of everything
+///    committed, and scanning it is lock-free.
+///  * The Latest* views read uncommitted writer state and are writer-thread
+///    only (the KnowledgeGraph facade uses them for its legacy accessors).
+///
+/// Appends become visible to *new* snapshots only at the next Commit();
+/// pinned snapshots never change. Chunk columns are preallocated, so an
+/// append never moves committed data; when a chunk fills, the writer seals
+/// it (building its scan indexes, and for attribute chunks a
+/// dictionary-encoded immutable replacement) before the covering commit is
+/// published.
+class ColumnarKgStore {
+ public:
+  explicit ColumnarKgStore(const ColumnarOptions& options = {});
+  ColumnarKgStore(const ColumnarKgStore&) = delete;
+  ColumnarKgStore& operator=(const ColumnarKgStore&) = delete;
+
+  const ColumnarOptions& options() const { return opts_; }
+
+  // ---- Writer API (single thread) -----------------------------------------
+
+  /// Appends a name; no interning — the caller (facade) deduplicates.
+  EntityId AppendEntityName(std::string name);
+  RelationId AppendRelationName(std::string name);
+  AttributeId AppendAttributeName(std::string name);
+
+  /// Appends (head, relation, tail). Ids must already be appended.
+  void AppendRelational(EntityId head, RelationId relation, EntityId tail);
+
+  /// Appends (entity, attribute, value). Ids must already be appended.
+  void AppendAttribute(EntityId entity, AttributeId attribute,
+                       std::string value);
+
+  /// Publishes everything appended so far as the new head commit and
+  /// returns its epoch. O(1): a mutex-guarded copy of the watermarks and
+  /// chunk-list pointers — no allocation, sub-microsecond.
+  uint64_t Commit();
+
+  /// True when appends exist that no commit covers yet.
+  bool HasUncommitted() const;
+
+  // ---- Reader API (any thread) --------------------------------------------
+
+  /// Pins the head commit. Safe concurrently with the writer.
+  KgSnapshot Snapshot() const;
+
+  // ---- Writer-latest views (writer thread only) ----------------------------
+
+  int64_t latest_num_entities() const { return appended_entities_; }
+  int64_t latest_num_relations() const { return appended_relations_; }
+  int64_t latest_num_attributes() const { return appended_attributes_; }
+  int64_t latest_rel_rows() const { return appended_rel_rows_; }
+  int64_t latest_attr_rows() const { return appended_attr_rows_; }
+
+  const std::string& LatestEntityName(EntityId id) const;
+  const std::string& LatestRelationName(RelationId id) const;
+  const std::string& LatestAttributeName(AttributeId id) const;
+
+  /// Visits appended relational rows [from_row, latest_rel_rows()) in row
+  /// order: fn(row, head, relation, tail). Includes uncommitted rows.
+  template <typename Fn>
+  void LatestForEachRelational(int64_t from_row, Fn&& fn) const {
+    ScanChunks(*rel_chunks_, appended_rel_rows_, from_row,
+               [&](const RelationalChunk& c, int64_t i) {
+                 fn(c.base_row + i, c.head[static_cast<size_t>(i)],
+                    c.relation[static_cast<size_t>(i)],
+                    c.tail[static_cast<size_t>(i)]);
+               });
+  }
+
+  /// Visits appended attribute rows [from_row, latest_attr_rows()):
+  /// fn(row, entity, attribute, const std::string& value).
+  template <typename Fn>
+  void LatestForEachAttribute(int64_t from_row, Fn&& fn) const {
+    ScanChunks(*attr_chunks_, appended_attr_rows_, from_row,
+               [&](const AttributeChunk& c, int64_t i) {
+                 fn(c.base_row + i, c.entity[static_cast<size_t>(i)],
+                    c.attribute[static_cast<size_t>(i)], c.value_at(i));
+               });
+  }
+
+  /// Approximate heap footprint of the columnar data (columns, dictionaries,
+  /// seal indexes, name chunks) — the numerator of bench_kg's
+  /// bytes-per-triple counter.
+  int64_t ApproxHeapBytes() const;
+
+ private:
+  template <typename List, typename Fn>
+  void ScanChunks(const List& chunks, int64_t end_row, int64_t from_row,
+                  Fn&& fn) const {
+    for (const auto& chunk : chunks) {
+      const int64_t visible =
+          std::min<int64_t>(chunk->capacity, end_row - chunk->base_row);
+      if (visible <= 0) break;
+      const int64_t first =
+          std::max<int64_t>(0, from_row - chunk->base_row);
+      for (int64_t i = first; i < visible; ++i) fn(*chunk, i);
+    }
+  }
+
+  EntityId AppendName(std::shared_ptr<const NameChunkList>* list,
+                      int64_t* count, std::string name);
+  void SealRelChunk(RelationalChunk* chunk);
+  std::shared_ptr<AttributeChunk> SealAttrChunk(const AttributeChunk& open);
+
+  const ColumnarOptions opts_;
+
+  // Writer-side working state. The chunk lists are published as
+  // shared_ptr<const List>; growing or swapping a chunk makes a fresh list
+  // (copy-on-write) so pinned commits keep their exact chunk set.
+  std::shared_ptr<const RelChunkList> rel_chunks_;
+  std::shared_ptr<const AttrChunkList> attr_chunks_;
+  std::shared_ptr<const NameChunkList> entity_names_;
+  std::shared_ptr<const NameChunkList> relation_names_;
+  std::shared_ptr<const NameChunkList> attribute_names_;
+
+  int64_t appended_entities_ = 0;
+  int64_t appended_relations_ = 0;
+  int64_t appended_attributes_ = 0;
+  int64_t appended_rel_rows_ = 0;
+  int64_t appended_attr_rows_ = 0;
+
+  /// Head commit, pinned by Snapshot(). Guarded by commit_mu_; Commit()
+  /// assigns it in place (no allocation), Snapshot() copies it out.
+  mutable std::mutex commit_mu_;
+  KgSnapshot head_;
+  uint64_t next_epoch_ = 1;
+};
+
+}  // namespace sdea::kg
+
+#endif  // SDEA_KG_COLUMNAR_H_

@@ -6,48 +6,88 @@
 #include "base/strings.h"
 
 namespace sdea::kg {
+namespace {
+
+const std::vector<NeighborEdge>& EmptyNeighbors() {
+  static const std::vector<NeighborEdge> empty;
+  return empty;
+}
+
+const std::vector<int64_t>& EmptyIndices() {
+  static const std::vector<int64_t> empty;
+  return empty;
+}
+
+bool HasTsvBreakingChars(const std::string& s) {
+  return s.find_first_of("\t\n\r") != std::string::npos;
+}
+
+}  // namespace
+
+KnowledgeGraph::KnowledgeGraph()
+    : store_(std::make_unique<ColumnarKgStore>()) {}
+
+KnowledgeGraph::KnowledgeGraph(const ColumnarOptions& options)
+    : store_(std::make_unique<ColumnarKgStore>(options)) {}
 
 KnowledgeGraph KnowledgeGraph::Clone() const {
-  KnowledgeGraph out;
-  out.entity_names_ = entity_names_;
-  out.relation_names_ = relation_names_;
-  out.attribute_names_ = attribute_names_;
-  out.entity_ids_ = entity_ids_;
-  out.relation_ids_ = relation_ids_;
-  out.attribute_ids_ = attribute_ids_;
-  out.relational_triples_ = relational_triples_;
-  out.attribute_triples_ = attribute_triples_;
-  out.adjacency_ = adjacency_;
-  out.entity_attributes_ = entity_attributes_;
+  KnowledgeGraph out(store_->options());
+  out.BeginBulkLoad();
+  for (EntityId e = 0; e < num_entities(); ++e) {
+    out.AddEntity(entity_name(e));
+  }
+  for (RelationId r = 0; r < num_relations(); ++r) {
+    out.AddRelation(relation_name(r));
+  }
+  for (AttributeId a = 0; a < num_attributes(); ++a) {
+    out.AddAttribute(attribute_name(a));
+  }
+  store_->LatestForEachRelational(
+      0, [&](int64_t /*row*/, EntityId h, RelationId r, EntityId t) {
+        out.AddRelationalTriple(h, r, t);
+      });
+  store_->LatestForEachAttribute(
+      0, [&](int64_t /*row*/, EntityId e, AttributeId a,
+             const std::string& value) { out.AddAttributeTriple(e, a, value); });
+  out.EndBulkLoad();
   return out;
+}
+
+void KnowledgeGraph::MaybeCommit() {
+  if (!bulk_load_) store_->Commit();
+}
+
+void KnowledgeGraph::BeginBulkLoad() { bulk_load_ = true; }
+
+void KnowledgeGraph::EndBulkLoad() {
+  bulk_load_ = false;
+  store_->Commit();
 }
 
 EntityId KnowledgeGraph::AddEntity(const std::string& name) {
   auto it = entity_ids_.find(name);
   if (it != entity_ids_.end()) return it->second;
-  const EntityId id = static_cast<EntityId>(entity_names_.size());
-  entity_names_.push_back(name);
+  const EntityId id = store_->AppendEntityName(name);
   entity_ids_.emplace(name, id);
-  adjacency_.emplace_back();
-  entity_attributes_.emplace_back();
+  MaybeCommit();
   return id;
 }
 
 RelationId KnowledgeGraph::AddRelation(const std::string& name) {
   auto it = relation_ids_.find(name);
   if (it != relation_ids_.end()) return it->second;
-  const RelationId id = static_cast<RelationId>(relation_names_.size());
-  relation_names_.push_back(name);
+  const RelationId id = store_->AppendRelationName(name);
   relation_ids_.emplace(name, id);
+  MaybeCommit();
   return id;
 }
 
 AttributeId KnowledgeGraph::AddAttribute(const std::string& name) {
   auto it = attribute_ids_.find(name);
   if (it != attribute_ids_.end()) return it->second;
-  const AttributeId id = static_cast<AttributeId>(attribute_names_.size());
-  attribute_names_.push_back(name);
+  const AttributeId id = store_->AppendAttributeName(name);
   attribute_ids_.emplace(name, id);
+  MaybeCommit();
   return id;
 }
 
@@ -56,11 +96,8 @@ void KnowledgeGraph::AddRelationalTriple(EntityId head, RelationId relation,
   SDEA_CHECK(head >= 0 && head < num_entities());
   SDEA_CHECK(tail >= 0 && tail < num_entities());
   SDEA_CHECK(relation >= 0 && relation < num_relations());
-  relational_triples_.push_back(RelationalTriple{head, relation, tail});
-  adjacency_[static_cast<size_t>(head)].push_back(
-      NeighborEdge{relation, tail, /*outgoing=*/true});
-  adjacency_[static_cast<size_t>(tail)].push_back(
-      NeighborEdge{relation, head, /*outgoing=*/false});
+  store_->AppendRelational(head, relation, tail);
+  MaybeCommit();
 }
 
 void KnowledgeGraph::AddAttributeTriple(EntityId entity,
@@ -68,25 +105,8 @@ void KnowledgeGraph::AddAttributeTriple(EntityId entity,
                                         std::string value) {
   SDEA_CHECK(entity >= 0 && entity < num_entities());
   SDEA_CHECK(attribute >= 0 && attribute < num_attributes());
-  const int64_t index = static_cast<int64_t>(attribute_triples_.size());
-  attribute_triples_.push_back(
-      AttributeTriple{entity, attribute, std::move(value)});
-  entity_attributes_[static_cast<size_t>(entity)].push_back(index);
-}
-
-const std::string& KnowledgeGraph::entity_name(EntityId id) const {
-  SDEA_CHECK(id >= 0 && id < num_entities());
-  return entity_names_[static_cast<size_t>(id)];
-}
-
-const std::string& KnowledgeGraph::relation_name(RelationId id) const {
-  SDEA_CHECK(id >= 0 && id < num_relations());
-  return relation_names_[static_cast<size_t>(id)];
-}
-
-const std::string& KnowledgeGraph::attribute_name(AttributeId id) const {
-  SDEA_CHECK(id >= 0 && id < num_attributes());
-  return attribute_names_[static_cast<size_t>(id)];
+  store_->AppendAttribute(entity, attribute, std::move(value));
+  MaybeCommit();
 }
 
 Result<EntityId> KnowledgeGraph::FindEntity(const std::string& name) const {
@@ -115,18 +135,84 @@ Result<AttributeId> KnowledgeGraph::FindAttribute(
   return it->second;
 }
 
+void KnowledgeGraph::TopUpRowMirrors() const {
+  const int64_t rel_rows = store_->latest_rel_rows();
+  if (row_mirror_rel_rows_ < rel_rows) {
+    rel_mirror_.reserve(static_cast<size_t>(rel_rows));
+    store_->LatestForEachRelational(
+        row_mirror_rel_rows_,
+        [&](int64_t /*row*/, EntityId h, RelationId r, EntityId t) {
+          rel_mirror_.push_back(RelationalTriple{h, r, t});
+        });
+    row_mirror_rel_rows_ = rel_rows;
+  }
+  const int64_t attr_rows = store_->latest_attr_rows();
+  if (row_mirror_attr_rows_ < attr_rows) {
+    attr_mirror_.reserve(static_cast<size_t>(attr_rows));
+    store_->LatestForEachAttribute(
+        row_mirror_attr_rows_,
+        [&](int64_t /*row*/, EntityId e, AttributeId a,
+            const std::string& value) {
+          attr_mirror_.push_back(AttributeTriple{e, a, value});
+        });
+    row_mirror_attr_rows_ = attr_rows;
+  }
+}
+
+void KnowledgeGraph::TopUpEntityMirrors() const {
+  adjacency_mirror_.resize(static_cast<size_t>(num_entities()));
+  entity_attr_mirror_.resize(static_cast<size_t>(num_entities()));
+  const int64_t rel_rows = store_->latest_rel_rows();
+  if (entity_mirror_rel_rows_ < rel_rows) {
+    store_->LatestForEachRelational(
+        entity_mirror_rel_rows_,
+        [&](int64_t /*row*/, EntityId h, RelationId r, EntityId t) {
+          adjacency_mirror_[static_cast<size_t>(h)].push_back(
+              NeighborEdge{r, t, /*outgoing=*/true});
+          adjacency_mirror_[static_cast<size_t>(t)].push_back(
+              NeighborEdge{r, h, /*outgoing=*/false});
+        });
+    entity_mirror_rel_rows_ = rel_rows;
+  }
+  const int64_t attr_rows = store_->latest_attr_rows();
+  if (entity_mirror_attr_rows_ < attr_rows) {
+    store_->LatestForEachAttribute(
+        entity_mirror_attr_rows_,
+        [&](int64_t row, EntityId e, AttributeId /*a*/,
+            const std::string& /*value*/) {
+          entity_attr_mirror_[static_cast<size_t>(e)].push_back(row);
+        });
+    entity_mirror_attr_rows_ = attr_rows;
+  }
+}
+
+const std::vector<RelationalTriple>& KnowledgeGraph::relational_triples()
+    const {
+  TopUpRowMirrors();
+  return rel_mirror_;
+}
+
+const std::vector<AttributeTriple>& KnowledgeGraph::attribute_triples()
+    const {
+  TopUpRowMirrors();
+  return attr_mirror_;
+}
+
 const std::vector<NeighborEdge>& KnowledgeGraph::neighbors(EntityId e) const {
-  SDEA_CHECK(e >= 0 && e < num_entities());
-  return adjacency_[static_cast<size_t>(e)];
+  if (e < 0 || e >= num_entities()) return EmptyNeighbors();
+  TopUpEntityMirrors();
+  return adjacency_mirror_[static_cast<size_t>(e)];
 }
 
 const std::vector<int64_t>& KnowledgeGraph::attribute_triples_of(
     EntityId e) const {
-  SDEA_CHECK(e >= 0 && e < num_entities());
-  return entity_attributes_[static_cast<size_t>(e)];
+  if (e < 0 || e >= num_entities()) return EmptyIndices();
+  TopUpEntityMirrors();
+  return entity_attr_mirror_[static_cast<size_t>(e)];
 }
 
 int64_t KnowledgeGraph::degree(EntityId e) const {
+  if (e < 0 || e >= num_entities()) return 0;
   return static_cast<int64_t>(neighbors(e).size());
 }
 
@@ -135,12 +221,18 @@ KgStatistics KnowledgeGraph::ComputeStatistics() const {
   s.num_entities = num_entities();
   s.num_relations = num_relations();
   s.num_attributes = num_attributes();
-  s.num_relational_triples =
-      static_cast<int64_t>(relational_triples_.size());
-  s.num_attribute_triples = static_cast<int64_t>(attribute_triples_.size());
+  s.num_relational_triples = store_->latest_rel_rows();
+  s.num_attribute_triples = store_->latest_attr_rows();
+  // One columnar pass accumulates every entity's degree; no adjacency
+  // mirror is materialized.
+  std::vector<int64_t> degrees(static_cast<size_t>(num_entities()), 0);
+  store_->LatestForEachRelational(
+      0, [&](int64_t /*row*/, EntityId h, RelationId /*r*/, EntityId t) {
+        ++degrees[static_cast<size_t>(h)];
+        ++degrees[static_cast<size_t>(t)];
+      });
   int64_t with_edges = 0, le3 = 0, le5 = 0, le10 = 0;
-  for (EntityId e = 0; e < num_entities(); ++e) {
-    const int64_t d = degree(e);
+  for (const int64_t d : degrees) {
     if (d == 0) continue;
     ++with_edges;
     if (d <= 3) ++le3;
@@ -156,25 +248,53 @@ KgStatistics KnowledgeGraph::ComputeStatistics() const {
 }
 
 Status KnowledgeGraph::SaveTsv(const std::string& prefix) const {
-  std::vector<std::vector<std::string>> rel_rows;
-  rel_rows.reserve(relational_triples_.size());
-  for (const RelationalTriple& t : relational_triples_) {
-    rel_rows.push_back({entity_name(t.head), relation_name(t.relation),
-                        entity_name(t.tail)});
+  // Names become unescaped key fields in both files; a tab or newline in a
+  // name cannot be written compatibly, so reject it up front rather than
+  // corrupt the row structure.
+  for (EntityId e = 0; e < num_entities(); ++e) {
+    if (HasTsvBreakingChars(entity_name(e))) {
+      return Status::InvalidArgument(
+          "entity name contains tab/newline, not representable in TSV: " +
+          entity_name(e));
+    }
   }
+  for (RelationId r = 0; r < num_relations(); ++r) {
+    if (HasTsvBreakingChars(relation_name(r))) {
+      return Status::InvalidArgument(
+          "relation name contains tab/newline, not representable in TSV: " +
+          relation_name(r));
+    }
+  }
+  for (AttributeId a = 0; a < num_attributes(); ++a) {
+    if (HasTsvBreakingChars(attribute_name(a))) {
+      return Status::InvalidArgument(
+          "attribute name contains tab/newline, not representable in TSV: " +
+          attribute_name(a));
+    }
+  }
+  std::vector<std::vector<std::string>> rel_rows;
+  rel_rows.reserve(static_cast<size_t>(store_->latest_rel_rows()));
+  store_->LatestForEachRelational(
+      0, [&](int64_t /*row*/, EntityId h, RelationId r, EntityId t) {
+        rel_rows.push_back(
+            {entity_name(h), relation_name(r), entity_name(t)});
+      });
   SDEA_RETURN_IF_ERROR(WriteTsv(prefix + "_rel_triples", rel_rows));
   std::vector<std::vector<std::string>> attr_rows;
-  attr_rows.reserve(attribute_triples_.size());
-  for (const AttributeTriple& t : attribute_triples_) {
-    attr_rows.push_back(
-        {entity_name(t.entity), attribute_name(t.attribute), t.value});
-  }
+  attr_rows.reserve(static_cast<size_t>(store_->latest_attr_rows()));
+  store_->LatestForEachAttribute(
+      0, [&](int64_t /*row*/, EntityId e, AttributeId a,
+             const std::string& value) {
+        attr_rows.push_back(
+            {entity_name(e), attribute_name(a), EscapeTsvField(value)});
+      });
   return WriteTsv(prefix + "_attr_triples", attr_rows);
 }
 
 Result<KnowledgeGraph> KnowledgeGraph::LoadTsv(const std::string& prefix,
                                                bool require_attributes) {
   KnowledgeGraph g;
+  g.BeginBulkLoad();
   SDEA_ASSIGN_OR_RETURN(auto rel_rows, ReadTsv(prefix + "_rel_triples"));
   for (const auto& row : rel_rows) {
     if (row.size() != 3) {
@@ -191,6 +311,7 @@ Result<KnowledgeGraph> KnowledgeGraph::LoadTsv(const std::string& prefix,
     if (require_attributes) {
       return Status::NotFound("missing attribute triples: " + attr_path);
     }
+    g.EndBulkLoad();
     return g;
   }
   SDEA_ASSIGN_OR_RETURN(auto attr_rows, ReadTsv(attr_path));
@@ -201,14 +322,17 @@ Result<KnowledgeGraph> KnowledgeGraph::LoadTsv(const std::string& prefix,
     }
     const EntityId e = g.AddEntity(row[0]);
     const AttributeId a = g.AddAttribute(row[1]);
-    // Values may legitimately contain tabs that Split broke apart; re-join.
+    // Files written by the escaping SaveTsv always have exactly 3 fields.
+    // Pre-escaping files could carry raw tabs in free-text values that
+    // Split broke apart; keep the legacy re-join (with spaces) for those.
     std::string value = row[2];
     for (size_t i = 3; i < row.size(); ++i) {
       value += ' ';
       value += row[i];
     }
-    g.AddAttributeTriple(e, a, std::move(value));
+    g.AddAttributeTriple(e, a, UnescapeTsvField(value));
   }
+  g.EndBulkLoad();
   return g;
 }
 

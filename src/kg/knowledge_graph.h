@@ -2,46 +2,17 @@
 #define SDEA_KG_KNOWLEDGE_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "base/status.h"
+#include "kg/columnar.h"
+#include "kg/types.h"
 
 namespace sdea::kg {
-
-using EntityId = int32_t;
-using RelationId = int32_t;
-using AttributeId = int32_t;
-
-inline constexpr EntityId kInvalidEntity = -1;
-
-/// (head, relation, tail) — Definition 1's relational triple.
-struct RelationalTriple {
-  EntityId head;
-  RelationId relation;
-  EntityId tail;
-
-  bool operator==(const RelationalTriple&) const = default;
-};
-
-/// (entity, attribute, value) — Definition 1's attributed triple. Values are
-/// free text (short fields, numbers, or long sentences).
-struct AttributeTriple {
-  EntityId entity;
-  AttributeId attribute;
-  std::string value;
-
-  bool operator==(const AttributeTriple&) const = default;
-};
-
-/// One edge as seen from an entity: the relation and the other endpoint.
-/// `outgoing` is true when the entity is the head of the underlying triple.
-struct NeighborEdge {
-  RelationId relation;
-  EntityId neighbor;
-  bool outgoing;
-};
 
 /// Summary statistics used by Table I / Table VI style reporting.
 struct KgStatistics {
@@ -58,12 +29,29 @@ struct KgStatistics {
   double degree_le10 = 0.0;
 };
 
-/// In-memory store for one knowledge graph KG = {E, R, A, V, Tr, Ta}
-/// (Definition 1). Entities/relations/attributes are interned to dense ids;
-/// adjacency and per-entity attribute lists are maintained incrementally.
+/// One knowledge graph KG = {E, R, A, V, Tr, Ta} (Definition 1), stored as
+/// a columnar MVCC store (ColumnarKgStore): entities/relations/attributes
+/// are interned to dense ids, and triples live in chunked dense-id columns
+/// with epoch-versioned snapshot visibility.
+///
+/// This class is the single-writer facade. Its mutation API and its legacy
+/// accessors (the `const std::vector<...>&` views below) are writer-thread
+/// only. Concurrent readers pin a KgSnapshot via Snapshot() and scan that:
+/// snapshots are immutable watermark-prefixes of the committed graph and
+/// stay consistent while the writer keeps adding.
+///
+/// Each Add* publishes a commit, so Snapshot() always reflects every prior
+/// Add. Bulk construction (loaders, the generator) brackets its adds with
+/// BeginBulkLoad()/EndBulkLoad() to defer commits to one publish at the
+/// end.
+///
+/// The legacy row/adjacency views are materialized lazily the first time
+/// they are used (and topped up incrementally afterwards), so code that
+/// sticks to snapshots and visitors never pays for the row-store mirror.
 class KnowledgeGraph {
  public:
-  KnowledgeGraph() = default;
+  KnowledgeGraph();
+  explicit KnowledgeGraph(const ColumnarOptions& options);
 
   // Movable (large), not copyable by accident.
   KnowledgeGraph(KnowledgeGraph&&) = default;
@@ -71,7 +59,7 @@ class KnowledgeGraph {
   KnowledgeGraph(const KnowledgeGraph&) = delete;
   KnowledgeGraph& operator=(const KnowledgeGraph&) = delete;
 
-  /// Explicit deep copy.
+  /// Explicit deep copy (replays this graph into a fresh store).
   KnowledgeGraph Clone() const;
 
   // ---- Construction --------------------------------------------------------
@@ -88,70 +76,100 @@ class KnowledgeGraph {
   void AddAttributeTriple(EntityId entity, AttributeId attribute,
                           std::string value);
 
+  /// Defers commit publication until EndBulkLoad(): bulk builders avoid a
+  /// commit per row. Snapshot() taken mid-bulk pins the last publish.
+  void BeginBulkLoad();
+  void EndBulkLoad();
+
+  // ---- MVCC ----------------------------------------------------------------
+
+  /// Pins the latest committed state. Safe to call from any thread
+  /// concurrently with the writer; scanning the snapshot is lock-free.
+  KgSnapshot Snapshot() const { return store_->Snapshot(); }
+
+  /// The underlying columnar store (memory accounting, direct writer use).
+  const ColumnarKgStore& columnar() const { return *store_; }
+
   // ---- Lookup --------------------------------------------------------------
 
-  int64_t num_entities() const {
-    return static_cast<int64_t>(entity_names_.size());
-  }
-  int64_t num_relations() const {
-    return static_cast<int64_t>(relation_names_.size());
-  }
-  int64_t num_attributes() const {
-    return static_cast<int64_t>(attribute_names_.size());
-  }
+  int64_t num_entities() const { return store_->latest_num_entities(); }
+  int64_t num_relations() const { return store_->latest_num_relations(); }
+  int64_t num_attributes() const { return store_->latest_num_attributes(); }
 
-  const std::string& entity_name(EntityId id) const;
-  const std::string& relation_name(RelationId id) const;
-  const std::string& attribute_name(AttributeId id) const;
+  const std::string& entity_name(EntityId id) const {
+    return store_->LatestEntityName(id);
+  }
+  const std::string& relation_name(RelationId id) const {
+    return store_->LatestRelationName(id);
+  }
+  const std::string& attribute_name(AttributeId id) const {
+    return store_->LatestAttributeName(id);
+  }
 
   /// Id of the entity with `name`, or NotFound.
   Result<EntityId> FindEntity(const std::string& name) const;
   Result<RelationId> FindRelation(const std::string& name) const;
   Result<AttributeId> FindAttribute(const std::string& name) const;
 
-  const std::vector<RelationalTriple>& relational_triples() const {
-    return relational_triples_;
-  }
-  const std::vector<AttributeTriple>& attribute_triples() const {
-    return attribute_triples_;
-  }
+  /// Legacy row view of the relational triples, materialized from the
+  /// columns on first use. Prefer Snapshot().ForEachRelational on scans.
+  const std::vector<RelationalTriple>& relational_triples() const;
 
-  /// Edges incident to `e` (both directions), in insertion order.
+  /// Legacy row view of the attribute triples (value strings are copied
+  /// out of the columns). Prefer Snapshot().ForEachAttribute on scans.
+  const std::vector<AttributeTriple>& attribute_triples() const;
+
+  /// Edges incident to `e` (both directions), in insertion order. Returns
+  /// an empty list for out-of-range ids (never undefined behaviour).
   const std::vector<NeighborEdge>& neighbors(EntityId e) const;
 
   /// Indices into attribute_triples() for entity `e`, in insertion order.
+  /// Empty for out-of-range ids.
   const std::vector<int64_t>& attribute_triples_of(EntityId e) const;
 
   /// Relational degree of `e` (count of incident relational triples).
+  /// 0 for out-of-range ids.
   int64_t degree(EntityId e) const;
 
-  /// Computes Table I / Table VI style statistics.
+  /// Computes Table I / Table VI style statistics (one columnar pass).
   KgStatistics ComputeStatistics() const;
 
   // ---- Serialization (DBP15K-style TSV layout) ------------------------------
 
   /// Writes `<prefix>_rel_triples` (head \t relation \t tail, by name) and
-  /// `<prefix>_attr_triples` (entity \t attribute \t value).
+  /// `<prefix>_attr_triples` (entity \t attribute \t value). Attribute
+  /// values are TSV-escaped (\t, \n, \r, \\), so free-text values with
+  /// embedded tabs/newlines round-trip; names containing those characters
+  /// cannot be escaped compatibly and are rejected with InvalidArgument.
   Status SaveTsv(const std::string& prefix) const;
 
-  /// Loads a graph written by SaveTsv. Missing attribute file is an error;
-  /// pass `require_attributes=false` for relation-only graphs.
+  /// Loads a graph written by SaveTsv (unescaping attribute values).
+  /// Missing attribute file is an error; pass `require_attributes=false`
+  /// for relation-only graphs.
   static Result<KnowledgeGraph> LoadTsv(const std::string& prefix,
                                         bool require_attributes = true);
 
  private:
-  std::vector<std::string> entity_names_;
-  std::vector<std::string> relation_names_;
-  std::vector<std::string> attribute_names_;
+  void MaybeCommit();
+  void TopUpRowMirrors() const;
+  void TopUpEntityMirrors() const;
+
+  std::unique_ptr<ColumnarKgStore> store_;
+  bool bulk_load_ = false;
+
   std::unordered_map<std::string, EntityId> entity_ids_;
   std::unordered_map<std::string, RelationId> relation_ids_;
   std::unordered_map<std::string, AttributeId> attribute_ids_;
 
-  std::vector<RelationalTriple> relational_triples_;
-  std::vector<AttributeTriple> attribute_triples_;
-
-  std::vector<std::vector<NeighborEdge>> adjacency_;
-  std::vector<std::vector<int64_t>> entity_attributes_;
+  // Lazily materialized legacy views (writer-thread only; see class docs).
+  mutable std::vector<RelationalTriple> rel_mirror_;
+  mutable std::vector<AttributeTriple> attr_mirror_;
+  mutable int64_t row_mirror_rel_rows_ = 0;
+  mutable int64_t row_mirror_attr_rows_ = 0;
+  mutable std::vector<std::vector<NeighborEdge>> adjacency_mirror_;
+  mutable std::vector<std::vector<int64_t>> entity_attr_mirror_;
+  mutable int64_t entity_mirror_rel_rows_ = 0;
+  mutable int64_t entity_mirror_attr_rows_ = 0;
 };
 
 /// A ground-truth alignment between two KGs plus its 2:1:7 split

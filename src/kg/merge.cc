@@ -21,6 +21,12 @@ Result<KnowledgeGraph> MergeKnowledgeBases(const KnowledgeGraph& kg1,
   *rep = MergeReport{};
 
   KnowledgeGraph merged = kg1.Clone();
+  // The clone is fully committed, so this snapshot is exactly KG1's triples
+  // — the dedup baseline below scans it columnar-style. All further merged
+  // mutation happens under one bulk load (a single commit at the end).
+  const KgSnapshot merged_snap = merged.Snapshot();
+  const KgSnapshot snap2 = kg2.Snapshot();
+  merged.BeginBulkLoad();
 
   // Invert the match: kg2 entity -> merged (kg1) entity.
   rep->kg2_to_merged.assign(static_cast<size_t>(kg2.num_entities()),
@@ -61,14 +67,15 @@ Result<KnowledgeGraph> MergeKnowledgeBases(const KnowledgeGraph& kg1,
   std::set<std::tuple<EntityId, RelationId, EntityId>> rel_seen;
   std::set<std::tuple<EntityId, AttributeId, std::string>> attr_seen;
   if (options.deduplicate_relational) {
-    for (const RelationalTriple& t : merged.relational_triples()) {
-      rel_seen.emplace(t.head, t.relation, t.tail);
-    }
+    merged_snap.ForEachRelational(
+        [&](int64_t /*row*/, EntityId h, RelationId r, EntityId t) {
+          rel_seen.emplace(h, r, t);
+        });
   }
   if (options.deduplicate_attributes) {
-    for (const AttributeTriple& t : merged.attribute_triples()) {
-      attr_seen.emplace(t.entity, t.attribute, t.value);
-    }
+    merged_snap.ForEachAttribute(
+        [&](int64_t /*row*/, EntityId e, AttributeId a,
+            const std::string& value) { attr_seen.emplace(e, a, value); });
   }
 
   // KG2 schema: reuse a KG1 relation/attribute when the NAME matches (a
@@ -86,27 +93,31 @@ Result<KnowledgeGraph> MergeKnowledgeBases(const KnowledgeGraph& kg1,
     return merged.AddAttribute(options.kg2_schema_prefix + name);
   };
 
-  for (const RelationalTriple& t : kg2.relational_triples()) {
-    const EntityId h = rep->kg2_to_merged[static_cast<size_t>(t.head)];
-    const EntityId tail = rep->kg2_to_merged[static_cast<size_t>(t.tail)];
-    const RelationId r = map_relation(t.relation);
-    if (options.deduplicate_relational &&
-        !rel_seen.emplace(h, r, tail).second) {
-      ++rep->duplicate_relational;
-      continue;
-    }
-    merged.AddRelationalTriple(h, r, tail);
-  }
-  for (const AttributeTriple& t : kg2.attribute_triples()) {
-    const EntityId e = rep->kg2_to_merged[static_cast<size_t>(t.entity)];
-    const AttributeId a = map_attribute(t.attribute);
-    if (options.deduplicate_attributes &&
-        !attr_seen.emplace(e, a, t.value).second) {
-      ++rep->duplicate_attributes;
-      continue;
-    }
-    merged.AddAttributeTriple(e, a, t.value);
-  }
+  snap2.ForEachRelational(
+      [&](int64_t /*row*/, EntityId head, RelationId relation, EntityId tl) {
+        const EntityId h = rep->kg2_to_merged[static_cast<size_t>(head)];
+        const EntityId tail = rep->kg2_to_merged[static_cast<size_t>(tl)];
+        const RelationId r = map_relation(relation);
+        if (options.deduplicate_relational &&
+            !rel_seen.emplace(h, r, tail).second) {
+          ++rep->duplicate_relational;
+          return;
+        }
+        merged.AddRelationalTriple(h, r, tail);
+      });
+  snap2.ForEachAttribute(
+      [&](int64_t /*row*/, EntityId entity, AttributeId attribute,
+          const std::string& value) {
+        const EntityId e = rep->kg2_to_merged[static_cast<size_t>(entity)];
+        const AttributeId a = map_attribute(attribute);
+        if (options.deduplicate_attributes &&
+            !attr_seen.emplace(e, a, value).second) {
+          ++rep->duplicate_attributes;
+          return;
+        }
+        merged.AddAttributeTriple(e, a, value);
+      });
+  merged.EndBulkLoad();
   return merged;
 }
 

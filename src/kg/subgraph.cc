@@ -6,17 +6,35 @@
 #include "base/check.h"
 
 namespace sdea::kg {
+namespace {
+
+/// One columnar pass over the snapshot's relational rows accumulating every
+/// entity's degree — replaces a per-entity adjacency walk.
+std::vector<int64_t> ComputeDegrees(const KgSnapshot& snap) {
+  std::vector<int64_t> degrees(static_cast<size_t>(snap.num_entities()), 0);
+  snap.ForEachRelational(
+      [&](int64_t /*row*/, EntityId h, RelationId /*r*/, EntityId t) {
+        ++degrees[static_cast<size_t>(h)];
+        ++degrees[static_cast<size_t>(t)];
+      });
+  return degrees;
+}
+
+}  // namespace
 
 KnowledgeGraph CondenseByPopularity(const KnowledgeGraph& graph,
                                     const CondenseOptions& options,
                                     std::vector<EntityId>* old_to_new) {
-  const int64_t n = graph.num_entities();
+  const KgSnapshot snap = graph.Snapshot();
+  const int64_t n = snap.num_entities();
   // Rank entities by degree (desc); entities in the top
   // popularity_fraction are "popular".
+  const std::vector<int64_t> degrees = ComputeDegrees(snap);
   std::vector<EntityId> order(static_cast<size_t>(n));
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](EntityId a, EntityId b) {
-    const int64_t da = graph.degree(a), db = graph.degree(b);
+    const int64_t da = degrees[static_cast<size_t>(a)];
+    const int64_t db = degrees[static_cast<size_t>(b)];
     if (da != db) return da > db;
     return a < b;
   });
@@ -30,16 +48,17 @@ KnowledgeGraph CondenseByPopularity(const KnowledgeGraph& graph,
 
   // Select triples between popular endpoints; backfill by global degree
   // order if below min_triples.
-  std::vector<bool> keep_triple(graph.relational_triples().size(), false);
+  std::vector<bool> keep_triple(
+      static_cast<size_t>(snap.num_relational_triples()), false);
   int64_t kept = 0;
-  for (size_t i = 0; i < graph.relational_triples().size(); ++i) {
-    const RelationalTriple& t = graph.relational_triples()[i];
-    if (popular[static_cast<size_t>(t.head)] &&
-        popular[static_cast<size_t>(t.tail)]) {
-      keep_triple[i] = true;
-      ++kept;
-    }
-  }
+  snap.ForEachRelational(
+      [&](int64_t row, EntityId h, RelationId /*r*/, EntityId t) {
+        if (popular[static_cast<size_t>(h)] &&
+            popular[static_cast<size_t>(t)]) {
+          keep_triple[static_cast<size_t>(row)] = true;
+          ++kept;
+        }
+      });
   for (size_t i = 0;
        kept < options.min_triples && i < keep_triple.size(); ++i) {
     if (!keep_triple[i]) {
@@ -51,33 +70,37 @@ KnowledgeGraph CondenseByPopularity(const KnowledgeGraph& graph,
   // Surviving entities.
   std::vector<bool> survives(static_cast<size_t>(n),
                              !options.drop_isolated);
-  for (size_t i = 0; i < keep_triple.size(); ++i) {
-    if (!keep_triple[i]) continue;
-    const RelationalTriple& t = graph.relational_triples()[i];
-    survives[static_cast<size_t>(t.head)] = true;
-    survives[static_cast<size_t>(t.tail)] = true;
-  }
+  snap.ForEachRelational(
+      [&](int64_t row, EntityId h, RelationId /*r*/, EntityId t) {
+        if (!keep_triple[static_cast<size_t>(row)]) return;
+        survives[static_cast<size_t>(h)] = true;
+        survives[static_cast<size_t>(t)] = true;
+      });
 
   KnowledgeGraph out;
+  out.BeginBulkLoad();
   std::vector<EntityId> remap(static_cast<size_t>(n), kInvalidEntity);
   for (EntityId e = 0; e < n; ++e) {
     if (survives[static_cast<size_t>(e)]) {
-      remap[static_cast<size_t>(e)] = out.AddEntity(graph.entity_name(e));
+      remap[static_cast<size_t>(e)] = out.AddEntity(snap.entity_name(e));
     }
   }
-  for (size_t i = 0; i < keep_triple.size(); ++i) {
-    if (!keep_triple[i]) continue;
-    const RelationalTriple& t = graph.relational_triples()[i];
-    const RelationId r = out.AddRelation(graph.relation_name(t.relation));
-    out.AddRelationalTriple(remap[static_cast<size_t>(t.head)], r,
-                            remap[static_cast<size_t>(t.tail)]);
-  }
-  for (const AttributeTriple& t : graph.attribute_triples()) {
-    const EntityId e = remap[static_cast<size_t>(t.entity)];
-    if (e == kInvalidEntity) continue;
-    const AttributeId a = out.AddAttribute(graph.attribute_name(t.attribute));
-    out.AddAttributeTriple(e, a, t.value);
-  }
+  snap.ForEachRelational(
+      [&](int64_t row, EntityId h, RelationId rel, EntityId t) {
+        if (!keep_triple[static_cast<size_t>(row)]) return;
+        const RelationId r = out.AddRelation(snap.relation_name(rel));
+        out.AddRelationalTriple(remap[static_cast<size_t>(h)], r,
+                                remap[static_cast<size_t>(t)]);
+      });
+  snap.ForEachAttribute(
+      [&](int64_t /*row*/, EntityId entity, AttributeId attribute,
+          const std::string& value) {
+        const EntityId e = remap[static_cast<size_t>(entity)];
+        if (e == kInvalidEntity) return;
+        const AttributeId a = out.AddAttribute(snap.attribute_name(attribute));
+        out.AddAttributeTriple(e, a, value);
+      });
+  out.EndBulkLoad();
   if (old_to_new != nullptr) *old_to_new = std::move(remap);
   return out;
 }
@@ -85,9 +108,11 @@ KnowledgeGraph CondenseByPopularity(const KnowledgeGraph& graph,
 std::vector<int64_t> DegreeHistogram(const KnowledgeGraph& graph,
                                      int64_t max_degree) {
   SDEA_CHECK_GE(max_degree, 1);
+  const KgSnapshot snap = graph.Snapshot();
+  const std::vector<int64_t> degrees = ComputeDegrees(snap);
   std::vector<int64_t> hist(static_cast<size_t>(max_degree) + 1, 0);
-  for (EntityId e = 0; e < graph.num_entities(); ++e) {
-    const int64_t d = std::min(graph.degree(e), max_degree);
+  for (const int64_t degree : degrees) {
+    const int64_t d = std::min(degree, max_degree);
     ++hist[static_cast<size_t>(d)];
   }
   return hist;

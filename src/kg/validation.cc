@@ -30,6 +30,7 @@ const char* KindName(ValidationIssue::Kind kind) {
 
 ValidationReport ValidateKnowledgeGraph(const KnowledgeGraph& graph,
                                         const ValidationOptions& options) {
+  const KgSnapshot snap = graph.Snapshot();
   ValidationReport report;
   auto full = [&]() {
     return options.max_issues > 0 &&
@@ -39,51 +40,55 @@ ValidationReport ValidateKnowledgeGraph(const KnowledgeGraph& graph,
     if (!full()) report.issues.push_back(std::move(issue));
   };
 
+  // One columnar pass per triple section; the isolation check afterwards
+  // reuses the degree/attribute marks instead of per-entity adjacency walks.
+  std::vector<bool> has_edge(static_cast<size_t>(snap.num_entities()), false);
+  std::vector<bool> has_attr(static_cast<size_t>(snap.num_entities()), false);
+
   std::set<std::tuple<EntityId, RelationId, EntityId>> rel_seen;
-  const auto& rels = graph.relational_triples();
-  for (size_t i = 0; i < rels.size(); ++i) {
-    const RelationalTriple& t = rels[i];
-    if (t.head == t.tail) {
-      ++report.self_loops;
-      add({ValidationIssue::Kind::kSelfLoop, t.head,
-           static_cast<int64_t>(i),
-           "relational triple with head == tail"});
-    }
-    if (!rel_seen.emplace(t.head, t.relation, t.tail).second) {
-      ++report.duplicate_triples;
-      add({ValidationIssue::Kind::kDuplicateTriple, t.head,
-           static_cast<int64_t>(i), "repeated relational triple"});
-    }
-  }
+  snap.ForEachRelational(
+      [&](int64_t row, EntityId h, RelationId r, EntityId t) {
+        has_edge[static_cast<size_t>(h)] = true;
+        has_edge[static_cast<size_t>(t)] = true;
+        if (h == t) {
+          ++report.self_loops;
+          add({ValidationIssue::Kind::kSelfLoop, h, row,
+               "relational triple with head == tail"});
+        }
+        if (!rel_seen.emplace(h, r, t).second) {
+          ++report.duplicate_triples;
+          add({ValidationIssue::Kind::kDuplicateTriple, h, row,
+               "repeated relational triple"});
+        }
+      });
 
   std::set<std::tuple<EntityId, AttributeId, std::string>> attr_seen;
-  const auto& attrs = graph.attribute_triples();
-  for (size_t i = 0; i < attrs.size(); ++i) {
-    const AttributeTriple& t = attrs[i];
-    if (Trim(t.value).empty()) {
-      ++report.empty_values;
-      add({ValidationIssue::Kind::kEmptyValue, t.entity,
-           static_cast<int64_t>(i), "attribute value is empty"});
-    }
-    if (static_cast<int64_t>(t.value.size()) > options.max_value_bytes) {
-      ++report.oversize_values;
-      add({ValidationIssue::Kind::kOversizeValue, t.entity,
-           static_cast<int64_t>(i),
-           StrFormat("value is %zu bytes", t.value.size())});
-    }
-    if (!attr_seen.emplace(t.entity, t.attribute, t.value).second) {
-      ++report.duplicate_attributes;
-      add({ValidationIssue::Kind::kDuplicateAttribute, t.entity,
-           static_cast<int64_t>(i), "repeated attribute triple"});
-    }
-  }
+  snap.ForEachAttribute(
+      [&](int64_t row, EntityId e, AttributeId a, const std::string& value) {
+        has_attr[static_cast<size_t>(e)] = true;
+        if (Trim(value).empty()) {
+          ++report.empty_values;
+          add({ValidationIssue::Kind::kEmptyValue, e, row,
+               "attribute value is empty"});
+        }
+        if (static_cast<int64_t>(value.size()) > options.max_value_bytes) {
+          ++report.oversize_values;
+          add({ValidationIssue::Kind::kOversizeValue, e, row,
+               StrFormat("value is %zu bytes", value.size())});
+        }
+        if (!attr_seen.emplace(e, a, value).second) {
+          ++report.duplicate_attributes;
+          add({ValidationIssue::Kind::kDuplicateAttribute, e, row,
+               "repeated attribute triple"});
+        }
+      });
 
-  for (EntityId e = 0; e < graph.num_entities(); ++e) {
-    if (graph.degree(e) == 0 && graph.attribute_triples_of(e).empty()) {
+  for (EntityId e = 0; e < snap.num_entities(); ++e) {
+    if (!has_edge[static_cast<size_t>(e)] &&
+        !has_attr[static_cast<size_t>(e)]) {
       ++report.isolated_entities;
       add({ValidationIssue::Kind::kIsolatedEntity, e, -1,
-           "entity has no edges and no attributes: " +
-               graph.entity_name(e)});
+           "entity has no edges and no attributes: " + snap.entity_name(e)});
     }
   }
   return report;

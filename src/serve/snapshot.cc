@@ -18,6 +18,17 @@ uint64_t SnapshotManager::Swap(core::EmbeddingStore store) {
   return last_version_;
 }
 
+uint64_t SnapshotManager::SwapWithKg(core::EmbeddingStore store,
+                                     kg::KgSnapshot kg) {
+  auto snap = std::make_shared<ServingSnapshot>();
+  snap->store = std::move(store);
+  snap->kg = std::move(kg);
+  std::lock_guard<std::mutex> lock(mu_);
+  snap->version = ++last_version_;
+  current_ = std::move(snap);
+  return last_version_;
+}
+
 Result<uint64_t> SnapshotManager::LoadAndSwap(
     const std::string& path, bool build_index,
     const core::IvfOptions& index_options) {

@@ -9,6 +9,7 @@
 #include "base/status.h"
 #include "core/ann_index.h"
 #include "core/embedding_store.h"
+#include "kg/columnar.h"
 #include "store/quantized_store.h"
 
 namespace sdea::serve {
@@ -28,6 +29,13 @@ struct ServingSnapshot {
   uint64_t version = 0;
   core::EmbeddingStore store;
   std::unique_ptr<const store::QuantizedStore> quantized;
+  /// Pinned KG snapshot the embeddings were computed from (empty when the
+  /// serving state was published without one). Pinning keeps the columnar
+  /// chunks alive — lookups against entity names/triples stay consistent
+  /// with the embeddings even while the writer keeps mutating the graph.
+  kg::KgSnapshot kg;
+
+  bool has_kg() const { return kg.epoch() != 0; }
 
   int64_t dim() const {
     return quantized != nullptr ? quantized->dim() : store.dim();
@@ -62,6 +70,13 @@ class SnapshotManager {
   /// (monotonically increasing from 1). Build the store's index *before*
   /// calling — Swap itself is just an allocation and a pointer store.
   uint64_t Swap(core::EmbeddingStore store);
+
+  /// Publishes `store` together with the KG snapshot it was computed from,
+  /// so request threads can resolve names/triples against exactly the
+  /// graph state behind the embeddings. Pass `graph.Snapshot()` — pinning
+  /// is sub-millisecond and the chunks stay alive with the serving
+  /// snapshot.
+  uint64_t SwapWithKg(core::EmbeddingStore store, kg::KgSnapshot kg);
 
   /// Loads a store artifact from disk, optionally builds its IVF index,
   /// and publishes it. The load + index build happen entirely outside the

@@ -1,6 +1,8 @@
-// Fuzz + fault-injection regression suite for the SDEAKGB1 KG decoder:
-// truncation at every offset, thousands of seeded mutations, the crafted
-// corrupt counts that used to spin ~4B failed-read iterations, the
+// Fuzz + fault-injection regression suite for the KG binary decoders
+// (SDEAKGB2 chunked columnar + legacy SDEAKGB1): truncation at every
+// offset, thousands of seeded mutations per format, the crafted corrupt
+// counts that used to spin ~4B failed-read iterations, evil v2 chunk
+// headers (zero chunk size, unknown encodings, lying dictionaries), the
 // duplicate-name blobs that used to abort inside AddRelationalTriple's
 // SDEA_CHECK, and the atomic-save guarantee for kg::SaveBinary.
 #include "kg/binary_io.h"
@@ -49,11 +51,35 @@ sdea::testing::DecodeFn Decoder() {
 TEST(KgBinaryFuzzTest, ValidBlobDecodes) {
   const KnowledgeGraph g = SmallGraph();
   const std::string blob = EncodeBinary(g);
+  EXPECT_EQ(blob.substr(0, 8), "SDEAKGB2");
   auto decoded = DecodeBinary(blob);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   EXPECT_EQ(decoded->num_entities(), g.num_entities());
   EXPECT_EQ(decoded->relational_triples().size(),
             g.relational_triples().size());
+  // The decoded graph re-encodes to the identical bytes: the chunked
+  // format round-trips exactly.
+  EXPECT_EQ(EncodeBinary(*decoded), blob);
+}
+
+TEST(KgBinaryFuzzTest, LegacyV1BlobStillLoads) {
+  const KnowledgeGraph g = SmallGraph();
+  const std::string v1 = EncodeBinaryV1(g);
+  EXPECT_EQ(v1.substr(0, 8), "SDEAKGB1");
+  auto decoded = DecodeBinary(v1);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->num_entities(), g.num_entities());
+  ASSERT_EQ(decoded->relational_triples().size(),
+            g.relational_triples().size());
+  ASSERT_EQ(decoded->attribute_triples().size(),
+            g.attribute_triples().size());
+  for (size_t i = 0; i < g.attribute_triples().size(); ++i) {
+    EXPECT_EQ(decoded->attribute_triples()[i].value,
+              g.attribute_triples()[i].value);
+  }
+  // Loading legacy bytes and re-saving produces the current format with
+  // the same content.
+  EXPECT_EQ(EncodeBinary(*decoded), EncodeBinary(g));
 }
 
 TEST(KgBinaryFuzzTest, TruncationAtEveryOffset) {
@@ -67,6 +93,15 @@ TEST(KgBinaryFuzzTest, TruncationAtEveryOffset) {
   EXPECT_EQ(stats.rejected, stats.cases);
 }
 
+TEST(KgBinaryFuzzTest, TruncationAtEveryOffsetV1) {
+  const std::string blob = EncodeBinaryV1(SmallGraph());
+  sdea::testing::FuzzStats stats;
+  const Status verdict =
+      sdea::testing::CheckTruncationRobustness(blob, Decoder(), &stats);
+  EXPECT_TRUE(verdict.ok()) << verdict.ToString();
+  EXPECT_EQ(stats.rejected, stats.cases);
+}
+
 TEST(KgBinaryFuzzTest, SeededMutations) {
   const std::string blob = EncodeBinary(SmallGraph());
   sdea::testing::FuzzOptions options;
@@ -77,6 +112,18 @@ TEST(KgBinaryFuzzTest, SeededMutations) {
   EXPECT_TRUE(verdict.ok()) << verdict.ToString();
   EXPECT_EQ(stats.cases, options.iterations);
   // The corpus must actually exercise the reject path.
+  EXPECT_GT(stats.rejected, 0);
+}
+
+TEST(KgBinaryFuzzTest, SeededMutationsV1) {
+  const std::string blob = EncodeBinaryV1(SmallGraph());
+  sdea::testing::FuzzOptions options;
+  options.iterations = 5000;
+  options.seed = 0x5dea2;
+  sdea::testing::FuzzStats stats;
+  const Status verdict = sdea::testing::CheckMutationRobustness(
+      blob, Decoder(), options, &stats);
+  EXPECT_TRUE(verdict.ok()) << verdict.ToString();
   EXPECT_GT(stats.rejected, 0);
 }
 
@@ -111,6 +158,102 @@ TEST(KgBinaryFuzzTest, DuplicateRelationNameRejectedNotAborted) {
   auto decoded = DecodeBinary(blob);
   ASSERT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Minimal valid v2 prologue: 1 entity "a", 0 relations, 1 attribute "p",
+// empty relational section. Callers append the attribute section.
+std::string V2Prologue() {
+  std::string blob = "SDEAKGB2";
+  AppendU32(&blob, 1);  // entities
+  AppendString(&blob, "a");
+  AppendU32(&blob, 0);  // relations
+  AppendU32(&blob, 1);  // attributes
+  AppendString(&blob, "p");
+  AppendU32(&blob, 0);     // relational rows
+  AppendU32(&blob, 4096);  // relational chunk size
+  return blob;
+}
+
+TEST(KgBinaryFuzzTest, V2ZeroChunkSizeRejectedNotLooped) {
+  // rows > 0 with chunk size 0 would loop forever advancing base by 0.
+  std::string blob = "SDEAKGB2";
+  AppendU32(&blob, 1);
+  AppendString(&blob, "a");
+  AppendU32(&blob, 1);
+  AppendString(&blob, "r");
+  AppendU32(&blob, 0);  // attributes
+  AppendU32(&blob, 8);  // relational rows
+  AppendU32(&blob, 0);  // chunk size: evil
+  for (int i = 0; i < 24; ++i) AppendU32(&blob, 0);
+  auto decoded = DecodeBinary(blob);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KgBinaryFuzzTest, V2UnknownChunkEncodingRejected) {
+  std::string blob = V2Prologue();
+  AppendU32(&blob, 1);     // attribute rows
+  AppendU32(&blob, 2048);  // chunk size
+  AppendU32(&blob, 0);     // entity column
+  AppendU32(&blob, 0);     // attribute column
+  blob.push_back(7);       // encoding byte: neither plain nor dict
+  AppendString(&blob, "x");
+  auto decoded = DecodeBinary(blob);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KgBinaryFuzzTest, V2DictLargerThanChunkRejected) {
+  std::string blob = V2Prologue();
+  AppendU32(&blob, 1);     // attribute rows
+  AppendU32(&blob, 2048);  // chunk size
+  AppendU32(&blob, 0);     // entity column
+  AppendU32(&blob, 0);     // attribute column
+  blob.push_back(1);       // dict encoding
+  AppendU32(&blob, 2);     // dict entries: more than the chunk's 1 row
+  AppendString(&blob, "x");
+  AppendString(&blob, "y");
+  AppendU32(&blob, 0);  // code
+  auto decoded = DecodeBinary(blob);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KgBinaryFuzzTest, V2DictCodePastDictionaryRejected) {
+  std::string blob = V2Prologue();
+  AppendU32(&blob, 2);     // attribute rows
+  AppendU32(&blob, 2048);  // chunk size
+  AppendU32(&blob, 0);     // entity column x2
+  AppendU32(&blob, 0);
+  AppendU32(&blob, 0);  // attribute column x2
+  AppendU32(&blob, 0);
+  blob.push_back(1);    // dict encoding
+  AppendU32(&blob, 1);  // one dict entry
+  AppendString(&blob, "x");
+  AppendU32(&blob, 0);  // code 0: fine
+  AppendU32(&blob, 5);  // code 5: past the dictionary
+  auto decoded = DecodeBinary(blob);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KgBinaryFuzzTest, V2HugeRowCountsRejectInConstantTime) {
+  for (const size_t patch_at : {8u, 0u}) {
+    std::string blob = EncodeBinary(SmallGraph());
+    const uint32_t evil = 0xFFFFFFFFu;
+    // Patch the entity count (offset 8) and, separately, leave the magic
+    // but splat the relational row count region by brute force: every u32
+    // in the blob gets tried by the mutation corpus anyway, so here just
+    // check the entity-count case and a mid-blob splat.
+    const size_t off = patch_at == 0 ? blob.size() / 2 : patch_at;
+    std::memcpy(blob.data() + off, &evil, 4);
+    auto decoded = DecodeBinary(blob);
+    // Either rejected or (for the mid-blob splat) decoded if the bytes
+    // happened to be value payload — never a hang or crash.
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
 }
 
 TEST(KgBinaryFuzzTest, SaveBinaryIsAtomicUnderInjectedFaults) {

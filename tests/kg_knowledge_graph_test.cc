@@ -117,6 +117,72 @@ TEST(KnowledgeGraphTest, LoadMissingFileFails) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(KnowledgeGraphTest, TsvRoundTripsValuesWithTabsAndNewlines) {
+  // Free-text attribute values with embedded field/record separators used
+  // to corrupt the TSV row structure (a tab split the value into extra
+  // fields that re-joined with spaces; a newline split the row in two).
+  const char* dir = std::getenv("TMPDIR");
+  const std::string prefix =
+      std::string(dir != nullptr ? dir : "/tmp") + "/sdea_kg_escape_test";
+  KnowledgeGraph g;
+  const EntityId e = g.AddEntity("e");
+  const EntityId f = g.AddEntity("f");
+  const RelationId r = g.AddRelation("r");
+  g.AddRelationalTriple(e, r, f);
+  const AttributeId a = g.AddAttribute("desc");
+  const std::vector<std::string> values = {
+      "plain",
+      "tab\tinside",
+      "newline\ninside",
+      "crlf\r\nboth",
+      "backslash \\t literal",
+      "\ttabs\tat\tends\t",
+      "trailing backslash \\",
+  };
+  for (const std::string& v : values) g.AddAttributeTriple(e, a, v);
+
+  ASSERT_TRUE(g.SaveTsv(prefix).ok());
+  auto loaded = KnowledgeGraph::LoadTsv(prefix);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->attribute_triples().size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(loaded->attribute_triples()[i].value, values[i])
+        << "value " << i;
+  }
+}
+
+TEST(KnowledgeGraphTest, SaveTsvRejectsUnescapableNames) {
+  // Names are key fields in both TSV files; a tab or newline inside one
+  // cannot be written compatibly, so SaveTsv must refuse — not corrupt.
+  const char* dir = std::getenv("TMPDIR");
+  const std::string prefix =
+      std::string(dir != nullptr ? dir : "/tmp") + "/sdea_kg_badname_test";
+  for (const std::string& bad : {"tab\tname", "line\nname", "cr\rname"}) {
+    KnowledgeGraph g;
+    g.AddEntity(bad);
+    const Status s = g.SaveTsv(prefix);
+    ASSERT_FALSE(s.ok()) << bad;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  }
+  KnowledgeGraph g;
+  g.AddEntity("e");
+  g.AddRelation("bad\trel");
+  EXPECT_EQ(g.SaveTsv(prefix).code(), StatusCode::kInvalidArgument);
+  KnowledgeGraph g2;
+  g2.AddEntity("e");
+  g2.AddAttribute("bad\nattr");
+  EXPECT_EQ(g2.SaveTsv(prefix).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KnowledgeGraphTest, OutOfRangeIdsReturnEmptyNotUb) {
+  const KnowledgeGraph g = SampleGraph();
+  for (const EntityId bad : {EntityId{-1}, EntityId{3}, EntityId{9999}}) {
+    EXPECT_TRUE(g.neighbors(bad).empty());
+    EXPECT_TRUE(g.attribute_triples_of(bad).empty());
+    EXPECT_EQ(g.degree(bad), 0);
+  }
+}
+
 TEST(AlignmentSeedsTest, SplitRatios) {
   std::vector<std::pair<EntityId, EntityId>> pairs;
   for (int i = 0; i < 100; ++i) pairs.emplace_back(i, i);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "base/fileio.h"
+#include "kg/knowledge_graph.h"
 
 namespace sdea::serve {
 namespace {
@@ -90,6 +91,45 @@ TEST(SnapshotManagerTest, LoadAndSwapOfMissingFileKeepsCurrent) {
   // Failed load leaves the published snapshot untouched.
   EXPECT_EQ(manager.version(), 1u);
   EXPECT_EQ(manager.Current()->store.size(), 10);
+}
+
+TEST(SnapshotManagerTest, SwapWithKgPinsTheGraphState) {
+  kg::KnowledgeGraph graph;
+  const kg::EntityId a = graph.AddEntity("a");
+  const kg::EntityId b = graph.AddEntity("b");
+  const kg::RelationId r = graph.AddRelation("r");
+  graph.AddRelationalTriple(a, r, b);
+
+  SnapshotManager manager;
+  EXPECT_EQ(manager.SwapWithKg(MakeStore(2, 4, 1), graph.Snapshot()), 1u);
+  auto snap = manager.Current();
+  ASSERT_NE(snap, nullptr);
+  ASSERT_TRUE(snap->has_kg());
+  EXPECT_EQ(snap->kg.num_entities(), 2);
+  EXPECT_EQ(snap->kg.num_relational_triples(), 1);
+  EXPECT_EQ(snap->kg.entity_name(a), "a");
+
+  // The writer keeps mutating the graph; the pinned serving snapshot still
+  // answers against the graph state at publish time.
+  const kg::EntityId c = graph.AddEntity("c");
+  graph.AddRelationalTriple(b, r, c);
+  EXPECT_EQ(snap->kg.num_entities(), 2);
+  EXPECT_EQ(snap->kg.num_relational_triples(), 1);
+  EXPECT_EQ(snap->kg.DegreeOf(b), 1);
+
+  // A plain Swap publishes without a KG snapshot.
+  EXPECT_EQ(manager.Swap(MakeStore(3, 4, 2)), 2u);
+  EXPECT_FALSE(manager.Current()->has_kg());
+
+  // Republishing with the mutated graph sees the new rows; the old pin is
+  // untouched.
+  EXPECT_EQ(manager.SwapWithKg(MakeStore(3, 4, 3), graph.Snapshot()), 3u);
+  auto latest = manager.Current();
+  ASSERT_TRUE(latest->has_kg());
+  EXPECT_EQ(latest->kg.num_entities(), 3);
+  EXPECT_EQ(latest->kg.num_relational_triples(), 2);
+  EXPECT_GT(latest->kg.epoch(), snap->kg.epoch());
+  EXPECT_EQ(snap->kg.num_entities(), 2);
 }
 
 TEST(SnapshotManagerTest, HotSwapUnderQueryLoadIsCoherent) {
