@@ -1,0 +1,262 @@
+// Incremental-alignment benchmarks on the d_stream preset: the headline
+// staleness-vs-cost comparison (incremental ProcessIncrement per batch vs
+// one full retrain on the final graphs, same seeds, same eval pairs), the
+// DiffSince/TouchedEntities micros, the ApplyUpdate ingest rate, and the
+// obs on/off overhead of an increment. Emits BENCH_incr.json; the
+// EXPERIMENTS.md staleness-vs-cost table is read off the counters.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_meta.h"
+#include "datagen/streaming.h"
+#include "incr/aligner.h"
+#include "incr/update_log.h"
+#include "kg/knowledge_graph.h"
+#include "obs/obs.h"
+
+namespace {
+
+using namespace sdea;
+
+incr::IncrementalAlignerOptions StreamOptions() {
+  incr::IncrementalAlignerOptions opts;
+  opts.dim = 48;
+  opts.base_epochs = 150;
+  opts.incr_epochs = 15;
+  opts.affected_frac_cap = 0.10;
+  opts.pull_lr = 0.01f;
+  opts.k_hops = 2;
+  return opts;
+}
+
+// The staleness-vs-cost run: fit the base state, stream every d_stream
+// increment through ProcessIncrement, then retrain from scratch on the
+// *same* final graphs and score both models on the same eval pairs. The
+// counters are the acceptance numbers: hits1 gap (points), max per-
+// increment affected fraction, and wall-clock for each path.
+void BM_StalenessVsCost(benchmark::State& state) {
+  for (auto _ : state) {
+    datagen::StreamingBenchmark stream =
+        datagen::GenerateStreaming(datagen::StreamingPreset().config);
+
+    // Seeds: a base-resolvable training split; everything else (plus every
+    // streamed pair) is evaluation-only.
+    std::vector<std::pair<kg::EntityId, kg::EntityId>> seeds;
+    std::vector<std::pair<kg::EntityId, kg::EntityId>> eval_pairs;
+    const size_t train = stream.base_truth.size() * 3 / 10;
+    for (size_t i = 0; i < stream.base_truth.size(); ++i) {
+      (i < train ? seeds : eval_pairs).push_back(stream.base_truth[i]);
+    }
+
+    incr::IncrementalAligner aligner(&stream.kg1, &stream.kg2,
+                                     StreamOptions());
+    const auto base_t0 = std::chrono::steady_clock::now();
+    Status fit = aligner.FitBase(seeds);
+    if (!fit.ok()) {
+      state.SkipWithError(fit.ToString().c_str());
+      return;
+    }
+    const double base_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - base_t0)
+            .count();
+
+    double incr_ms = 0.0;
+    double max_affected_frac = 0.0;
+    int64_t promoted = 0;
+    for (size_t i = 0; i < stream.increments.size(); ++i) {
+      incr::ApplyUpdate(stream.increments[i].kg1, &stream.kg1);
+      incr::ApplyUpdate(stream.increments[i].kg2, &stream.kg2);
+      auto rep = aligner.ProcessIncrement();
+      if (!rep.ok()) {
+        state.SkipWithError(rep.status().ToString().c_str());
+        return;
+      }
+      incr_ms += rep->total_ms;
+      max_affected_frac = std::max(max_affected_frac, rep->affected_frac());
+      promoted += rep->promoted;
+      for (const auto& pair : datagen::ResolveNamePairs(
+               stream.kg1, stream.kg2, stream.truth_names[i])) {
+        eval_pairs.push_back(pair);
+      }
+    }
+    const double incr_hits1 = aligner.Evaluate(eval_pairs).hits_at_1;
+
+    // Full retrain on the identical final graphs, same seeds.
+    incr::IncrementalAligner full(&stream.kg1, &stream.kg2, StreamOptions());
+    const auto full_t0 = std::chrono::steady_clock::now();
+    fit = full.FitBase(seeds);
+    if (!fit.ok()) {
+      state.SkipWithError(fit.ToString().c_str());
+      return;
+    }
+    const double full_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - full_t0)
+            .count();
+    const double full_hits1 = full.Evaluate(eval_pairs).hits_at_1;
+
+    state.counters["incr_hits1"] = incr_hits1;
+    state.counters["full_hits1"] = full_hits1;
+    state.counters["hits1_gap_pts"] = full_hits1 - incr_hits1;
+    state.counters["max_affected_frac"] = max_affected_frac;
+    state.counters["bootstrap_promoted"] = static_cast<double>(promoted);
+    state.counters["base_fit_ms"] = base_ms;
+    state.counters["incr_total_ms"] = incr_ms;
+    state.counters["full_retrain_ms"] = full_ms;
+    state.counters["incr_vs_full_speedup"] =
+        incr_ms > 0.0 ? full_ms / incr_ms : 0.0;
+  }
+}
+BENCHMARK(BM_StalenessVsCost)->Iterations(1)->Unit(benchmark::kSecond);
+
+void BM_DiffSince(benchmark::State& state) {
+  kg::KnowledgeGraph g;
+  for (int i = 0; i < 2000; ++i) g.AddEntity("e" + std::to_string(i));
+  const kg::KgSnapshot head = g.Snapshot();
+  uint64_t epoch = 1;
+  for (auto _ : state) {
+    auto diff = head.DiffSince(epoch);
+    benchmark::DoNotOptimize(diff);
+    epoch = epoch % head.epoch() + 1;
+  }
+}
+BENCHMARK(BM_DiffSince)->Unit(benchmark::kNanosecond);
+
+void BM_TouchedEntities(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  kg::KnowledgeGraph g;
+  g.BeginBulkLoad();
+  for (int i = 0; i < 2000; ++i) g.AddEntity("e" + std::to_string(i));
+  const kg::RelationId r = g.AddRelation("r");
+  g.EndBulkLoad();
+  const kg::KgSnapshot base = g.Snapshot();
+  g.BeginBulkLoad();
+  for (int64_t i = 0; i < rows; ++i) {
+    g.AddRelationalTriple(static_cast<kg::EntityId>((i * 7) % 2000), r,
+                          static_cast<kg::EntityId>((i * 13 + 1) % 2000));
+  }
+  g.EndBulkLoad();
+  const kg::KgSnapshot head = g.Snapshot();
+  const kg::KgDiff diff = *head.DiffSince(base.epoch());
+  for (auto _ : state) {
+    auto touched = head.TouchedEntities(diff);
+    benchmark::DoNotOptimize(touched);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_TouchedEntities)->Arg(100)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ApplyBatch(benchmark::State& state) {
+  // One streamed arrival batch (64 entities, 128 triples) applied through
+  // the name-interning replay path into a 2000-entity graph.
+  incr::KgUpdate up;
+  for (int i = 0; i < 64; ++i) up.new_entities.push_back("n" + std::to_string(i));
+  for (int i = 0; i < 128; ++i) {
+    up.relational.push_back({"n" + std::to_string(i % 64), "r",
+                             "e" + std::to_string((i * 31) % 2000)});
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    kg::KnowledgeGraph g;
+    g.BeginBulkLoad();
+    for (int i = 0; i < 2000; ++i) g.AddEntity("e" + std::to_string(i));
+    g.AddRelation("r");
+    g.EndBulkLoad();
+    state.ResumeTiming();
+    incr::ApplyUpdate(up, &g);
+    benchmark::DoNotOptimize(g.num_entities());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(up.relational.size()));
+}
+BENCHMARK(BM_ApplyBatch)->Unit(benchmark::kMicrosecond);
+
+// The obs on/off overhead row: a full ProcessIncrement (small graph, one
+// arrival per iteration) with instrumentation enabled vs disabled.
+void BM_IncrementObsOverhead(benchmark::State& state) {
+  const bool obs_on = state.range(0) == 1;
+  kg::KnowledgeGraph kg1, kg2;
+  kg1.BeginBulkLoad();
+  kg2.BeginBulkLoad();
+  const kg::RelationId r1 = kg1.AddRelation("r");
+  const kg::RelationId r2 = kg2.AddRelation("r");
+  for (int i = 0; i < 200; ++i) {
+    kg1.AddEntity("e" + std::to_string(i));
+    kg2.AddEntity("f" + std::to_string(i));
+  }
+  for (int i = 0; i < 200; ++i) {
+    kg1.AddRelationalTriple(i, r1, (i + 1) % 200);
+    kg2.AddRelationalTriple(i, r2, (i + 1) % 200);
+  }
+  kg1.EndBulkLoad();
+  kg2.EndBulkLoad();
+
+  incr::IncrementalAlignerOptions opts;
+  opts.dim = 16;
+  opts.base_epochs = 10;
+  opts.incr_epochs = 5;
+  incr::IncrementalAligner aligner(&kg1, &kg2, opts);
+  std::vector<std::pair<kg::EntityId, kg::EntityId>> seeds;
+  for (int i = 0; i < 50; ++i) seeds.emplace_back(i, i);
+  if (!aligner.FitBase(seeds).ok()) {
+    state.SkipWithError("FitBase failed");
+    return;
+  }
+
+  obs::SetEnabled(obs_on);
+  int64_t inc = 0;
+  for (auto _ : state) {
+    incr::KgUpdate up;
+    up.relational = {{"x" + std::to_string(inc), "r",
+                      "e" + std::to_string(inc % 200)}};
+    incr::ApplyUpdate(up, &kg1);
+    auto rep = aligner.ProcessIncrement();
+    if (!rep.ok()) {
+      state.SkipWithError(rep.status().ToString().c_str());
+      break;
+    }
+    ++inc;
+  }
+  obs::SetEnabled(true);
+}
+BENCHMARK(BM_IncrementObsOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+// Like BENCHMARK_MAIN(), but defaults to machine-readable JSON output
+// (BENCH_incr.json) with the kernel configuration stamped into the context
+// block, matching the other BENCH_*.json artifacts CI archives.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_incr.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  sdea::bench::AddKernelContext();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,89 @@
+#ifndef SDEA_DATAGEN_STREAMING_H_
+#define SDEA_DATAGEN_STREAMING_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "incr/update_log.h"
+#include "kg/knowledge_graph.h"
+
+namespace sdea::datagen {
+
+/// Parameters of the streaming benchmark: a generated pair is split into a
+/// base state plus a replayable sequence of update batches, so incremental
+/// alignment can be compared against full retraining on the *same* final
+/// graphs.
+struct StreamingConfig {
+  /// The final state of the world (what the graphs converge to after all
+  /// increments are applied).
+  GeneratorConfig base;
+
+  int64_t num_increments = 4;
+
+  /// Fraction of matched entity pairs held out of the base state and
+  /// streamed in across the increments (spread evenly).
+  double stream_frac = 0.25;
+
+  /// Per increment, this fraction of base entities (per KG) receives an
+  /// edited attribute value — updates that touch *existing* entities, not
+  /// just arrivals.
+  double attr_edit_frac = 0.05;
+
+  /// Seed for the split/edit decisions (independent of base.seed so the
+  /// same world can be streamed differently).
+  uint64_t stream_seed = 7;
+};
+
+/// A streamed benchmark instance. `kg1`/`kg2` hold the base state; applying
+/// `increments[0..i]` (incr::ApplyUpdate per side) advances both graphs
+/// through the stream. Entity ids differ between the base graphs and the
+/// full-state generator output, so per-increment ground truth is recorded
+/// by *name* and resolved against the live graphs with ResolveNamePairs.
+struct StreamingBenchmark {
+  std::string name;
+  kg::KnowledgeGraph kg1;
+  kg::KnowledgeGraph kg2;
+
+  /// Replayable update batches, in stream order.
+  std::vector<incr::UpdateBatch> increments;
+
+  /// Ground truth resolvable at the base state (ids are base-graph ids).
+  std::vector<std::pair<kg::EntityId, kg::EntityId>> base_truth;
+
+  /// truth_names[i]: matched pairs that *arrive* with increments[i]
+  /// (both sides present once that batch is applied), as name pairs.
+  std::vector<std::vector<std::pair<std::string, std::string>>> truth_names;
+
+  std::vector<std::string> pretrain_corpus;
+};
+
+/// Generates the final-state pair with BenchmarkGenerator, then carves out
+/// a seeded subset of matched pairs (and their incident triples) into
+/// update batches. The base graphs replay the generator's insertion order,
+/// so the stream is bit-reproducible for a given config.
+StreamingBenchmark GenerateStreaming(const StreamingConfig& config);
+
+/// Resolves name pairs against the *current* state of both graphs. Pairs
+/// whose entities have not arrived yet are skipped.
+std::vector<std::pair<kg::EntityId, kg::EntityId>> ResolveNamePairs(
+    const kg::KnowledgeGraph& kg1, const kg::KnowledgeGraph& kg2,
+    const std::vector<std::pair<std::string, std::string>>& names);
+
+/// A named streaming configuration, like DatasetSpec for the static
+/// presets.
+struct StreamingSpec {
+  std::string id;
+  StreamingConfig config;
+};
+
+/// The `d_stream` preset: a DBP15K-flavoured pair sized for a single-core
+/// budget, streamed over 4 increments. Used by bench_incr and the
+/// EXPERIMENTS.md staleness-vs-cost table.
+StreamingSpec StreamingPreset();
+
+}  // namespace sdea::datagen
+
+#endif  // SDEA_DATAGEN_STREAMING_H_

@@ -1,0 +1,180 @@
+#include "incr/update_log.h"
+
+#include <utility>
+
+#include "base/fileio.h"
+#include "store/wire.h"
+
+namespace sdea::incr {
+namespace {
+
+using store::wire::AppendU64;
+using store::wire::ReadU64;
+
+constexpr char kMagic[] = "SDEAINC1";
+constexpr size_t kMagicLen = 8;
+
+void AppendStr(std::string* out, const std::string& s) {
+  AppendU64(out, s.size());
+  out->append(s);
+}
+
+/// Reads a length-prefixed string, bounds-checking the length against the
+/// remaining suffix before touching it.
+Status ReadStr(const std::string& in, size_t* pos, std::string* out) {
+  uint64_t len = 0;
+  if (!ReadU64(in, pos, &len)) {
+    return Status::InvalidArgument("update log truncated in string length");
+  }
+  if (len > in.size() - *pos) {
+    return Status::InvalidArgument("update log string length exceeds data");
+  }
+  out->assign(in, *pos, static_cast<size_t>(len));
+  *pos += static_cast<size_t>(len);
+  return Status::Ok();
+}
+
+/// Reads a count whose entries each need at least `min_entry_bytes`, so a
+/// hostile count cannot drive an allocation larger than the input itself.
+Status ReadCount(const std::string& in, size_t* pos, size_t min_entry_bytes,
+                 uint64_t* count) {
+  if (!ReadU64(in, pos, count)) {
+    return Status::InvalidArgument("update log truncated in count");
+  }
+  const uint64_t remaining = in.size() - *pos;
+  if (*count > remaining / min_entry_bytes) {
+    return Status::InvalidArgument("update log count exceeds byte budget");
+  }
+  return Status::Ok();
+}
+
+void EncodeUpdate(std::string* out, const KgUpdate& u) {
+  AppendU64(out, u.new_entities.size());
+  for (const std::string& e : u.new_entities) AppendStr(out, e);
+  AppendU64(out, u.relational.size());
+  for (const NamedRelationalTriple& t : u.relational) {
+    AppendStr(out, t.head);
+    AppendStr(out, t.relation);
+    AppendStr(out, t.tail);
+  }
+  AppendU64(out, u.attributes.size());
+  for (const NamedAttributeTriple& t : u.attributes) {
+    AppendStr(out, t.entity);
+    AppendStr(out, t.attribute);
+    AppendStr(out, t.value);
+  }
+}
+
+Status DecodeUpdate(const std::string& in, size_t* pos, KgUpdate* u) {
+  uint64_t n = 0;
+  // Every entry contains at least one length-prefixed string per field, so
+  // the minimum entry size is 8 bytes (entities) or 24 bytes (triples).
+  SDEA_RETURN_IF_ERROR(ReadCount(in, pos, 8, &n));
+  u->new_entities.resize(static_cast<size_t>(n));
+  for (std::string& e : u->new_entities) {
+    SDEA_RETURN_IF_ERROR(ReadStr(in, pos, &e));
+  }
+  SDEA_RETURN_IF_ERROR(ReadCount(in, pos, 24, &n));
+  u->relational.resize(static_cast<size_t>(n));
+  for (NamedRelationalTriple& t : u->relational) {
+    SDEA_RETURN_IF_ERROR(ReadStr(in, pos, &t.head));
+    SDEA_RETURN_IF_ERROR(ReadStr(in, pos, &t.relation));
+    SDEA_RETURN_IF_ERROR(ReadStr(in, pos, &t.tail));
+  }
+  SDEA_RETURN_IF_ERROR(ReadCount(in, pos, 24, &n));
+  u->attributes.resize(static_cast<size_t>(n));
+  for (NamedAttributeTriple& t : u->attributes) {
+    SDEA_RETURN_IF_ERROR(ReadStr(in, pos, &t.entity));
+    SDEA_RETURN_IF_ERROR(ReadStr(in, pos, &t.attribute));
+    SDEA_RETURN_IF_ERROR(ReadStr(in, pos, &t.value));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string EncodeUpdateLog(const std::vector<UpdateBatch>& batches) {
+  std::string out(kMagic, kMagicLen);
+  AppendU64(&out, batches.size());
+  for (const UpdateBatch& b : batches) {
+    EncodeUpdate(&out, b.kg1);
+    EncodeUpdate(&out, b.kg2);
+  }
+  return out;
+}
+
+Result<std::vector<UpdateBatch>> DecodeUpdateLog(const std::string& data) {
+  if (data.size() < kMagicLen ||
+      data.compare(0, kMagicLen, kMagic, kMagicLen) != 0) {
+    return Status::InvalidArgument("not an SDEAINC1 update log");
+  }
+  size_t pos = kMagicLen;
+  uint64_t count = 0;
+  // A batch is two updates; an empty update is three zero counts (24
+  // bytes), so the smallest batch is 48 bytes.
+  SDEA_RETURN_IF_ERROR(ReadCount(data, &pos, 48, &count));
+  std::vector<UpdateBatch> batches(static_cast<size_t>(count));
+  for (UpdateBatch& b : batches) {
+    SDEA_RETURN_IF_ERROR(DecodeUpdate(data, &pos, &b.kg1));
+    SDEA_RETURN_IF_ERROR(DecodeUpdate(data, &pos, &b.kg2));
+  }
+  if (pos != data.size()) {
+    return Status::InvalidArgument("update log has trailing bytes");
+  }
+  return batches;
+}
+
+void ApplyUpdate(const KgUpdate& update, kg::KnowledgeGraph* graph) {
+  graph->BeginBulkLoad();
+  for (const std::string& e : update.new_entities) graph->AddEntity(e);
+  for (const NamedRelationalTriple& t : update.relational) {
+    const kg::EntityId h = graph->AddEntity(t.head);
+    const kg::RelationId r = graph->AddRelation(t.relation);
+    const kg::EntityId tl = graph->AddEntity(t.tail);
+    graph->AddRelationalTriple(h, r, tl);
+  }
+  for (const NamedAttributeTriple& t : update.attributes) {
+    const kg::EntityId e = graph->AddEntity(t.entity);
+    const kg::AttributeId a = graph->AddAttribute(t.attribute);
+    graph->AddAttributeTriple(e, a, t.value);
+  }
+  graph->EndBulkLoad();
+}
+
+Result<UpdateLog> UpdateLog::Open(std::string path) {
+  if (!FileExists(path)) {
+    return UpdateLog(std::move(path), {});
+  }
+  SDEA_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  SDEA_ASSIGN_OR_RETURN(std::vector<UpdateBatch> batches,
+                        DecodeUpdateLog(data));
+  return UpdateLog(std::move(path), std::move(batches));
+}
+
+Status UpdateLog::Append(UpdateBatch batch) {
+  // Persist-then-accept: encode the prospective log and atomically replace
+  // the file before the in-memory state changes. A failed write (disk
+  // full, injected fault) leaves both views on the previous batch count.
+  batches_.push_back(std::move(batch));
+  const std::string encoded = EncodeUpdateLog(batches_);
+  const Status written = WriteStringToFileAtomic(path_, encoded);
+  if (!written.ok()) {
+    batches_.pop_back();
+    return written;
+  }
+  return Status::Ok();
+}
+
+Status UpdateLog::Replay(int64_t from_batch, kg::KnowledgeGraph* kg1,
+                         kg::KnowledgeGraph* kg2) const {
+  if (from_batch < 0 || from_batch > size()) {
+    return Status::InvalidArgument("replay cursor out of range");
+  }
+  for (int64_t i = from_batch; i < size(); ++i) {
+    ApplyUpdate(batches_[static_cast<size_t>(i)].kg1, kg1);
+    ApplyUpdate(batches_[static_cast<size_t>(i)].kg2, kg2);
+  }
+  return Status::Ok();
+}
+
+}  // namespace sdea::incr

@@ -122,6 +122,56 @@ std::vector<int64_t> KgSnapshot::AttributeRowsOf(EntityId e) const {
   return out;
 }
 
+Result<KgDiff> KgSnapshot::DiffSince(uint64_t base_epoch) const {
+  if (base_epoch > epoch_) {
+    return Status::InvalidArgument(
+        "DiffSince: base epoch " + std::to_string(base_epoch) +
+        " is newer than snapshot epoch " + std::to_string(epoch_));
+  }
+  KgDiff d;
+  d.base_epoch = base_epoch;
+  d.epoch = epoch_;
+  // The baseline watermarks: epoch 0 is the empty store; otherwise read the
+  // journal. The snapshot's own watermarks are the mark of `epoch_`, so the
+  // newer side needs no lookup.
+  CommitMark base;
+  if (base_epoch > 0) base = MarkAt(base_epoch);
+  d.entity_begin = base.entities;
+  d.entity_end = n_entities_;
+  d.relation_begin = base.relations;
+  d.relation_end = n_relations_;
+  d.attribute_begin = base.attributes;
+  d.attribute_end = n_attributes_;
+  d.rel_row_begin = base.rel_rows;
+  d.rel_row_end = rel_rows_;
+  d.attr_row_begin = base.attr_rows;
+  d.attr_row_end = attr_rows_;
+  return d;
+}
+
+std::vector<EntityId> KgSnapshot::TouchedEntities(const KgDiff& diff) const {
+  std::vector<EntityId> out;
+  out.reserve(static_cast<size_t>(diff.num_new_entities() +
+                                  2 * diff.num_new_rel_rows() +
+                                  diff.num_new_attr_rows()));
+  ForEachRelationalRange(diff.rel_row_begin, diff.rel_row_end,
+                         [&](int64_t, EntityId h, RelationId, EntityId t) {
+                           out.push_back(h);
+                           out.push_back(t);
+                         });
+  ForEachAttributeRange(
+      diff.attr_row_begin, diff.attr_row_end,
+      [&](int64_t, EntityId e, AttributeId, const std::string&) {
+        out.push_back(e);
+      });
+  for (int64_t e = diff.entity_begin; e < diff.entity_end; ++e) {
+    out.push_back(static_cast<EntityId>(e));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 // ---- ColumnarKgStore --------------------------------------------------------
 
 ColumnarKgStore::ColumnarKgStore(const ColumnarOptions& options)
@@ -134,6 +184,8 @@ ColumnarKgStore::ColumnarKgStore(const ColumnarOptions& options)
   entity_names_ = std::make_shared<const NameChunkList>();
   relation_names_ = std::make_shared<const NameChunkList>();
   attribute_names_ = std::make_shared<const NameChunkList>();
+  marks_ = std::make_shared<const MarkChunkList>();
+  head_.marks_ = marks_;
   head_.rel_cap_ = opts_.rel_chunk_rows;
   head_.attr_cap_ = opts_.attr_chunk_rows;
   head_.name_cap_ = opts_.name_chunk_rows;
@@ -296,9 +348,32 @@ std::shared_ptr<AttributeChunk> ColumnarKgStore::SealAttrChunk(
   return sealed;
 }
 
+void ColumnarKgStore::AppendMarkLocked(uint64_t epoch) {
+  // Journal slot for `epoch` (index epoch-1). Growth is copy-on-write so
+  // pinned snapshots keep their exact chunk set; filling a preallocated
+  // slot below the about-to-publish epoch is the NameChunk protocol.
+  const auto idx = static_cast<int64_t>(epoch - 1);
+  if (idx % kMarkChunkRows == 0) {
+    auto chunk = std::make_shared<MarkChunk>();
+    chunk->slots.resize(static_cast<size_t>(kMarkChunkRows));
+    auto grown = std::make_shared<MarkChunkList>(*marks_);
+    grown->push_back(std::move(chunk));
+    marks_ = std::move(grown);
+  }
+  CommitMark& mark =
+      marks_->back()->slots[static_cast<size_t>(idx % kMarkChunkRows)];
+  mark.entities = appended_entities_;
+  mark.relations = appended_relations_;
+  mark.attributes = appended_attributes_;
+  mark.rel_rows = appended_rel_rows_;
+  mark.attr_rows = appended_attr_rows_;
+}
+
 uint64_t ColumnarKgStore::Commit() {
   std::lock_guard<std::mutex> lock(commit_mu_);
   head_.epoch_ = next_epoch_++;
+  AppendMarkLocked(head_.epoch_);
+  head_.marks_ = marks_;
   head_.n_entities_ = appended_entities_;
   head_.n_relations_ = appended_relations_;
   head_.n_attributes_ = appended_attributes_;
@@ -364,6 +439,8 @@ int64_t ColumnarKgStore::ApproxHeapBytes() const {
       for (const std::string& s : chunk->slots) bytes += StringHeapBytes(s);
     }
   }
+  bytes += static_cast<int64_t>(marks_->size()) * kMarkChunkRows *
+           static_cast<int64_t>(sizeof(CommitMark));
   return bytes;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "base/check.h"
+#include "base/status.h"
 #include "kg/types.h"
 
 namespace sdea::kg {
@@ -91,6 +92,67 @@ using RelChunkList = std::vector<std::shared_ptr<RelationalChunk>>;
 using AttrChunkList = std::vector<std::shared_ptr<AttributeChunk>>;
 using NameChunkList = std::vector<std::shared_ptr<NameChunk>>;
 
+// ---- Epoch journal ----------------------------------------------------------
+
+/// The watermarks one Commit() published. The store appends one of these to
+/// a chunked journal per commit; epoch `e` lives at journal index `e - 1`,
+/// so an epoch lookup is direct indexing, never a search.
+struct CommitMark {
+  int64_t entities = 0;
+  int64_t relations = 0;
+  int64_t attributes = 0;
+  int64_t rel_rows = 0;
+  int64_t attr_rows = 0;
+};
+
+/// A fixed-capacity chunk of the epoch journal. Slots at indexes below any
+/// published epoch are immutable, the same visibility protocol as NameChunk.
+struct MarkChunk {
+  std::vector<CommitMark> slots;
+};
+
+using MarkChunkList = std::vector<std::shared_ptr<MarkChunk>>;
+
+/// Journal chunk capacity. Growth is copy-on-write like the data chunk
+/// lists, so a commit is O(1) amortized even for commit-per-triple loads.
+/// Slots are preallocated per chunk (stable addresses for lock-free
+/// readers), so the capacity is also the journal's idle footprint on a
+/// bulk-loaded graph — kept small relative to the data chunks.
+inline constexpr int64_t kMarkChunkRows = 256;
+
+/// Everything added between two commits, as five half-open ranges. The
+/// store is append-only, so a diff is exactly the id/row suffix the newer
+/// epoch added: name rows [.._begin, .._end) for each of the three interned
+/// columns, plus the relational and attribute triple row ranges.
+struct KgDiff {
+  uint64_t base_epoch = 0;  ///< Older epoch (0 = empty-store baseline).
+  uint64_t epoch = 0;       ///< Newer epoch (the snapshot the diff is from).
+  int64_t entity_begin = 0;
+  int64_t entity_end = 0;
+  int64_t relation_begin = 0;
+  int64_t relation_end = 0;
+  int64_t attribute_begin = 0;
+  int64_t attribute_end = 0;
+  int64_t rel_row_begin = 0;
+  int64_t rel_row_end = 0;
+  int64_t attr_row_begin = 0;
+  int64_t attr_row_end = 0;
+
+  int64_t num_new_entities() const { return entity_end - entity_begin; }
+  int64_t num_new_relations() const { return relation_end - relation_begin; }
+  int64_t num_new_attributes() const {
+    return attribute_end - attribute_begin;
+  }
+  int64_t num_new_rel_rows() const { return rel_row_end - rel_row_begin; }
+  int64_t num_new_attr_rows() const { return attr_row_end - attr_row_begin; }
+
+  bool empty() const {
+    return num_new_entities() == 0 && num_new_relations() == 0 &&
+           num_new_attributes() == 0 && num_new_rel_rows() == 0 &&
+           num_new_attr_rows() == 0;
+  }
+};
+
 // ---- Snapshot ---------------------------------------------------------------
 
 /// A pinned, immutable view of the store at one commit: the epoch, the
@@ -147,6 +209,31 @@ class KgSnapshot {
     }
   }
 
+  /// Visits visible relational triples with row in [begin, end), in row
+  /// order: fn(row, head, relation, tail). `end` is clamped to the
+  /// snapshot's watermark. Chunks before `begin` are skipped by index, so
+  /// visiting a diff suffix costs O(rows visited), not O(total rows).
+  template <typename Fn>
+  void ForEachRelationalRange(int64_t begin, int64_t end, Fn&& fn) const {
+    if (rel_chunks_ == nullptr) return;
+    end = std::min(end, rel_rows_);
+    begin = std::max<int64_t>(begin, 0);
+    if (begin >= end) return;
+    for (auto ci = static_cast<size_t>(ChunkIndex(begin, rel_cap_));
+         ci < rel_chunks_->size(); ++ci) {
+      const RelationalChunk& chunk = *(*rel_chunks_)[ci];
+      if (chunk.base_row >= end) break;
+      const int64_t first = std::max<int64_t>(0, begin - chunk.base_row);
+      const int64_t last = std::min(chunk.capacity, end - chunk.base_row);
+      const EntityId* h = chunk.head.data();
+      const RelationId* r = chunk.relation.data();
+      const EntityId* t = chunk.tail.data();
+      for (int64_t i = first; i < last; ++i) {
+        fn(chunk.base_row + i, h[i], r[i], t[i]);
+      }
+    }
+  }
+
   /// Visits every visible attribute triple in row order:
   /// fn(row, entity, attribute, const std::string& value).
   template <typename Fn>
@@ -163,6 +250,42 @@ class KgSnapshot {
       }
     }
   }
+
+  /// Visits visible attribute triples with row in [begin, end):
+  /// fn(row, entity, attribute, const std::string& value).
+  template <typename Fn>
+  void ForEachAttributeRange(int64_t begin, int64_t end, Fn&& fn) const {
+    if (attr_chunks_ == nullptr) return;
+    end = std::min(end, attr_rows_);
+    begin = std::max<int64_t>(begin, 0);
+    if (begin >= end) return;
+    for (auto ci = static_cast<size_t>(ChunkIndex(begin, attr_cap_));
+         ci < attr_chunks_->size(); ++ci) {
+      const AttributeChunk& chunk = *(*attr_chunks_)[ci];
+      if (chunk.base_row >= end) break;
+      const int64_t first = std::max<int64_t>(0, begin - chunk.base_row);
+      const int64_t last = std::min(chunk.capacity, end - chunk.base_row);
+      const EntityId* e = chunk.entity.data();
+      const AttributeId* a = chunk.attribute.data();
+      for (int64_t i = first; i < last; ++i) {
+        fn(chunk.base_row + i, e[i], a[i], chunk.value_at(i));
+      }
+    }
+  }
+
+  /// Everything committed after `base_epoch` and visible here, as half-open
+  /// id/row ranges. `base_epoch == 0` diffs against the empty store;
+  /// `base_epoch == epoch()` yields an empty diff. Errors with
+  /// InvalidArgument when `base_epoch > epoch()` (the baseline must be an
+  /// ancestor of this snapshot). Lock-free: the snapshot carries the epoch
+  /// journal, so this works even after the store is destroyed.
+  Result<KgDiff> DiffSince(uint64_t base_epoch) const;
+
+  /// The distinct entity ids a diff touches: heads and tails of its new
+  /// relational rows, entities of its new attribute rows, and the newly
+  /// interned entity ids themselves. Sorted ascending, deduplicated. This
+  /// is the seed set the incremental aligner expands by k hops.
+  std::vector<EntityId> TouchedEntities(const KgDiff& diff) const;
 
   RelationalTriple RelationalAt(int64_t row) const {
     SDEA_CHECK(row >= 0 && row < rel_rows_);
@@ -216,6 +339,13 @@ class KgSnapshot {
         ->slots[static_cast<size_t>(id % cap)];
   }
 
+  /// The published watermarks of epoch `e` (1 <= e <= epoch_).
+  const CommitMark& MarkAt(uint64_t e) const {
+    const auto idx = static_cast<int64_t>(e - 1);
+    return (*marks_)[static_cast<size_t>(idx / kMarkChunkRows)]
+        ->slots[static_cast<size_t>(idx % kMarkChunkRows)];
+  }
+
   uint64_t epoch_ = 0;
   int64_t n_entities_ = 0;
   int64_t n_relations_ = 0;
@@ -230,6 +360,9 @@ class KgSnapshot {
   std::shared_ptr<const NameChunkList> entity_names_;
   std::shared_ptr<const NameChunkList> relation_names_;
   std::shared_ptr<const NameChunkList> attribute_names_;
+  /// Epoch journal (one CommitMark per published epoch). Slots below
+  /// epoch_ are immutable; the snapshot only indexes those.
+  std::shared_ptr<const MarkChunkList> marks_;
 };
 
 // ---- Store ------------------------------------------------------------------
@@ -344,6 +477,7 @@ class ColumnarKgStore {
                       int64_t* count, std::string name);
   void SealRelChunk(RelationalChunk* chunk);
   std::shared_ptr<AttributeChunk> SealAttrChunk(const AttributeChunk& open);
+  void AppendMarkLocked(uint64_t epoch);
 
   const ColumnarOptions opts_;
 
@@ -355,6 +489,7 @@ class ColumnarKgStore {
   std::shared_ptr<const NameChunkList> entity_names_;
   std::shared_ptr<const NameChunkList> relation_names_;
   std::shared_ptr<const NameChunkList> attribute_names_;
+  std::shared_ptr<const MarkChunkList> marks_;
 
   int64_t appended_entities_ = 0;
   int64_t appended_relations_ = 0;
