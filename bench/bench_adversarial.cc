@@ -1,0 +1,189 @@
+// The accuracy cliff under dangling entities, and how much of it the
+// calibrated abstain threshold recovers. For each dangling rate the
+// AdversarialPreset pair is generated, one SDEA pipeline is trained, and
+// the SAME model's decisions are scored twice on a dangling-aware gold:
+// forced (every source matched, the pre-abstention behavior) vs abstain
+// (threshold calibrated on dev = valid seeds + half the dangling sources,
+// the other half held out for scoring). Emits BENCH_adversarial.json; the
+// EXPERIMENTS.md robustness table is read off the counters.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/bench_meta.h"
+#include "core/alignment_pipeline.h"
+#include "datagen/generator.h"
+#include "datagen/presets.h"
+#include "eval/abstention.h"
+#include "eval/metrics.h"
+
+namespace {
+
+using namespace sdea;
+
+// The reduced-scale SDEA hyper-parameters the paper-table benches use
+// (bench_util.cc DefaultSdeaConfig), wrapped in a pipeline config.
+core::PipelineConfig LightConfig() {
+  core::PipelineConfig c;
+  c.model.attribute.text.encoder.dim = 32;
+  c.model.attribute.text.encoder.num_heads = 4;
+  c.model.attribute.text.encoder.num_layers = 2;
+  c.model.attribute.text.encoder.ff_dim = 64;
+  c.model.attribute.text.encoder.max_len = 64;
+  c.model.attribute.text.out_dim = 32;
+  c.model.attribute.text.max_epochs = 25;
+  c.model.attribute.text.patience = 5;
+  c.model.attribute.text.negatives_per_pair = 3;
+  c.model.attribute.text.ssl_epochs = 2;
+  c.model.attribute.text.pretrain.epochs = 16;
+  c.model.relation.hidden_dim = 32;
+  c.model.relation.joint_dim = 32;
+  c.model.relation.max_epochs = 20;
+  c.model.relation.patience = 4;
+  c.model.relation.batch_size = 32;
+  // Greedy per-source argmax: the threshold question is well-posed when a
+  // decision's score is its row top-1 (Gale–Shapley already abstains
+  // structurally under N > M, which would conflate two effects here).
+  c.use_stable_matching = false;
+  // Forced matching: the decision layer accepts everything finite.
+  c.min_similarity = -std::numeric_limits<float>::infinity();
+  return c;
+}
+
+// One point of the cliff: state.range(0) is the dangling rate in percent.
+void BM_DanglingCliff(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    const datagen::DatasetSpec spec = datagen::AdversarialPreset(rate);
+    // Hold the surviving (matchable) pair count at ~300 across rates by
+    // growing the world as dangling withholding eats it: the cliff should
+    // measure decision quality under dangling traffic, not training
+    // starvation from a shrinking seed set.
+    const double keep = 1.0 - spec.config.dangling_frac_kg1 -
+                        spec.config.dangling_frac_kg2;
+    const datagen::GeneratedBenchmark bench = datagen::BenchmarkGenerator()
+        .Generate(datagen::ScaledConfig(spec.config, 0.02 / keep));
+    const kg::AlignmentSeeds seeds =
+        kg::AlignmentSeeds::Split(bench.ground_truth, 3);
+
+    core::AlignmentPipeline pipeline;
+    auto result = pipeline.Run(bench.kg1, bench.kg2, seeds, LightConfig(),
+                               bench.pretrain_corpus);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+
+    // Dangling sources: even ones calibrate, odd ones evaluate.
+    std::vector<kg::EntityId> dev_dangling, eval_dangling;
+    for (size_t i = 0; i < bench.dangling_kg1.size(); ++i) {
+      (i % 2 == 0 ? dev_dangling : eval_dangling)
+          .push_back(bench.dangling_kg1[i]);
+    }
+
+    // Dangling-aware gold over every KG1 source: test pairs + held-out
+    // dangling sources are queries, everything else is skipped.
+    std::vector<int64_t> gold(
+        static_cast<size_t>(bench.kg1.num_entities()), eval::kGoldSkip);
+    for (const auto& [a, b] : seeds.test) gold[static_cast<size_t>(a)] = b;
+    for (kg::EntityId e : eval_dangling) {
+      gold[static_cast<size_t>(e)] = eval::kGoldDangling;
+    }
+
+    const eval::DecisionMetrics forced =
+        eval::EvaluateDecisions(result->decisions, gold);
+
+    // Calibrate on dev similarity rows and re-threshold the same model.
+    Tensor e1 = pipeline.model().embeddings1();
+    Tensor e2 = pipeline.model().embeddings2();
+    tmath::L2NormalizeRowsInPlace(&e1);
+    tmath::L2NormalizeRowsInPlace(&e2);
+    const Tensor scores = tmath::MatmulTransposeB(e1, e2);
+
+    std::vector<int64_t> dev_sources, dev_gold;
+    for (const auto& [a, b] : seeds.valid) {
+      dev_sources.push_back(a);
+      dev_gold.push_back(b);
+    }
+    for (kg::EntityId e : dev_dangling) {
+      dev_sources.push_back(e);
+      dev_gold.push_back(eval::kGoldDangling);
+    }
+    Tensor dev({static_cast<int64_t>(dev_sources.size()), scores.dim(1)});
+    for (size_t i = 0; i < dev_sources.size(); ++i) {
+      dev.SetRow(static_cast<int64_t>(i), scores.Row(dev_sources[i]));
+    }
+    // Dev is dangling-heavy relative to the scored traffic (few held-out
+    // seeds, many labeled danglings): declare the deployment prior so the
+    // sweep optimizes for the right class balance.
+    eval::CalibrationOptions copts;
+    if (!eval_dangling.empty()) {
+      copts.dangling_prior =
+          static_cast<double>(eval_dangling.size()) /
+          static_cast<double>(seeds.test.size() + eval_dangling.size());
+    }
+    const eval::AbstainThreshold rule =
+        eval::CalibrateAbstainThreshold(dev, dev_gold, copts);
+
+    std::vector<int64_t> decisions = result->decisions;
+    eval::ApplyAbstainThreshold(scores, rule, &decisions);
+    const eval::DecisionMetrics abstain =
+        eval::EvaluateDecisions(decisions, gold);
+
+    state.counters["hits1"] = result->test_metrics.hits_at_1;
+    state.counters["f1_forced"] = forced.f1;
+    state.counters["f1_abstain"] = abstain.f1;
+    state.counters["precision_forced"] = forced.precision;
+    state.counters["precision_abstain"] = abstain.precision;
+    state.counters["recall_forced"] = forced.recall;
+    state.counters["recall_abstain"] = abstain.recall;
+    state.counters["abstain_rate"] = abstain.abstain_rate;
+    state.counters["forced_on_dangling"] =
+        static_cast<double>(forced.forced_on_dangling);
+    state.counters["forced_on_dangling_abstain"] =
+        static_cast<double>(abstain.forced_on_dangling);
+    state.counters["threshold_min_similarity"] =
+        rule.enabled ? rule.min_similarity : 0.0;
+    state.counters["threshold_min_margin"] =
+        rule.enabled ? rule.min_margin : 0.0;
+    state.counters["dev_f1"] = rule.dev_f1;
+  }
+}
+BENCHMARK(BM_DanglingCliff)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(30)
+    ->Arg(50)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+}  // namespace
+
+// Like BENCHMARK_MAIN(), but defaults to machine-readable JSON output
+// (BENCH_adversarial.json) with the kernel configuration stamped into the
+// context block, matching the other BENCH_*.json artifacts CI archives.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_adversarial.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  sdea::bench::AddKernelContext();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -71,19 +71,20 @@ int main() {
   }
   std::printf(
       "\naligned %zu entity pairs (ranking H@1 %.1f, decision accuracy "
-      "%.1f%%)\n",
+      "%.1f%%, decision F1 %.3f)\n",
       result->pairs.size(), result->test_metrics.hits_at_1,
-      result->matching_accuracy);
+      result->matching_accuracy, result->decision_metrics.f1);
+  std::printf("no-match rule: %s\n",
+              result->threshold.DebugString().c_str());
 
-  // Fuse the two KBs under the accepted matching.
-  std::vector<int64_t> match(
-      static_cast<size_t>(bench.kg1.num_entities()), -1);
-  for (const core::AlignedPair& p : result->pairs) {
-    match[static_cast<size_t>(p.source)] = p.target;
-  }
+  // Fuse the two KBs under the accepted matching. The pipeline's decision
+  // vector already has the merge-ready shape: decisions[i] is the accepted
+  // KB2 target of KB1 entity i, or core::kUnmatched (which the merge
+  // carries over as a KB1-exclusive entity).
   kg::MergeReport merge_report;
-  auto merged = kg::MergeKnowledgeBases(bench.kg1, bench.kg2, match,
-                                        kg::MergeOptions{}, &merge_report);
+  auto merged =
+      kg::MergeKnowledgeBases(bench.kg1, bench.kg2, result->decisions,
+                              kg::MergeOptions{}, &merge_report);
   if (!merged.ok()) {
     std::fprintf(stderr, "merge failed: %s\n",
                  merged.status().ToString().c_str());

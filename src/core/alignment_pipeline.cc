@@ -36,8 +36,11 @@ Result<AlignmentResult> AlignmentPipeline::Run(
   const Tensor scores = tmath::MatmulTransposeB(e1, e2);
   const int64_t n1 = scores.dim(0), n2 = scores.dim(1);
 
-  std::vector<int64_t> match(static_cast<size_t>(n1), -1);
-  if (config.use_stable_matching) {
+  std::vector<int64_t> match(static_cast<size_t>(n1), kUnmatched);
+  if (n2 == 0) {
+    // No candidate targets at all: every source abstains (the greedy loop
+    // below would otherwise read an empty row and emit target 0).
+  } else if (config.use_stable_matching) {
     match = StableMatch(scores);
   } else {
     for (int64_t i = 0; i < n1; ++i) {
@@ -49,25 +52,49 @@ Result<AlignmentResult> AlignmentPipeline::Run(
       match[static_cast<size_t>(i)] = arg;
     }
   }
+
+  // The no-match rule, by precedence: an injected calibrated threshold, a
+  // dev-calibrated one, then the fixed min_similarity floor (represented
+  // as an absolute-only threshold so one code path applies all three —
+  // including the NaN-rejects-the-match guarantee).
+  if (config.threshold.enabled) {
+    result.threshold = config.threshold;
+  } else if (config.calibrate_threshold && !seeds.valid.empty() && n2 > 0) {
+    Tensor dev({static_cast<int64_t>(seeds.valid.size()), n2});
+    std::vector<int64_t> dev_gold;
+    dev_gold.reserve(seeds.valid.size());
+    for (size_t i = 0; i < seeds.valid.size(); ++i) {
+      dev.SetRow(static_cast<int64_t>(i),
+                 scores.Row(seeds.valid[i].first));
+      dev_gold.push_back(seeds.valid[i].second);
+    }
+    result.threshold = eval::CalibrateAbstainThreshold(dev, dev_gold);
+  }
+  if (!result.threshold.enabled) {
+    result.threshold.min_similarity = config.min_similarity;
+    result.threshold.enabled = true;
+  }
+  if (n2 > 0) {
+    eval::ApplyAbstainThreshold(scores, result.threshold, &match);
+  }
+
   for (int64_t i = 0; i < n1; ++i) {
     const int64_t j = match[static_cast<size_t>(i)];
     if (j < 0) continue;
-    const float sim = scores[i * n2 + j];
-    if (sim < config.min_similarity) {
-      match[static_cast<size_t>(i)] = -1;
-      continue;
-    }
     result.pairs.push_back(AlignedPair{static_cast<kg::EntityId>(i),
-                                       static_cast<kg::EntityId>(j), sim});
+                                       static_cast<kg::EntityId>(j),
+                                       scores[i * n2 + j]});
   }
+  result.decisions = std::move(match);
 
   // Decision accuracy on the held-out test pairs.
   std::vector<int64_t> sub, gold;
   for (const auto& [a, b] : seeds.test) {
-    sub.push_back(match[static_cast<size_t>(a)]);
+    sub.push_back(result.decisions[static_cast<size_t>(a)]);
     gold.push_back(b);
   }
   result.matching_accuracy = MatchingAccuracy(sub, gold);
+  result.decision_metrics = eval::EvaluateDecisions(sub, gold);
   return result;
 }
 

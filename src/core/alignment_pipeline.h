@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/sdea.h"
+#include "eval/abstention.h"
 
 namespace sdea::core {
 
@@ -16,8 +17,20 @@ struct PipelineConfig {
   /// paper does not assume 1-1).
   bool use_stable_matching = true;
   /// Matches below this cosine similarity are rejected (keeps
-  /// KB-exclusive entities unmatched).
+  /// KB-exclusive entities unmatched). Ignored when a calibrated
+  /// threshold is active (see below).
   float min_similarity = 0.5f;
+  /// Fit an abstain threshold on the dev (seeds.valid) similarity rows
+  /// instead of using the fixed min_similarity. The dev split carries no
+  /// dangling labels, so calibration uses the keep-fraction fallback rule
+  /// (see eval::CalibrationOptions); callers with labeled dangling dev
+  /// sources should calibrate themselves and set `threshold` directly.
+  bool calibrate_threshold = false;
+  /// An externally calibrated no-match rule. When enabled it takes
+  /// precedence over both min_similarity and calibrate_threshold — this is
+  /// how a threshold fit on dangling-labeled dev data (e.g. from
+  /// datagen's adversarial scenarios) is injected.
+  eval::AbstainThreshold threshold;
 };
 
 /// One accepted alignment decision.
@@ -30,8 +43,20 @@ struct AlignedPair {
 /// Everything a caller needs from a pipeline run.
 struct AlignmentResult {
   std::vector<AlignedPair> pairs;     ///< Accepted matches, by source id.
+  /// The full decision vector: decisions[i] = accepted target of KG1
+  /// entity i, or kUnmatched. Safe to feed to kg::MergeKnowledgeBases and
+  /// eval::EvaluateDecisions as-is.
+  std::vector<int64_t> decisions;
   eval::RankingMetrics test_metrics;  ///< Ranking quality on seeds.test.
   double matching_accuracy = 0.0;     ///< Hits@1 of the decisions on test.
+  /// Decision-level precision/recall/F1 of `decisions` on seeds.test
+  /// (matchable queries only here; dangling-aware evaluation needs the
+  /// caller's dangling labels — see eval::EvaluateDecisions).
+  eval::DecisionMetrics decision_metrics;
+  /// The no-match rule the decision layer actually applied: the injected
+  /// config.threshold, the dev-calibrated one, or the fixed
+  /// min_similarity floor represented as an absolute-only threshold.
+  eval::AbstainThreshold threshold;
   SdeaFitReport fit_report;
 };
 

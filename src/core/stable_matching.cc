@@ -5,6 +5,7 @@
 
 #include "base/check.h"
 #include "base/threadpool.h"
+#include "eval/metrics.h"
 
 namespace sdea::core {
 
@@ -76,7 +77,14 @@ double MatchingAccuracy(const std::vector<int64_t>& match,
   SDEA_CHECK_EQ(match.size(), gold.size());
   int64_t total = 0, correct = 0;
   for (size_t i = 0; i < match.size(); ++i) {
-    if (gold[i] < 0) continue;
+    if (gold[i] == eval::kGoldDangling) {
+      // A dangling source is a real query: the decision is right exactly
+      // when the matcher abstained.
+      ++total;
+      if (match[i] < 0) ++correct;
+      continue;
+    }
+    if (gold[i] < 0) continue;  // kGoldSkip.
     ++total;
     if (match[i] == gold[i]) ++correct;
   }

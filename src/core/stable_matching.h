@@ -8,10 +8,17 @@
 
 namespace sdea::core {
 
+/// The unmatched sentinel StableMatch (and every decision layer above it)
+/// emits: match[i] = kUnmatched means source i ends the run without a
+/// target — either N > M exhausted the targets, or a no-match threshold
+/// rejected its best candidate. Consumers must never index a target-side
+/// array with a match entry before checking it against this.
+inline constexpr int64_t kUnmatched = -1;
+
 /// Gale–Shapley stable matching over a similarity matrix [N, M] (higher is
 /// better). Sources propose in decreasing preference; targets hold their
-/// best proposal. Returns match[i] = matched target for source i, or -1 if
-/// unmatched (when N > M). This is the post-processing step the paper
+/// best proposal. Returns match[i] = matched target for source i, or
+/// kUnmatched (when N > M). This is the post-processing step the paper
 /// borrows from CEA to boost 1-1 Hits@1 (Section V-B1).
 std::vector<int64_t> StableMatch(const Tensor& scores);
 
@@ -20,8 +27,12 @@ std::vector<int64_t> StableMatch(const Tensor& scores);
 std::vector<int64_t> StableMatchEmbeddings(const Tensor& src,
                                            const Tensor& tgt);
 
-/// Hits@1 (%) of a matching against gold (gold[i] = true target of source
-/// i, or -1 to skip).
+/// Hits@1 (%) of a matching against gold. gold[i] follows the eval
+/// sentinel semantics: a target index (correct iff match[i] equals it),
+/// eval::kGoldSkip (-1, excluded from the denominator), or
+/// eval::kGoldDangling (-2, a counted query whose correct answer is any
+/// unmatched/abstain entry). Dangling gold is NOT conflated with skip: a
+/// forced match on a dangling source scores as wrong.
 double MatchingAccuracy(const std::vector<int64_t>& match,
                         const std::vector<int64_t>& gold);
 

@@ -1,6 +1,7 @@
 #include "datagen/generator.h"
 
 #include <algorithm>
+#include <numeric>
 #include <set>
 #include <unordered_set>
 
@@ -201,7 +202,7 @@ ViewSchema MakeSchema(const GeneratorConfig& cfg, int view, Rng* rng) {
       2, static_cast<int64_t>(cfg.num_attributes * scale));
   s.relation_map.resize(static_cast<size_t>(world_rels));
   for (int64_t r = 0; r < world_rels; ++r) {
-    if (view == 2 && rng->Bernoulli(cfg.schema_shift)) {
+    if (view >= 2 && rng->Bernoulli(cfg.schema_shift)) {
       s.relation_map[static_cast<size_t>(r)] = static_cast<int64_t>(
           rng->UniformInt(static_cast<uint64_t>(s.num_relations)));
     } else {
@@ -210,7 +211,7 @@ ViewSchema MakeSchema(const GeneratorConfig& cfg, int view, Rng* rng) {
   }
   s.attribute_map.resize(static_cast<size_t>(cfg.num_attributes));
   for (int64_t a = 0; a < cfg.num_attributes; ++a) {
-    if (view == 2 && rng->Bernoulli(cfg.schema_shift)) {
+    if (view >= 2 && rng->Bernoulli(cfg.schema_shift)) {
       s.attribute_map[static_cast<size_t>(a)] = static_cast<int64_t>(
           rng->UniformInt(static_cast<uint64_t>(s.num_attributes)));
     } else {
@@ -314,10 +315,15 @@ std::string RenderComment(const World& w, const WorldEntity& e,
 }
 
 // Renders one view of the world into a KnowledgeGraph. `entity_map` receives
-// world id -> view EntityId for matched entities.
+// world id -> view EntityId for matched entities. `present` (null = all)
+// masks world entities out of this view entirely — no node, no edges, no
+// attributes; their entity_map slot stays kInvalidEntity. Comments of
+// surviving neighbors still mention a withheld entity's name: text may talk
+// about things the KG does not contain, exactly like real dangling cases.
 kg::KnowledgeGraph RenderView(const World& w, const GeneratorConfig& cfg,
                               int view, Rng* rng,
-                              std::vector<kg::EntityId>* entity_map) {
+                              std::vector<kg::EntityId>* entity_map,
+                              const std::vector<char>* present = nullptr) {
   const LanguageSpec lang{view == 1 ? cfg.kg1_lang_seed : cfg.kg2_lang_seed};
   const NameMode mode =
       (view == 1) ? NameMode::kShared /* KG1 always uses real names */
@@ -325,7 +331,7 @@ kg::KnowledgeGraph RenderView(const World& w, const GeneratorConfig& cfg,
   const ViewSchema schema = MakeSchema(cfg, view, rng);
   const WordRenderer render{
       lang, LanguageSpec{cfg.kg1_lang_seed},
-      (view == 2 && cfg.kg2_lang_seed != cfg.kg1_lang_seed)
+      (view >= 2 && cfg.kg2_lang_seed != cfg.kg1_lang_seed)
           ? cfg.borrow_prob
           : 0.0,
       rng};
@@ -339,15 +345,26 @@ kg::KnowledgeGraph RenderView(const World& w, const GeneratorConfig& cfg,
   // Insert matched entities in a per-view shuffled order so ids carry no
   // alignment signal.
   const int64_t total = static_cast<int64_t>(w.entities.size());
+  const auto is_present = [&](int64_t wid) {
+    return present == nullptr || (*present)[static_cast<size_t>(wid)] != 0;
+  };
   std::vector<int64_t> order(static_cast<size_t>(total));
   for (int64_t i = 0; i < total; ++i) order[static_cast<size_t>(i)] = i;
   rng->Shuffle(&order);
   entity_map->assign(static_cast<size_t>(total), kg::kInvalidEntity);
   for (int64_t wid : order) {
+    if (!is_present(wid)) continue;
     const WorldEntity& e = w.entities[static_cast<size_t>(wid)];
     const std::string name =
         RenderEntityName(e, wid, lang, mode, &used_names);
     (*entity_map)[static_cast<size_t>(wid)] = g.AddEntity(name);
+  }
+  // World ids the extras below may link to (withheld entities cannot be
+  // edge endpoints; the general concepts are always present).
+  std::vector<int64_t> present_wids;
+  present_wids.reserve(static_cast<size_t>(total));
+  for (int64_t wid = 0; wid < total; ++wid) {
+    if (is_present(wid)) present_wids.push_back(wid);
   }
 
   // Relation / attribute display names (per-view schema vocabulary).
@@ -365,11 +382,13 @@ kg::KnowledgeGraph RenderView(const World& w, const GeneratorConfig& cfg,
         Lexicon::Word(lang, kSchemaWordBase + view * 100'000 + 50'000 + a)));
   }
 
-  // Edges with per-view dropout.
+  // Edges with per-view dropout. An edge touching a withheld entity is
+  // gone with it (kInvalidEntity endpoints are never rendered).
   for (const WorldEdge& e : w.edges) {
     if (!rng->Bernoulli(cfg.edge_keep_prob)) continue;
     const kg::EntityId h = (*entity_map)[static_cast<size_t>(e.head)];
     const kg::EntityId t = (*entity_map)[static_cast<size_t>(e.tail)];
+    if (h == kg::kInvalidEntity || t == kg::kInvalidEntity) continue;
     const int64_t rel = schema.relation_map[static_cast<size_t>(e.relation)];
     g.AddRelationalTriple(h, rel_ids[static_cast<size_t>(rel)], t);
   }
@@ -378,6 +397,7 @@ kg::KnowledgeGraph RenderView(const World& w, const GeneratorConfig& cfg,
   for (int64_t wid = 0; wid < total; ++wid) {
     const WorldEntity& e = w.entities[static_cast<size_t>(wid)];
     const kg::EntityId vid = (*entity_map)[static_cast<size_t>(wid)];
+    if (vid == kg::kInvalidEntity) continue;
     const bool strip_structured =
         view == 2 && !e.is_general_concept && e.has_comment &&
         static_cast<int64_t>(e.neighbor_ids.size()) <= 3 &&
@@ -430,8 +450,8 @@ kg::KnowledgeGraph RenderView(const World& w, const GeneratorConfig& cfg,
     const kg::EntityId vid = g.AddEntity(candidate);
     const int64_t edges = 1 + static_cast<int64_t>(rng->UniformInt(3));
     for (int64_t k = 0; k < edges; ++k) {
-      const int64_t partner_wid =
-          static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(total)));
+      const int64_t partner_wid = present_wids[static_cast<size_t>(
+          rng->UniformInt(present_wids.size()))];
       const kg::EntityId partner =
           (*entity_map)[static_cast<size_t>(partner_wid)];
       const int64_t rel = static_cast<int64_t>(rng->UniformInt(
@@ -512,6 +532,19 @@ std::vector<std::string> BuildPretrainCorpus(const GeneratorConfig& cfg,
 
 }  // namespace
 
+namespace {
+
+// Marks `count` entities drawn from `candidates` (consumed from the front)
+// as absent in `present`.
+void WithholdPrefix(const std::vector<int64_t>& candidates, size_t begin,
+                    size_t count, std::vector<char>* present) {
+  for (size_t i = begin; i < begin + count; ++i) {
+    (*present)[static_cast<size_t>(candidates[i])] = 0;
+  }
+}
+
+}  // namespace
+
 GeneratedBenchmark BenchmarkGenerator::Generate(
     const GeneratorConfig& cfg) const {
   Rng rng(cfg.seed);
@@ -519,18 +552,130 @@ GeneratedBenchmark BenchmarkGenerator::Generate(
   Rng view1_rng = rng.Fork();
   Rng view2_rng = rng.Fork();
   Rng corpus_rng = rng.Fork();
+  // Forked last so the world/view/corpus streams — and with zero
+  // adversarial knobs the whole benchmark — match the pre-adversarial
+  // generator draw-for-draw.
+  Rng adv_rng = rng.Fork();
 
   const World world = BuildWorld(cfg, &world_rng);
+  const int64_t n = cfg.num_matched;
+  const int64_t total = static_cast<int64_t>(world.entities.size());
+
+  // Disjoint dangling draws over the matched entities: a shuffled prefix
+  // is withheld from KG2 (making its KG1 copy dangling), the next slice
+  // from KG1. General concepts (world ids >= n) stay in every view.
+  SDEA_CHECK_LT(cfg.dangling_frac_kg1 + cfg.dangling_frac_kg2, 1.0);
+  std::vector<char> present1(static_cast<size_t>(total), 1);
+  std::vector<char> present2(static_cast<size_t>(total), 1);
+  if (cfg.dangling_frac_kg1 > 0.0 || cfg.dangling_frac_kg2 > 0.0) {
+    std::vector<int64_t> ids(static_cast<size_t>(n));
+    std::iota(ids.begin(), ids.end(), 0);
+    adv_rng.Shuffle(&ids);
+    const auto d1 = static_cast<size_t>(
+        static_cast<double>(n) * cfg.dangling_frac_kg1);
+    const auto d2 = static_cast<size_t>(
+        static_cast<double>(n) * cfg.dangling_frac_kg2);
+    WithholdPrefix(ids, 0, d1, &present2);
+    WithholdPrefix(ids, d1, d2, &present1);
+  }
 
   GeneratedBenchmark out;
   out.name = cfg.name;
   std::vector<kg::EntityId> map1, map2;
-  out.kg1 = RenderView(world, cfg, 1, &view1_rng, &map1);
-  out.kg2 = RenderView(world, cfg, 2, &view2_rng, &map2);
+  out.kg1 = RenderView(world, cfg, 1, &view1_rng, &map1, &present1);
+  out.kg2 = RenderView(world, cfg, 2, &view2_rng, &map2, &present2);
   for (size_t wid = 0; wid < world.entities.size(); ++wid) {
-    out.ground_truth.emplace_back(map1[wid], map2[wid]);
+    const kg::EntityId a = map1[wid];
+    const kg::EntityId b = map2[wid];
+    if (a != kg::kInvalidEntity && b != kg::kInvalidEntity) {
+      out.ground_truth.emplace_back(a, b);
+    } else if (a != kg::kInvalidEntity) {
+      out.dangling_kg1.push_back(a);
+    } else if (b != kg::kInvalidEntity) {
+      out.dangling_kg2.push_back(b);
+    }
+  }
+  // Partial seed overlap: hide a slice of the true pairs from every split.
+  if (cfg.partial_overlap > 0.0) {
+    std::vector<std::pair<kg::EntityId, kg::EntityId>> kept;
+    kept.reserve(out.ground_truth.size());
+    for (const auto& p : out.ground_truth) {
+      if (adv_rng.Bernoulli(cfg.partial_overlap)) {
+        out.hidden_truth.push_back(p);
+      } else {
+        kept.push_back(p);
+      }
+    }
+    out.ground_truth = std::move(kept);
   }
   out.pretrain_corpus = BuildPretrainCorpus(cfg, world, &corpus_rng);
+  return out;
+}
+
+GeneratedChain BenchmarkGenerator::GenerateChain(const GeneratorConfig& cfg,
+                                                 int num_kgs) const {
+  SDEA_CHECK_GE(num_kgs, 2);
+  // The word-index address space reserves one kExtraNameBase slot per
+  // view; view 5 would collide with kSchemaWordBase.
+  SDEA_CHECK_LE(num_kgs, 4);
+  Rng rng(cfg.seed);
+  Rng world_rng = rng.Fork();
+  const World world = BuildWorld(cfg, &world_rng);
+  const int64_t n = cfg.num_matched;
+  const int64_t total = static_cast<int64_t>(world.entities.size());
+
+  GeneratedChain out;
+  out.name = cfg.name + "-chain" + std::to_string(num_kgs);
+  std::vector<std::vector<kg::EntityId>> maps(
+      static_cast<size_t>(num_kgs));
+  for (int v = 0; v < num_kgs; ++v) {
+    const int view = v + 1;
+    Rng mask_rng = rng.Fork();
+    Rng view_rng = rng.Fork();
+    GeneratorConfig vcfg = cfg;
+    if (view >= 3) {
+      // Each later hop gets its own language; hop 2 keeps the configured
+      // KG2 seed so a 2-chain is the familiar pair.
+      vcfg.kg2_lang_seed = cfg.kg2_lang_seed + 977 * (view - 2);
+    }
+    // Every view independently loses a slice of the matched entities, so
+    // consecutive links partially overlap and transitive coverage decays
+    // with chain length.
+    const double frac =
+        (view == 1) ? cfg.dangling_frac_kg1 : cfg.dangling_frac_kg2;
+    SDEA_CHECK_LT(frac, 1.0);
+    std::vector<char> present(static_cast<size_t>(total), 1);
+    if (frac > 0.0) {
+      std::vector<int64_t> ids(static_cast<size_t>(n));
+      std::iota(ids.begin(), ids.end(), 0);
+      mask_rng.Shuffle(&ids);
+      WithholdPrefix(
+          ids, 0, static_cast<size_t>(static_cast<double>(n) * frac),
+          &present);
+    }
+    out.kgs.push_back(RenderView(world, vcfg, view, &view_rng,
+                                 &maps[static_cast<size_t>(v)], &present));
+  }
+
+  out.links.resize(static_cast<size_t>(num_kgs - 1));
+  for (int v = 0; v + 1 < num_kgs; ++v) {
+    auto& link = out.links[static_cast<size_t>(v)];
+    for (int64_t wid = 0; wid < total; ++wid) {
+      const kg::EntityId a = maps[static_cast<size_t>(v)][static_cast<size_t>(wid)];
+      const kg::EntityId b =
+          maps[static_cast<size_t>(v + 1)][static_cast<size_t>(wid)];
+      if (a != kg::kInvalidEntity && b != kg::kInvalidEntity) {
+        link.emplace_back(a, b);
+      }
+    }
+  }
+  for (int64_t wid = 0; wid < total; ++wid) {
+    const kg::EntityId a = maps.front()[static_cast<size_t>(wid)];
+    const kg::EntityId b = maps.back()[static_cast<size_t>(wid)];
+    if (a != kg::kInvalidEntity && b != kg::kInvalidEntity) {
+      out.transitive.emplace_back(a, b);
+    }
+  }
   return out;
 }
 

@@ -74,6 +74,22 @@ struct GeneratorConfig {
   /// KG2 relation/attribute vocabularies are this fraction of KG1's
   /// (Table I shows asymmetric schema sizes).
   double kg2_schema_scale = 0.75;
+
+  // ---- Adversarial scenarios -----------------------------------------------
+  /// Fraction of matched world entities rendered ONLY into KG1: their KG2
+  /// copy (and every edge/attribute of it) is withheld, so the KG1 entity
+  /// is dangling — it has no counterpart, and the correct alignment
+  /// decision for it is abstain. Disjoint from dangling_frac_kg2; the two
+  /// must sum to < 1.
+  double dangling_frac_kg1 = 0.0;
+  /// Fraction rendered ONLY into KG2 (the KG2 entity is dangling).
+  double dangling_frac_kg2 = 0.0;
+  /// Fraction of the both-present matched pairs withheld from ground_truth
+  /// into hidden_truth: the partial-seed-overlap regime, where real
+  /// counterparts exist but no label says so. Unlike dangling entities
+  /// these sources SHOULD be matched — an abstain rule tuned too hot shows
+  /// up as recall loss on exactly this population.
+  double partial_overlap = 0.0;
 };
 
 /// A generated benchmark instance: the KG pair plus the ground-truth
@@ -83,10 +99,37 @@ struct GeneratedBenchmark {
   kg::KnowledgeGraph kg1;
   kg::KnowledgeGraph kg2;
   std::vector<std::pair<kg::EntityId, kg::EntityId>> ground_truth;
+  /// KG1 entities whose world counterpart was withheld from KG2
+  /// (dangling_frac_kg1): present in kg1, absent from both ground_truth
+  /// and kg2. Feed these as eval::kGoldDangling queries.
+  std::vector<kg::EntityId> dangling_kg1;
+  /// KG2-side danglings (dangling_frac_kg2), as KG2 entity ids.
+  std::vector<kg::EntityId> dangling_kg2;
+  /// True pairs withheld from ground_truth by partial_overlap: both
+  /// entities exist and correspond, but no seed/test label reveals it.
+  std::vector<std::pair<kg::EntityId, kg::EntityId>> hidden_truth;
   /// Comparable (word-parallel) corpus for language-model pre-training —
   /// the substitute for the multilingual corpora behind pre-trained BERT.
   /// Contains vocabulary words only, no entity-alignment information.
   std::vector<std::string> pretrain_corpus;
+};
+
+/// A chained multi-KG scenario (>2 KGs over one world): alignment systems
+/// that compose pairwise links accumulate both dropout noise and dangling
+/// gaps at every hop.
+struct GeneratedChain {
+  std::string name;
+  /// kgs[0] renders with the KG1 settings; kgs[1..] with the KG2 settings
+  /// under per-view language seeds and independent dropout/dangling draws.
+  std::vector<kg::KnowledgeGraph> kgs;
+  /// links[k] is the gold alignment between kgs[k] and kgs[k+1]
+  /// (both-present world entities only).
+  std::vector<std::vector<std::pair<kg::EntityId, kg::EntityId>>> links;
+  /// Gold first<->last pairs: every world entity present in both end KGs.
+  /// Recovering one by composing links additionally requires the entity to
+  /// survive every intermediate view — the gap between |transitive| and
+  /// what link-composition can reach is the chained-dangling loss.
+  std::vector<std::pair<kg::EntityId, kg::EntityId>> transitive;
 };
 
 /// Generates paired knowledge graphs from a common synthetic world. Two
@@ -96,6 +139,14 @@ struct GeneratedBenchmark {
 class BenchmarkGenerator {
  public:
   GeneratedBenchmark Generate(const GeneratorConfig& config) const;
+
+  /// Renders `num_kgs` (in [2, 4]) views of one world as a chain. Each
+  /// view beyond the first uses the KG2 rendering settings with a distinct
+  /// derived language seed, and independently withholds dangling_frac_kg2
+  /// of the matched entities, so consecutive links have partial overlap
+  /// and the first<->last transitive gold shrinks with chain length.
+  GeneratedChain GenerateChain(const GeneratorConfig& config,
+                               int num_kgs) const;
 };
 
 }  // namespace sdea::datagen

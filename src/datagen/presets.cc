@@ -204,6 +204,35 @@ DatasetSpec MillionScalePreset() {
   return {"d_w_1m", c};
 }
 
+DatasetSpec AdversarialPreset(double dangling_rate) {
+  // Built on the monolingual SRPRS-style base (names literally similar)
+  // rather than a cross-lingual pair: the suite isolates the *dangling*
+  // variable, so the matcher should be strong on the matchable population
+  // and any accuracy cliff attributable to the withheld counterparts, not
+  // to translation difficulty.
+  GeneratorConfig c = SrprsBase();
+  c.name = "ADVERSARIAL EN-EN " +
+           std::to_string(static_cast<int>(dangling_rate * 100 + 0.5)) +
+           "% dangling";
+  c.seed = 5001;  // One seed across the sweep: only the rate varies.
+  c.kg1_lang_seed = 117;
+  c.kg2_lang_seed = 117;
+  c.kg2_name_mode = NameMode::kShared;
+  c.dangling_frac_kg1 = dangling_rate;
+  c.dangling_frac_kg2 = dangling_rate / 2.0;
+  return {"adversarial_" +
+              std::to_string(static_cast<int>(dangling_rate * 100 + 0.5)),
+          c};
+}
+
+std::vector<DatasetSpec> AdversarialSweep() {
+  std::vector<DatasetSpec> out;
+  for (double rate : {0.0, 0.1, 0.3, 0.5}) {
+    out.push_back(AdversarialPreset(rate));
+  }
+  return out;
+}
+
 GeneratorConfig ScaledConfig(GeneratorConfig config, double scale) {
   config.num_matched = std::max<int64_t>(
       200, static_cast<int64_t>(config.num_matched * scale));

@@ -41,6 +41,20 @@ std::vector<DatasetSpec> AllPresets();
 /// (the distributional knobs are scale-invariant).
 DatasetSpec MillionScalePreset();
 
+/// The dangling-entity robustness scenario (ROADMAP item 5): a monolingual
+/// SRPRS-flavoured pair (names literally similar, so the matcher is strong
+/// on the matchable population) where `dangling_rate` of the matched
+/// entities is withheld from KG2 (their KG1 copies become dangling
+/// sources whose correct decision is abstain) and half that rate is
+/// withheld from KG1 (KG2-side danglings shrink the target pool). At 0.0
+/// this is an ordinary pair; sweeping the rate traces the forced-matching
+/// accuracy cliff that the calibrated abstain threshold flattens
+/// (bench/bench_adversarial.cc, EXPERIMENTS.md). Scale with ScaledConfig.
+DatasetSpec AdversarialPreset(double dangling_rate);
+
+/// The bench/test sweep points: dangling rates 0, 0.1, 0.3, 0.5.
+std::vector<DatasetSpec> AdversarialSweep();
+
 /// Scales the entity count of `config` by `scale` (min 200 matched
 /// entities), leaving distributional parameters untouched. Used to fit the
 /// paper-scale presets onto a single-core time budget; EXPERIMENTS.md

@@ -1,0 +1,92 @@
+#ifndef SDEA_EVAL_ABSTENTION_H_
+#define SDEA_EVAL_ABSTENTION_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "tensor/tensor.h"
+
+namespace sdea::eval {
+
+/// A calibrated "no match" decision rule: a proposed match (source i ->
+/// target j) is *accepted* only when its absolute similarity clears
+/// `min_similarity` AND its score gap over the best alternative target
+/// clears `min_margin`; otherwise the source abstains. Both comparisons are
+/// written so a NaN score fails them — a zero-norm or diverged embedding
+/// row can never be force-matched through the threshold.
+///
+/// Thresholds are fit on dev data with CalibrateAbstainThreshold; a
+/// default-constructed (disabled) threshold accepts everything, which is
+/// exactly the pre-calibration forced-matching behavior.
+struct AbstainThreshold {
+  /// Absolute cosine-similarity floor for accepting a match.
+  float min_similarity = -std::numeric_limits<float>::infinity();
+  /// Required gap between the accepted target's score and the best
+  /// alternative target's score (top1 - top2 when the match is the row
+  /// argmax). 0 disables the margin criterion.
+  float min_margin = 0.0f;
+  /// Disabled thresholds accept every proposed match.
+  bool enabled = false;
+  /// F1 the calibration achieved on its dev data (diagnostics only).
+  double dev_f1 = 0.0;
+
+  /// True when a match with absolute score `score` and margin `margin`
+  /// over the runner-up passes the rule. NaN in either input fails.
+  bool Accepts(float score, float margin) const {
+    if (!enabled) return true;
+    return score >= min_similarity && margin >= min_margin;
+  }
+
+  std::string DebugString() const;
+};
+
+struct CalibrationOptions {
+  /// Fallback used when the dev gold contains no kGoldDangling labels (so
+  /// F1 over dev decisions cannot see any benefit from abstaining): the
+  /// absolute threshold is placed at the score quantile that keeps this
+  /// fraction of *correctly ranked* dev matches accepted. With dangling
+  /// labels present this knob is unused — the sweep maximizes F1 directly.
+  double fallback_keep_fraction = 0.95;
+
+  /// Expected fraction of dangling queries in deployment traffic, in
+  /// [0, 1]. Dev sets are rarely mixed like deployment — a handful of
+  /// held-out seed pairs plus every labeled dangling source is the common
+  /// shape — and unweighted F1 on a skewed dev tunes the threshold for the
+  /// wrong class balance (a dangling-heavy dev picks a floor so strict it
+  /// guts recall on matchable-heavy traffic). When set >= 0, dev rows are
+  /// importance-weighted so dangling rows carry this fraction of the total
+  /// mass and matchable rows the rest, and the sweep maximizes the
+  /// weighted F1. Negative (the default) scores dev rows unweighted.
+  double dangling_prior = -1.0;
+};
+
+/// Fits an abstain threshold on dev data: `dev_scores` is [N, M] similarity
+/// rows for N dev sources over the full target space, `dev_gold[i]` is the
+/// true target index, kGoldDangling for a labeled dangling dev source, or
+/// kGoldSkip. The calibration sweeps every observed top-1 score (absolute
+/// criterion) and every observed top1-top2 gap (margin criterion) as a
+/// candidate threshold, scores each by the F1 of the induced greedy
+/// decisions on the dev set, and keeps the best; ties prefer the laxer
+/// threshold (fewer abstentions). Deterministic for fixed inputs.
+///
+/// Degenerate inputs (no rows, M == 0, all gold kGoldSkip) return a
+/// disabled threshold.
+AbstainThreshold CalibrateAbstainThreshold(
+    const Tensor& dev_scores, const std::vector<int64_t>& dev_gold,
+    const CalibrationOptions& options = {});
+
+/// Applies `threshold` to a match vector over `scores` [N, M]: every
+/// match[i] >= 0 whose score/margin fails the rule is rewritten to -1
+/// (unmatched). The margin for source i compares scores(i, match[i])
+/// against the best *other* target in row i. Returns the number of matches
+/// rewritten to abstentions.
+int64_t ApplyAbstainThreshold(const Tensor& scores,
+                              const AbstainThreshold& threshold,
+                              std::vector<int64_t>* match);
+
+}  // namespace sdea::eval
+
+#endif  // SDEA_EVAL_ABSTENTION_H_

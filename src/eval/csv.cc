@@ -18,14 +18,17 @@ std::string CsvEscape(const std::string& field) {
 
 std::string ResultsToCsv(const std::vector<ResultRecord>& records) {
   std::string out =
-      "method,dataset,hits_at_1,hits_at_10,mrr,num_queries,seconds\n";
+      "method,dataset,hits_at_1,hits_at_10,mrr,num_queries,num_invalid,"
+      "seconds\n";
   for (const ResultRecord& r : records) {
     out += CsvEscape(r.method);
     out += ',';
     out += CsvEscape(r.dataset);
-    out += StrFormat(",%.4f,%.4f,%.6f,%lld,%.3f\n", r.metrics.hits_at_1,
-                     r.metrics.hits_at_10, r.metrics.mrr,
+    out += StrFormat(",%.4f,%.4f,%.6f,%lld,%lld,%.3f\n",
+                     r.metrics.hits_at_1, r.metrics.hits_at_10,
+                     r.metrics.mrr,
                      static_cast<long long>(r.metrics.num_queries),
+                     static_cast<long long>(r.metrics.num_invalid),
                      r.seconds);
   }
   return out;
@@ -36,6 +39,34 @@ Status WriteResultsCsv(const std::vector<ResultRecord>& records,
   // Atomic so a crash mid-write can't leave a truncated results file that
   // a later aggregation step half-parses.
   return WriteStringToFileAtomic(path, ResultsToCsv(records));
+}
+
+std::string DecisionsToCsv(const std::vector<DecisionRecord>& records) {
+  std::string out =
+      "method,dataset,precision,recall,f1,abstain_rate,matchable,dangling,"
+      "correct,mismatched,missed,abstain_correct,forced_on_dangling\n";
+  for (const DecisionRecord& r : records) {
+    out += CsvEscape(r.method);
+    out += ',';
+    out += CsvEscape(r.dataset);
+    out += StrFormat(",%.4f,%.4f,%.4f,%.4f,%lld,%lld,%lld,%lld,%lld,%lld,"
+                     "%lld\n",
+                     r.metrics.precision, r.metrics.recall, r.metrics.f1,
+                     r.metrics.abstain_rate,
+                     static_cast<long long>(r.metrics.matchable),
+                     static_cast<long long>(r.metrics.dangling),
+                     static_cast<long long>(r.metrics.correct),
+                     static_cast<long long>(r.metrics.mismatched),
+                     static_cast<long long>(r.metrics.missed),
+                     static_cast<long long>(r.metrics.abstain_correct),
+                     static_cast<long long>(r.metrics.forced_on_dangling));
+  }
+  return out;
+}
+
+Status WriteDecisionsCsv(const std::vector<DecisionRecord>& records,
+                         const std::string& path) {
+  return WriteStringToFileAtomic(path, DecisionsToCsv(records));
 }
 
 }  // namespace sdea::eval

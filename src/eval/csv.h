@@ -22,12 +22,31 @@ struct ResultRecord {
 std::string CsvEscape(const std::string& field);
 
 /// Renders records as CSV with the header
-/// `method,dataset,hits_at_1,hits_at_10,mrr,num_queries,seconds`.
+/// `method,dataset,hits_at_1,hits_at_10,mrr,num_queries,num_invalid,seconds`.
+/// num_invalid surfaces the queries EvaluateFromScores dropped for
+/// out-of-range gold — previously they silently vanished from the file,
+/// making a run over a broken gold mapping look like a clean smaller run.
 std::string ResultsToCsv(const std::vector<ResultRecord>& records);
 
 /// Writes ResultsToCsv to a file.
 Status WriteResultsCsv(const std::vector<ResultRecord>& records,
                        const std::string& path);
+
+/// One decision-level experiment record (dangling-aware evaluation).
+struct DecisionRecord {
+  std::string method;
+  std::string dataset;
+  DecisionMetrics metrics;
+};
+
+/// Renders decision records as CSV with the header
+/// `method,dataset,precision,recall,f1,abstain_rate,matchable,dangling,
+/// correct,mismatched,missed,abstain_correct,forced_on_dangling`.
+std::string DecisionsToCsv(const std::vector<DecisionRecord>& records);
+
+/// Writes DecisionsToCsv to a file (atomic, like WriteResultsCsv).
+Status WriteDecisionsCsv(const std::vector<DecisionRecord>& records,
+                         const std::string& path);
 
 }  // namespace sdea::eval
 

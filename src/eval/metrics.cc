@@ -27,11 +27,13 @@ int64_t RankOfGold(const float* scores, int64_t m, int64_t gold) {
   return better + 1;
 }
 
-// Gold rank per query row (0 where gold[i] < 0), computed with one query
-// per parallel-for index. Each query writes only its own slot and the O(m)
-// rank scan is order-identical to the serial loop, so the result — and
-// every reduction over it done serially afterwards — is bitwise-identical
-// for any thread count.
+// Gold rank per query row (0 where gold[i] is a negative sentinel, -1
+// where gold[i] >= m — a degenerate gold entry is reported, never fatal:
+// one bad row in a sweep must not abort the whole harness), computed with
+// one query per parallel-for index. Each query writes only its own slot
+// and the O(m) rank scan is order-identical to the serial loop, so the
+// result — and every reduction over it done serially afterwards — is
+// bitwise-identical for any thread count.
 std::vector<int64_t> RanksFromScores(const Tensor& scores,
                                      const std::vector<int64_t>& gold) {
   SDEA_CHECK_EQ(scores.rank(), 2);
@@ -43,7 +45,10 @@ std::vector<int64_t> RanksFromScores(const Tensor& scores,
                       for (int64_t i = begin; i < end; ++i) {
                         const int64_t g = gold[static_cast<size_t>(i)];
                         if (g < 0) continue;
-                        SDEA_CHECK_LT(g, m);
+                        if (g >= m) {
+                          ranks[static_cast<size_t>(i)] = -1;
+                          continue;
+                        }
                         ranks[static_cast<size_t>(i)] =
                             RankOfGold(scores.data() + i * m, m, g);
                       }
@@ -64,6 +69,10 @@ RankingMetrics EvaluateFromScores(const Tensor& scores,
   for (size_t i = 0; i < ranks.size(); ++i) {
     if (gold[i] < 0) continue;
     const int64_t rank = ranks[i];
+    if (rank < 0) {
+      ++out.num_invalid;
+      continue;
+    }
     ++out.num_queries;
     if (rank <= 1) ++hit1;
     if (rank <= 10) ++hit10;
@@ -73,6 +82,53 @@ RankingMetrics EvaluateFromScores(const Tensor& scores,
     out.hits_at_1 = 100.0 * hit1 / out.num_queries;
     out.hits_at_10 = 100.0 * hit10 / out.num_queries;
     out.mrr = mrr_sum / out.num_queries;
+  }
+  return out;
+}
+
+DecisionMetrics EvaluateDecisions(const std::vector<int64_t>& predicted,
+                                  const std::vector<int64_t>& gold) {
+  SDEA_CHECK_EQ(predicted.size(), gold.size());
+  DecisionMetrics out;
+  for (size_t i = 0; i < gold.size(); ++i) {
+    const int64_t g = gold[i];
+    const bool abstained = predicted[i] < 0;
+    if (g >= 0) {
+      ++out.matchable;
+      if (abstained) {
+        ++out.missed;
+      } else if (predicted[i] == g) {
+        ++out.correct;
+      } else {
+        ++out.mismatched;
+      }
+    } else if (g == kGoldDangling) {
+      ++out.dangling;
+      if (abstained) {
+        ++out.abstain_correct;
+      } else {
+        ++out.forced_on_dangling;
+      }
+    }
+    // kGoldSkip (and any other negative) contributes nothing.
+  }
+  const int64_t predicted_total = out.predicted_matches();
+  if (predicted_total > 0) {
+    out.precision =
+        static_cast<double>(out.correct) / static_cast<double>(predicted_total);
+  }
+  if (out.matchable > 0) {
+    out.recall =
+        static_cast<double>(out.correct) / static_cast<double>(out.matchable);
+  }
+  if (out.precision + out.recall > 0.0) {
+    out.f1 =
+        2.0 * out.precision * out.recall / (out.precision + out.recall);
+  }
+  if (out.num_queries() > 0) {
+    out.abstain_rate =
+        static_cast<double>(out.missed + out.abstain_correct) /
+        static_cast<double>(out.num_queries());
   }
   return out;
 }
@@ -110,6 +166,10 @@ std::vector<RankingMetrics> EvaluateByDegree(
         b = k;
         break;
       }
+    }
+    if (ranks[i] < 0) {
+      ++out[b].num_invalid;
+      continue;
     }
     ++out[b].num_queries;
     if (ranks[i] <= 1) ++hit1[b];

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <unordered_map>
 #include <utility>
 
@@ -212,8 +213,32 @@ void AlignmentServer::RunBatch(std::vector<ServeRequest>* batch) {
     stats_.RecordLatency(ServeStats::Stage::kTotal,
                          MicrosSince(request.enqueue_time));
     if (failed[i].ok()) {
+      std::vector<Neighbor>& answer = results[i];
+      // A nonsense score is never served: NaN rows (zero-norm or diverged
+      // embeddings) and -inf pad entries would otherwise win or lose the
+      // argmax arbitrarily. Before this filter, an all-NaN store row could
+      // be returned as the "best" neighbor with similarity NaN.
+      answer.erase(std::remove_if(answer.begin(), answer.end(),
+                                  [](const Neighbor& nb) {
+                                    return !std::isfinite(nb.similarity);
+                                  }),
+                   answer.end());
+      if (options_.abstain.enabled && !answer.empty()) {
+        // Neighbors arrive sorted by decreasing similarity, so the no-match
+        // rule reads top1 and the top1-top2 margin directly. One candidate
+        // means no runner-up to confuse with: margin is +inf.
+        const float top1 = answer.front().similarity;
+        const float margin =
+            answer.size() > 1
+                ? top1 - answer[1].similarity
+                : std::numeric_limits<float>::infinity();
+        if (!options_.abstain.Accepts(top1, margin)) {
+          answer.clear();
+          stats_.RecordNoMatch();
+        }
+      }
       stats_.RecordQuery(request.is_text);
-      request.promise.set_value(AlignResult(std::move(results[i])));
+      request.promise.set_value(AlignResult(std::move(answer)));
     } else {
       stats_.RecordFailedQuery();
       request.promise.set_value(AlignResult(std::move(failed[i])));

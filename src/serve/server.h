@@ -10,6 +10,7 @@
 
 #include "base/status.h"
 #include "core/ann_index.h"
+#include "eval/abstention.h"
 #include "obs/registry.h"
 #include "core/embedding_store.h"
 #include "serve/batcher.h"
@@ -50,6 +51,15 @@ struct ServerOptions {
   /// obs::MetricsRegistry::Default() to fold the metrics into the
   /// process-wide exporter view.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Calibrated no-match rule (fit offline on dev seeds with
+  /// eval::CalibrateAbstainThreshold). When enabled, an answer whose best
+  /// candidate fails the score/margin test is the explicit no-match
+  /// answer: an OK AlignResult with an empty neighbor list. Disabled by
+  /// default (every query returns its top-k). Independent of this rule,
+  /// candidates with a non-finite similarity (NaN from zero-norm or
+  /// diverged rows, -inf) are always dropped from answers — a nonsense
+  /// score is never served as a neighbor.
+  eval::AbstainThreshold abstain;
 };
 
 /// The online alignment-serving front end: answers "align this entity

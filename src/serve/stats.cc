@@ -68,11 +68,13 @@ std::string StatsSnapshot::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "serve stats: %llu queries (%llu text, %llu embedding, "
-                "%llu failed) in %llu batches (mean %.2f/batch)\n",
+                "%llu failed, %llu no-match) in %llu batches "
+                "(mean %.2f/batch)\n",
                 static_cast<unsigned long long>(queries),
                 static_cast<unsigned long long>(text_queries),
                 static_cast<unsigned long long>(embedding_queries),
                 static_cast<unsigned long long>(failed_queries),
+                static_cast<unsigned long long>(no_match_answers),
                 static_cast<unsigned long long>(batches), mean_batch_size());
   out.append(buf);
   std::snprintf(buf, sizeof(buf),
@@ -105,6 +107,7 @@ ServeStats::ServeStats(obs::MetricsRegistry* registry) {
   text_queries_ = registry_->GetCounter("serve.text_queries");
   embedding_queries_ = registry_->GetCounter("serve.embedding_queries");
   failed_queries_ = registry_->GetCounter("serve.failed_queries");
+  no_match_answers_ = registry_->GetCounter("serve.no_match_answers");
   batches_ = registry_->GetCounter("serve.batches");
   batched_queries_ = registry_->GetCounter("serve.batched_queries");
   cache_hits_ = registry_->GetCounter("serve.cache_hits");
@@ -133,6 +136,8 @@ void ServeStats::RecordQuery(bool is_text) {
 
 void ServeStats::RecordFailedQuery() { failed_queries_->Increment(); }
 
+void ServeStats::RecordNoMatch() { no_match_answers_->Increment(); }
+
 void ServeStats::RecordBatch(uint64_t batch_size) {
   batches_->Increment();
   batched_queries_->Increment(batch_size);
@@ -160,6 +165,7 @@ StatsSnapshot ServeStats::Snapshot() const {
   snap.text_queries = text_queries_->Value();
   snap.embedding_queries = embedding_queries_->Value();
   snap.failed_queries = failed_queries_->Value();
+  snap.no_match_answers = no_match_answers_->Value();
   snap.batches = batches_->Value();
   snap.batched_queries = batched_queries_->Value();
   snap.cache_hits = cache_hits_->Value();
@@ -179,6 +185,7 @@ void ServeStats::Reset() {
   text_queries_->Reset();
   embedding_queries_->Reset();
   failed_queries_->Reset();
+  no_match_answers_->Reset();
   batches_->Reset();
   batched_queries_->Reset();
   cache_hits_->Reset();

@@ -25,6 +25,11 @@ struct StatsSnapshot {
   uint64_t text_queries = 0;       ///< Of `queries`, text-keyed ones.
   uint64_t embedding_queries = 0;  ///< Of `queries`, embedding-keyed ones.
   uint64_t failed_queries = 0;     ///< Requests answered with an error.
+  /// Of `queries`, answers the abstain rule turned into an explicit
+  /// no-match (OK status, empty neighbor list). A spike here after a
+  /// snapshot swap is the signal that the new embeddings moved under the
+  /// calibrated threshold.
+  uint64_t no_match_answers = 0;
   uint64_t batches = 0;            ///< Dispatched batches (incl. failed).
   uint64_t batched_queries = 0;    ///< Sum of batch sizes.
   uint64_t cache_hits = 0;         ///< Text lookups served from the cache.
@@ -69,6 +74,7 @@ class ServeStats {
 
   void RecordQuery(bool is_text);
   void RecordFailedQuery();
+  void RecordNoMatch();
   void RecordBatch(uint64_t batch_size);
   void RecordCacheHit();
   void RecordCacheMiss();
@@ -92,6 +98,7 @@ class ServeStats {
   obs::Counter* text_queries_;
   obs::Counter* embedding_queries_;
   obs::Counter* failed_queries_;
+  obs::Counter* no_match_answers_;
   obs::Counter* batches_;
   obs::Counter* batched_queries_;
   obs::Counter* cache_hits_;

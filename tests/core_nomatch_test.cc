@@ -1,0 +1,282 @@
+// No-match handling in the core decision layer: the StableMatch kUnmatched
+// sentinel under N > M, dangling-aware MatchingAccuracy, and the pipeline's
+// calibrated abstain threshold on benchmarks with dangling entities.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "core/alignment_pipeline.h"
+#include "core/stable_matching.h"
+#include "datagen/generator.h"
+#include "eval/abstention.h"
+#include "eval/metrics.h"
+
+namespace sdea::core {
+namespace {
+
+Tensor Scores(std::vector<std::vector<float>> rows) {
+  const int64_t n = static_cast<int64_t>(rows.size());
+  const int64_t m = n > 0 ? static_cast<int64_t>(rows[0].size()) : 0;
+  Tensor t({n, m});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      t[i * m + j] = rows[static_cast<size_t>(i)][static_cast<size_t>(j)];
+    }
+  }
+  return t;
+}
+
+// ---- kUnmatched under N > M ------------------------------------------------
+
+TEST(StableMatchTest, MoreSourcesThanTargetsLeavesUnmatchedSentinels) {
+  // 4 sources compete for 2 targets: exactly 2 end kUnmatched, and no
+  // consumer may index a target array with those entries.
+  const Tensor scores = Scores({{0.9f, 0.1f},
+                                {0.8f, 0.7f},
+                                {0.3f, 0.6f},
+                                {0.2f, 0.1f}});
+  const std::vector<int64_t> match = StableMatch(scores);
+  ASSERT_EQ(match.size(), 4u);
+  int64_t unmatched = 0;
+  std::set<int64_t> taken;
+  for (int64_t m : match) {
+    if (m == kUnmatched) {
+      ++unmatched;
+      continue;
+    }
+    ASSERT_GE(m, 0);
+    ASSERT_LT(m, 2);  // Never an index outside the target side.
+    EXPECT_TRUE(taken.insert(m).second);
+  }
+  EXPECT_EQ(unmatched, 2);
+}
+
+// ---- MatchingAccuracy: dangling vs skip (regression) -----------------------
+
+TEST(MatchingAccuracyTest, AbstainOnDanglingScoresAsCorrect) {
+  // Pre-fix, gold -2 was conflated with "skip" and this returned 0.0 over
+  // zero queries; a dangling query is now counted, and abstaining on it is
+  // the right answer.
+  EXPECT_DOUBLE_EQ(
+      MatchingAccuracy({kUnmatched}, {eval::kGoldDangling}), 100.0);
+}
+
+TEST(MatchingAccuracyTest, ForcedMatchOnDanglingScoresAsWrong) {
+  EXPECT_DOUBLE_EQ(MatchingAccuracy({3}, {eval::kGoldDangling}), 0.0);
+}
+
+TEST(MatchingAccuracyTest, SkipStaysExcluded) {
+  // One correct matchable query + one skip: still 100%.
+  EXPECT_DOUBLE_EQ(MatchingAccuracy({1, 5}, {1, eval::kGoldSkip}), 100.0);
+}
+
+TEST(MatchingAccuracyTest, MixedPopulations) {
+  const std::vector<int64_t> match = {0, kUnmatched, 2, kUnmatched};
+  const std::vector<int64_t> gold = {0, eval::kGoldDangling, 1,
+                                     eval::kGoldSkip};
+  // correct, abstain-correct, mismatch; skip excluded -> 2/3.
+  EXPECT_NEAR(MatchingAccuracy(match, gold), 200.0 / 3.0, 1e-9);
+}
+
+// ---- Decision layer at 0% / 50% / 100% dangling ----------------------------
+
+// Synthetic score matrices where matchable sources peak at their gold
+// column with a clear margin and dangling sources are flat/low, so one
+// fixed rule separates them exactly.
+TEST(DecisionLayerTest, ThresholdAcrossDanglingMixes) {
+  eval::AbstainThreshold rule;
+  rule.enabled = true;
+  rule.min_similarity = 0.5f;
+
+  struct Mix {
+    std::vector<std::vector<float>> rows;
+    std::vector<int64_t> gold;
+  };
+  const Mix mixes[] = {
+      // 0% dangling.
+      {{{0.9f, 0.1f}, {0.2f, 0.8f}}, {0, 1}},
+      // 50% dangling.
+      {{{0.9f, 0.1f}, {0.3f, 0.2f}}, {0, eval::kGoldDangling}},
+      // 100% dangling.
+      {{{0.3f, 0.2f}, {0.1f, 0.4f}},
+       {eval::kGoldDangling, eval::kGoldDangling}},
+  };
+  for (const Mix& mix : mixes) {
+    const Tensor scores = Scores(mix.rows);
+    std::vector<int64_t> match = StableMatch(scores);
+    eval::ApplyAbstainThreshold(scores, rule, &match);
+    const eval::DecisionMetrics m = eval::EvaluateDecisions(match, mix.gold);
+    // The rule is exact on these mixes: no mismatches, no forced matches,
+    // no misses.
+    EXPECT_EQ(m.mismatched, 0);
+    EXPECT_EQ(m.forced_on_dangling, 0);
+    EXPECT_EQ(m.missed, 0);
+    EXPECT_EQ(m.correct, m.matchable);
+    EXPECT_EQ(m.abstain_correct, m.dangling);
+    EXPECT_DOUBLE_EQ(MatchingAccuracy(match, mix.gold), 100.0);
+  }
+}
+
+// ---- Pipeline integration --------------------------------------------------
+
+struct Fixture {
+  datagen::GeneratedBenchmark bench;
+  kg::AlignmentSeeds seeds;
+};
+
+Fixture MakeDanglingFixture(double dangling_frac) {
+  datagen::GeneratorConfig g;
+  g.seed = 88;
+  g.num_matched = 150;
+  g.kg1_lang_seed = 1;
+  g.kg2_lang_seed = 1;
+  g.kg2_name_mode = datagen::NameMode::kShared;
+  g.pretrain_sentences = 300;
+  g.dangling_frac_kg1 = dangling_frac;
+  Fixture f;
+  f.bench = datagen::BenchmarkGenerator().Generate(g);
+  f.seeds = kg::AlignmentSeeds::Split(f.bench.ground_truth, 5);
+  return f;
+}
+
+PipelineConfig FastConfig() {
+  PipelineConfig c;
+  c.model.attribute.text.encoder.dim = 24;
+  c.model.attribute.text.encoder.num_layers = 1;
+  c.model.attribute.text.encoder.ff_dim = 48;
+  c.model.attribute.text.encoder.max_len = 40;
+  c.model.attribute.text.out_dim = 24;
+  c.model.attribute.text.max_epochs = 12;
+  c.model.attribute.text.patience = 4;
+  c.model.attribute.text.negatives_per_pair = 3;
+  c.model.attribute.text.ssl_epochs = 1;
+  c.model.relation.max_epochs = 12;
+  c.model.relation.patience = 4;
+  return c;
+}
+
+// The dangling-aware gold over all KG1 sources: test pairs keep their
+// target, the given dangling sources demand abstention, everything else is
+// skipped.
+std::vector<int64_t> DanglingGold(const Fixture& f,
+                                  const std::vector<kg::EntityId>& dangling) {
+  std::vector<int64_t> gold(static_cast<size_t>(f.bench.kg1.num_entities()),
+                            eval::kGoldSkip);
+  for (const auto& [a, b] : f.seeds.test) {
+    gold[static_cast<size_t>(a)] = b;
+  }
+  for (kg::EntityId e : dangling) {
+    gold[static_cast<size_t>(e)] = eval::kGoldDangling;
+  }
+  return gold;
+}
+
+TEST(PipelineNoMatchTest, DecisionsVectorIsMergeShaped) {
+  Fixture f = MakeDanglingFixture(0.3);
+  AlignmentPipeline pipeline;
+  auto result = pipeline.Run(f.bench.kg1, f.bench.kg2, f.seeds,
+                             FastConfig(), f.bench.pretrain_corpus);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(static_cast<int64_t>(result->decisions.size()),
+            f.bench.kg1.num_entities());
+  const int64_t m = f.bench.kg2.num_entities();
+  for (int64_t d : result->decisions) {
+    EXPECT_TRUE(d == kUnmatched || (d >= 0 && d < m));
+  }
+  EXPECT_TRUE(result->threshold.enabled);  // The fixed floor, wrapped.
+}
+
+TEST(PipelineNoMatchTest, InjectedThresholdCanAbstainEverything) {
+  Fixture f = MakeDanglingFixture(0.0);
+  PipelineConfig config = FastConfig();
+  config.threshold.enabled = true;
+  config.threshold.min_similarity = 2.0f;  // Above any cosine.
+  AlignmentPipeline pipeline;
+  auto result = pipeline.Run(f.bench.kg1, f.bench.kg2, f.seeds, config,
+                             f.bench.pretrain_corpus);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->pairs.empty());
+  for (int64_t d : result->decisions) EXPECT_EQ(d, kUnmatched);
+  // Every test query abstained: decision accuracy collapses to 0 but the
+  // run is well-defined end to end.
+  EXPECT_DOUBLE_EQ(result->matching_accuracy, 0.0);
+  EXPECT_EQ(result->decision_metrics.missed,
+            result->decision_metrics.matchable);
+}
+
+TEST(PipelineNoMatchTest, CalibratedAbstainBeatsForcedMatchingOnDangling) {
+  Fixture f = MakeDanglingFixture(0.3);
+  // Forced matching: greedy per-source argmax, accept every decision. The
+  // threshold question is well-posed for argmax decisions (score IS the
+  // row top-1); Gale–Shapley already abstains structurally under N > M,
+  // which would conflate two effects in this comparison.
+  PipelineConfig forced_config = FastConfig();
+  forced_config.use_stable_matching = false;
+  forced_config.min_similarity = -std::numeric_limits<float>::infinity();
+  AlignmentPipeline pipeline;
+  auto result = pipeline.Run(f.bench.kg1, f.bench.kg2, f.seeds,
+                             forced_config, f.bench.pretrain_corpus);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Even dangling sources calibrate; odd ones are held out for scoring.
+  std::vector<kg::EntityId> dev_dangling, held_dangling;
+  for (size_t i = 0; i < f.bench.dangling_kg1.size(); ++i) {
+    (i % 2 == 0 ? dev_dangling : held_dangling)
+        .push_back(f.bench.dangling_kg1[i]);
+  }
+  const std::vector<int64_t> gold = DanglingGold(f, held_dangling);
+  const eval::DecisionMetrics forced =
+      eval::EvaluateDecisions(result->decisions, gold);
+  ASSERT_GT(forced.dangling, 0);
+
+  // Calibrate on dev = valid seed pairs + the dev half of the dangling
+  // sources, then re-threshold the SAME model's decisions.
+  Tensor e1 = pipeline.model().embeddings1();
+  Tensor e2 = pipeline.model().embeddings2();
+  tmath::L2NormalizeRowsInPlace(&e1);
+  tmath::L2NormalizeRowsInPlace(&e2);
+  const Tensor scores = tmath::MatmulTransposeB(e1, e2);
+  const int64_t m = scores.dim(1);
+
+  std::vector<int64_t> dev_sources, dev_gold;
+  for (const auto& [a, b] : f.seeds.valid) {
+    dev_sources.push_back(a);
+    dev_gold.push_back(b);
+  }
+  for (kg::EntityId e : dev_dangling) {
+    dev_sources.push_back(e);
+    dev_gold.push_back(eval::kGoldDangling);
+  }
+  Tensor dev({static_cast<int64_t>(dev_sources.size()), m});
+  for (size_t i = 0; i < dev_sources.size(); ++i) {
+    dev.SetRow(static_cast<int64_t>(i), scores.Row(dev_sources[i]));
+  }
+  // The dev set is dangling-heavy relative to the traffic being scored
+  // (few held-out seeds, many labeled danglings): declare the deployment
+  // prior so the sweep optimizes for the right class balance.
+  eval::CalibrationOptions options;
+  options.dangling_prior =
+      static_cast<double>(held_dangling.size()) /
+      static_cast<double>(f.seeds.test.size() + held_dangling.size());
+  const eval::AbstainThreshold rule =
+      eval::CalibrateAbstainThreshold(dev, dev_gold, options);
+  ASSERT_TRUE(rule.enabled);
+
+  std::vector<int64_t> decisions = result->decisions;
+  eval::ApplyAbstainThreshold(scores, rule, &decisions);
+  const eval::DecisionMetrics abstain =
+      eval::EvaluateDecisions(decisions, gold);
+
+  // The calibrated rule abstains on dangling sources it was never shown
+  // (the held-out half) without giving up the matchable queries wholesale.
+  EXPECT_GT(abstain.abstain_correct, forced.abstain_correct);
+  EXPECT_LT(abstain.forced_on_dangling, forced.forced_on_dangling);
+  EXPECT_GE(abstain.precision, forced.precision);
+  EXPECT_GE(abstain.f1, forced.f1);
+}
+
+}  // namespace
+}  // namespace sdea::core

@@ -1,0 +1,146 @@
+// Adversarial scenario generation: dangling entities on either side,
+// partial seed overlap, and chained >2-KG rendering.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "datagen/generator.h"
+#include "datagen/presets.h"
+#include "kg/validation.h"
+
+namespace sdea::datagen {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig cfg;
+  cfg.name = "adv-test";
+  cfg.seed = 77;
+  cfg.num_matched = 200;
+  cfg.extra_entity_frac = 0.1;
+  cfg.pretrain_sentences = 0;
+  return cfg;
+}
+
+TEST(AdversarialGeneratorTest, ZeroRatesMatchPlainGeneration) {
+  const GeneratorConfig cfg = SmallConfig();
+  const GeneratedBenchmark bench = BenchmarkGenerator().Generate(cfg);
+  EXPECT_TRUE(bench.dangling_kg1.empty());
+  EXPECT_TRUE(bench.dangling_kg2.empty());
+  EXPECT_TRUE(bench.hidden_truth.empty());
+  // Every matched entity plus every general concept is a gold pair.
+  EXPECT_EQ(static_cast<int64_t>(bench.ground_truth.size()),
+            cfg.num_matched + cfg.num_general_concepts);
+}
+
+TEST(AdversarialGeneratorTest, DanglingCountsAndDisjointness) {
+  GeneratorConfig cfg = SmallConfig();
+  cfg.dangling_frac_kg1 = 0.3;
+  cfg.dangling_frac_kg2 = 0.2;
+  const GeneratedBenchmark bench = BenchmarkGenerator().Generate(cfg);
+
+  const auto d1 = static_cast<int64_t>(cfg.num_matched * 0.3);
+  const auto d2 = static_cast<int64_t>(cfg.num_matched * 0.2);
+  EXPECT_EQ(static_cast<int64_t>(bench.dangling_kg1.size()), d1);
+  EXPECT_EQ(static_cast<int64_t>(bench.dangling_kg2.size()), d2);
+  EXPECT_EQ(static_cast<int64_t>(bench.ground_truth.size()),
+            cfg.num_matched + cfg.num_general_concepts - d1 - d2);
+
+  // Withheld entities shrink the views (extras are unaffected).
+  const auto extras =
+      static_cast<int64_t>(cfg.num_matched * cfg.extra_entity_frac);
+  EXPECT_EQ(bench.kg1.num_entities(), cfg.num_matched +
+                                          cfg.num_general_concepts - d2 +
+                                          extras);
+  EXPECT_EQ(bench.kg2.num_entities(), cfg.num_matched +
+                                          cfg.num_general_concepts - d1 +
+                                          extras);
+
+  // A dangling KG1 entity never appears as a gold source.
+  std::set<kg::EntityId> sources;
+  for (const auto& [a, b] : bench.ground_truth) sources.insert(a);
+  for (kg::EntityId e : bench.dangling_kg1) {
+    EXPECT_EQ(sources.count(e), 0u);
+  }
+
+  // Both rendered KGs stay structurally valid (no edges to withheld ids).
+  for (const auto* g : {&bench.kg1, &bench.kg2}) {
+    EXPECT_TRUE(kg::ValidateKnowledgeGraph(*g).clean());
+  }
+}
+
+TEST(AdversarialGeneratorTest, GenerationIsDeterministic) {
+  GeneratorConfig cfg = SmallConfig();
+  cfg.dangling_frac_kg1 = 0.25;
+  cfg.partial_overlap = 0.2;
+  const GeneratedBenchmark a = BenchmarkGenerator().Generate(cfg);
+  const GeneratedBenchmark b = BenchmarkGenerator().Generate(cfg);
+  EXPECT_EQ(a.ground_truth, b.ground_truth);
+  EXPECT_EQ(a.dangling_kg1, b.dangling_kg1);
+  EXPECT_EQ(a.hidden_truth, b.hidden_truth);
+  EXPECT_EQ(a.kg1.num_entities(), b.kg1.num_entities());
+}
+
+TEST(AdversarialGeneratorTest, PartialOverlapHidesTruePairs) {
+  GeneratorConfig cfg = SmallConfig();
+  cfg.partial_overlap = 0.3;
+  const GeneratedBenchmark bench = BenchmarkGenerator().Generate(cfg);
+  EXPECT_FALSE(bench.hidden_truth.empty());
+  EXPECT_EQ(static_cast<int64_t>(bench.ground_truth.size() +
+                                 bench.hidden_truth.size()),
+            cfg.num_matched + cfg.num_general_concepts);
+  // Hidden pairs are disjoint from the visible gold.
+  std::set<std::pair<kg::EntityId, kg::EntityId>> visible(
+      bench.ground_truth.begin(), bench.ground_truth.end());
+  for (const auto& p : bench.hidden_truth) {
+    EXPECT_EQ(visible.count(p), 0u);
+  }
+}
+
+TEST(AdversarialGeneratorTest, ChainLinksAndTransitiveShrink) {
+  GeneratorConfig cfg = SmallConfig();
+  cfg.dangling_frac_kg2 = 0.2;  // Each later hop loses 20%.
+  const GeneratedChain chain = BenchmarkGenerator().GenerateChain(cfg, 3);
+  ASSERT_EQ(chain.kgs.size(), 3u);
+  ASSERT_EQ(chain.links.size(), 2u);
+
+  const auto total = cfg.num_matched + cfg.num_general_concepts;
+  for (const auto& link : chain.links) {
+    EXPECT_GT(link.size(), 0u);
+    EXPECT_LT(static_cast<int64_t>(link.size()), total);
+  }
+  // first<->last coverage cannot exceed either consecutive link's source
+  // population, and with independent 20% drops it is strictly below total.
+  EXPECT_GT(chain.transitive.size(), 0u);
+  EXPECT_LT(static_cast<int64_t>(chain.transitive.size()), total);
+  for (const auto& g : chain.kgs) {
+    EXPECT_TRUE(kg::ValidateKnowledgeGraph(g).clean());
+  }
+}
+
+TEST(AdversarialGeneratorTest, ChainOfTwoIsAPlainPair) {
+  const GeneratorConfig cfg = SmallConfig();
+  const GeneratedChain chain = BenchmarkGenerator().GenerateChain(cfg, 2);
+  ASSERT_EQ(chain.kgs.size(), 2u);
+  ASSERT_EQ(chain.links.size(), 1u);
+  EXPECT_EQ(chain.links[0].size(), chain.transitive.size());
+  EXPECT_EQ(static_cast<int64_t>(chain.transitive.size()),
+            cfg.num_matched + cfg.num_general_concepts);
+}
+
+TEST(AdversarialPresetTest, SweepCoversRatesAndScales) {
+  const auto sweep = AdversarialSweep();
+  ASSERT_EQ(sweep.size(), 4u);
+  EXPECT_EQ(sweep[0].config.dangling_frac_kg1, 0.0);
+  EXPECT_EQ(sweep[2].config.dangling_frac_kg1, 0.3);
+  EXPECT_EQ(sweep[2].id, "adversarial_30");
+  // The sweep holds everything but the rate fixed.
+  EXPECT_EQ(sweep[0].config.seed, sweep[3].config.seed);
+  const GeneratorConfig scaled = ScaledConfig(sweep[2].config, 0.02);
+  EXPECT_EQ(scaled.num_matched, 300);
+  EXPECT_EQ(scaled.dangling_frac_kg1, 0.3);
+}
+
+}  // namespace
+}  // namespace sdea::datagen

@@ -29,13 +29,41 @@ TEST(ResultsToCsvTest, HeaderAndRows) {
   r.metrics.hits_at_10 = 96.6;
   r.metrics.mrr = 0.91;
   r.metrics.num_queries = 10500;
+  r.metrics.num_invalid = 3;
   r.seconds = 42.5;
   const std::string csv = ResultsToCsv({r});
   const auto lines = Split(csv, '\n');
   ASSERT_GE(lines.size(), 2u);
   EXPECT_EQ(lines[0],
-            "method,dataset,hits_at_1,hits_at_10,mrr,num_queries,seconds");
-  EXPECT_EQ(lines[1], "SDEA,zh_en,87.0000,96.6000,0.910000,10500,42.500");
+            "method,dataset,hits_at_1,hits_at_10,mrr,num_queries,"
+            "num_invalid,seconds");
+  EXPECT_EQ(lines[1], "SDEA,zh_en,87.0000,96.6000,0.910000,10500,3,42.500");
+}
+
+TEST(DecisionsToCsvTest, HeaderAndRows) {
+  DecisionRecord r;
+  r.method = "SDEA+abstain";
+  r.dataset = "adversarial_30";
+  r.metrics.matchable = 80;
+  r.metrics.dangling = 20;
+  r.metrics.correct = 60;
+  r.metrics.mismatched = 10;
+  r.metrics.missed = 10;
+  r.metrics.abstain_correct = 15;
+  r.metrics.forced_on_dangling = 5;
+  r.metrics.precision = 0.8;
+  r.metrics.recall = 0.75;
+  r.metrics.f1 = 0.7742;
+  r.metrics.abstain_rate = 0.25;
+  const auto lines = Split(DecisionsToCsv({r}), '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines[0],
+            "method,dataset,precision,recall,f1,abstain_rate,matchable,"
+            "dangling,correct,mismatched,missed,abstain_correct,"
+            "forced_on_dangling");
+  EXPECT_EQ(lines[1],
+            "SDEA+abstain,adversarial_30,0.8000,0.7500,0.7742,0.2500,"
+            "80,20,60,10,10,15,5");
 }
 
 TEST(ResultsToCsvTest, EmptyHasOnlyHeader) {

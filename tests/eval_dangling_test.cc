@@ -1,0 +1,255 @@
+// Dangling-aware evaluation: the decision metrics, the abstain-threshold
+// calibration, and the degenerate-gold regressions (pre-fix, out-of-range
+// gold hard-aborted the process inside RanksFromScores).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "eval/abstention.h"
+#include "eval/metrics.h"
+#include "tensor/tensor.h"
+
+namespace sdea::eval {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+Tensor Scores(std::vector<std::vector<float>> rows) {
+  const int64_t n = static_cast<int64_t>(rows.size());
+  const int64_t m = n > 0 ? static_cast<int64_t>(rows[0].size()) : 0;
+  Tensor t({n, m});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      t[i * m + j] = rows[static_cast<size_t>(i)][static_cast<size_t>(j)];
+    }
+  }
+  return t;
+}
+
+// ---- EvaluateDecisions -----------------------------------------------------
+
+TEST(EvaluateDecisionsTest, CountsEveryOutcomeKind) {
+  // matchable-correct, matchable-wrong, matchable-missed,
+  // dangling-abstained, dangling-forced, skipped.
+  const std::vector<int64_t> predicted = {2, 0, -1, -1, 5, 7};
+  const std::vector<int64_t> gold = {2,           1, 3, kGoldDangling,
+                                     kGoldDangling, kGoldSkip};
+  const DecisionMetrics m = EvaluateDecisions(predicted, gold);
+  EXPECT_EQ(m.matchable, 3);
+  EXPECT_EQ(m.dangling, 2);
+  EXPECT_EQ(m.correct, 1);
+  EXPECT_EQ(m.mismatched, 1);
+  EXPECT_EQ(m.missed, 1);
+  EXPECT_EQ(m.abstain_correct, 1);
+  EXPECT_EQ(m.forced_on_dangling, 1);
+  EXPECT_EQ(m.predicted_matches(), 3);
+  EXPECT_EQ(m.num_queries(), 5);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.abstain_rate, 2.0 / 5.0);
+}
+
+TEST(EvaluateDecisionsTest, AbstainingOnDanglingIsNotPenalized) {
+  // All dangling, all abstained: zero predicted matches is the perfect
+  // answer, and precision/recall are simply undefined-as-zero.
+  const DecisionMetrics m = EvaluateDecisions(
+      {-1, -1}, {kGoldDangling, kGoldDangling});
+  EXPECT_EQ(m.abstain_correct, 2);
+  EXPECT_EQ(m.forced_on_dangling, 0);
+  EXPECT_EQ(m.predicted_matches(), 0);
+  EXPECT_DOUBLE_EQ(m.abstain_rate, 1.0);
+}
+
+TEST(EvaluateDecisionsTest, ForcedMatchingOnDanglingCostsPrecision) {
+  // Two matchable (both right) + two dangling. Forced matching answers the
+  // danglings too; abstaining does not. Same recall, different precision.
+  const std::vector<int64_t> gold = {0, 1, kGoldDangling, kGoldDangling};
+  const DecisionMetrics forced = EvaluateDecisions({0, 1, 3, 4}, gold);
+  const DecisionMetrics abstain = EvaluateDecisions({0, 1, -1, -1}, gold);
+  EXPECT_DOUBLE_EQ(forced.precision, 0.5);
+  EXPECT_DOUBLE_EQ(abstain.precision, 1.0);
+  EXPECT_DOUBLE_EQ(forced.recall, abstain.recall);
+  EXPECT_GT(abstain.f1, forced.f1);
+}
+
+TEST(EvaluateDecisionsTest, EmptyAndAllSkipAreZeroed) {
+  const DecisionMetrics empty = EvaluateDecisions({}, {});
+  EXPECT_EQ(empty.num_queries(), 0);
+  EXPECT_DOUBLE_EQ(empty.f1, 0.0);
+  const DecisionMetrics skipped =
+      EvaluateDecisions({3, -1}, {kGoldSkip, kGoldSkip});
+  EXPECT_EQ(skipped.num_queries(), 0);
+  EXPECT_EQ(skipped.predicted_matches(), 0);
+}
+
+// ---- Degenerate-gold regressions (satellite: no more hard aborts) ----------
+
+TEST(EvaluateFromScoresTest, OutOfRangeGoldIsReportedNotFatal) {
+  // Pre-fix this SDEA_CHECK-crashed; now the row lands in num_invalid and
+  // the valid rows still score.
+  const Tensor scores = Scores({{0.9f, 0.1f}, {0.2f, 0.8f}});
+  const RankingMetrics m = EvaluateFromScores(scores, {0, 7});
+  EXPECT_EQ(m.num_queries, 1);
+  EXPECT_EQ(m.num_invalid, 1);
+  EXPECT_DOUBLE_EQ(m.hits_at_1, 100.0);
+}
+
+TEST(EvaluateFromScoresTest, EmptyTargetSetIsAllInvalid) {
+  Tensor scores({2, 0});
+  const RankingMetrics m = EvaluateFromScores(scores, {0, 1});
+  EXPECT_EQ(m.num_queries, 0);
+  EXPECT_EQ(m.num_invalid, 2);
+  EXPECT_DOUBLE_EQ(m.mrr, 0.0);
+}
+
+TEST(EvaluateFromScoresTest, DanglingGoldSkipsRankingOnly) {
+  const Tensor scores = Scores({{0.9f, 0.1f}, {0.2f, 0.8f}});
+  const RankingMetrics m = EvaluateFromScores(scores, {0, kGoldDangling});
+  EXPECT_EQ(m.num_queries, 1);
+  EXPECT_EQ(m.num_invalid, 0);
+}
+
+TEST(GoldRanksTest, OutOfRangeGoldYieldsMinusOne) {
+  Rng rng(3);
+  const Tensor src = Tensor::RandomNormal({3, 4}, 1.0f, &rng);
+  const Tensor tgt = Tensor::RandomNormal({2, 4}, 1.0f, &rng);
+  const std::vector<int64_t> ranks =
+      GoldRanks(src, tgt, {1, 9, kGoldDangling});
+  ASSERT_EQ(ranks.size(), 3u);
+  EXPECT_GE(ranks[0], 1);
+  EXPECT_EQ(ranks[1], -1);  // Out of range: reported, not fatal.
+  EXPECT_EQ(ranks[2], 0);   // Sentinel: not a ranking query.
+}
+
+// ---- AbstainThreshold ------------------------------------------------------
+
+TEST(AbstainThresholdTest, DisabledAcceptsEverythingEvenNaN) {
+  const AbstainThreshold t;
+  EXPECT_TRUE(t.Accepts(0.0f, 0.0f));
+  EXPECT_TRUE(t.Accepts(kNaN, kNaN));
+}
+
+TEST(AbstainThresholdTest, EnabledRejectsNaN) {
+  AbstainThreshold t;
+  t.enabled = true;
+  t.min_similarity = 0.0f;
+  EXPECT_TRUE(t.Accepts(0.5f, 1.0f));
+  EXPECT_FALSE(t.Accepts(kNaN, 1.0f));
+  EXPECT_FALSE(t.Accepts(0.5f, kNaN));
+}
+
+TEST(CalibrateAbstainThresholdTest, SeparatesDanglingByScore) {
+  // Matchable dev rows peak high at their gold column; dangling rows are
+  // uniformly low. A score floor between the two populations yields F1 = 1.
+  const Tensor dev = Scores({{0.9f, 0.1f, 0.1f},
+                             {0.1f, 0.8f, 0.2f},
+                             {0.1f, 0.2f, 0.85f},
+                             {0.3f, 0.25f, 0.2f},
+                             {0.2f, 0.3f, 0.28f}});
+  const std::vector<int64_t> gold = {0, 1, 2, kGoldDangling, kGoldDangling};
+  const AbstainThreshold t = CalibrateAbstainThreshold(dev, gold);
+  ASSERT_TRUE(t.enabled);
+  EXPECT_DOUBLE_EQ(t.dev_f1, 1.0);
+  EXPECT_TRUE(t.Accepts(0.9f, 0.8f));
+  EXPECT_FALSE(t.Accepts(0.3f, 0.05f));
+}
+
+TEST(CalibrateAbstainThresholdTest, FallbackQuantileWithoutDanglingLabels) {
+  const Tensor dev = Scores({{0.9f, 0.1f}, {0.1f, 0.8f}, {0.7f, 0.2f}});
+  const std::vector<int64_t> gold = {0, 1, 0};
+  CalibrationOptions opts;
+  opts.fallback_keep_fraction = 1.0;  // Keep every correct dev match.
+  const AbstainThreshold t = CalibrateAbstainThreshold(dev, gold, opts);
+  ASSERT_TRUE(t.enabled);
+  // The floor sits at the lowest correct top-1 score, so all three dev
+  // rows stay accepted.
+  EXPECT_FLOAT_EQ(t.min_similarity, 0.7f);
+  EXPECT_DOUBLE_EQ(t.dev_f1, 1.0);
+}
+
+TEST(CalibrateAbstainThresholdTest, DanglingPriorRebalancesSkewedDev) {
+  // Dev is dangling-heavy (3 of 5 rows) but the declared deployment prior
+  // is 10% dangling. Unweighted F1 picks the strict floor that sacrifices
+  // the low-scoring correct match; the reweighted sweep keeps it because
+  // on 90%-matchable traffic recall is worth more than the occasional
+  // forced match. (Dangling margins are made large so the margin sweep
+  // cannot separate the classes either way.)
+  const Tensor dev = Scores({{0.9f, 0.1f},
+                             {0.5f, 0.1f},
+                             {0.7f, 0.0f},
+                             {0.65f, 0.0f},
+                             {0.6f, 0.0f}});
+  const std::vector<int64_t> gold = {0, 0, kGoldDangling, kGoldDangling,
+                                     kGoldDangling};
+
+  const AbstainThreshold strict = CalibrateAbstainThreshold(dev, gold);
+  ASSERT_TRUE(strict.enabled);
+  EXPECT_FLOAT_EQ(strict.min_similarity, 0.9f);
+
+  CalibrationOptions opts;
+  opts.dangling_prior = 0.1;
+  const AbstainThreshold lax = CalibrateAbstainThreshold(dev, gold, opts);
+  ASSERT_TRUE(lax.enabled);
+  EXPECT_FLOAT_EQ(lax.min_similarity, 0.5f);
+  EXPECT_FLOAT_EQ(lax.min_margin, 0.0f);
+  EXPECT_GT(lax.dev_f1, 0.9);  // Weighted: P = 0.9, R = 1.
+}
+
+TEST(CalibrateAbstainThresholdTest, DegenerateInputsDisable) {
+  EXPECT_FALSE(CalibrateAbstainThreshold(Tensor({0, 3}), {}).enabled);
+  EXPECT_FALSE(CalibrateAbstainThreshold(Tensor({2, 0}), {0, 1}).enabled);
+  const Tensor dev = Scores({{0.5f, 0.2f}});
+  EXPECT_FALSE(CalibrateAbstainThreshold(dev, {kGoldSkip}).enabled);
+  // Out-of-range dev gold is skipped like kGoldSkip, not fatal.
+  EXPECT_FALSE(CalibrateAbstainThreshold(dev, {17}).enabled);
+}
+
+TEST(ApplyAbstainThresholdTest, RewritesFailingMatchesToUnmatched) {
+  const Tensor scores = Scores({{0.9f, 0.1f}, {0.4f, 0.35f}, {0.2f, 0.6f}});
+  AbstainThreshold t;
+  t.enabled = true;
+  t.min_similarity = 0.5f;
+  std::vector<int64_t> match = {0, 0, -1};  // Row 2 already unmatched.
+  EXPECT_EQ(ApplyAbstainThreshold(scores, t, &match), 1);
+  EXPECT_EQ(match[0], 0);
+  EXPECT_EQ(match[1], -1);  // 0.4 < floor.
+  EXPECT_EQ(match[2], -1);  // Untouched.
+}
+
+TEST(ApplyAbstainThresholdTest, MarginRuleRejectsAmbiguousRows) {
+  const Tensor scores = Scores({{0.80f, 0.78f}, {0.80f, 0.30f}});
+  AbstainThreshold t;
+  t.enabled = true;
+  t.min_margin = 0.1f;
+  std::vector<int64_t> match = {0, 0};
+  EXPECT_EQ(ApplyAbstainThreshold(scores, t, &match), 1);
+  EXPECT_EQ(match[0], -1);  // Margin 0.02: too close to call.
+  EXPECT_EQ(match[1], 0);   // Margin 0.5: clear winner.
+}
+
+TEST(ApplyAbstainThresholdTest, NaNScoresNeverSurviveAnEnabledRule) {
+  const Tensor scores = Scores({{kNaN, kNaN}});
+  AbstainThreshold t;
+  t.enabled = true;  // Laxest possible enabled rule: -inf floor, 0 margin.
+  std::vector<int64_t> match = {0};
+  EXPECT_EQ(ApplyAbstainThreshold(scores, t, &match), 1);
+  EXPECT_EQ(match[0], -1);
+}
+
+TEST(ApplyAbstainThresholdTest, SingleTargetHasInfiniteMargin) {
+  const Tensor scores = Scores({{0.6f}});
+  AbstainThreshold t;
+  t.enabled = true;
+  t.min_margin = kInf;  // Even an infinite margin demand passes m == 1.
+  std::vector<int64_t> match = {0};
+  EXPECT_EQ(ApplyAbstainThreshold(scores, t, &match), 0);
+  EXPECT_EQ(match[0], 0);
+}
+
+}  // namespace
+}  // namespace sdea::eval
